@@ -1,0 +1,152 @@
+"""Benches for the extension models: DES executor validation, noisy-link
+overhead, DVFS policies, and the ISS-vs-model bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core.dvfs import DvfsController, DvfsPolicy
+from repro.isa.or10n import Or10nTarget
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.svm import SvmKernel
+from repro.link.noise import NoisyChannel, RetransmittingSender
+from repro.link.protocol import Command, Frame
+from repro.machine.programs import run_matmul_i8
+from repro.power.activity import ActivityProfile
+from repro.pulp.executor import CycleLevelExecutor
+from repro.units import mw
+
+from .conftest import save_result
+
+
+def test_des_executor_validation(benchmark, results_dir):
+    """Cycle-level cluster vs analytic model on scaled-down kernels."""
+
+    def run():
+        rows = []
+        for kernel in (MatmulKernel("char", n=16),
+                       MatmulKernel("fixed", n=16),
+                       SvmKernel("linear", dimensions=32, support_vectors=8,
+                                 test_vectors=8, classes=4)):
+            executor = CycleLevelExecutor(Or10nTarget(), threads=4)
+            result = executor.execute(kernel.build_program())
+            rows.append((kernel.name, result.wall_cycles,
+                         result.analytic_cycles, result.deviation))
+        return rows
+
+    rows = benchmark(run)
+    lines = ["DES cluster vs analytic timing (4 threads, small configs):",
+             f"  {'kernel':16s} {'DES':>10s} {'analytic':>10s} {'dev':>7s}"]
+    for name, des, analytic, deviation in rows:
+        lines.append(f"  {name:16s} {des:10,.0f} {analytic:10,.0f} "
+                     f"{deviation:6.1%}")
+    save_result(results_dir, "extension_des_validation", "\n".join(lines))
+    for name, _, _, deviation in rows:
+        assert deviation < 0.05, name
+
+
+def test_noisy_link_overhead(benchmark, results_dir):
+    """Retransmission overhead vs bit error rate (failure injection)."""
+
+    def run():
+        rows = []
+        for ber in (1e-6, 1e-5, 1e-4, 5e-4):
+            sender = RetransmittingSender(NoisyChannel(ber, seed=13),
+                                          max_attempts=256)
+            for index in range(12):
+                frame = Frame(Command.WRITE_DATA, index * 512, bytes(512))
+                sender.send(frame)
+            rows.append((ber, sender.retransmission_overhead))
+        return rows
+
+    rows = benchmark(run)
+    lines = ["retransmission overhead vs BER (512-byte frames):"]
+    for ber, overhead in rows:
+        lines.append(f"  BER {ber:8.0e}: +{overhead:6.1%} wire traffic")
+    save_result(results_dir, "extension_noisy_link", "\n".join(lines))
+    overheads = [overhead for _, overhead in rows]
+    assert overheads[0] <= overheads[-1]
+    assert overheads[0] < 0.05
+
+
+def test_dvfs_policies(benchmark, results_dir):
+    """Race-to-idle vs pace-to-deadline across deadline slack."""
+    controller = DvfsController()
+    activity = ActivityProfile.matmul()
+    cycles = 2e6
+
+    def run():
+        rows = []
+        for period in (12e-3, 25e-3, 50e-3, 100e-3):
+            race = controller.evaluate(DvfsPolicy.RACE_TO_IDLE, cycles,
+                                       period, activity, power_budget=mw(10))
+            pace = controller.evaluate(DvfsPolicy.PACE_TO_DEADLINE, cycles,
+                                       period, activity)
+            rows.append((period, race.energy, pace.energy))
+        return rows
+
+    rows = benchmark(run)
+    lines = ["DVFS: energy per period, 2M cycles of work:",
+             f"  {'period':>8s} {'race-to-idle':>14s} {'pace':>10s} {'winner':>8s}"]
+    for period, race, pace in rows:
+        winner = "pace" if pace < race else "race"
+        lines.append(f"  {period * 1e3:6.0f}ms {race * 1e6:12.1f}uJ "
+                     f"{pace * 1e6:8.1f}uJ {winner:>8s}")
+    save_result(results_dir, "extension_dvfs", "\n".join(lines))
+    # With slack, pacing at low voltage always wins on this leakage model.
+    assert rows[-1][2] < rows[-1][1]
+
+
+def test_multicore_iss_parallel_speedup(benchmark, results_dir):
+    """Instruction-level Figure 4 (right): the lockstep 4-core cluster
+    on a row-partitioned assembly matmul."""
+    from repro.machine.programs import run_matmul_i8_parallel
+
+    kernel = MatmulKernel("char", n=16)
+    inputs = kernel.generate_inputs(4)
+    expected = kernel.compute(inputs)["c"]
+    _, single = run_matmul_i8(inputs["a"], inputs["b"])
+
+    out, multi = benchmark(run_matmul_i8_parallel, inputs["a"], inputs["b"])
+    assert np.array_equal(out, expected)
+    speedup = single.cycles / multi.wall_cycles
+    save_result(results_dir, "extension_multicore_iss",
+                f"lockstep 4-core ISS, 16x16 char matmul:\n"
+                f"  single-core {single.cycles:,.0f} cycles, "
+                f"4-core wall {multi.wall_cycles:,} cycles\n"
+                f"  parallel speedup {speedup:.2f}x "
+                f"(analytic model: ~3.9x)\n"
+                f"  bank conflict rate {multi.conflict_rate:.1%} over "
+                f"{multi.bank_accesses:,} accesses")
+    assert 3.4 < speedup <= 4.0
+
+
+def test_mcu_efficiency_grid(benchmark, results_dir):
+    """Figure 3's comparison extended to all ten kernels."""
+    from repro.experiments import mcu_grid
+
+    rows = benchmark(mcu_grid.run)
+    save_result(results_dir, "extension_mcu_grid", mcu_grid.render(rows))
+    gaps = {row.kernel: row.efficiency_gap for row in rows}
+    # PULP wins everywhere; the slack narrows exactly where Figure 4
+    # says OR10N loses its edge (hog), and peaks on the SIMD-friendly
+    # integer kernels.
+    assert all(gap > 5 for gap in gaps.values())
+    assert gaps["hog"] == min(gaps.values())
+    assert max(gaps.values()) > 25
+
+
+def test_iss_bridge(benchmark, results_dir):
+    """The ISS executes the real matmul and matches the kernel bit-exactly."""
+    kernel = MatmulKernel("char", n=12)
+    inputs = kernel.generate_inputs(3)
+    expected = kernel.compute(inputs)["c"]
+
+    out, result = benchmark(run_matmul_i8, inputs["a"], inputs["b"])
+    assert np.array_equal(out, expected)
+    save_result(results_dir, "extension_iss_bridge",
+                f"OR10N-mini ISS, 12x12 char matmul:\n"
+                f"  bit-exact vs analytic kernel: "
+                f"{np.array_equal(out, expected)}\n"
+                f"  {result.instructions:,} instructions, "
+                f"{result.cycles:,.0f} cycles "
+                f"({result.cycles / 12 ** 3:.2f} cycles/element)")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""IoT node designer: end-to-end system design with the library.
+
+Walks through designing a sub-10 mW sensing node the way Section V of
+the paper reasons: choose the kernel working set, plan which binaries
+stay resident in the accelerator's L2, place the pipeline stages, and
+inspect where the time and energy actually go.
+
+Run:  python examples/node_designer.py
+"""
+
+from repro.app import Pipeline, Stage
+from repro.app.pipeline import render_pipeline
+from repro.core import HeterogeneousSystem
+from repro.core.library import LibraryPlanner, render_plan
+from repro.core.trace import render_gantt, trace_offload
+from repro.kernels import CnnKernel, HogKernel, SvmKernel
+from repro.power.breakdown import breakdown_offload, render_breakdown
+from repro.units import mhz
+
+HOST_FREQUENCY = mhz(8)
+
+
+def main() -> None:
+    system = HeterogeneousSystem()
+    detector = HogKernel()
+    classifier = CnnKernel()
+    activity_monitor = SvmKernel("RBF")
+
+    print("=== 1. workload: a smart sensing node ===")
+    print("  hog       25 frames/s   (person detection features)")
+    print("  cnn       25 frames/s   (classification)")
+    print("  svm (RBF)  2 batches/s  (activity monitoring)")
+    print()
+
+    print("=== 2. which binaries stay resident in L2? ===")
+    planner = LibraryPlanner(system.soc.l2)
+    entries = planner.entries_for([
+        (detector, 25.0), (classifier, 25.0), (activity_monitor, 2.0)])
+    plan = planner.plan(entries)
+    print(render_plan(plan,
+                      spi_clock=system.host.spi_clock(HOST_FREQUENCY)))
+    print()
+
+    print("=== 3. pipeline placement and steady state ===")
+    pipeline = Pipeline([Stage(detector), Stage(classifier),
+                         Stage(activity_monitor)], system=system)
+    report = pipeline.analyze(HOST_FREQUENCY)
+    print(render_pipeline(report))
+    print()
+
+    print("=== 4. where does the energy go? (cnn stage) ===")
+    result = system.offload(classifier, host_frequency=HOST_FREQUENCY,
+                            iterations=16, double_buffered=True)
+    print(render_breakdown(breakdown_offload(result.timing)))
+    print()
+
+    print("=== 5. what does one offload look like on the wire? ===")
+    serial = system.offload(SvmKernel("RBF"),
+                            host_frequency=HOST_FREQUENCY, iterations=2)
+    print(render_gantt(trace_offload(serial.timing, max_iterations=2)))
+
+
+if __name__ == "__main__":
+    main()

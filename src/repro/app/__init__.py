@@ -1,0 +1,20 @@
+"""Application layer: composing kernels into processing pipelines.
+
+"Real applications are generally composed by a sequence of kernels
+(i.e. basic algorithmic elements)" (Section III-A).  This package models
+that composition: a :class:`~repro.app.pipeline.Pipeline` chains kernel
+stages, decides per stage whether to offload or stay on the host, and
+answers steady-state questions — throughput, per-item energy, and which
+stage bottlenecks the system within the power envelope.
+"""
+
+from repro.app.pipeline import (
+    Pipeline,
+    PipelineReport,
+    Placement,
+    Stage,
+    StageReport,
+)
+
+__all__ = ["Placement", "Stage", "StageReport", "Pipeline",
+           "PipelineReport"]

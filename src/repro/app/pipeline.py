@@ -1,0 +1,164 @@
+"""Kernel pipelines: placement, steady-state throughput and energy.
+
+A pipeline processes a stream of items (frames, batches, windows); each
+stage runs one kernel, placed either on the accelerator (offloaded, with
+per-item data transfers amortized by double buffering) or on the host
+(small control-flow-heavy stages often aren't worth the transfer).  The
+analysis finds the steady-state period — the slowest stage — and the
+energy per item, and can auto-place stages by trying both options.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, OffloadError
+from repro.core.system import HeterogeneousSystem
+from repro.kernels.base import Kernel
+from repro.units import mhz
+
+#: Iterations per offload assumed for steady-state amortization.
+_STEADY_ITERATIONS = 64
+
+
+class Placement(enum.Enum):
+    """Where a stage executes."""
+
+    HOST = "host"
+    ACCELERATOR = "accelerator"
+    AUTO = "auto"
+
+
+@dataclass
+class Stage:
+    """One pipeline stage."""
+
+    kernel: Kernel
+    placement: Placement = Placement.AUTO
+
+    @property
+    def name(self) -> str:
+        """Stage name (the kernel's)."""
+        return self.kernel.name
+
+
+@dataclass
+class StageReport:
+    """Steady-state cost of one placed stage."""
+
+    name: str
+    placement: Placement
+    time_per_item: float
+    energy_per_item: float
+    speedup_vs_host: float
+
+
+@dataclass
+class PipelineReport:
+    """Whole-pipeline steady state."""
+
+    stages: List[StageReport]
+    host_frequency: float
+
+    @property
+    def period(self) -> float:
+        """Steady-state seconds per item (stages run in sequence on the
+        shared accelerator, so the period is the *sum* of stage times)."""
+        return sum(stage.time_per_item for stage in self.stages)
+
+    @property
+    def throughput(self) -> float:
+        """Items per second."""
+        period = self.period
+        if period == 0:
+            return 0.0
+        return 1.0 / period
+
+    @property
+    def energy_per_item(self) -> float:
+        """Joules per processed item."""
+        return sum(stage.energy_per_item for stage in self.stages)
+
+    @property
+    def bottleneck(self) -> StageReport:
+        """The stage dominating the period."""
+        return max(self.stages, key=lambda stage: stage.time_per_item)
+
+
+class Pipeline:
+    """A sequence of kernel stages on one heterogeneous system."""
+
+    def __init__(self, stages: Sequence[Stage],
+                 system: Optional[HeterogeneousSystem] = None):
+        if not stages:
+            raise ConfigurationError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+        self.system = system if system is not None else HeterogeneousSystem()
+
+    def analyze(self, host_frequency: float = mhz(8)) -> PipelineReport:
+        """Steady-state analysis with per-stage placement resolution."""
+        reports: List[StageReport] = []
+        for stage in self.stages:
+            reports.append(self._place(stage, host_frequency))
+        return PipelineReport(stages=reports, host_frequency=host_frequency)
+
+    # -- internals -------------------------------------------------------------
+
+    def _place(self, stage: Stage, host_frequency: float) -> StageReport:
+        if stage.placement is Placement.HOST:
+            return self._host_report(stage, host_frequency)
+        if stage.placement is Placement.ACCELERATOR:
+            return self._accelerator_report(stage, host_frequency)
+        # AUTO: pick the faster option (host execution is always
+        # available; offload may be impossible at this host clock).
+        host = self._host_report(stage, host_frequency)
+        try:
+            accelerated = self._accelerator_report(stage, host_frequency)
+        except OffloadError:
+            return host
+        return accelerated \
+            if accelerated.time_per_item < host.time_per_item else host
+
+    def _host_report(self, stage: Stage, host_frequency: float) -> StageReport:
+        run = self.system.run_on_host(stage.kernel, host_frequency)
+        return StageReport(
+            name=stage.name,
+            placement=Placement.HOST,
+            time_per_item=run.time,
+            energy_per_item=run.energy,
+            speedup_vs_host=1.0,
+        )
+
+    def _accelerator_report(self, stage: Stage,
+                            host_frequency: float) -> StageReport:
+        result = self.system.offload(
+            stage.kernel, host_frequency=host_frequency,
+            iterations=_STEADY_ITERATIONS, double_buffered=True)
+        per_item = result.timing.total_time / _STEADY_ITERATIONS
+        energy = result.timing.energy.total_energy / _STEADY_ITERATIONS
+        host_time = self.system.run_on_host(
+            stage.kernel, host_frequency).time
+        return StageReport(
+            name=stage.name,
+            placement=Placement.ACCELERATOR,
+            time_per_item=per_item,
+            energy_per_item=energy,
+            speedup_vs_host=host_time / per_item if per_item else 0.0,
+        )
+
+
+def render_pipeline(report: PipelineReport) -> str:
+    """Text rendering of a pipeline analysis."""
+    lines = [f"pipeline @ host {report.host_frequency / 1e6:.0f} MHz: "
+             f"{report.throughput:.1f} items/s, "
+             f"{report.energy_per_item * 1e6:.1f} uJ/item"]
+    for stage in report.stages:
+        marker = " <- bottleneck" if stage is report.bottleneck else ""
+        lines.append(
+            f"  {stage.name:16s} [{stage.placement.value:11s}] "
+            f"{stage.time_per_item * 1e3:8.2f} ms  "
+            f"{stage.energy_per_item * 1e6:8.1f} uJ  "
+            f"x{stage.speedup_vs_host:5.1f}{marker}")
+    return "\n".join(lines)

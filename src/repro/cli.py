@@ -1,0 +1,128 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure3
+    python -m repro figure4
+    python -m repro figure5a
+    python -m repro figure5b [--kernel matmul]
+    python -m repro offload --kernel "svm (RBF)" --host-mhz 8 --iterations 32
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.system import HeterogeneousSystem
+from repro.experiments import figure3, figure4, figure5, table1
+from repro.kernels import BENCHMARK_NAMES, kernel_by_name
+from repro.units import mhz
+
+
+def _cmd_table1(_args) -> str:
+    return table1.render()
+
+
+def _cmd_figure3(_args) -> str:
+    return figure3.render()
+
+
+def _cmd_figure4(_args) -> str:
+    return figure4.render()
+
+
+def _cmd_figure5a(_args) -> str:
+    return figure5.render_figure5a()
+
+
+def _cmd_figure5b(args) -> str:
+    kernel = kernel_by_name(args.kernel) if args.kernel else None
+    return figure5.render_figure5b(figure5.run_figure5b(kernel))
+
+
+def _cmd_offload(args) -> str:
+    system = HeterogeneousSystem()
+    kernel = kernel_by_name(args.kernel)
+    result = system.offload(kernel, host_frequency=mhz(args.host_mhz),
+                            iterations=args.iterations,
+                            double_buffered=args.double_buffer)
+    return result.report()
+
+
+def _cmd_report(_args) -> str:
+    from repro.experiments.report import build_report
+    return build_report()
+
+
+def _cmd_all(args) -> str:
+    sections = [
+        ("Table I", _cmd_table1(args)),
+        ("Figure 3", _cmd_figure3(args)),
+        ("Figure 4", _cmd_figure4(args)),
+        ("Figure 5a", _cmd_figure5a(args)),
+        ("Figure 5b", figure5.render_figure5b()),
+    ]
+    blocks = []
+    for title, body in sections:
+        blocks.append(f"{'=' * 12} {title} {'=' * 12}\n{body}")
+    return "\n\n".join(blocks)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the DATE 2016 heterogeneous-accelerator "
+                    "paper's evaluation.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I: benchmark summary")
+    sub.add_parser("figure3", help="Figure 3: GOPS vs power on matmul")
+    sub.add_parser("figure4", help="Figure 4: architectural/parallel speedup")
+    sub.add_parser("figure5a", help="Figure 5a: speedup within 10 mW")
+    f5b = sub.add_parser("figure5b",
+                         help="Figure 5b: efficiency vs iterations/offload")
+    f5b.add_argument("--kernel", choices=BENCHMARK_NAMES, default=None,
+                     help="benchmark to sweep (default: cnn)")
+    off = sub.add_parser("offload", help="run one offload and report it")
+    off.add_argument("--kernel", choices=BENCHMARK_NAMES, default="matmul")
+    off.add_argument("--host-mhz", type=float, default=8.0)
+    off.add_argument("--iterations", type=int, default=1)
+    off.add_argument("--double-buffer", action="store_true")
+    sub.add_parser("all", help="everything, in paper order")
+    sub.add_parser("report",
+                   help="markdown reproduction report with anchor checks")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5a": _cmd_figure5a,
+    "figure5b": _cmd_figure5b,
+    "offload": _cmd_offload,
+    "all": _cmd_all,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""The host-side offload driver: a reliable protocol session.
+
+:class:`repro.core.system.HeterogeneousSystem` assumes a clean wire.
+This module is the production-shaped driver underneath: an explicit
+session state machine (IDLE -> LOADED -> ARMED -> RUNNING -> COMPLETE)
+that delivers every frame through the retransmitting sender, survives a
+configurable bit-error rate, accounts the extra wire time retries cost,
+and refuses out-of-order operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import OffloadError
+from repro.link.noise import NoisyChannel, RetransmittingSender
+from repro.link.protocol import Command, Frame
+from repro.link.spi import SpiLink
+from repro.mcu.stm32l476 import Stm32L476
+from repro.pulp.binary import KernelBinary
+from repro.pulp.soc import PulpSoc
+from repro.runtime.host import MapClause, MapDirection, TargetRegion
+from repro.units import mhz
+
+
+class SessionState(enum.Enum):
+    """Driver session states."""
+
+    IDLE = "idle"
+    LOADED = "loaded"        #: binary delivered
+    ARMED = "armed"          #: inputs delivered, START sent
+    RUNNING = "running"      #: fetch-enable pulsed
+    COMPLETE = "complete"    #: EOC seen, results read
+
+
+@dataclass
+class SessionStats:
+    """Wire statistics of one session."""
+
+    frames_sent: int = 0
+    transmissions: int = 0
+    wire_bytes: int = 0
+    payload_bytes: int = 0
+
+    @property
+    def retry_overhead(self) -> float:
+        """Extra transmissions per frame (0 = clean channel)."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.transmissions / self.frames_sent - 1.0
+
+
+class OffloadDriver:
+    """Drives one accelerator through the wire protocol, reliably."""
+
+    def __init__(self, soc: Optional[PulpSoc] = None,
+                 host: Optional[Stm32L476] = None,
+                 link: Optional[SpiLink] = None,
+                 bit_error_rate: float = 0.0,
+                 max_attempts: int = 32,
+                 seed: int = 1):
+        self.soc = soc if soc is not None else PulpSoc()
+        self.host = host if host is not None else Stm32L476()
+        self.link = link if link is not None else SpiLink()
+        self.channel = NoisyChannel(bit_error_rate, seed=seed)
+        self._sender = RetransmittingSender(
+            self.channel, max_attempts=max_attempts)
+        self.state = SessionState.IDLE
+        self.stats = SessionStats()
+        self._region: Optional[TargetRegion] = None
+        self._event_clock = 0.0
+
+    # -- session steps -----------------------------------------------------------
+
+    def load(self, binary: KernelBinary,
+             input_payload: bytes, output_bytes: int) -> None:
+        """Place the region in L2 and deliver the binary."""
+        self._require(SessionState.IDLE, "load")
+        region = TargetRegion(binary=binary, maps=[
+            MapClause("inputs", MapDirection.TO, data=input_payload),
+            MapClause("outputs", MapDirection.FROM, size=output_bytes),
+        ])
+        region.place(self.soc.l2)
+        self.soc.register_binary(binary, region.addresses["__binary__"])
+        self._send(Frame(Command.LOAD_BINARY,
+                         region.addresses["__binary__"],
+                         binary.to_bytes()))
+        self._region = region
+        self.state = SessionState.LOADED
+
+    def arm(self, input_payload: bytes) -> None:
+        """Deliver the inputs and send START."""
+        self._require(SessionState.LOADED, "arm")
+        self._send(Frame(Command.WRITE_DATA,
+                         self._region.addresses["inputs"], input_payload))
+        self._send(Frame(Command.START,
+                         self._region.addresses["__binary__"]))
+        self.state = SessionState.ARMED
+
+    def start(self) -> None:
+        """Pulse the fetch-enable line."""
+        self._require(SessionState.ARMED, "start")
+        self._event_clock += 1e-6
+        self.soc.trigger_fetch_enable(self._event_clock)
+        self.state = SessionState.RUNNING
+
+    def complete(self, output_payload: bytes) -> bytes:
+        """Device signals EOC (the caller supplies what the kernel wrote
+        into the output region); read the results back reliably."""
+        self._require(SessionState.RUNNING, "complete")
+        self.soc.l2.write(self._region.addresses["outputs"], output_payload)
+        self._event_clock += 1e-6
+        self.soc.computation_done(self._event_clock)
+        request = Frame(Command.READ_DATA, self._region.addresses["outputs"],
+                        len(output_payload).to_bytes(4, "little"))
+        delivered = self._send(request)
+        response = self.soc.handle_frame(delivered)
+        self.state = SessionState.COMPLETE
+        return response
+
+    def reset(self) -> None:
+        """Back to IDLE (binary stays resident in the model's L2)."""
+        self.soc.reset()
+        self.state = SessionState.IDLE
+        self._region = None
+
+    # -- accounting --------------------------------------------------------------
+
+    def wire_time(self, host_frequency: float = mhz(8)) -> float:
+        """Seconds the wire spent, retransmissions included."""
+        clock = self.host.spi_clock(host_frequency)
+        return self.stats.wire_bytes * 8.0 / (self.link.width * clock)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _send(self, frame: Frame) -> Frame:
+        delivered = self._sender.send(frame)
+        if frame.command is not Command.READ_DATA:
+            self.soc.handle_frame(delivered)
+        entry = self._sender.log[-1]
+        self.stats.frames_sent += 1
+        self.stats.transmissions += entry.attempts
+        self.stats.wire_bytes += entry.wire_bytes
+        self.stats.payload_bytes += len(frame.payload)
+        return delivered
+
+    def _require(self, expected: SessionState, operation: str) -> None:
+        if self.state is not expected:
+            raise OffloadError(
+                f"driver cannot {operation} in state {self.state.value} "
+                f"(needs {expected.value})")

@@ -1,0 +1,128 @@
+"""DVFS policies for the accelerator.
+
+The PULP SoC's FLL and clock dividers allow "fine grained frequency
+tuning" (Section III-B), and the voltage regulator tracks the chosen
+frequency.  Given a workload with a deadline, two classic policies
+compete:
+
+* **race-to-idle** — run at the fastest operating point the power budget
+  allows, finish early, sleep the rest of the period;
+* **pace-to-deadline** — run at the slowest frequency that still meets
+  the deadline, at the lowest voltage sustaining it.
+
+Which wins depends on the leakage/idle floor versus the quadratic
+dynamic savings — exactly the near-threshold trade-off of the PULP
+line.  :class:`DvfsController` evaluates both (plus any explicit
+operating point) and picks the energy-optimal one, accounting the FLL
+re-lock cost on every frequency hop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import BudgetError, ConfigurationError
+from repro.power.activity import ActivityProfile
+from repro.power.pulp_model import PulpPowerModel
+from repro.units import us
+
+
+class DvfsPolicy(enum.Enum):
+    """Supported scheduling policies."""
+
+    RACE_TO_IDLE = "race-to-idle"
+    PACE_TO_DEADLINE = "pace-to-deadline"
+
+
+@dataclass(frozen=True)
+class DvfsDecision:
+    """One evaluated policy at one operating point."""
+
+    policy: DvfsPolicy
+    frequency: float
+    voltage: float
+    active_time: float
+    idle_time: float
+    energy: float
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the period."""
+        period = self.active_time + self.idle_time
+        if period == 0:
+            return 0.0
+        return self.energy / period
+
+
+class DvfsController:
+    """Chooses the accelerator operating point for periodic workloads."""
+
+    def __init__(self, power_model: Optional[PulpPowerModel] = None,
+                 sleep_power: float = 60e-6,
+                 fll_lock_time: float = us(50)):
+        if sleep_power < 0 or fll_lock_time < 0:
+            raise ConfigurationError("negative sleep power / lock time")
+        self.power_model = power_model if power_model is not None \
+            else PulpPowerModel()
+        self.sleep_power = sleep_power
+        self.fll_lock_time = fll_lock_time
+
+    def evaluate(self, policy: DvfsPolicy, cycles: float, period: float,
+                 activity: ActivityProfile,
+                 power_budget: Optional[float] = None) -> DvfsDecision:
+        """Cost one policy for ``cycles`` of work each ``period`` seconds."""
+        if cycles <= 0 or period <= 0:
+            raise ConfigurationError("cycles and period must be positive")
+        if policy is DvfsPolicy.RACE_TO_IDLE:
+            if power_budget is not None:
+                frequency, voltage = self.power_model.max_frequency_within(
+                    power_budget, activity)
+                if frequency == 0:
+                    raise BudgetError(
+                        f"budget {power_budget} W sustains no frequency")
+            else:
+                frequency = self.power_model.table.f_max
+                voltage = self.power_model.table.v_max
+        else:
+            frequency = cycles / period
+            if frequency > self.power_model.table.f_max:
+                raise BudgetError(
+                    f"deadline needs {frequency:.3e} Hz, above f_max")
+            frequency = max(frequency, 1.0)
+            voltage = self.power_model.table.voltage_for(frequency)
+        active_time = cycles / frequency
+        if active_time > period * (1 + 1e-9):
+            raise BudgetError(
+                f"{policy.value} misses the deadline: needs {active_time:.4g} s "
+                f"of a {period:.4g} s period")
+        idle_time = max(0.0, period - active_time)
+        active_power = self.power_model.total_power(frequency, voltage,
+                                                    activity)
+        energy = (active_time * active_power
+                  + idle_time * self.sleep_power
+                  + self.fll_lock_time * active_power)  # the hop
+        return DvfsDecision(
+            policy=policy,
+            frequency=frequency,
+            voltage=voltage,
+            active_time=active_time,
+            idle_time=idle_time,
+            energy=energy,
+        )
+
+    def best(self, cycles: float, period: float,
+             activity: ActivityProfile,
+             power_budget: Optional[float] = None) -> DvfsDecision:
+        """The energy-optimal feasible policy."""
+        decisions: List[DvfsDecision] = []
+        for policy in DvfsPolicy:
+            try:
+                decisions.append(self.evaluate(policy, cycles, period,
+                                               activity, power_budget))
+            except BudgetError:
+                continue
+        if not decisions:
+            raise BudgetError("no DVFS policy meets the deadline and budget")
+        return min(decisions, key=lambda d: d.energy)

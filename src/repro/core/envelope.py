@@ -1,0 +1,118 @@
+"""The shared power envelope: splitting 10 mW between host, link and PULP.
+
+"In the case of an embedded system, one is not typically interested in
+the best absolute possible performance, but rather in the best
+performance achievable in a given power envelope. ... we impose a
+constraint of 10 mW to the total power consumption, considering the MCU,
+PULP and the SPI link between the two.  The baseline is given by
+clocking the STM32-L476 MCU at 32 MHz.  ...  As the MCU frequency is
+lowered, the power available for the accelerator is more, therefore it
+is possible to operate it at a higher frequency."  (Section IV-B)
+
+Note the host stays *active* inside the envelope — the paper's budget
+deliberately leaves room for "an additional, separate task to be
+performed on the host at the same time" (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import BudgetError
+from repro.mcu.catalog import mcu_by_name
+from repro.mcu.device import McuDevice
+from repro.power.activity import ActivityProfile
+from repro.power.pulp_model import PulpPowerModel
+from repro.units import mhz, mw
+
+#: The paper's envelope.
+DEFAULT_BUDGET = mw(10)
+#: Idle SPI link reservation inside the envelope.
+DEFAULT_LINK_RESERVE = mw(0.05)
+#: MCU frequencies swept in Figure 5a (the >32 MHz points deliberately
+#: exceed the envelope, as in the paper's plot).
+FIGURE5A_HOST_FREQUENCIES = (mhz(1), mhz(2), mhz(4), mhz(8), mhz(16),
+                             mhz(26), mhz(32), mhz(48))
+
+
+@dataclass(frozen=True)
+class EnvelopePoint:
+    """One operating point of the shared envelope."""
+
+    host_frequency: float
+    host_power: float
+    link_power: float
+    pulp_frequency: float
+    pulp_voltage: float
+    pulp_power: float
+
+    @property
+    def total_power(self) -> float:
+        """Total system power at this point."""
+        return self.host_power + self.link_power + self.pulp_power
+
+    @property
+    def accelerator_usable(self) -> bool:
+        """Whether any accelerator frequency fit in the residual budget."""
+        return self.pulp_frequency > 0
+
+
+class PowerEnvelopeSolver:
+    """Finds the best accelerator operating point for each host clock."""
+
+    def __init__(self, budget: float = DEFAULT_BUDGET,
+                 host_device: Optional[McuDevice] = None,
+                 pulp_power: Optional[PulpPowerModel] = None,
+                 link_reserve: float = DEFAULT_LINK_RESERVE):
+        if budget <= 0 or link_reserve < 0:
+            raise BudgetError(f"invalid budget {budget} / reserve {link_reserve}")
+        self.budget = budget
+        self.host_device = host_device if host_device is not None \
+            else mcu_by_name("STM32-L476")
+        self.pulp_power = pulp_power if pulp_power is not None \
+            else PulpPowerModel()
+        self.link_reserve = link_reserve
+
+    def host_only_power(self, host_frequency: float) -> float:
+        """Power of the host-only baseline at *host_frequency*."""
+        return self.host_device.active_power(host_frequency)
+
+    def solve(self, host_frequency: float,
+              activity: ActivityProfile) -> EnvelopePoint:
+        """Best PULP operating point with the host at *host_frequency*.
+
+        Host frequencies whose own power already exceeds the budget get a
+        zero-frequency accelerator (the paper's 32 MHz baseline case, and
+        the beyond-budget bars of Figure 5a).
+        """
+        host_power = self.host_device.active_power(host_frequency)
+        residual = self.budget - host_power - self.link_reserve
+        if residual <= 0:
+            return EnvelopePoint(
+                host_frequency=host_frequency,
+                host_power=host_power,
+                link_power=self.link_reserve,
+                pulp_frequency=0.0,
+                pulp_voltage=self.pulp_power.table.v_min,
+                pulp_power=0.0,
+            )
+        frequency, voltage = self.pulp_power.max_frequency_within(
+            residual, activity)
+        pulp_power = 0.0
+        if frequency > 0:
+            pulp_power = self.pulp_power.total_power(frequency, voltage,
+                                                     activity)
+        return EnvelopePoint(
+            host_frequency=host_frequency,
+            host_power=host_power,
+            link_power=self.link_reserve,
+            pulp_frequency=frequency,
+            pulp_voltage=voltage,
+            pulp_power=pulp_power,
+        )
+
+    def sweep(self, activity: ActivityProfile,
+              host_frequencies: Sequence[float] = FIGURE5A_HOST_FREQUENCIES):
+        """Solve the envelope over a host-frequency sweep (Figure 5a)."""
+        return [self.solve(f, activity) for f in host_frequencies]

@@ -1,0 +1,91 @@
+"""Execution trace: phase timeline of an offload.
+
+Turns an :class:`~repro.core.offload.OffloadTiming` into an ordered list
+of timed phases (binary, per-iteration input / compute / sync / output)
+and renders an ASCII Gantt chart — the picture the paper's Figure 5b
+prose describes ("the computation time dominates" versus "the bandwidth
+of the SPI link is too low").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.core.offload import OffloadTiming
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One phase on the timeline."""
+
+    label: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End time of the phase."""
+        return self.start + self.duration
+
+
+def trace_offload(timing: OffloadTiming,
+                  max_iterations: int = 4) -> List[TracePhase]:
+    """The phase timeline of a *serial* offload (first iterations only).
+
+    Double-buffered schedules overlap phases; for those, the timeline
+    shows the steady-state period structure instead.
+    """
+    if max_iterations < 1:
+        raise ConfigurationError(f"max_iterations must be >= 1")
+    phases: List[TracePhase] = []
+    clock = 0.0
+    if timing.binary_time > 0:
+        phases.append(TracePhase("binary", clock, timing.binary_time))
+        clock += timing.binary_time
+    if timing.boot_time > 0:
+        phases.append(TracePhase("boot", clock, timing.boot_time))
+        clock += timing.boot_time
+    iterations = min(timing.iterations, max_iterations)
+    if timing.double_buffered:
+        transfer = timing.input_time + timing.output_time
+        period = max(timing.compute_time + timing.sync_time, transfer)
+        phases.append(TracePhase("prologue(in)", clock, timing.input_time))
+        clock += timing.input_time
+        for index in range(iterations):
+            phases.append(TracePhase(f"period[{index}]", clock, period))
+            clock += period
+        phases.append(TracePhase("epilogue(out)", clock, timing.output_time))
+        return phases
+    for index in range(iterations):
+        for label, duration in (("in", timing.input_time),
+                                ("compute", timing.compute_time),
+                                ("sync", timing.sync_time),
+                                ("out", timing.output_time)):
+            if duration > 0:
+                phases.append(TracePhase(f"{label}[{index}]", clock, duration))
+                clock += duration
+    return phases
+
+
+def render_gantt(phases: List[TracePhase], width: int = 72) -> str:
+    """ASCII Gantt chart of a phase timeline."""
+    if not phases:
+        return "(empty trace)"
+    if width < 10:
+        raise ConfigurationError(f"width too small: {width}")
+    total = max(phase.end for phase in phases)
+    if total <= 0:
+        return "(zero-length trace)"
+    label_width = max(len(phase.label) for phase in phases)
+    lines = []
+    for phase in phases:
+        start_col = int(round(phase.start / total * width))
+        bar_len = max(1, int(round(phase.duration / total * width)))
+        bar = " " * start_col + "#" * min(bar_len, width - start_col)
+        share = phase.duration / total
+        lines.append(f"{phase.label:<{label_width}} |{bar:<{width}}| "
+                     f"{share:5.1%}")
+    lines.append(f"{'':<{label_width}}  total {total * 1e3:.3f} ms")
+    return "\n".join(lines)

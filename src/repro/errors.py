@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Sub-hierarchies mirror
+the subsystem structure (ISA, simulation engine, power model, link,
+runtime, kernels).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class IsaError(ReproError):
+    """Problems in the virtual-ISA / program IR layer."""
+
+
+class LoweringError(IsaError):
+    """A program could not be lowered to a concrete target."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class PowerModelError(ReproError):
+    """Errors in operating-point tables or power evaluation."""
+
+
+class OperatingPointError(PowerModelError):
+    """A requested voltage/frequency point is outside the modeled range."""
+
+
+class BudgetError(PowerModelError):
+    """A power budget cannot be met (e.g. baseline host exceeds it)."""
+
+
+class LinkError(ReproError):
+    """Errors in the SPI/QSPI link or the offload wire protocol."""
+
+
+class ProtocolError(LinkError):
+    """Malformed or out-of-sequence offload protocol frames."""
+
+
+class RuntimeModelError(ReproError):
+    """Errors in the OpenMP host/device runtime models."""
+
+
+class OffloadError(RuntimeModelError):
+    """A target offload could not be completed."""
+
+
+class KernelError(ReproError):
+    """Errors in benchmark kernel construction or execution."""
+
+
+class FixedPointError(ReproError):
+    """Invalid fixed-point format or out-of-range conversion."""

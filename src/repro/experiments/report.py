@@ -1,0 +1,159 @@
+"""Full reproduction report: every experiment, rendered as markdown.
+
+``build_report()`` regenerates Table I and Figures 3/4/5a/5b, checks
+each headline anchor programmatically, and emits one markdown document
+with pass/fail marks — the artifact a reviewer would want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments import figure3, figure4, figure5, table1
+from repro.units import mhz
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One verified paper claim."""
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+def _check_table1(rows) -> List[AnchorCheck]:
+    by_name = {row.name: row for row in rows}
+    checks = []
+    for name, tolerance in (("matmul", 0.05), ("strassen", 0.05),
+                            ("svm (linear)", 0.08), ("cnn", 0.08)):
+        row = by_name[name]
+        ratio = row.risc_ops_ratio
+        checks.append(AnchorCheck(
+            claim=f"Table I: {name} RISC ops = "
+                  f"{row.paper_risc_ops / 1e6:.2f}M",
+            measured=f"{row.risc_ops / 1e6:.2f}M (x{ratio:.2f})",
+            passed=abs(ratio - 1) <= tolerance))
+    hog = by_name["hog"]
+    checks.append(AnchorCheck(
+        claim="Table I: hog RISC ops dominate every other kernel",
+        measured=f"{hog.risc_ops / 1e6:.1f}M vs max "
+                 f"{max(r.risc_ops for r in rows if r.name != 'hog') / 1e6:.1f}M",
+        passed=hog.risc_ops > 5 * max(r.risc_ops for r in rows
+                                      if r.name != "hog")))
+    return checks
+
+
+def _check_figure3(result) -> List[AnchorCheck]:
+    peak = result.pulp_peak
+    return [
+        AnchorCheck("Fig 3: PULP peak 304 GOPS/W",
+                    f"{peak.gops_per_watt:.0f} GOPS/W",
+                    abs(peak.gops_per_watt / 304 - 1) < 0.08),
+        AnchorCheck("Fig 3: peak power 1.48 mW",
+                    f"{peak.power * 1e3:.2f} mW",
+                    abs(peak.power / 1.48e-3 - 1) < 0.08),
+        AnchorCheck("Fig 3: MCUs < 5 GOPS/W (except Apollo ~10)",
+                    f"best non-Apollo "
+                    f"{max(p.gops_per_watt for p in result.mcu_points if p.device != 'Ambiq Apollo'):.1f}",
+                    all(p.gops_per_watt < 5 for p in result.mcu_points
+                        if p.device != "Ambiq Apollo")),
+    ]
+
+
+def _check_figure4(result) -> List[AnchorCheck]:
+    by_name = {r.name: r for r in result.rows}
+    integer_ok = all(2.0 <= by_name[n].arch_speedup_vs_m4 <= 2.6
+                     for n in ("matmul", "matmul (short)", "strassen"))
+    return [
+        AnchorCheck("Fig 4: integer tests 2-2.5x vs M4",
+                    ", ".join(f"{by_name[n].arch_speedup_vs_m4:.2f}"
+                              for n in ("matmul", "matmul (short)",
+                                        "strassen")),
+                    integer_ok),
+        AnchorCheck("Fig 4: hog slight slowdown vs M4",
+                    f"{by_name['hog'].arch_speedup_vs_m4:.2f}x",
+                    by_name["hog"].arch_speedup_vs_m4 < 1.0),
+        AnchorCheck("Fig 4: parallel speedups near-ideal",
+                    f"mean {result.mean_parallel_speedup:.2f}x",
+                    3.5 < result.mean_parallel_speedup < 4.0),
+    ]
+
+
+def _check_figure5a(result) -> List[AnchorCheck]:
+    best = {name: result.best_speedup(name) for name in result.kernels()}
+    return [
+        AnchorCheck("Fig 5a: strassen up to 60x",
+                    f"{best['strassen']:.1f}x",
+                    abs(best["strassen"] / 60 - 1) < 0.08),
+        AnchorCheck("Fig 5a: fixed-point benchmarks > 25x",
+                    f"min {min(best[n] for n in best if 'svm' in n or 'cnn' in n or 'fixed' in n):.1f}x",
+                    all(best[n] > 25 for n in best
+                        if "svm" in n or "cnn" in n or "fixed" in n)),
+        AnchorCheck("Fig 5a: hog worst at ~20x",
+                    f"{best['hog']:.1f}x",
+                    abs(best["hog"] / 20 - 1) < 0.15),
+    ]
+
+
+def _check_figure5b(result) -> List[AnchorCheck]:
+    fast16 = dict(result.curve(mhz(16), False)).get(32, 0.0)
+    fast26 = dict(result.curve(mhz(26), False)).get(32, 0.0)
+    slow = result.plateau(mhz(2), False)
+    return [
+        AnchorCheck("Fig 5b: full efficiency by 32 iters at 16/26 MHz",
+                    f"{fast16:.0%} / {fast26:.0%}",
+                    fast16 > 0.9 and fast26 > 0.9),
+        AnchorCheck("Fig 5b: slow-host efficiency plateaus",
+                    f"{slow:.0%} at 2 MHz",
+                    slow < 0.8),
+        AnchorCheck("Fig 5b: double buffering recovers efficiency",
+                    f"{result.plateau(mhz(2), True):.0%} overlapped",
+                    result.plateau(mhz(2), True) > slow),
+    ]
+
+
+def build_report() -> str:
+    """Regenerate everything and render the markdown report."""
+    sections: List[Tuple[str, str, List[AnchorCheck]]] = []
+
+    rows = table1.run()
+    sections.append(("Table I", table1.render(rows), _check_table1(rows)))
+    fig3 = figure3.run()
+    sections.append(("Figure 3", figure3.render(fig3), _check_figure3(fig3)))
+    fig4 = figure4.run()
+    sections.append(("Figure 4", figure4.render(fig4), _check_figure4(fig4)))
+    fig5a = figure5.run_figure5a()
+    sections.append(("Figure 5a", figure5.render_figure5a(fig5a),
+                     _check_figure5a(fig5a)))
+    fig5b = figure5.run_figure5b()
+    sections.append(("Figure 5b", figure5.render_figure5b(fig5b),
+                     _check_figure5b(fig5b)))
+
+    lines = ["# Reproduction report", ""]
+    total = passed = 0
+    for title, body, checks in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+        for check in checks:
+            total += 1
+            passed += check.passed
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"- [{mark}] {check.claim} -> {check.measured}")
+        lines.append("")
+    lines.insert(2, f"**{passed}/{total} anchors reproduced.**")
+    lines.insert(3, "")
+    return "\n".join(lines)
+
+
+def anchor_summary() -> Tuple[int, int]:
+    """(passed, total) anchor counts without rendering the report body."""
+    report = build_report()
+    header = [line for line in report.splitlines() if "anchors" in line][0]
+    passed, total = header.split("**")[1].split(" ")[0].split("/")
+    return int(passed), int(total)

@@ -1,0 +1,43 @@
+"""Fixed-point arithmetic substrate.
+
+The paper's fixed-point benchmarks (``matmul (fixed)``, all ``svm``
+variants, both ``cnn`` variants and ``hog``) use 16-bit and 32-bit
+fixed-point data.  This package provides the arithmetic those kernels
+need:
+
+* :class:`~repro.fixed.qformat.QFormat` — Qm.n format descriptors;
+* :mod:`~repro.fixed.fxp` — saturating scalar and numpy-array operations;
+* :class:`~repro.fixed.accum.Int64Accumulator` — software emulation of a
+  64-bit accumulator built from 32-bit words, as the paper's ``hog``
+  kernel requires on the 32-bit OR10N/Cortex-M targets.
+"""
+
+from repro.fixed.accum import Int64Accumulator
+from repro.fixed.fxp import (
+    FxpArray,
+    fxp_add,
+    fxp_from_float,
+    fxp_mac,
+    fxp_mul,
+    fxp_sub,
+    fxp_to_float,
+    saturate,
+)
+from repro.fixed.qformat import Q1_15, Q1_31, Q8_8, Q16_16, QFormat
+
+__all__ = [
+    "QFormat",
+    "Q1_15",
+    "Q1_31",
+    "Q8_8",
+    "Q16_16",
+    "FxpArray",
+    "fxp_from_float",
+    "fxp_to_float",
+    "fxp_add",
+    "fxp_sub",
+    "fxp_mul",
+    "fxp_mac",
+    "saturate",
+    "Int64Accumulator",
+]

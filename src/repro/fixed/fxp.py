@@ -1,0 +1,157 @@
+"""Saturating fixed-point operations on scalars and numpy arrays.
+
+All functions operate on *raw* integer representations (python ints or
+``numpy.int64`` arrays) tagged with a :class:`~repro.fixed.qformat.QFormat`.
+Intermediate products are computed at 64-bit precision and rounded with
+round-half-up before being saturated back into the destination format —
+the same discipline the paper's fixed-point C kernels use.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FixedPointError
+from repro.fixed.qformat import QFormat
+
+RawLike = Union[int, np.ndarray]
+
+
+def saturate(raw: RawLike, fmt: QFormat) -> RawLike:
+    """Clamp a raw integer (or array) into the representable range of *fmt*."""
+    if isinstance(raw, np.ndarray):
+        return np.clip(raw, fmt.raw_min, fmt.raw_max)
+    return max(fmt.raw_min, min(fmt.raw_max, int(raw)))
+
+
+def _rshift_round(value: RawLike, shift: int) -> RawLike:
+    """Arithmetic right shift with round-half-up, matching the usual
+    ``(x + (1 << (s-1))) >> s`` fixed-point idiom."""
+    if shift == 0:
+        return value
+    if shift < 0:
+        raise FixedPointError(f"negative shift {shift}")
+    half = 1 << (shift - 1)
+    if isinstance(value, np.ndarray):
+        return (value + half) >> shift
+    return (int(value) + half) >> shift
+
+
+def fxp_from_float(value, fmt: QFormat) -> RawLike:
+    """Quantize a float (or float array) to the raw representation of *fmt*."""
+    if isinstance(value, np.ndarray):
+        raw = np.rint(value * fmt.scale).astype(np.int64)
+        return saturate(raw, fmt)
+    return saturate(int(round(float(value) * fmt.scale)), fmt)
+
+
+def fxp_to_float(raw: RawLike, fmt: QFormat):
+    """Convert a raw representation back to float."""
+    if isinstance(raw, np.ndarray):
+        return raw.astype(np.float64) / fmt.scale
+    return float(raw) / fmt.scale
+
+
+def fxp_add(a: RawLike, b: RawLike, fmt: QFormat) -> RawLike:
+    """Saturating addition of two values in the same format."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return saturate(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), fmt)
+    return saturate(int(a) + int(b), fmt)
+
+
+def fxp_sub(a: RawLike, b: RawLike, fmt: QFormat) -> RawLike:
+    """Saturating subtraction of two values in the same format."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return saturate(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), fmt)
+    return saturate(int(a) - int(b), fmt)
+
+
+def fxp_mul(a: RawLike, b: RawLike, fmt_a: QFormat, fmt_b: QFormat,
+            fmt_out: QFormat) -> RawLike:
+    """Saturating multiply: ``(a * b)`` renormalized into *fmt_out*.
+
+    The product of a ``Qx.n`` and a ``Qy.m`` value has ``n + m`` fractional
+    bits; it is shifted right by ``n + m - fmt_out.frac_bits`` with
+    rounding (this is the multiply-shift sequence that, as the paper notes,
+    OR10N has no fused instruction for).
+    """
+    shift = fmt_a.frac_bits + fmt_b.frac_bits - fmt_out.frac_bits
+    if shift < 0:
+        raise FixedPointError(
+            f"output format {fmt_out} has more fractional bits than the product"
+        )
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    else:
+        product = int(a) * int(b)
+    return saturate(_rshift_round(product, shift), fmt_out)
+
+
+def fxp_mac(acc: RawLike, a: RawLike, b: RawLike, fmt_a: QFormat,
+            fmt_b: QFormat, fmt_acc: QFormat) -> RawLike:
+    """Multiply-accumulate: ``acc + a * b`` saturated into *fmt_acc*."""
+    product = fxp_mul(a, b, fmt_a, fmt_b, fmt_acc)
+    return fxp_add(acc, product, fmt_acc)
+
+
+class FxpArray:
+    """A numpy integer array tagged with its :class:`QFormat`.
+
+    This is a thin convenience wrapper used by the benchmark kernels; it
+    keeps raw data as ``numpy.int64`` so products never overflow the host
+    representation, while saturation enforces the modeled width.
+    """
+
+    def __init__(self, raw: np.ndarray, fmt: QFormat):
+        raw = np.asarray(raw, dtype=np.int64)
+        clipped = saturate(raw, fmt)
+        if not np.array_equal(raw, clipped):
+            raise FixedPointError(f"raw data out of range for {fmt}")
+        self.raw = raw
+        self.fmt = fmt
+
+    @classmethod
+    def from_float(cls, values: np.ndarray, fmt: QFormat) -> "FxpArray":
+        """Quantize a float array into *fmt*."""
+        return cls(fxp_from_float(np.asarray(values, dtype=np.float64), fmt), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """Dequantize back to ``float64``."""
+        return fxp_to_float(self.raw, self.fmt)
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.raw.shape
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint at the modeled element width."""
+        return int(self.raw.size) * self.fmt.storage_bytes
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __repr__(self) -> str:
+        return f"FxpArray(shape={self.raw.shape}, fmt={self.fmt})"
+
+    def add(self, other: "FxpArray") -> "FxpArray":
+        """Element-wise saturating addition (formats must match)."""
+        self._check_same_format(other)
+        return FxpArray(fxp_add(self.raw, other.raw, self.fmt), self.fmt)
+
+    def sub(self, other: "FxpArray") -> "FxpArray":
+        """Element-wise saturating subtraction (formats must match)."""
+        self._check_same_format(other)
+        return FxpArray(fxp_sub(self.raw, other.raw, self.fmt), self.fmt)
+
+    def mul(self, other: "FxpArray", fmt_out: QFormat) -> "FxpArray":
+        """Element-wise saturating multiply into *fmt_out*."""
+        raw = fxp_mul(self.raw, other.raw, self.fmt, other.fmt, fmt_out)
+        return FxpArray(raw, fmt_out)
+
+    def _check_same_format(self, other: "FxpArray") -> None:
+        if self.fmt != other.fmt:
+            raise FixedPointError(f"format mismatch: {self.fmt} vs {other.fmt}")

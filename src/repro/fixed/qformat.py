@@ -1,0 +1,103 @@
+"""Q-format descriptors for fixed-point numbers.
+
+A ``Qm.n`` number stores a real value as a two's-complement integer with
+*m* integer bits (excluding the sign bit) and *n* fractional bits.  The
+stored integer ``raw`` represents the real value ``raw / 2**n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FixedPointError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed or unsigned fixed-point format.
+
+    Parameters
+    ----------
+    int_bits:
+        Number of integer (non-fractional) bits, excluding the sign bit
+        for signed formats.
+    frac_bits:
+        Number of fractional bits.
+    signed:
+        Whether values are two's-complement signed.
+    """
+
+    int_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise FixedPointError(
+                f"negative bit counts in Q{self.int_bits}.{self.frac_bits}"
+            )
+        if self.width <= 0 or self.width > 64:
+            raise FixedPointError(f"unsupported total width {self.width}")
+
+    @property
+    def width(self) -> int:
+        """Total storage width in bits, including the sign bit."""
+        return self.int_bits + self.frac_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> int:
+        """The scaling factor ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        if self.signed:
+            return -(1 << (self.int_bits + self.frac_bits))
+        return 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """The real value of one least-significant bit."""
+        return 1.0 / self.scale
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes needed to store one value (rounded up to 1/2/4/8)."""
+        for size in (1, 2, 4, 8):
+            if self.width <= size * 8:
+                return size
+        raise FixedPointError(f"no storage size for width {self.width}")
+
+    def __str__(self) -> str:
+        sign = "Q" if self.signed else "UQ"
+        return f"{sign}{self.int_bits}.{self.frac_bits}"
+
+
+#: 16-bit signed fraction-only format, the paper's "16-bit fixed point".
+Q1_15 = QFormat(0, 15)
+
+#: 32-bit signed fraction-only format.
+Q1_31 = QFormat(0, 31)
+
+#: 16-bit format with an 8-bit integer part (used for intermediate SVM data).
+Q8_8 = QFormat(7, 8)
+
+#: 32-bit format with a 16-bit integer part, the paper's "32-bit fixed
+#: point" used by ``hog`` for its high dynamic range.
+Q16_16 = QFormat(15, 16)

@@ -1,0 +1,39 @@
+"""Virtual ISA, loop-nest program IR and target cycle models.
+
+The paper compares the same portable C kernels across three instruction
+set targets:
+
+* the *baseline* OpenRISC 1000 configuration used to define "RISC ops"
+  (OR10N with every microarchitectural improvement deactivated);
+* *OR10N*, the PULP core with register-register MAC, two hardware loops,
+  sub-word SIMD for ``char``/``short`` and unaligned load/store support;
+* the ARM *Cortex-M3/M4* microcontroller cores.
+
+Kernels (see :mod:`repro.kernels`) describe their computation once, as a
+loop-nest program over a small virtual ISA; each target lowers that
+program to executed instructions and cycles.  Figure 4's architectural
+speedups and Table I's RISC-op counts are ratios of these lowerings.
+"""
+
+from repro.isa.program import Block, Loop, Program
+from repro.isa.report import LoweredReport
+from repro.isa.target import Target
+from repro.isa.baseline import BaselineRiscTarget
+from repro.isa.cortexm import CortexM3Target, CortexM4Target
+from repro.isa.or10n import Or10nTarget
+from repro.isa.vop import DType, OpKind, VOp
+
+__all__ = [
+    "OpKind",
+    "DType",
+    "VOp",
+    "Block",
+    "Loop",
+    "Program",
+    "LoweredReport",
+    "Target",
+    "BaselineRiscTarget",
+    "Or10nTarget",
+    "CortexM3Target",
+    "CortexM4Target",
+]

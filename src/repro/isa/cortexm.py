@@ -1,0 +1,25 @@
+"""ARM Cortex-M3/M4 host-core targets."""
+
+from __future__ import annotations
+
+from repro.isa.costs import cortex_m3_costs, cortex_m4_costs
+from repro.isa.target import Target
+
+
+class CortexM4Target(Target):
+    """Cortex-M4 with the DSP extension active (MLA, SMLAL, SSAT, SIMD)."""
+
+    def __init__(self, costs=None):
+        super().__init__(costs if costs is not None else cortex_m4_costs())
+
+
+class CortexM3Target(Target):
+    """Cortex-M3: the M4 pipeline without the DSP extensions.
+
+    The paper estimates M3 cycle counts by running on the STM32-L476 with
+    all Cortex-M4-specific compiler flags deactivated; this target is the
+    model equivalent.
+    """
+
+    def __init__(self, costs=None):
+        super().__init__(costs if costs is not None else cortex_m3_costs())

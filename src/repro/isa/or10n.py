@@ -1,0 +1,20 @@
+"""The OR10N target: PULP's enhanced OpenRISC core."""
+
+from __future__ import annotations
+
+from repro.isa.costs import or10n_costs
+from repro.isa.target import Target
+
+
+class Or10nTarget(Target):
+    """OR10N with all enhancements enabled.
+
+    Enhancements modeled (Section III-B of the paper): register-register
+    multiply-accumulate, vectorized instructions for ``short`` and
+    ``char`` data, two hardware loops, unaligned load/store support, and
+    post-increment addressing.  Loads hit the shared single-cycle TCDM
+    (bank contention is added separately by the cluster timing model).
+    """
+
+    def __init__(self, costs=None):
+        super().__init__(costs if costs is not None else or10n_costs())

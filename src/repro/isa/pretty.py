@@ -1,0 +1,84 @@
+"""Pretty-printing of loop-nest programs.
+
+Renders a :class:`~repro.isa.program.Program` as an indented tree with
+op summaries and, optionally, a per-target cost annotation per loop —
+the quickest way to see *why* a kernel lowers the way it does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.program import Block, Loop, Node, Program
+from repro.isa.target import Target
+from repro.isa.vop import VOp
+
+
+def format_op(op: VOp) -> str:
+    """One VOp as compact text, e.g. ``load.i8``, ``mac.i16 x2``."""
+    text = f"{op.kind.value}.i{op.dtype.bits}"
+    if op.count != 1.0:
+        count = int(op.count) if float(op.count).is_integer() else op.count
+        text += f" x{count}"
+    flags = []
+    if not op.vector:
+        flags.append("scalar")
+    if op.unaligned:
+        flags.append("unaligned")
+    if flags:
+        text += f" [{','.join(flags)}]"
+    return text
+
+
+def format_loop_header(loop: Loop, target: Optional[Target] = None) -> str:
+    """The annotation line of one loop."""
+    attributes: List[str] = [f"x{loop.trips}"]
+    if loop.parallelizable:
+        attributes.append("parallel")
+    if loop.reduction:
+        attributes.append("reduction")
+    if loop.vectorizable:
+        attributes.append(f"vectorizable(i{loop.simd_dtype.bits})")
+        if target is not None:
+            plan = target.vector_plan(loop)
+            if plan is not None:
+                attributes.append(
+                    f"simd: {plan.lanes} lanes /{plan.overhead_factor:g}")
+            else:
+                attributes.append("simd: blocked")
+    name = loop.name or "loop"
+    return f"for {name} ({', '.join(attributes)})"
+
+
+def render_program(program: Program, target: Optional[Target] = None,
+                   max_ops_per_block: int = 8) -> str:
+    """The whole program as an indented tree.
+
+    With a *target*, each loop header also shows the cycles the target
+    spends per entry of that loop.
+    """
+    lines: List[str] = [f"program {program.name!r} "
+                        f"(in {program.input_bytes} B, "
+                        f"out {program.output_bytes} B)"]
+    for node in program.body:
+        _render_node(node, lines, indent=1, target=target,
+                     max_ops=max_ops_per_block)
+    return "\n".join(lines)
+
+
+def _render_node(node: Node, lines: List[str], indent: int,
+                 target: Optional[Target], max_ops: int) -> None:
+    pad = "  " * indent
+    if isinstance(node, Block):
+        ops = [format_op(op) for op in node.ops]
+        shown = ops[:max_ops]
+        suffix = f" (+{len(ops) - max_ops} more)" if len(ops) > max_ops else ""
+        lines.append(f"{pad}{{ {'; '.join(shown)}{suffix} }}")
+        return
+    header = format_loop_header(node, target)
+    if target is not None:
+        cycles = target.lower_nodes([node]).cycles
+        header += f"  # {cycles:,.0f} cycles on {target.name}"
+    lines.append(f"{pad}{header}")
+    for child in node.body:
+        _render_node(child, lines, indent + 1, target, max_ops)

@@ -1,0 +1,70 @@
+"""Lowering results: cycles and instruction counts per target."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.vop import OpKind
+
+
+@dataclass
+class LoweredReport:
+    """Result of lowering a program onto one target.
+
+    Attributes
+    ----------
+    target_name:
+        Name of the target the program was lowered for.
+    cycles:
+        Estimated execution cycles (single core, no parallelism).
+    instructions:
+        Executed machine instructions.
+    cycles_by_kind:
+        Cycle breakdown keyed by op kind plus the pseudo-keys
+        ``"loop_overhead"`` and ``"loop_setup"``.
+    memory_accesses:
+        Executed data memory accesses (for TCDM-contention and activity
+        modeling).
+    """
+
+    target_name: str
+    cycles: float = 0.0
+    instructions: float = 0.0
+    cycles_by_kind: Dict[str, float] = field(default_factory=dict)
+    memory_accesses: float = 0.0
+
+    def add(self, kind_key: str, cycles: float, instructions: float,
+            memory_accesses: float = 0.0) -> None:
+        """Accumulate a contribution."""
+        self.cycles += cycles
+        self.instructions += instructions
+        self.memory_accesses += memory_accesses
+        if cycles:
+            self.cycles_by_kind[kind_key] = (
+                self.cycles_by_kind.get(kind_key, 0.0) + cycles)
+
+    def merge_scaled(self, other: "LoweredReport", factor: float) -> None:
+        """Accumulate *other* repeated *factor* times (loop bodies)."""
+        self.cycles += other.cycles * factor
+        self.instructions += other.instructions * factor
+        self.memory_accesses += other.memory_accesses * factor
+        for key, value in other.cycles_by_kind.items():
+            self.cycles_by_kind[key] = (
+                self.cycles_by_kind.get(key, 0.0) + value * factor)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (diagnostic)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def memory_intensity(self) -> float:
+        """Fraction of cycles spent on data memory accesses — feeds the
+        activity (χ) factors of the power model."""
+        if self.cycles == 0:
+            return 0.0
+        mem_cycles = (self.cycles_by_kind.get(OpKind.LOAD.value, 0.0)
+                      + self.cycles_by_kind.get(OpKind.STORE.value, 0.0))
+        return mem_cycles / self.cycles

@@ -1,0 +1,173 @@
+"""Target base class: lowers loop-nest programs to cycles/instructions.
+
+The lowering walk is shared by every target; behaviour differences come
+entirely from the :class:`~repro.isa.costs.TargetCosts` table:
+
+* **SIMD vectorization** — a loop marked ``vectorizable`` whose
+  vector-marked ops are all SIMD-supported for the loop's ``simd_dtype``
+  executes ``ceil(trips / lanes)`` times, with body cycles scaled by the
+  lane overhead factor.  Non-vector ops inside are replicated per lane.
+* **Hardware loops** — the innermost ``hardware_loops`` nesting levels
+  lose their per-iteration compare/branch overhead.
+* **Address folding** — foldable ADDR ops are free on targets with
+  post-increment addressing.
+* **Unaligned accesses** — memory ops flagged ``unaligned`` pay the
+  target's penalty once the loop is vectorized (scalar sub-word accesses
+  are always aligned).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Optional
+
+from repro.isa.costs import SimdSpec, TargetCosts
+from repro.isa.program import Block, Loop, Node, Program
+from repro.isa.report import LoweredReport
+from repro.isa.vop import OpKind, VOp
+
+
+class Target:
+    """A concrete instruction-set target defined by a cost table."""
+
+    def __init__(self, costs: TargetCosts):
+        self.costs = costs
+
+    @property
+    def name(self) -> str:
+        """Target name from the cost table."""
+        return self.costs.name
+
+    # -- public API ----------------------------------------------------------
+
+    def lower(self, program: Program) -> LoweredReport:
+        """Lower *program* and return its cycle/instruction report."""
+        return self.lower_nodes(program.body)
+
+    def lower_nodes(self, nodes) -> LoweredReport:
+        """Lower a bare sequence of IR nodes (used by the OpenMP model to
+        cost per-thread chunks and serial regions)."""
+        report = LoweredReport(target_name=self.name)
+        for node in nodes:
+            self._lower_node(node, report, simd=None)
+        self._apply_cycle_scale(report)
+        return report
+
+    def _apply_cycle_scale(self, report: LoweredReport) -> None:
+        scale = self.costs.cycle_scale
+        if scale == 1.0:
+            return
+        report.cycles *= scale
+        for key in report.cycles_by_kind:
+            report.cycles_by_kind[key] *= scale
+
+    def vector_plan(self, loop: Loop) -> Optional[SimdSpec]:
+        """The SIMD spec applied to *loop*, or ``None`` if the loop cannot
+        be vectorized on this target.
+
+        Loops whose vector ops contain no multiply use the lighter
+        ``pure_alu_overhead`` factor: add/logic lanes never widen."""
+        if not loop.vectorizable:
+            return None
+        spec = self.costs.simd.get(loop.simd_dtype)
+        if spec is None or spec.lanes <= 1:
+            return None
+        has_multiply = False
+        for op in _vector_ops(loop):
+            if op.kind not in self.costs.simd_kinds:
+                return None
+            if op.kind in (OpKind.MUL, OpKind.MAC):
+                has_multiply = True
+        if not has_multiply and spec.pure_alu_overhead is not None:
+            return replace(spec, overhead_factor=spec.pure_alu_overhead)
+        return spec
+
+    # -- lowering walk -------------------------------------------------------
+
+    def _lower_node(self, node: Node, report: LoweredReport,
+                    simd: Optional[SimdSpec]) -> None:
+        if isinstance(node, Block):
+            for op in node.ops:
+                self._lower_op(op, report, simd)
+        else:
+            self._lower_loop(node, report, simd)
+
+    def _lower_loop(self, loop: Loop, report: LoweredReport,
+                    simd: Optional[SimdSpec]) -> None:
+        plan = self.vector_plan(loop) if simd is None else None
+        trips = loop.trips
+        body_simd = simd
+        overhead_factor = 1.0
+        extra_cycles = 0.0
+        extra_instructions = 0.0
+        if plan is not None:
+            trips = math.ceil(loop.trips / plan.lanes)
+            body_simd = plan
+            overhead_factor = plan.overhead_factor
+            extra_cycles = plan.extra_cycles_per_iter
+            extra_instructions = plan.extra_instructions_per_iter
+
+        body = LoweredReport(target_name=self.name)
+        for child in loop.body:
+            self._lower_node(child, body, body_simd)
+        if plan is not None:
+            # The overhead factor applies only to this loop's direct costs;
+            # nested loops were already lowered in the vector context.  For
+            # simplicity (and because the paper's vectorized loops are
+            # innermost or wrap only an innermost reduction) we scale the
+            # whole body.
+            body.cycles *= overhead_factor
+            for key in body.cycles_by_kind:
+                body.cycles_by_kind[key] *= overhead_factor
+
+        if self._is_hardware_loop(loop):
+            iter_cycles = 0.0
+            iter_instructions = 0.0
+            setup = self.costs.hwloop_setup_cycles
+        else:
+            iter_cycles = self.costs.loop_iter_cycles
+            iter_instructions = self.costs.loop_iter_instructions
+            setup = self.costs.loop_setup_cycles
+
+        report.merge_scaled(body, trips)
+        report.add("loop_overhead",
+                   (iter_cycles + extra_cycles) * trips,
+                   (iter_instructions + extra_instructions) * trips)
+        report.add("loop_setup", setup, 1.0)
+
+    def _is_hardware_loop(self, loop: Loop) -> bool:
+        return loop.depth() <= self.costs.hardware_loops
+
+    def _lower_op(self, op: VOp, report: LoweredReport,
+                  simd: Optional[SimdSpec]) -> None:
+        count = op.count
+        if simd is not None and not op.vector:
+            # Per-element work inside a vectorized loop replicates per lane.
+            count *= simd.lanes
+
+        if op.kind is OpKind.ADDR and op.foldable and self.costs.addr_folded:
+            return  # folded into a post-increment addressing mode
+
+        cycles = self.costs.cycles_for(op.kind)
+        instructions = self.costs.instructions_for(op.kind)
+        memory = 0.0
+        if op.is_memory:
+            memory = count
+            if op.unaligned and simd is not None:
+                cycles += self.costs.unaligned_penalty_cycles
+                instructions += self.costs.unaligned_penalty_instructions
+        report.add(op.kind.value, cycles * count, instructions * count, memory)
+
+
+def _vector_ops(loop: Loop):
+    """All vector-marked ops in the loop's subtree."""
+    stack = list(loop.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Block):
+            for op in node.ops:
+                if op.vector and not (op.kind is OpKind.ADDR and op.foldable):
+                    yield op
+        else:
+            stack.extend(node.body)

@@ -1,0 +1,51 @@
+"""The benchmark kernels of Table I.
+
+Ten kernels from "linear algebra, learning and machine vision", each
+implemented twice over:
+
+* **functionally** — a real fixed-point computation on numpy arrays
+  (``compute``), checked against a floating-point reference;
+* **architecturally** — a loop-nest IR program (``build_program``) from
+  which the ISA targets derive cycles, the baseline target derives
+  Table I's RISC ops, and the OpenMP model derives parallel timing.
+
+The kernels:
+
+=================  ============================================  ==========
+matmul (char)      8-bit integer matrix multiply                 linear alg
+matmul (short)     16-bit integer matrix multiply                linear alg
+matmul (fixed)     Q1.15 fixed-point matrix multiply             linear alg
+strassen           Strassen recursion on char matrices           linear alg
+svm (linear)       SVM classifier, linear kernel (libsvm port)   learning
+svm (poly)         SVM classifier, polynomial kernel             learning
+svm (RBF)          SVM classifier, radial basis function         learning
+cnn                fixed-point convolutional network (CConvNet)  learning
+cnn (approx)       approximated CNN (perforated convolutions)    learning
+hog                histogram of oriented gradients (VLFeat)      vision
+=================  ============================================  ==========
+"""
+
+from repro.kernels.base import Kernel, KernelResult
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.strassen import StrassenKernel
+from repro.kernels.svm import SvmKernel
+from repro.kernels.cnn import CnnKernel
+from repro.kernels.hog import HogKernel
+from repro.kernels.registry import (
+    BENCHMARK_NAMES,
+    all_kernels,
+    kernel_by_name,
+)
+
+__all__ = [
+    "Kernel",
+    "KernelResult",
+    "MatmulKernel",
+    "StrassenKernel",
+    "SvmKernel",
+    "CnnKernel",
+    "HogKernel",
+    "BENCHMARK_NAMES",
+    "all_kernels",
+    "kernel_by_name",
+]

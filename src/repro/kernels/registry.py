@@ -1,0 +1,57 @@
+"""Registry of the ten Table-I benchmark kernels."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import KernelError
+from repro.kernels.base import Kernel
+from repro.kernels.cnn import CnnKernel
+from repro.kernels.hog import HogKernel
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.strassen import StrassenKernel
+from repro.kernels.svm import SvmKernel
+
+_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "matmul": lambda: MatmulKernel("char"),
+    "matmul (short)": lambda: MatmulKernel("short"),
+    "matmul (fixed)": lambda: MatmulKernel("fixed"),
+    "strassen": StrassenKernel,
+    "svm (linear)": lambda: SvmKernel("linear"),
+    "svm (poly)": lambda: SvmKernel("poly"),
+    "svm (RBF)": lambda: SvmKernel("RBF"),
+    "cnn": lambda: CnnKernel(approximate=False),
+    "cnn (approx)": lambda: CnnKernel(approximate=True),
+    "hog": HogKernel,
+}
+
+#: Benchmark names in Table-I order.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(_FACTORIES)
+
+#: Paper-reported Table I values: (input kB, output B, binary kB, RISC ops).
+PAPER_TABLE1: Dict[str, Tuple[float, float, float, float]] = {
+    "matmul": (8.0, 4096, 11.0, 2.4e6),
+    "matmul (short)": (16.0, 8192, 11.0, 2.4e6),
+    "matmul (fixed)": (16.0, 8192, 13.0, 2.7e6),
+    "strassen": (8.0, 4096, 6.7, 2.3e6),
+    "svm (linear)": (6.9, 1638, 11.4, 650e3),
+    "svm (poly)": (6.9, 1638, 11.5, 684e3),
+    "svm (RBF)": (6.9, 1638, 11.6, 781e3),
+    "cnn": (2.0, 40, 48.1, 3.3e6),
+    "cnn (approx)": (2.0, 40, 48.1, 2.6e6),
+    "hog": (16.0, 36864, 31.2, 31e6),
+}
+
+
+def kernel_by_name(name: str) -> Kernel:
+    """Instantiate a registered benchmark kernel."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise KernelError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_kernels() -> List[Kernel]:
+    """All ten benchmarks, Table-I order."""
+    return [factory() for factory in _FACTORIES.values()]

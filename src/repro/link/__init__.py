@@ -1,0 +1,37 @@
+"""The host-accelerator coupling link.
+
+The paper couples the STM32 and PULP with "a simple SPI or Quad SPI
+(QSPI) link ... used both for controlling the accelerator and for data
+exchange", plus "a small set of synchronization events (typically
+implemented with simple GPIOs)".  This package models all three pieces:
+
+* :class:`~repro.link.spi.SpiLink` — serial clock, width (single/quad),
+  throughput, transfer timing and power;
+* :class:`~repro.link.gpio.EventLine` — the *fetch enable* and *end of
+  computation* wires;
+* :mod:`~repro.link.protocol` — the byte-level offload framing (LOAD /
+  WRITE / READ / START frames with header and checksum) that the host
+  serializes and the accelerator's QSPI slave parses.
+"""
+
+from repro.link.gpio import EventLine
+from repro.link.protocol import (
+    Command,
+    Frame,
+    decode_frames,
+    encode_frame,
+    frame_overhead_bytes,
+)
+from repro.link.spi import SpiLink, SpiMode, SpiTransfer
+
+__all__ = [
+    "SpiMode",
+    "SpiLink",
+    "SpiTransfer",
+    "EventLine",
+    "Command",
+    "Frame",
+    "encode_frame",
+    "decode_frames",
+    "frame_overhead_bytes",
+]

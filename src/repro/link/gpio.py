@@ -1,0 +1,70 @@
+"""GPIO event lines between host and accelerator.
+
+The prototype wires "two additional STM32 GPIOs ... a *fetch enable* used
+to trigger execution of the benchmark; and an *end of computation* event
+triggered by PULP and used by the STM32 to resume from sleep".  An
+:class:`EventLine` is a level-sensitive wire with a tiny propagation
+delay and per-edge energy; it also keeps an edge log so tests can assert
+the synchronization sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import LinkError
+
+
+@dataclass
+class EventLine:
+    """One synchronization wire."""
+
+    name: str
+    propagation_delay: float = 50e-9
+    energy_per_edge: float = 20e-12
+    level: bool = False
+    edges: List[Tuple[float, bool]] = field(default_factory=list)
+
+    def raise_event(self, time: float) -> float:
+        """Drive the line high at *time*; returns when the far side sees it."""
+        return self._drive(time, True)
+
+    def clear_event(self, time: float) -> float:
+        """Drive the line low at *time*; returns when the far side sees it."""
+        return self._drive(time, False)
+
+    def pulse(self, time: float) -> float:
+        """A rising edge immediately followed by a falling one."""
+        seen = self.raise_event(time)
+        self.clear_event(seen)
+        return seen
+
+    def _drive(self, time: float, level: bool) -> float:
+        if time < self.last_edge_time:
+            raise LinkError(
+                f"event line {self.name!r} driven backwards in time "
+                f"({time} < {self.last_edge_time})")
+        if level == self.level:
+            raise LinkError(
+                f"event line {self.name!r} already {'high' if level else 'low'}")
+        self.level = level
+        self.edges.append((time, level))
+        return time + self.propagation_delay
+
+    @property
+    def last_edge_time(self) -> float:
+        """Time of the most recent edge (-inf when never driven)."""
+        if not self.edges:
+            return float("-inf")
+        return self.edges[-1][0]
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges driven so far."""
+        return len(self.edges)
+
+    @property
+    def total_energy(self) -> float:
+        """Energy spent toggling the line."""
+        return self.edge_count * self.energy_per_edge

@@ -1,0 +1,126 @@
+"""Link noise and the retransmission protocol.
+
+The system-on-board wiring of the prototype ("simple wires connecting
+the dedicated SPI pins of the Nucleo with a set of pins on the
+programmable logic") is exactly the kind of link where occasional bit
+errors happen.  The frame checksum of :mod:`repro.link.protocol` exists
+to catch them; this module supplies the other half of a robust driver:
+
+* :class:`NoisyChannel` — a deterministic bit-error injector (seeded
+  LCG; a given seed always corrupts the same bits), used by the failure-
+  injection tests;
+* :class:`RetransmittingSender` — send/verify/retransmit on top of the
+  frame layer, with attempt accounting and a cost model hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import LinkError, ProtocolError
+from repro.link.protocol import Frame, decode_frames, encode_frame
+
+
+class NoisyChannel:
+    """Flips each transmitted bit with probability ``bit_error_rate``.
+
+    Deterministic: corruption positions come from a seeded LCG, so every
+    failure-injection test is reproducible.
+    """
+
+    def __init__(self, bit_error_rate: float = 0.0, seed: int = 1):
+        if not 0.0 <= bit_error_rate < 1.0:
+            raise LinkError(f"invalid bit error rate {bit_error_rate}")
+        self.bit_error_rate = bit_error_rate
+        self._state = (seed * 0x9E3779B9 + 1) & 0xFFFFFFFF
+        self.bits_transferred = 0
+        self.bits_flipped = 0
+
+    def _next_random(self) -> float:
+        self._state = (self._state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return (self._state >> 8) / float(1 << 24)
+
+    def transmit(self, data: bytes) -> bytes:
+        """Pass *data* through the channel, possibly corrupting it."""
+        if self.bit_error_rate == 0.0:
+            self.bits_transferred += 8 * len(data)
+            return data
+        corrupted = bytearray(data)
+        for index in range(len(corrupted)):
+            for bit in range(8):
+                self.bits_transferred += 1
+                if self._next_random() < self.bit_error_rate:
+                    corrupted[index] ^= (1 << bit)
+                    self.bits_flipped += 1
+        return bytes(corrupted)
+
+    @property
+    def observed_error_rate(self) -> float:
+        """Measured bit error rate so far."""
+        if self.bits_transferred == 0:
+            return 0.0
+        return self.bits_flipped / self.bits_transferred
+
+
+@dataclass
+class TransmissionLog:
+    """What one reliable frame delivery cost."""
+
+    attempts: int
+    wire_bytes: int
+
+
+class RetransmittingSender:
+    """Reliable frame delivery over a noisy channel.
+
+    The receiver-side validation is the checksum check of
+    :func:`repro.link.protocol.decode_frames`; a corrupted frame raises,
+    the sender retransmits, up to ``max_attempts``.
+    """
+
+    def __init__(self, channel: NoisyChannel, max_attempts: int = 8,
+                 deliver: Optional[Callable[[Frame], None]] = None):
+        if max_attempts < 1:
+            raise LinkError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.channel = channel
+        self.max_attempts = max_attempts
+        self.deliver = deliver
+        self.log: List[TransmissionLog] = []
+
+    def send(self, frame: Frame) -> Frame:
+        """Deliver *frame* reliably; returns the received copy.
+
+        Raises :class:`~repro.errors.LinkError` when ``max_attempts``
+        consecutive transmissions are corrupted.
+        """
+        encoded = encode_frame(frame)
+        wire_bytes = 0
+        for attempt in range(1, self.max_attempts + 1):
+            received = self.channel.transmit(encoded)
+            wire_bytes += len(received)
+            try:
+                decoded, = decode_frames(received)
+            except ProtocolError:
+                continue
+            self.log.append(TransmissionLog(attempts=attempt,
+                                            wire_bytes=wire_bytes))
+            if self.deliver is not None:
+                self.deliver(decoded)
+            return decoded
+        raise LinkError(
+            f"frame delivery failed after {self.max_attempts} attempts "
+            f"(BER {self.channel.bit_error_rate:g})")
+
+    @property
+    def total_attempts(self) -> int:
+        """Transmissions performed across all delivered frames."""
+        return sum(entry.attempts for entry in self.log)
+
+    @property
+    def retransmission_overhead(self) -> float:
+        """Extra wire traffic caused by retransmissions (0 = none)."""
+        if not self.log:
+            return 0.0
+        frames = len(self.log)
+        return self.total_attempts / frames - 1.0

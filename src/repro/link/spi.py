@@ -1,0 +1,112 @@
+"""SPI / Quad-SPI link timing and power model.
+
+The serial clock is derived from the host core clock (see
+:meth:`repro.mcu.stm32l476.Stm32L476.spi_clock`), so lowering the MCU
+frequency to free power for the accelerator also slows the link — the
+central tension of Figure 5b.  Width is 1 bit per clock for classic SPI
+and 4 bits per clock for QSPI ("the QSPI interfaces can be configured in
+single or quad mode depending on the required bandwidth").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LinkError
+from repro.units import uw_per_mhz
+
+
+class SpiMode(enum.Enum):
+    """Link width in bits per serial clock."""
+
+    SINGLE = 1
+    QUAD = 4
+
+
+@dataclass(frozen=True)
+class SpiTransfer:
+    """A fully costed link transfer."""
+
+    payload_bytes: int
+    wire_bytes: int
+    clock: float
+    time: float
+    energy: float
+
+    @property
+    def throughput(self) -> float:
+        """Payload bytes per second achieved."""
+        if self.time == 0:
+            return 0.0
+        return self.payload_bytes / self.time
+
+
+@dataclass(frozen=True)
+class SpiLink:
+    """The coupling link between host and accelerator.
+
+    Parameters
+    ----------
+    mode:
+        Single or quad width.
+    energy_per_bit:
+        Joules per transferred bit, both pad drivers included.
+    controller_density:
+        Power of the two SPI controllers per hertz of serial clock while
+        the link is active (W/Hz).
+    frame_overhead_bytes:
+        Extra wire bytes per transfer (the protocol header/checksum; see
+        :mod:`repro.link.protocol`).
+    """
+
+    mode: SpiMode = SpiMode.QUAD
+    energy_per_bit: float = 12e-12
+    controller_density: float = uw_per_mhz(10)
+    frame_overhead_bytes: int = 10
+
+    @property
+    def width(self) -> int:
+        """Bits moved per serial clock."""
+        return self.mode.value
+
+    def throughput(self, clock: float) -> float:
+        """Raw payload throughput at *clock*, bytes per second."""
+        self._check_clock(clock)
+        return clock * self.width / 8.0
+
+    def transfer_time(self, payload_bytes: int, clock: float) -> float:
+        """Seconds to move *payload_bytes* (plus framing) at *clock*."""
+        return self._wire_bytes(payload_bytes) * 8.0 / (self.width * clock)
+
+    def active_power(self, clock: float) -> float:
+        """Power while the link is clocking (W)."""
+        self._check_clock(clock)
+        bitrate = clock * self.width
+        return self.energy_per_bit * bitrate + self.controller_density * clock
+
+    def transfer(self, payload_bytes: int, clock: float) -> SpiTransfer:
+        """Cost one transfer completely."""
+        self._check_clock(clock)
+        wire = self._wire_bytes(payload_bytes)
+        time = wire * 8.0 / (self.width * clock)
+        energy = time * self.active_power(clock)
+        return SpiTransfer(
+            payload_bytes=int(payload_bytes),
+            wire_bytes=wire,
+            clock=clock,
+            time=time,
+            energy=energy,
+        )
+
+    def _wire_bytes(self, payload_bytes: int) -> int:
+        if payload_bytes < 0:
+            raise LinkError(f"negative payload: {payload_bytes}")
+        if payload_bytes == 0:
+            return 0
+        return int(payload_bytes) + self.frame_overhead_bytes
+
+    @staticmethod
+    def _check_clock(clock: float) -> None:
+        if clock <= 0:
+            raise LinkError(f"non-positive SPI clock: {clock}")

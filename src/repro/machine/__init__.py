@@ -1,0 +1,44 @@
+"""OR10N-mini: a functional instruction-set simulator.
+
+The rest of the library models cycles *analytically* from loop-nest IR.
+This package goes one level deeper for validation and study: a small
+register machine in the spirit of the OR10N core — 32 registers, a flat
+data memory standing in for the TCDM, two hardware loops, a fused MAC
+and sub-word SIMD adds — with
+
+* a 32-bit binary instruction encoding (:mod:`~repro.machine.encoding`),
+* a two-pass assembler with labels (:mod:`~repro.machine.assembler`),
+* a cycle-counting interpreter (:mod:`~repro.machine.interpreter`),
+* hand-written assembly kernels (:mod:`~repro.machine.programs`) whose
+  results are validated against numpy and whose measured cycles
+  cross-check the analytic OR10N cost tables.
+"""
+
+from repro.machine.assembler import assemble
+from repro.machine.encoding import Instruction, Opcode, decode, encode
+from repro.machine.interpreter import ExecutionResult, Machine
+from repro.machine.multicore import MulticoreResult, SharedMemoryCluster
+from repro.machine.programs import (
+    DOT_PRODUCT_I8,
+    MATMUL_I8,
+    MATMUL_ROWS_I8,
+    MEMCPY_WORDS,
+    VECTOR_ADD_I8,
+)
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "encode",
+    "decode",
+    "assemble",
+    "Machine",
+    "ExecutionResult",
+    "SharedMemoryCluster",
+    "MulticoreResult",
+    "MATMUL_I8",
+    "MATMUL_ROWS_I8",
+    "DOT_PRODUCT_I8",
+    "VECTOR_ADD_I8",
+    "MEMCPY_WORDS",
+]

@@ -1,0 +1,173 @@
+"""Two-pass assembler for OR10N-mini.
+
+Syntax, one instruction per line::
+
+    ; comment                  (also '#' and everything after either)
+    label:
+        addi  r1, r0, 64
+        lw    r2, 0(r4)
+        mac   r5, r2, r3
+        bne   r1, r0, label    ; branch targets may be labels or ints
+        hwloop r6, body_end    ; hardware loop over the next N instrs
+    body_end:
+        halt
+
+Registers are ``r0``..``r31`` (``r0`` reads as zero).  Branch offsets
+are in instructions, relative to the *next* instruction, resolved from
+labels in the second pass.  ``hwloop rN, label`` loops the instructions
+between itself and the label ``rN`` times.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import IsaError
+from repro.machine.encoding import (
+    BRANCHES,
+    I_TYPE,
+    LOADS,
+    STORES,
+    Instruction,
+    Opcode,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(r\d+)\s*\)$")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _parse_register(token: str) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise IsaError(f"expected a register, got {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise IsaError(f"bad register {token!r}") from None
+    if not 0 <= index < 32:
+        raise IsaError(f"register {token!r} out of range")
+    return index
+
+
+def _parse_value(token: str, labels: Dict[str, int],
+                 position: int, relative: bool) -> int:
+    token = token.strip()
+    if token.lstrip("-").isdigit():
+        return int(token)
+    if token.lstrip("-").lower().startswith("0x"):
+        try:
+            return int(token, 16)
+        except ValueError:
+            raise IsaError(f"bad hex value {token!r}") from None
+    if token in labels:
+        if relative:
+            return labels[token] - (position + 1)
+        return labels[token]
+    raise IsaError(f"unknown label or value {token!r}")
+
+
+def _first_pass(source: str) -> Tuple[List[Tuple[str, List[str]]],
+                                      Dict[str, int]]:
+    statements: List[Tuple[str, List[str]]] = []
+    labels: Dict[str, int] = {}
+    for raw_line in source.splitlines():
+        line = _strip(raw_line)
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label, line = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise IsaError(f"duplicate label {label!r}")
+                labels[label] = len(statements)
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = [op.strip() for op in operand_text.split(",")] \
+                if operand_text else []
+            statements.append((mnemonic, operands))
+            line = ""
+    return statements, labels
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble *source* into an instruction list."""
+    statements, labels = _first_pass(source)
+    instructions: List[Instruction] = []
+    for position, (mnemonic, operands) in enumerate(statements):
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError:
+            raise IsaError(f"unknown mnemonic {mnemonic!r}") from None
+        instructions.append(
+            _build(opcode, operands, labels, position))
+    return instructions
+
+
+def _build(opcode: Opcode, operands: List[str], labels: Dict[str, int],
+           position: int) -> Instruction:
+    if opcode is Opcode.HALT:
+        _expect(operands, 0, opcode)
+        return Instruction(opcode)
+    if opcode is Opcode.JUMP:
+        _expect(operands, 1, opcode)
+        return Instruction(opcode, imm=_parse_value(operands[0], labels,
+                                                    position, relative=True))
+    if opcode is Opcode.HWLOOP:
+        _expect(operands, 2, opcode)
+        trips = _parse_register(operands[0])
+        end = _parse_value(operands[1], labels, position, relative=False)
+        body = end - (position + 1)
+        if body < 1:
+            raise IsaError(f"hwloop body must contain instructions "
+                           f"(end label before the loop?)")
+        return Instruction(opcode, ra=trips, imm=body)
+    if opcode in BRANCHES:
+        _expect(operands, 3, opcode)
+        return Instruction(
+            opcode,
+            ra=_parse_register(operands[0]),
+            rb=_parse_register(operands[1]),
+            imm=_parse_value(operands[2], labels, position, relative=True))
+    if opcode in LOADS or opcode in STORES:
+        _expect(operands, 2, opcode)
+        rd = _parse_register(operands[0])
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise IsaError(f"bad memory operand {operands[1]!r}")
+        imm = _parse_value(match.group(1), labels, position, relative=False)
+        ra = _parse_register(match.group(2))
+        return Instruction(opcode, rd=rd, ra=ra, imm=imm)
+    if opcode in I_TYPE:
+        _expect(operands, 3, opcode)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0]),
+            ra=_parse_register(operands[1]),
+            imm=_parse_value(operands[2], labels, position, relative=False))
+    # R-type
+    _expect(operands, 3, opcode)
+    return Instruction(
+        opcode,
+        rd=_parse_register(operands[0]),
+        ra=_parse_register(operands[1]),
+        rb=_parse_register(operands[2]))
+
+
+def _expect(operands: List[str], count: int, opcode: Opcode) -> None:
+    if len(operands) != count:
+        raise IsaError(
+            f"{opcode.name} expects {count} operand(s), got {len(operands)}")
+
+
+def disassemble(instructions: List[Instruction]) -> str:
+    """Instructions back to text (labels are not reconstructed)."""
+    return "\n".join(str(instruction) for instruction in instructions)

@@ -1,0 +1,157 @@
+"""Binary instruction encoding for OR10N-mini.
+
+A fixed 32-bit word per instruction::
+
+    [31:26] opcode   (6 bits)
+    [25:21] rd       (5 bits)
+    [20:16] ra       (5 bits)
+    [15:11] rb       (5 bits)
+    [10: 0] unused for R-type
+
+    I-type reuses [15:0] as a signed 16-bit immediate:
+    [31:26] opcode, [25:21] rd, [20:16] ra, [15:0] imm16
+
+Branches encode their (instruction-count) offset in imm16; the hardware
+loop setup encodes the body length in rb's slot and the trip-count
+register in ra.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+REGISTERS = 32
+_IMM_MIN = -(1 << 15)
+_IMM_MAX = (1 << 15) - 1
+
+
+class Opcode(enum.IntEnum):
+    """OR10N-mini opcodes."""
+
+    # R-type ALU
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    MAC = 0x04          #: rd += ra * rb (the register-register MAC)
+    AND = 0x05
+    OR = 0x06
+    XOR = 0x07
+    SLL = 0x08
+    SRA = 0x09
+    MIN = 0x0A
+    MAX = 0x0B
+    # sub-word SIMD (4 x int8 lanes)
+    ADD4 = 0x0C
+    SUB4 = 0x0D
+    # I-type ALU
+    ADDI = 0x10
+    MULI = 0x11
+    SLLI = 0x12
+    SRAI = 0x13
+    ANDI = 0x14
+    # memory (I-type: address = ra + imm)
+    LW = 0x20
+    LH = 0x21
+    LB = 0x22
+    SW = 0x23
+    SH = 0x24
+    SB = 0x25
+    # control flow (I-type: offset in instructions)
+    BEQ = 0x30
+    BNE = 0x31
+    BLT = 0x32
+    JUMP = 0x33
+    # hardware loop: ra = trip count register, rb slot = body length
+    HWLOOP = 0x38
+    # misc
+    HALT = 0x3F
+
+
+#: Opcodes whose third operand is an immediate.
+I_TYPE = frozenset({
+    Opcode.ADDI, Opcode.MULI, Opcode.SLLI, Opcode.SRAI, Opcode.ANDI,
+    Opcode.LW, Opcode.LH, Opcode.LB, Opcode.SW, Opcode.SH, Opcode.SB,
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JUMP,
+})
+
+#: Memory opcodes and their access widths.
+LOADS = {Opcode.LW: 4, Opcode.LH: 2, Opcode.LB: 1}
+STORES = {Opcode.SW: 4, Opcode.SH: 2, Opcode.SB: 1}
+BRANCHES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JUMP})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name, reg in (("rd", self.rd), ("ra", self.ra), ("rb", self.rb)):
+            if not 0 <= reg < REGISTERS:
+                raise IsaError(f"{name}={reg} out of range in {self.opcode.name}")
+        if self.opcode in I_TYPE or self.opcode is Opcode.HWLOOP:
+            if not _IMM_MIN <= self.imm <= _IMM_MAX:
+                raise IsaError(f"immediate {self.imm} out of 16-bit range")
+
+    def __str__(self) -> str:
+        name = self.opcode.name.lower()
+        if self.opcode is Opcode.HALT:
+            return name
+        if self.opcode is Opcode.JUMP:
+            return f"{name} {self.imm}"
+        if self.opcode is Opcode.HWLOOP:
+            return f"{name} r{self.ra}, {self.imm}"
+        if self.opcode in BRANCHES:
+            return f"{name} r{self.ra}, r{self.rb}, {self.imm}"
+        if self.opcode in LOADS or self.opcode in STORES:
+            return f"{name} r{self.rd}, {self.imm}(r{self.ra})"
+        if self.opcode in I_TYPE:
+            return f"{name} r{self.rd}, r{self.ra}, {self.imm}"
+        return f"{name} r{self.rd}, r{self.ra}, r{self.rb}"
+
+
+def encode(instruction: Instruction) -> int:
+    """Instruction -> 32-bit word."""
+    word = (int(instruction.opcode) & 0x3F) << 26
+    word |= (instruction.rd & 0x1F) << 21
+    word |= (instruction.ra & 0x1F) << 16
+    if instruction.opcode in I_TYPE:
+        word |= instruction.imm & 0xFFFF
+    elif instruction.opcode is Opcode.HWLOOP:
+        word |= (instruction.rb & 0x1F) << 11
+        word |= instruction.imm & 0x7FF
+    else:
+        word |= (instruction.rb & 0x1F) << 11
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """32-bit word -> instruction."""
+    if not 0 <= word < (1 << 32):
+        raise IsaError(f"word {word:#x} is not a 32-bit value")
+    opcode_value = (word >> 26) & 0x3F
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise IsaError(f"unknown opcode {opcode_value:#x}") from None
+    rd = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    if opcode in I_TYPE:
+        imm = word & 0xFFFF
+        if imm & 0x8000:
+            imm -= 0x10000
+        return Instruction(opcode, rd=rd, ra=ra, imm=imm)
+    if opcode is Opcode.HWLOOP:
+        rb = (word >> 11) & 0x1F
+        imm = word & 0x7FF
+        return Instruction(opcode, rd=rd, ra=ra, rb=rb, imm=imm)
+    rb = (word >> 11) & 0x1F
+    return Instruction(opcode, rd=rd, ra=ra, rb=rb)

@@ -1,0 +1,248 @@
+"""The OR10N-mini interpreter: functional execution + cycle accounting.
+
+Cycle costs mirror the analytic cost table of
+:func:`repro.isa.costs.or10n_costs`: single-cycle ALU/MAC/SIMD, 2-cycle
+loads (the load-use stall), 1-cycle stores, 2-cycle taken branches and
+zero-overhead hardware-loop back-edges — so cycle counts measured here
+can be compared against the loop-nest model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+from repro.machine.encoding import (
+    BRANCHES,
+    LOADS,
+    STORES,
+    Instruction,
+    Opcode,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _wrap8(value: int) -> int:
+    value &= 0xFF
+    return value - 256 if value & 0x80 else value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    cycles: float
+    instructions: int
+    loads: int
+    stores: int
+    registers: List[int]
+    halted: bool
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total data memory operations."""
+        return self.loads + self.stores
+
+
+@dataclass
+class _HwLoop:
+    start: int
+    end: int
+    remaining: int
+
+
+class Machine:
+    """One OR10N-mini core with a private data memory."""
+
+    #: Maximum nested hardware loops, as on OR10N.
+    HW_LOOPS = 2
+
+    def __init__(self, memory_size: int = 48 * 1024):
+        if memory_size <= 0:
+            raise SimulationError(f"invalid memory size {memory_size}")
+        self.memory = bytearray(memory_size)
+        self.registers = [0] * 32
+
+    # -- memory helpers --------------------------------------------------------
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Load data into memory before a run."""
+        self._check(address, len(data))
+        self.memory[address:address + len(data)] = data
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read results after a run."""
+        self._check(address, length)
+        return bytes(self.memory[address:address + length])
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > len(self.memory):
+            raise SimulationError(
+                f"memory access out of range: {length} B at {address:#x}")
+
+    def _load(self, address: int, width: int) -> int:
+        self._check(address, width)
+        raw = int.from_bytes(self.memory[address:address + width],
+                             "little", signed=True)
+        return raw
+
+    def _store(self, address: int, width: int, value: int) -> None:
+        self._check(address, width)
+        self.memory[address:address + width] = \
+            (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, program: Sequence[Instruction],
+            max_steps: int = 5_000_000) -> ExecutionResult:
+        """Execute *program* from its first instruction until HALT."""
+        registers = self.registers
+        registers[0] = 0
+        pc = 0
+        cycles = 0.0
+        executed = 0
+        loads = 0
+        stores = 0
+        hw_loops: List[_HwLoop] = []
+        halted = False
+
+        while 0 <= pc < len(program):
+            if executed >= max_steps:
+                raise SimulationError(
+                    f"program exceeded {max_steps} steps (runaway loop?)")
+            instruction = program[pc]
+            opcode = instruction.opcode
+            executed += 1
+            next_pc = pc + 1
+
+            if opcode is Opcode.HALT:
+                cycles += 1
+                halted = True
+                break
+            elif opcode is Opcode.HWLOOP:
+                if len(hw_loops) >= self.HW_LOOPS:
+                    raise SimulationError("hardware loop nesting exceeded")
+                trips = registers[instruction.ra]
+                body_start = pc + 1
+                body_end = pc + 1 + instruction.imm
+                cycles += 2  # lp.setup
+                if trips <= 0:
+                    next_pc = body_end
+                else:
+                    hw_loops.append(_HwLoop(body_start, body_end, trips))
+            elif opcode in BRANCHES:
+                taken = False
+                if opcode is Opcode.JUMP:
+                    taken = True
+                else:
+                    a = registers[instruction.ra]
+                    b = registers[instruction.rb]
+                    taken = ((opcode is Opcode.BEQ and a == b)
+                             or (opcode is Opcode.BNE and a != b)
+                             or (opcode is Opcode.BLT and a < b))
+                if taken:
+                    next_pc = pc + 1 + instruction.imm
+                    cycles += 2
+                else:
+                    cycles += 1
+            elif opcode in LOADS:
+                width = LOADS[opcode]
+                address = registers[instruction.ra] + instruction.imm
+                value = self._load(address, width)
+                if instruction.rd != 0:
+                    registers[instruction.rd] = value
+                loads += 1
+                cycles += 2  # TCDM latency + average load-use stall
+            elif opcode in STORES:
+                width = STORES[opcode]
+                address = registers[instruction.ra] + instruction.imm
+                self._store(address, width, registers[instruction.rd])
+                stores += 1
+                cycles += 1
+            else:
+                self._alu(instruction, registers)
+                cycles += 1
+
+            # Hardware loop back-edges are free.
+            while hw_loops and next_pc == hw_loops[-1].end:
+                loop = hw_loops[-1]
+                loop.remaining -= 1
+                if loop.remaining > 0:
+                    next_pc = loop.start
+                    break
+                hw_loops.pop()
+            pc = next_pc
+            registers[0] = 0
+
+        return ExecutionResult(
+            cycles=cycles,
+            instructions=executed,
+            loads=loads,
+            stores=stores,
+            registers=list(registers),
+            halted=halted,
+        )
+
+    @staticmethod
+    def _alu(instruction: Instruction, registers: List[int]) -> None:
+        opcode = instruction.opcode
+        a = registers[instruction.ra]
+        b = registers[instruction.rb]
+        imm = instruction.imm
+        d = registers[instruction.rd]
+        if opcode is Opcode.ADD:
+            value = _wrap32(a + b)
+        elif opcode is Opcode.SUB:
+            value = _wrap32(a - b)
+        elif opcode is Opcode.MUL:
+            value = _wrap32(a * b)
+        elif opcode is Opcode.MAC:
+            value = _wrap32(d + a * b)
+        elif opcode is Opcode.AND:
+            value = _wrap32(a & b)
+        elif opcode is Opcode.OR:
+            value = _wrap32(a | b)
+        elif opcode is Opcode.XOR:
+            value = _wrap32(a ^ b)
+        elif opcode is Opcode.SLL:
+            value = _wrap32(a << (b & 31))
+        elif opcode is Opcode.SRA:
+            value = _wrap32(a >> (b & 31))
+        elif opcode is Opcode.MIN:
+            value = min(a, b)
+        elif opcode is Opcode.MAX:
+            value = max(a, b)
+        elif opcode is Opcode.ADD4:
+            value = Machine._simd(a, b, lambda x, y: x + y)
+        elif opcode is Opcode.SUB4:
+            value = Machine._simd(a, b, lambda x, y: x - y)
+        elif opcode is Opcode.ADDI:
+            value = _wrap32(a + imm)
+        elif opcode is Opcode.MULI:
+            value = _wrap32(a * imm)
+        elif opcode is Opcode.SLLI:
+            value = _wrap32(a << (imm & 31))
+        elif opcode is Opcode.SRAI:
+            value = _wrap32(a >> (imm & 31))
+        elif opcode is Opcode.ANDI:
+            value = _wrap32(a & (imm & 0xFFFF))
+        else:
+            raise SimulationError(f"unhandled opcode {opcode.name}")
+        if instruction.rd != 0:
+            registers[instruction.rd] = value
+
+    @staticmethod
+    def _simd(a: int, b: int, op) -> int:
+        result = 0
+        for lane in range(4):
+            lane_a = _wrap8(a >> (8 * lane))
+            lane_b = _wrap8(b >> (8 * lane))
+            result |= (op(lane_a, lane_b) & 0xFF) << (8 * lane)
+        return _wrap32(result)

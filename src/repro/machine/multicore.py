@@ -1,0 +1,223 @@
+"""Lockstep multi-core execution of OR10N-mini programs.
+
+Four cores share one word-interleaved banked memory; every cycle, each
+core either advances its pipeline or stalls because a lower-priority...
+rather: because another core won arbitration for the same bank (fixed
+round-robin priority rotation, like the cluster's logarithmic
+interconnect).  This is the instruction-level twin of the event-driven
+:class:`repro.pulp.cluster.Cluster` — slower, but nothing is abstracted:
+bank conflicts emerge from the actual addresses the code computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.machine.encoding import (
+    BRANCHES,
+    LOADS,
+    STORES,
+    Instruction,
+    Opcode,
+)
+from repro.machine.interpreter import Machine
+
+
+@dataclass
+class CoreState:
+    """Architectural + pipeline state of one lockstep core."""
+
+    core_id: int
+    program: Sequence[Instruction]
+    registers: List[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    halted: bool = False
+    #: Remaining busy cycles of the current instruction (multi-cycle ops).
+    busy: int = 0
+    hw_loops: List = field(default_factory=list)
+    # statistics
+    cycles_active: int = 0
+    cycles_stalled: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+
+
+@dataclass
+class _HwLoopState:
+    start: int
+    end: int
+    remaining: int
+
+
+@dataclass
+class MulticoreResult:
+    """Outcome of a lockstep cluster run."""
+
+    wall_cycles: int
+    cores: List[CoreState]
+    bank_conflicts: int
+    bank_accesses: int
+
+    @property
+    def conflict_rate(self) -> float:
+        """Stalled accesses over all accesses."""
+        if self.bank_accesses == 0:
+            return 0.0
+        return self.bank_conflicts / self.bank_accesses
+
+
+class SharedMemoryCluster:
+    """N OR10N-mini cores on a word-interleaved banked memory."""
+
+    def __init__(self, cores: int = 4, memory_size: int = 48 * 1024,
+                 banks: int = 8):
+        if not 1 <= cores <= 8:
+            raise SimulationError(f"cores must be 1..8, got {cores}")
+        if banks < 1:
+            raise SimulationError(f"banks must be >= 1, got {banks}")
+        self.num_cores = cores
+        self.banks = banks
+        self.memory = Machine(memory_size)  # reuse its checked memory
+        self._priority = 0
+
+    # -- memory facade ----------------------------------------------------------
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Pre-load shared memory."""
+        self.memory.write_block(address, data)
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read back results."""
+        return self.memory.read_block(address, length)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, programs: Sequence[Sequence[Instruction]],
+            register_presets: Optional[Sequence[dict]] = None,
+            max_cycles: int = 2_000_000) -> MulticoreResult:
+        """Run one program per core to completion, lockstep."""
+        if not 1 <= len(programs) <= self.num_cores:
+            raise SimulationError(
+                f"need 1..{self.num_cores} programs, got {len(programs)}")
+        states = [CoreState(core_id=i, program=p)
+                  for i, p in enumerate(programs)]
+        if register_presets:
+            for state, presets in zip(states, register_presets):
+                for register, value in presets.items():
+                    state.registers[register] = value
+        conflicts = 0
+        accesses = 0
+        cycle = 0
+        while any(not s.halted for s in states):
+            if cycle >= max_cycles:
+                raise SimulationError(f"cluster exceeded {max_cycles} cycles")
+            # Arbitrate: collect this cycle's memory requests.
+            requests = {}
+            for state in states:
+                if state.halted or state.busy > 0:
+                    continue
+                instruction = state.program[state.pc]
+                if instruction.opcode in LOADS or instruction.opcode in STORES:
+                    address = state.registers[instruction.ra] + instruction.imm
+                    requests[state.core_id] = (address // 4) % self.banks
+            granted_banks = {}
+            order = [(self._priority + i) % self.num_cores
+                     for i in range(self.num_cores)]
+            granted = set()
+            for core_id in order:
+                if core_id not in requests:
+                    continue
+                bank = requests[core_id]
+                if bank in granted_banks:
+                    continue
+                granted_banks[bank] = core_id
+                granted.add(core_id)
+            self._priority = (self._priority + 1) % self.num_cores
+            # Execute.
+            for state in states:
+                if state.halted:
+                    continue
+                if state.busy > 0:
+                    state.busy -= 1
+                    state.cycles_active += 1
+                    continue
+                instruction = state.program[state.pc]
+                is_memory = instruction.opcode in LOADS \
+                    or instruction.opcode in STORES
+                if is_memory:
+                    accesses += 1
+                    if state.core_id not in granted:
+                        state.cycles_stalled += 1
+                        conflicts += 1
+                        continue
+                self._execute(state, instruction)
+                state.cycles_active += 1
+            cycle += 1
+        return MulticoreResult(
+            wall_cycles=cycle,
+            cores=states,
+            bank_conflicts=conflicts,
+            bank_accesses=accesses,
+        )
+
+    # -- single-instruction semantics --------------------------------------------
+
+    def _execute(self, state: CoreState, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        registers = state.registers
+        state.instructions += 1
+        next_pc = state.pc + 1
+        if opcode is Opcode.HALT:
+            state.halted = True
+            return
+        if opcode is Opcode.HWLOOP:
+            if len(state.hw_loops) >= Machine.HW_LOOPS:
+                raise SimulationError("hardware loop nesting exceeded")
+            trips = registers[instruction.ra]
+            body_start = state.pc + 1
+            body_end = state.pc + 1 + instruction.imm
+            state.busy = 1  # lp.setup is 2 cycles total
+            if trips <= 0:
+                next_pc = body_end
+            else:
+                state.hw_loops.append(
+                    _HwLoopState(body_start, body_end, trips))
+        elif opcode in BRANCHES:
+            taken = opcode is Opcode.JUMP
+            if not taken:
+                a = registers[instruction.ra]
+                b = registers[instruction.rb]
+                taken = ((opcode is Opcode.BEQ and a == b)
+                         or (opcode is Opcode.BNE and a != b)
+                         or (opcode is Opcode.BLT and a < b))
+            if taken:
+                next_pc = state.pc + 1 + instruction.imm
+                state.busy = 1  # refill bubble
+        elif opcode in LOADS:
+            width = LOADS[opcode]
+            address = registers[instruction.ra] + instruction.imm
+            value = self.memory._load(address, width)
+            if instruction.rd != 0:
+                registers[instruction.rd] = value
+            state.loads += 1
+            state.busy = 1  # load-use stall, as in the 1-core ISS
+        elif opcode in STORES:
+            width = STORES[opcode]
+            address = registers[instruction.ra] + instruction.imm
+            self.memory._store(address, width, registers[instruction.rd])
+            state.stores += 1
+        else:
+            Machine._alu(instruction, registers)
+        # Hardware loop back edges.
+        while state.hw_loops and next_pc == state.hw_loops[-1].end:
+            loop = state.hw_loops[-1]
+            loop.remaining -= 1
+            if loop.remaining > 0:
+                next_pc = loop.start
+                break
+            state.hw_loops.pop()
+        state.pc = next_pc
+        registers[0] = 0

@@ -1,0 +1,240 @@
+"""Hand-written OR10N-mini assembly kernels, with numpy-facing runners.
+
+These are the instruction-level counterparts of the analytic kernels:
+``run_matmul_i8`` computes exactly what
+:meth:`repro.kernels.matmul.MatmulKernel.compute` computes (char
+variant), instruction by instruction, so the two abstraction levels can
+be validated against each other — both functionally and in cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.machine.assembler import assemble
+from repro.machine.interpreter import ExecutionResult, Machine
+
+#: Copy r3 words from [r1] to [r2].
+MEMCPY_WORDS = assemble("""
+        hwloop r3, copy_end
+        lw   r4, 0(r1)
+        addi r1, r1, 4
+        sw   r4, 0(r2)
+        addi r2, r2, 4
+copy_end:
+        halt
+""")
+
+#: Lane-wise int8 vector add: r4 words from [r1] + [r2] -> [r3].
+VECTOR_ADD_I8 = assemble("""
+        hwloop r4, add_end
+        lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        add4 r7, r5, r6
+        sw   r7, 0(r3)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, 4
+add_end:
+        halt
+""")
+
+#: int8 dot product of r3 elements at [r1], [r2]; result in r10.
+DOT_PRODUCT_I8 = assemble("""
+        addi r10, r0, 0
+        hwloop r3, dot_end
+        lb   r4, 0(r1)
+        lb   r5, 0(r2)
+        mac  r10, r4, r5
+        addi r1, r1, 1
+        addi r2, r2, 1
+dot_end:
+        halt
+""")
+
+#: char matmul: C = sat8((A @ B + 64) >> 7); bases in r1/r2/r3, n in r4.
+MATMUL_I8 = assemble("""
+        addi r5, r0, 0            ; i = 0
+i_loop:
+        addi r6, r0, 0            ; j = 0
+j_loop:
+        addi r8, r0, 0            ; acc = 0
+        mul  r9, r5, r4
+        add  r9, r9, r1           ; &A[i*n]
+        add  r11, r2, r6          ; &B[0*n + j]
+        hwloop r4, k_end
+        lb   r12, 0(r9)
+        lb   r13, 0(r11)
+        mac  r8, r12, r13
+        addi r9, r9, 1
+        add  r11, r11, r4
+k_end:
+        addi r8, r8, 64           ; round-half-up
+        srai r8, r8, 7
+        addi r14, r0, 127
+        min  r8, r8, r14
+        addi r14, r0, -128
+        max  r8, r8, r14
+        mul  r15, r5, r4
+        add  r15, r15, r6
+        add  r15, r15, r3
+        sb   r8, 0(r15)
+        addi r6, r6, 1
+        blt  r6, r4, j_loop
+        addi r5, r5, 1
+        blt  r5, r4, i_loop
+        halt
+""")
+
+#: Row-partitioned char matmul for the multicore cluster: as MATMUL_I8,
+#: but computing rows [r5, r16) — each core gets its static chunk, the
+#: OpenMP schedule written out in assembly.
+MATMUL_ROWS_I8 = assemble("""
+i_loop:
+        addi r6, r0, 0            ; j = 0
+j_loop:
+        addi r8, r0, 0            ; acc = 0
+        mul  r9, r5, r4
+        add  r9, r9, r1           ; &A[i*n]
+        add  r11, r2, r6          ; &B[0*n + j]
+        hwloop r4, k_end
+        lb   r12, 0(r9)
+        lb   r13, 0(r11)
+        mac  r8, r12, r13
+        addi r9, r9, 1
+        add  r11, r11, r4
+k_end:
+        addi r8, r8, 64
+        srai r8, r8, 7
+        addi r14, r0, 127
+        min  r8, r8, r14
+        addi r14, r0, -128
+        max  r8, r8, r14
+        mul  r15, r5, r4
+        add  r15, r15, r6
+        add  r15, r15, r3
+        sb   r8, 0(r15)
+        addi r6, r6, 1
+        blt  r6, r4, j_loop
+        addi r5, r5, 1
+        blt  r5, r16, i_loop
+        halt
+""")
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+def run_memcpy(data: bytes, machine: Optional[Machine] = None
+               ) -> Tuple[bytes, ExecutionResult]:
+    """Copy *data* (a multiple of 4 bytes) through MEMCPY_WORDS."""
+    if len(data) % 4:
+        raise KernelError("memcpy operates on whole words")
+    machine = machine if machine is not None else Machine()
+    src, dst = 0x100, 0x100 + len(data) + 64
+    machine.write_block(src, data)
+    machine.registers[1] = src
+    machine.registers[2] = dst
+    machine.registers[3] = len(data) // 4
+    result = machine.run(MEMCPY_WORDS)
+    return machine.read_block(dst, len(data)), result
+
+
+def run_vector_add_i8(a: np.ndarray, b: np.ndarray,
+                      machine: Optional[Machine] = None
+                      ) -> Tuple[np.ndarray, ExecutionResult]:
+    """Lane-wise int8 add of two equal-length arrays (length % 4 == 0)."""
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.shape != b.shape or a.ndim != 1 or len(a) % 4:
+        raise KernelError("vector add needs equal 1-D int8 arrays, len % 4 == 0")
+    machine = machine if machine is not None else Machine()
+    base_a, base_b, base_c = 0x100, 0x1100, 0x2100
+    machine.write_block(base_a, a.tobytes())
+    machine.write_block(base_b, b.tobytes())
+    machine.registers[1] = base_a
+    machine.registers[2] = base_b
+    machine.registers[3] = base_c
+    machine.registers[4] = len(a) // 4
+    result = machine.run(VECTOR_ADD_I8)
+    out = np.frombuffer(machine.read_block(base_c, len(a)), dtype=np.int8)
+    return out.copy(), result
+
+
+def run_dot_product_i8(a: np.ndarray, b: np.ndarray,
+                       machine: Optional[Machine] = None
+                       ) -> Tuple[int, ExecutionResult]:
+    """int8 dot product; returns the 32-bit accumulator."""
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.shape != b.shape or a.ndim != 1:
+        raise KernelError("dot product needs equal 1-D int8 arrays")
+    machine = machine if machine is not None else Machine()
+    base_a, base_b = 0x100, 0x1100
+    machine.write_block(base_a, a.tobytes())
+    machine.write_block(base_b, b.tobytes())
+    machine.registers[1] = base_a
+    machine.registers[2] = base_b
+    machine.registers[3] = len(a)
+    result = machine.run(DOT_PRODUCT_I8)
+    return result.registers[10], result
+
+
+def run_matmul_i8_parallel(a: np.ndarray, b: np.ndarray, cores: int = 4,
+                           banks: int = 8):
+    """Row-partitioned char matmul on the lockstep multicore cluster.
+
+    Returns ``(c, MulticoreResult)``; the result's per-core statistics
+    expose the instruction-level bank-conflict behaviour the analytic
+    contention model abstracts.
+    """
+    from repro.machine.multicore import SharedMemoryCluster
+    from repro.pulp.timing import chunk_trips
+
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.ndim != 2 or a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise KernelError("matmul needs two equal square int8 matrices")
+    n = a.shape[0]
+    cluster = SharedMemoryCluster(cores=cores, banks=banks)
+    base_a, base_b, base_c = 0x100, 0x100 + n * n + 64, 0x100 + 2 * (n * n + 64)
+    cluster.write_block(base_a, a.tobytes())
+    cluster.write_block(base_b, b.tobytes())
+    chunks = chunk_trips(n, cores)
+    presets = []
+    row = 0
+    for chunk in chunks:
+        presets.append({1: base_a, 2: base_b, 3: base_c,
+                        4: n, 5: row, 16: row + chunk})
+        row += chunk
+    result = cluster.run([MATMUL_ROWS_I8] * len(chunks),
+                         register_presets=presets)
+    out = np.frombuffer(cluster.read_block(base_c, n * n), dtype=np.int8)
+    return out.reshape(n, n).copy(), result
+
+
+def run_matmul_i8(a: np.ndarray, b: np.ndarray,
+                  machine: Optional[Machine] = None
+                  ) -> Tuple[np.ndarray, ExecutionResult]:
+    """char matmul, matching ``MatmulKernel("char").compute`` exactly."""
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.ndim != 2 or a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise KernelError("matmul needs two equal square int8 matrices")
+    n = a.shape[0]
+    machine = machine if machine is not None else Machine()
+    base_a, base_b, base_c = 0x100, 0x100 + n * n + 64, 0x100 + 2 * (n * n + 64)
+    machine.write_block(base_a, a.tobytes())
+    machine.write_block(base_b, b.tobytes())
+    machine.registers[1] = base_a
+    machine.registers[2] = base_b
+    machine.registers[3] = base_c
+    machine.registers[4] = n
+    result = machine.run(MATMUL_I8)
+    out = np.frombuffer(machine.read_block(base_c, n * n), dtype=np.int8)
+    return out.reshape(n, n).copy(), result

@@ -1,0 +1,20 @@
+"""Host MCU models.
+
+Models the microcontrollers of the paper's evaluation: the STM32-L476
+host (Cortex-M4) and the commercial devices of Figure 3 (STM32F407/F446,
+NXP LPC1800, SiliconLabs EFM32, TI MSP430, Ambiq Apollo).  Each device
+couples a core cycle model (:mod:`repro.isa.cortexm`) with datasheet
+operating points (run current density, supply voltage, maximum clock).
+"""
+
+from repro.mcu.device import McuDevice, McuExecution
+from repro.mcu.catalog import MCU_CATALOG, mcu_by_name
+from repro.mcu.stm32l476 import Stm32L476
+
+__all__ = [
+    "McuDevice",
+    "McuExecution",
+    "MCU_CATALOG",
+    "mcu_by_name",
+    "Stm32L476",
+]

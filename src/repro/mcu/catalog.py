@@ -1,0 +1,105 @@
+"""Catalog of the commercial MCUs compared in Figure 3.
+
+Electrical figures are the *typical-range* datasheet values the paper
+itself relies on ("the operating points are those listed in the relevant
+datasheets, using power from the typical range"):
+
+==============  ==========  ======  =====  =========  =============================
+Device          Core        f_max   V_dd   uA/MHz     Reference
+==============  ==========  ======  =====  =========  =============================
+STM32F407       Cortex-M4   168MHz  3.3V   250        STM32F407xx datasheet [7]
+STM32F446       Cortex-M4   180MHz  3.3V   175        STM32F446xx datasheet [8]
+NXP LPC1800     Cortex-M3   180MHz  3.3V   180        LPC185x datasheet [9]
+EFM32 Giant     Cortex-M3    48MHz  3.3V   211        SiliconLabs EFM32 [10]
+MSP430          MSP430 16b   25MHz  3.0V   265        TI MSP430 series [11]
+Ambiq Apollo    Cortex-M4    24MHz  3.3V    34        Ambiq Apollo data brief [4]
+STM32-L476      Cortex-M4    80MHz  3.0V   100        STM32L476xx datasheet [12]
+==============  ==========  ======  =====  =========  =============================
+
+The MSP430 is a 16-bit machine; it is modeled as the M3 cost table with
+its ``cycle_scale`` doubled (32-bit arithmetic takes word pairs), which
+is the standard first-order treatment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.isa.costs import cortex_m3_costs
+from repro.isa.cortexm import CortexM3Target, CortexM4Target
+from repro.isa.target import Target
+from repro.mcu.device import McuDevice
+from repro.units import mhz, mw, ua_per_mhz
+
+
+def _msp430_core() -> Target:
+    costs = cortex_m3_costs().with_overrides(
+        name="msp430-16bit",
+        cycle_scale=cortex_m3_costs().cycle_scale * 2.0,
+    )
+    return Target(costs)
+
+
+MCU_CATALOG: Tuple[McuDevice, ...] = (
+    McuDevice(
+        name="STM32F407",
+        core=CortexM4Target(), core_name="Cortex-M4",
+        fmax=mhz(168), voltage=3.3,
+        run_current_density=ua_per_mhz(250),
+        base_power=mw(0.5), sleep_power=mw(0.05),
+    ),
+    McuDevice(
+        name="STM32F446",
+        core=CortexM4Target(), core_name="Cortex-M4",
+        fmax=mhz(180), voltage=3.3,
+        run_current_density=ua_per_mhz(175),
+        base_power=mw(0.5), sleep_power=mw(0.05),
+    ),
+    McuDevice(
+        name="NXP LPC1800",
+        core=CortexM3Target(), core_name="Cortex-M3",
+        fmax=mhz(180), voltage=3.3,
+        run_current_density=ua_per_mhz(180),
+        base_power=mw(0.5), sleep_power=mw(0.05),
+    ),
+    McuDevice(
+        name="EFM32",
+        core=CortexM3Target(), core_name="Cortex-M3",
+        fmax=mhz(48), voltage=3.3,
+        run_current_density=ua_per_mhz(211),
+        base_power=mw(0.1), sleep_power=mw(0.002),
+    ),
+    McuDevice(
+        name="MSP430",
+        core=_msp430_core(), core_name="MSP430 (16-bit)",
+        fmax=mhz(25), voltage=3.0,
+        run_current_density=ua_per_mhz(265),
+        base_power=mw(0.05), sleep_power=mw(0.001),
+    ),
+    McuDevice(
+        name="Ambiq Apollo",
+        core=CortexM4Target(), core_name="Cortex-M4 (subthreshold)",
+        fmax=mhz(24), voltage=3.3,
+        run_current_density=ua_per_mhz(34),
+        base_power=mw(0.02), sleep_power=mw(0.0005),
+    ),
+    McuDevice(
+        name="STM32-L476",
+        core=CortexM4Target(), core_name="Cortex-M4",
+        fmax=mhz(80), voltage=3.0,
+        run_current_density=ua_per_mhz(100),
+        base_power=mw(0.1), sleep_power=mw(0.004),
+    ),
+)
+
+_BY_NAME: Dict[str, McuDevice] = {device.name: device for device in MCU_CATALOG}
+
+
+def mcu_by_name(name: str) -> McuDevice:
+    """Look up a catalog MCU by its exact name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ConfigurationError(f"unknown MCU {name!r}; known: {known}") from None

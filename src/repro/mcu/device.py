@@ -1,0 +1,128 @@
+"""Generic low-power MCU device model.
+
+An :class:`McuDevice` is a core cycle model plus datasheet power figures:
+run current density (the familiar uA/MHz number), supply voltage, a small
+frequency-independent floor (regulators, RAM retention, brown-out
+monitors) and a sleep current.  From these it answers the questions the
+experiments ask: how long and at what power does this kernel run at
+frequency f, and what does the device burn while sleeping during an
+offload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.isa.program import Program
+from repro.isa.report import LoweredReport
+from repro.isa.target import Target
+
+
+@dataclass(frozen=True)
+class McuExecution:
+    """Result of running a program on an MCU at a given frequency."""
+
+    device_name: str
+    frequency: float
+    cycles: float
+    time: float
+    power: float
+
+    @property
+    def energy(self) -> float:
+        """Energy of the execution in joules."""
+        return self.time * self.power
+
+
+@dataclass(frozen=True)
+class McuDevice:
+    """A microcontroller: core model + datasheet electrical figures.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, e.g. ``"STM32-L476"``.
+    core:
+        The ISA target used to lower programs (Cortex-M3 or M4 model).
+    core_name:
+        Datasheet core designation, for reports (``"Cortex-M4"`` ...).
+    fmax:
+        Maximum system clock in Hz.
+    voltage:
+        Supply voltage in volts (typical operating conditions).
+    run_current_density:
+        Active-mode current in amperes per hertz (from the uA/MHz
+        datasheet figure, typical range, executing from flash).
+    base_power:
+        Frequency-independent active floor in watts.
+    sleep_power:
+        Power in the low-power wait mode used while the accelerator
+        computes (stop mode with RAM retention and fast wakeup).
+    """
+
+    name: str
+    core: Target
+    core_name: str
+    fmax: float
+    voltage: float
+    run_current_density: float
+    base_power: float = 0.0
+    sleep_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fmax <= 0 or self.voltage <= 0 or self.run_current_density <= 0:
+            raise ConfigurationError(f"invalid MCU parameters for {self.name}")
+        if self.base_power < 0 or self.sleep_power < 0:
+            raise ConfigurationError(f"negative power floor for {self.name}")
+
+    # -- power ---------------------------------------------------------------
+
+    def active_power(self, frequency: float) -> float:
+        """Active-mode power at *frequency* (W)."""
+        self._check_frequency(frequency)
+        return self.voltage * self.run_current_density * frequency + self.base_power
+
+    def max_frequency_within(self, budget: float) -> float:
+        """Highest clock whose active power fits *budget* (0 if none)."""
+        if budget <= self.base_power:
+            return 0.0
+        frequency = (budget - self.base_power) / (
+            self.voltage * self.run_current_density)
+        return min(frequency, self.fmax)
+
+    # -- execution -------------------------------------------------------------
+
+    def lower(self, program: Program) -> LoweredReport:
+        """Lower a kernel program onto this device's core."""
+        return self.core.lower(program)
+
+    def run(self, program: Program, frequency: Optional[float] = None) -> McuExecution:
+        """Execute *program* at *frequency* (defaults to fmax)."""
+        frequency = self.fmax if frequency is None else frequency
+        self._check_frequency(frequency)
+        report = self.lower(program)
+        time = report.cycles / frequency
+        return McuExecution(
+            device_name=self.name,
+            frequency=frequency,
+            cycles=report.cycles,
+            time=time,
+            power=self.active_power(frequency),
+        )
+
+    def throughput_ops(self, risc_ops: float, program: Program,
+                       frequency: Optional[float] = None) -> float:
+        """RISC operations per second achieved on *program* (the paper's
+        GOPS numerator uses baseline RISC ops, not device instructions)."""
+        execution = self.run(program, frequency)
+        return risc_ops / execution.time
+
+    def _check_frequency(self, frequency: float) -> None:
+        if frequency <= 0:
+            raise ConfigurationError(
+                f"non-positive frequency {frequency} for {self.name}")
+        if frequency > self.fmax * (1 + 1e-9):
+            raise ConfigurationError(
+                f"{frequency:.3e} Hz exceeds {self.name} fmax {self.fmax:.3e} Hz")

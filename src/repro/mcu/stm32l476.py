@@ -1,0 +1,108 @@
+"""The STM32-L476 host microcontroller.
+
+This is the host of the paper's prototype (STM32 Nucleo board).  Beyond
+the generic :class:`~repro.mcu.device.McuDevice` electrical/cycle model
+it carries the host-side machinery an offload needs:
+
+* the (Q)SPI master whose serial clock is derived from the core clock
+  through a power-of-two prescaler — the root cause of the Figure 5b
+  plateaus ("the SPI frequency and throughput [are] severely limited by
+  the very low frequency at which the MCU is clocked");
+* a DMA controller that moves data between memory and the SPI data
+  register with a fixed per-transfer setup cost;
+* two GPIO event lines (*fetch enable* towards the accelerator, *end of
+  computation* back) and a stop-mode sleep with microsecond wakeup used
+  while the accelerator computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mcu.catalog import mcu_by_name
+from repro.mcu.device import McuDevice
+from repro.units import mhz, us
+
+
+@dataclass(frozen=True)
+class HostTimings:
+    """Host-side fixed costs of the offload machinery."""
+
+    #: Cycles to configure SPI + DMA registers for one transfer.
+    dma_setup_cycles: float = 120.0
+    #: Cycles to raise/lower a GPIO event line.
+    gpio_event_cycles: float = 10.0
+    #: Wakeup latency from stop mode on the EOC interrupt (seconds).
+    sleep_wakeup_time: float = us(12)
+    #: Maximum SPI serial clock the pads support (Hz; the L476 QSPI is
+    #: specified to 48 MHz).
+    spi_max_clock: float = mhz(48)
+    #: Smallest supported SPI prescaler (serial clock = f_core / prescaler);
+    #: the L476 QSPI baud generator supports running at the AHB clock.
+    spi_min_prescaler: int = 1
+
+
+class Stm32L476:
+    """The STM32-L476 host: device model + offload-relevant peripherals."""
+
+    #: MCU frequency of the paper's 10 mW baseline configuration.
+    BASELINE_FREQUENCY = mhz(32)
+
+    def __init__(self, device: McuDevice = None, timings: HostTimings = None):
+        self.device = device if device is not None else mcu_by_name("STM32-L476")
+        self.timings = timings if timings is not None else HostTimings()
+
+    @property
+    def name(self) -> str:
+        """Device name."""
+        return self.device.name
+
+    @property
+    def fmax(self) -> float:
+        """Maximum core clock."""
+        return self.device.fmax
+
+    # -- SPI clocking ---------------------------------------------------------
+
+    def spi_clock(self, core_frequency: float) -> float:
+        """Fastest SPI serial clock available at *core_frequency*.
+
+        The L476 SPI baud generator divides the core (APB) clock by a
+        power-of-two prescaler >= ``spi_min_prescaler``; the pads cap the
+        result at ``spi_max_clock``.
+        """
+        if core_frequency <= 0:
+            raise ConfigurationError(f"non-positive core frequency {core_frequency}")
+        prescaler = self.timings.spi_min_prescaler
+        clock = core_frequency / prescaler
+        while clock > self.timings.spi_max_clock:
+            prescaler *= 2
+            clock = core_frequency / prescaler
+        return clock
+
+    # -- timed host actions -----------------------------------------------------
+
+    def dma_setup_time(self, core_frequency: float) -> float:
+        """Time to program SPI+DMA for one transfer."""
+        return self.timings.dma_setup_cycles / core_frequency
+
+    def gpio_event_time(self, core_frequency: float) -> float:
+        """Time to toggle an event GPIO."""
+        return self.timings.gpio_event_cycles / core_frequency
+
+    @property
+    def wakeup_time(self) -> float:
+        """Stop-mode wakeup latency on the EOC interrupt."""
+        return self.timings.sleep_wakeup_time
+
+    # -- power ------------------------------------------------------------------
+
+    def active_power(self, core_frequency: float) -> float:
+        """Active-mode power at *core_frequency*."""
+        return self.device.active_power(core_frequency)
+
+    @property
+    def sleep_power(self) -> float:
+        """Stop-mode power while waiting for the accelerator."""
+        return self.device.sleep_power

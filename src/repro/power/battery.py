@@ -1,0 +1,135 @@
+"""Battery lifetime estimation for duty-cycled nodes.
+
+"IoT nodes are severely constrained in terms of cost and power delivery,
+which is usually implemented with small batteries and/or harvesters"
+(Section V).  This module turns the library's per-event energies into
+deployment lifetimes: a battery, a duty cycle of timed activities, and
+an optional harvester income.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Seconds per year (Julian).
+SECONDS_PER_YEAR = 31_557_600.0
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An energy store.
+
+    ``capacity_mah`` at ``voltage`` with a usable fraction (cutoff and
+    self-discharge folded into one derating).
+    """
+
+    name: str
+    capacity_mah: float
+    voltage: float
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage <= 0:
+            raise ConfigurationError(f"invalid battery {self}")
+        if not 0 < self.usable_fraction <= 1:
+            raise ConfigurationError(
+                f"usable fraction must be in (0, 1], got {self.usable_fraction}")
+
+    @property
+    def energy_joules(self) -> float:
+        """Usable energy in joules."""
+        return (self.capacity_mah * 1e-3 * 3600.0 * self.voltage
+                * self.usable_fraction)
+
+
+#: A CR2032 coin cell.
+CR2032 = Battery("CR2032", capacity_mah=225, voltage=3.0)
+#: Two AA alkaline cells.
+AA_PAIR = Battery("2xAA", capacity_mah=2500, voltage=3.0)
+
+
+@dataclass
+class DutyCycle:
+    """A periodic schedule of energy-consuming activities.
+
+    Activities are (label, energy_joules, occurrences_per_period); the
+    remainder of the period is spent at ``sleep_power``.
+    """
+
+    period: float
+    sleep_power: float
+    activities: List[Tuple[str, float, float]] = field(default_factory=list)
+    active_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.sleep_power < 0:
+            raise ConfigurationError("invalid duty cycle")
+
+    def add(self, label: str, energy: float, occurrences: float = 1.0,
+            duration: float = 0.0) -> "DutyCycle":
+        """Add an activity; *duration* reduces the sleeping remainder."""
+        if energy < 0 or occurrences < 0 or duration < 0:
+            raise ConfigurationError(f"invalid activity {label!r}")
+        self.activities.append((label, energy, occurrences))
+        self.active_time += duration * occurrences
+        if self.active_time > self.period:
+            raise ConfigurationError(
+                f"activities exceed the period ({self.active_time:.3g} s "
+                f"of {self.period:.3g} s)")
+        return self
+
+    @property
+    def energy_per_period(self) -> float:
+        """Joules per period, sleep included."""
+        active = sum(energy * occurrences
+                     for _, energy, occurrences in self.activities)
+        sleep = (self.period - self.active_time) * self.sleep_power
+        return active + sleep
+
+    @property
+    def average_power(self) -> float:
+        """Mean power over the period."""
+        return self.energy_per_period / self.period
+
+    def energy_shares(self) -> Dict[str, float]:
+        """Fraction of the period energy per activity (plus 'sleep')."""
+        total = self.energy_per_period
+        if total == 0:
+            return {}
+        shares = {label: energy * occurrences / total
+                  for label, energy, occurrences in self.activities}
+        shares["sleep"] = (self.period - self.active_time) \
+            * self.sleep_power / total
+        return shares
+
+
+def lifetime_years(battery: Battery, duty_cycle: DutyCycle,
+                   harvest_power: float = 0.0) -> float:
+    """Deployment lifetime in years (inf if harvesting covers the load)."""
+    if harvest_power < 0:
+        raise ConfigurationError(f"negative harvest power {harvest_power}")
+    net_power = duty_cycle.average_power - harvest_power
+    if net_power <= 0:
+        return float("inf")
+    return battery.energy_joules / net_power / SECONDS_PER_YEAR
+
+
+def render_budget(battery: Battery, duty_cycle: DutyCycle,
+                  harvest_power: float = 0.0) -> str:
+    """Text summary of the deployment energy budget."""
+    years = lifetime_years(battery, duty_cycle, harvest_power)
+    lines = [f"energy budget on a {battery.name} "
+             f"({battery.energy_joules:.0f} J usable):",
+             f"  average power {duty_cycle.average_power * 1e6:.1f} uW"
+             + (f" (minus {harvest_power * 1e6:.1f} uW harvested)"
+                if harvest_power else "")]
+    for label, share in sorted(duty_cycle.energy_shares().items(),
+                               key=lambda item: -item[1]):
+        lines.append(f"    {label:16s} {share:6.1%}")
+    lifetime = "indefinite (harvest-covered)" if years == float("inf") \
+        else f"{years:.1f} years"
+    lines.append(f"  lifetime: {lifetime}")
+    return "\n".join(lines)

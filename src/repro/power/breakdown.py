@@ -1,0 +1,74 @@
+"""Energy breakdown: who burns what during an offload.
+
+Splits an offload's :class:`~repro.power.energy.EnergyAccount` phases
+into the contributions of the system's parties — host MCU, SPI link,
+accelerator — which is the view the paper's discussion section reasons
+in ("although energy efficiency is extremely important, absolute power
+consumption is also a first-class citizen").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import PowerModelError
+from repro.core.offload import OffloadTiming
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-party energy of one offload (joules)."""
+
+    transfer: float          #: binary + input + output link phases
+    compute: float           #: accelerator number crunching
+    sync: float              #: GPIO events + host wakeup
+    idle_waits: float        #: accelerator-wait / host-sleep filler
+    boot: float = 0.0        #: I$ warm-up + runtime init of a fresh binary
+
+    @property
+    def total(self) -> float:
+        """Sum of all parts."""
+        return (self.transfer + self.compute + self.sync
+                + self.idle_waits + self.boot)
+
+    def fraction(self, part: str) -> float:
+        """One part's share of the total."""
+        value = getattr(self, part)
+        total = self.total
+        if total == 0:
+            return 0.0
+        return value / total
+
+
+_TRANSFER_LABELS = frozenset({"binary", "input", "output"})
+_IDLE_LABELS = frozenset({"accelerator-wait", "host-sleep"})
+
+
+def breakdown_offload(timing: OffloadTiming) -> EnergyBreakdown:
+    """Classify the energy phases of an offload."""
+    by_label = timing.energy.energy_by_label()
+    transfer = compute = sync = idle = boot = 0.0
+    for label, energy in by_label.items():
+        if label in _TRANSFER_LABELS:
+            transfer += energy
+        elif label == "compute":
+            compute += energy
+        elif label == "boot":
+            boot += energy
+        elif label == "sync":
+            sync += energy
+        elif label in _IDLE_LABELS:
+            idle += energy
+        else:
+            raise PowerModelError(f"unknown energy phase label {label!r}")
+    return EnergyBreakdown(transfer=transfer, compute=compute,
+                           sync=sync, idle_waits=idle, boot=boot)
+
+
+def render_breakdown(breakdown: EnergyBreakdown) -> str:
+    """One-liner-per-part text rendering."""
+    lines = [f"energy breakdown ({breakdown.total * 1e6:.1f} uJ total):"]
+    for part in ("compute", "transfer", "boot", "sync", "idle_waits"):
+        value = getattr(breakdown, part)
+        lines.append(f"  {part:12s} {value * 1e6:9.2f} uJ "
+                     f"({breakdown.fraction(part):6.1%})")
+    return "\n".join(lines)

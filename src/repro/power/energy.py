@@ -1,0 +1,78 @@
+"""Energy accounting over execution phases.
+
+An :class:`EnergyAccount` accumulates (duration, power) phases — compute,
+transfer, sleep — and reports total energy, average power and per-phase
+breakdowns.  Used by the offload cost model and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timed phase at constant average power."""
+
+    label: str
+    duration: float
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0 or self.power < 0:
+            raise PowerModelError(f"negative duration/power in phase {self}")
+
+    @property
+    def energy(self) -> float:
+        """Energy of the phase in joules."""
+        return self.duration * self.power
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates phases and answers energy/power queries."""
+
+    phases: List[Phase] = field(default_factory=list)
+
+    def add(self, label: str, duration: float, power: float) -> None:
+        """Record a phase."""
+        self.phases.append(Phase(label, duration, power))
+
+    def extend(self, other: "EnergyAccount") -> None:
+        """Append all phases of another account."""
+        self.phases.extend(other.phases)
+
+    @property
+    def total_time(self) -> float:
+        """Sum of phase durations (phases are assumed sequential)."""
+        return sum(p.duration for p in self.phases)
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy in joules."""
+        return sum(p.energy for p in self.phases)
+
+    @property
+    def average_power(self) -> float:
+        """Energy-weighted average power over the account."""
+        time = self.total_time
+        if time == 0:
+            return 0.0
+        return self.total_energy / time
+
+    def energy_by_label(self) -> Dict[str, float]:
+        """Energy per phase label."""
+        result: Dict[str, float] = {}
+        for phase in self.phases:
+            result[phase.label] = result.get(phase.label, 0.0) + phase.energy
+        return result
+
+    def time_by_label(self) -> Dict[str, float]:
+        """Time per phase label."""
+        result: Dict[str, float] = {}
+        for phase in self.phases:
+            result[phase.label] = result.get(phase.label, 0.0) + phase.duration
+        return result

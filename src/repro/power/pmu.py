@@ -1,0 +1,98 @@
+"""Performance monitoring unit: from counters to activity factors.
+
+"The FPGA emulation platform is augmented with a performance monitoring
+unit that is used to measure active and idle cycles for cores, DMAs and
+interconnects."  This module is that unit's software twin: it turns the
+statistics of a cycle-level :class:`~repro.pulp.cluster.ClusterRun`
+into the chi activity factors the paper's power equation consumes —
+closing the loop between the discrete-event simulator and the power
+model exactly the way the paper closes it between the FPGA and the
+post-layout data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PowerModelError
+from repro.power.activity import (
+    ActivityProfile,
+    CORES,
+    PulpComponent,
+    StateFractions,
+)
+from repro.pulp.cluster import ClusterRun
+
+
+@dataclass(frozen=True)
+class PmuCounters:
+    """Raw counter snapshot, per the paper's measured quantities."""
+
+    wall_cycles: float
+    core_active_cycles: Dict[int, float]
+    tcdm_access_cycles: float
+    dma_busy_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.wall_cycles <= 0:
+            raise PowerModelError(f"non-positive wall cycles: {self.wall_cycles}")
+
+
+class PerformanceMonitor:
+    """Derives activity profiles from execution statistics."""
+
+    @staticmethod
+    def counters_from_run(run: ClusterRun) -> PmuCounters:
+        """Snapshot the PMU counters of a finished cluster run."""
+        return PmuCounters(
+            wall_cycles=run.wall_cycles,
+            core_active_cycles={
+                index: stats.active_cycles
+                for index, stats in enumerate(run.core_stats)
+            },
+            tcdm_access_cycles=float(
+                sum(stats.accesses for stats in run.core_stats)
+                + run.dma_stats.bytes_moved // 4),
+            dma_busy_cycles=run.dma_stats.busy_cycles,
+        )
+
+    @staticmethod
+    def profile_from_counters(counters: PmuCounters,
+                              name: str = "measured") -> ActivityProfile:
+        """The chi factors of the paper's power equation."""
+        wall = counters.wall_cycles
+        fractions: Dict[PulpComponent, StateFractions] = {}
+        any_core_active = False
+        for index, core in enumerate(CORES):
+            active = counters.core_active_cycles.get(index, 0.0)
+            run_fraction = min(1.0, active / wall)
+            if run_fraction > 0:
+                any_core_active = True
+            fractions[core] = StateFractions(idle=1.0 - run_fraction,
+                                             run=run_fraction)
+        dma_fraction = min(1.0, counters.dma_busy_cycles / wall)
+        memory_fraction = min(1.0, counters.tcdm_access_cycles / wall)
+        # TCDM traffic splits between core-driven (run) and DMA-driven
+        # (dma) states, proportionally to who is generating it.
+        dma_share = min(memory_fraction, dma_fraction)
+        fractions[PulpComponent.TCDM] = StateFractions(
+            idle=1.0 - memory_fraction,
+            run=memory_fraction - dma_share,
+            dma=dma_share,
+        )
+        fractions[PulpComponent.DMA] = StateFractions(
+            idle=1.0 - dma_fraction, dma=dma_fraction)
+        fractions[PulpComponent.ICACHE] = StateFractions(
+            idle=0.0 if any_core_active else 1.0,
+            run=1.0 if any_core_active else 0.0)
+        fractions[PulpComponent.L2] = StateFractions(
+            idle=1.0 - dma_fraction, dma=dma_fraction)
+        fractions[PulpComponent.SOC] = StateFractions(idle=0.0, run=1.0)
+        return ActivityProfile(name, fractions)
+
+    @classmethod
+    def profile_from_run(cls, run: ClusterRun,
+                         name: str = "measured") -> ActivityProfile:
+        """Convenience: run -> counters -> profile."""
+        return cls.profile_from_counters(cls.counters_from_run(run), name)

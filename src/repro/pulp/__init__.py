@@ -1,0 +1,46 @@
+"""The PULP3 accelerator model.
+
+Models the SoC of the paper's Section III-B: a quad-core cluster of
+OR10N cores with a shared instruction cache, a multi-banked word-interleaved
+TCDM behind a single-cycle logarithmic interconnect, a lightweight
+multi-channel DMA with a direct TCDM port, a hardware synchronizer for
+few-cycle sleep/wake barriers, an FLL with cluster/peripheral clock
+dividers, 64 kB of L2, and a QSPI slave + GPIOs towards the host.
+
+Two timing paths exist (DESIGN.md section 5): the cycle-level
+discrete-event :class:`~repro.pulp.cluster.Cluster`, and the fast
+analytic :mod:`~repro.pulp.timing` model the experiment harness uses.
+Tests cross-validate them.
+"""
+
+from repro.pulp.binary import KernelBinary
+from repro.pulp.cluster import Cluster, ClusterRun
+from repro.pulp.core import CoreStats, MemOp, ComputeOp, OpStream
+from repro.pulp.dma import DmaController
+from repro.pulp.fll import FrequencyLockedLoop, ClockDivider
+from repro.pulp.icache import SharedICache
+from repro.pulp.l2 import L2Memory
+from repro.pulp.soc import PulpSoc
+from repro.pulp.synchronizer import HardwareSynchronizer
+from repro.pulp.tcdm import Tcdm
+from repro.pulp.timing import ContentionModel, parallel_wall_cycles
+
+__all__ = [
+    "KernelBinary",
+    "Cluster",
+    "ClusterRun",
+    "CoreStats",
+    "MemOp",
+    "ComputeOp",
+    "OpStream",
+    "DmaController",
+    "FrequencyLockedLoop",
+    "ClockDivider",
+    "SharedICache",
+    "L2Memory",
+    "PulpSoc",
+    "HardwareSynchronizer",
+    "Tcdm",
+    "ContentionModel",
+    "parallel_wall_cycles",
+]

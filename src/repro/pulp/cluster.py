@@ -1,0 +1,116 @@
+"""The quad-core PULP cluster (discrete-event assembly).
+
+Wires cores, TCDM, DMA and the hardware synchronizer into one runnable
+unit.  A :meth:`Cluster.run` executes one op stream per core (plus
+optional concurrent DMA jobs), ends with a hardware barrier, and returns
+wall cycles together with the PMU-style statistics the power model's
+activity factors are derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.pulp.core import CoreStats, Or10nCore, OpStream
+from repro.pulp.dma import DmaController, DmaStats
+from repro.pulp.icache import SharedICache
+from repro.pulp.l2 import L2Memory
+from repro.pulp.synchronizer import HardwareSynchronizer
+from repro.pulp.tcdm import Tcdm
+from repro.sim.engine import Simulator
+
+
+#: A DMA job: (l2_address, tcdm_address, length, to_tcdm).
+DmaJob = Tuple[int, int, int, bool]
+
+
+@dataclass
+class ClusterRun:
+    """Result of one cluster execution."""
+
+    wall_cycles: float
+    core_stats: List[CoreStats]
+    dma_stats: DmaStats
+    conflict_rate: float
+    barrier_count: int
+
+    @property
+    def busiest_core_cycles(self) -> float:
+        """Cycles of the most loaded core (the critical path)."""
+        return max((s.total_cycles for s in self.core_stats), default=0.0)
+
+    def activity_ratio(self, core_index: int) -> float:
+        """chi_run of one core: active cycles over wall cycles."""
+        if self.wall_cycles == 0:
+            return 0.0
+        return self.core_stats[core_index].active_cycles / self.wall_cycles
+
+    def memory_intensity(self) -> float:
+        """TCDM accesses per wall cycle across the cluster (chi for the
+        TCDM component, capped at 1)."""
+        if self.wall_cycles == 0:
+            return 0.0
+        accesses = sum(s.accesses for s in self.core_stats)
+        return min(1.0, accesses / self.wall_cycles)
+
+
+class Cluster:
+    """The PULP quad-core cluster."""
+
+    CORES = 4
+
+    def __init__(self, tcdm_size: int = Tcdm.DEFAULT_SIZE,
+                 banks: int = Tcdm.DEFAULT_BANKS,
+                 l2: Optional[L2Memory] = None,
+                 icache: Optional[SharedICache] = None):
+        self.tcdm_size = tcdm_size
+        self.banks = banks
+        self.l2 = l2 if l2 is not None else L2Memory()
+        self.icache = icache if icache is not None else SharedICache()
+        self.last_run: Optional[ClusterRun] = None
+
+    def run(self, streams: Sequence[OpStream],
+            dma_jobs: Sequence[DmaJob] = ()) -> ClusterRun:
+        """Execute one op stream per core plus optional DMA traffic.
+
+        Fewer than four streams leaves the remaining cores clock-gated
+        (they still join the final barrier through the synchronizer's
+        participant count, which is set to the active cores only, as the
+        runtime powers unused cores down at fork time).
+        """
+        if not 1 <= len(streams) <= self.CORES:
+            raise ConfigurationError(
+                f"need 1..{self.CORES} streams, got {len(streams)}")
+        simulator = Simulator()
+        tcdm = Tcdm(simulator, self.tcdm_size, self.banks)
+        synchronizer = HardwareSynchronizer(simulator, participants=len(streams))
+        dma = DmaController(simulator, self.l2, tcdm)
+        cores = [Or10nCore(simulator, tcdm, i) for i in range(len(streams))]
+
+        def core_process(core: Or10nCore, stream: OpStream):
+            yield from core.run(stream)
+            before = simulator.now
+            yield from synchronizer.barrier()
+            core.stats.barrier_cycles += simulator.now - before
+
+        for core, stream in zip(cores, streams):
+            simulator.add_process(core_process(core, stream),
+                                  name=f"core{core.core_id}")
+        for job in dma_jobs:
+            l2_address, tcdm_address, length, to_tcdm = job
+            simulator.add_process(
+                dma.transfer(l2_address, tcdm_address, length, to_tcdm),
+                name="dma")
+
+        wall = simulator.run_all()
+        run = ClusterRun(
+            wall_cycles=wall,
+            core_stats=[core.stats for core in cores],
+            dma_stats=dma.stats,
+            conflict_rate=tcdm.conflict_rate(),
+            barrier_count=synchronizer.barriers_completed,
+        )
+        self.last_run = run
+        return run

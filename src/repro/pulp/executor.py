@@ -1,0 +1,99 @@
+"""Cycle-level kernel execution: OpenMP chunks on the DES cluster.
+
+The second timing path of DESIGN.md section 5, end to end: take a
+kernel's loop-nest program, split its parallel loops the way the OpenMP
+static schedule would, synthesize per-core op streams from the lowered
+chunk reports, and execute them on the discrete-event cluster with real
+TCDM bank arbitration and hardware-synchronizer barriers.
+
+This path is slow (every memory access is an event), so it is exercised
+on scaled-down kernel configurations; its purpose is validating the
+analytic model, and producing PMU-grade activity measurements through
+:mod:`repro.power.pmu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.isa.program import Loop, Program
+from repro.isa.target import Target
+from repro.pulp.cluster import Cluster, ClusterRun
+from repro.pulp.core import ComputeOp, OpStream
+from repro.pulp.timing import chunk_trips, op_stream_from_report
+from repro.runtime.omp import DeviceOpenMp
+from repro.runtime.overheads import OmpOverheads
+
+
+@dataclass
+class DesExecution:
+    """Result of a cycle-level kernel execution."""
+
+    wall_cycles: float
+    runs: List[ClusterRun]
+    analytic_cycles: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative DES-vs-analytic disagreement."""
+        if self.analytic_cycles == 0:
+            return 0.0
+        return abs(self.wall_cycles - self.analytic_cycles) \
+            / self.analytic_cycles
+
+
+class CycleLevelExecutor:
+    """Executes kernel programs region-by-region on the DES cluster."""
+
+    def __init__(self, target: Target, threads: int = 4,
+                 overheads: Optional[OmpOverheads] = None,
+                 access_pattern: str = "random"):
+        if not 1 <= threads <= Cluster.CORES:
+            raise SimulationError(f"threads must be 1..4, got {threads}")
+        self.target = target
+        self.threads = threads
+        self.overheads = overheads if overheads is not None else OmpOverheads()
+        self.access_pattern = access_pattern
+
+    def execute(self, program: Program) -> DesExecution:
+        """Run every top-level region of *program* on the cluster."""
+        cluster = Cluster()
+        total = 0.0
+        runs: List[ClusterRun] = []
+        for node in program.body:
+            if isinstance(node, Loop) and node.parallelizable \
+                    and self.threads > 1:
+                run = self._parallel_region(cluster, node)
+                total += run.wall_cycles \
+                    + self.overheads.region_fixed_cost(self.threads,
+                                                       node.reduction)
+            else:
+                run = self._serial_region(cluster, node)
+                total += run.wall_cycles
+            runs.append(run)
+        analytic = DeviceOpenMp(self.target, self.threads,
+                                self.overheads).execute(program).wall_cycles
+        return DesExecution(wall_cycles=total, runs=runs,
+                            analytic_cycles=analytic)
+
+    def _parallel_region(self, cluster: Cluster, loop: Loop) -> ClusterRun:
+        chunks = chunk_trips(loop.trips, self.threads)
+        streams: List[OpStream] = []
+        for core, chunk in enumerate(chunks):
+            if chunk == 0:
+                streams.append([ComputeOp(0.0)])
+                continue
+            report = self.target.lower_nodes([loop.with_trips(chunk)])
+            streams.append(op_stream_from_report(
+                report, core_index=core, pattern=self.access_pattern))
+        return cluster.run(streams)
+
+    def _serial_region(self, cluster: Cluster, node) -> ClusterRun:
+        report = self.target.lower_nodes([node])
+        stream = op_stream_from_report(report, core_index=0,
+                                       pattern=self.access_pattern)
+        if not stream:
+            stream = [ComputeOp(0.0)]
+        return cluster.run([stream])

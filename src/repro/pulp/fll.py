@@ -1,0 +1,81 @@
+"""Frequency-locked loop and clock dividers.
+
+"To enable fine grained frequency tuning, a Frequency-Locked Loop and
+two clock dividers (one for the cluster and one for peripherals) are
+included in the SoC."  The FLL locks onto a multiple of a slow reference
+clock; the dividers derive the cluster and peripheral domains from it.
+The model validates requested frequencies against the operating-point
+table and accounts the re-lock latency paid on every frequency hop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, OperatingPointError
+from repro.power.operating_point import OperatingPointTable
+from repro.units import khz, us
+
+
+class ClockDivider:
+    """Integer divider from the FLL output to one clock domain."""
+
+    def __init__(self, name: str, divisor: int = 1):
+        self.name = name
+        self.divisor = 0
+        self.set_divisor(divisor)
+
+    def set_divisor(self, divisor: int) -> None:
+        """Program the divider (positive integers only)."""
+        if not isinstance(divisor, int) or divisor < 1:
+            raise ConfigurationError(
+                f"divider {self.name!r}: invalid divisor {divisor!r}")
+        self.divisor = divisor
+
+    def output(self, fll_frequency: float) -> float:
+        """Domain clock for a given FLL output frequency."""
+        return fll_frequency / self.divisor
+
+
+class FrequencyLockedLoop:
+    """The SoC's FLL plus its two domain dividers."""
+
+    def __init__(self, table: OperatingPointTable,
+                 reference: float = khz(32.768),
+                 lock_time: float = us(50)):
+        if reference <= 0 or lock_time < 0:
+            raise ConfigurationError("invalid FLL reference/lock time")
+        self.table = table
+        self.reference = reference
+        self.lock_time = lock_time
+        self.cluster_divider = ClockDivider("cluster", 1)
+        self.peripheral_divider = ClockDivider("peripheral", 2)
+        self._multiplier = 1
+        self.hops = 0
+
+    @property
+    def frequency(self) -> float:
+        """Current FLL output frequency."""
+        return self.reference * self._multiplier
+
+    @property
+    def cluster_frequency(self) -> float:
+        """Cluster domain clock."""
+        return self.cluster_divider.output(self.frequency)
+
+    @property
+    def peripheral_frequency(self) -> float:
+        """Peripheral domain clock."""
+        return self.peripheral_divider.output(self.frequency)
+
+    def set_frequency(self, target: float, voltage: float) -> float:
+        """Re-lock the FLL as close as possible to *target* (from below),
+        verifying the operating point sustains it.  Returns the lock
+        latency to account for the hop."""
+        if target <= 0:
+            raise ConfigurationError(f"non-positive FLL target {target}")
+        fmax = self.table.fmax_at(voltage)
+        if target > fmax * (1 + 1e-9):
+            raise OperatingPointError(
+                f"{target:.3e} Hz unsustainable at {voltage} V (fmax {fmax:.3e})")
+        self._multiplier = max(1, int(target / self.reference))
+        self.hops += 1
+        return self.lock_time

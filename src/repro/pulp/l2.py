@@ -1,0 +1,77 @@
+"""The PULP3 L2 memory: 64 kB of SRAM behind the system bus.
+
+Functional byte-addressable storage with bounds checking.  It holds the
+offloaded kernel binary and the marshalled input/output buffers; the
+cluster DMA moves data between here and the TCDM.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.units import kib
+
+
+class L2Memory:
+    """Byte-addressable SRAM with simple allocation bookkeeping."""
+
+    DEFAULT_SIZE = kib(64)
+
+    def __init__(self, size: int = DEFAULT_SIZE):
+        if size <= 0:
+            raise ConfigurationError(f"invalid L2 size {size}")
+        self.size = int(size)
+        self._data = bytearray(self.size)
+        self._alloc_cursor = 0
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write *data* at *address*."""
+        self._check_range(address, len(data))
+        self._data[address:address + len(data)] = data
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read *length* bytes at *address*."""
+        self._check_range(address, length)
+        return bytes(self._data[address:address + length])
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        """Fill a range with a constant byte."""
+        self._check_range(address, length)
+        self._data[address:address + length] = bytes([value]) * length
+
+    def allocate(self, length: int, align: int = 4) -> int:
+        """Bump-allocate *length* bytes; returns the base address.
+
+        The real chip has no allocator — the linker script lays the
+        binary out — but the offload manager needs somewhere to place
+        code, inputs and outputs, and running out of the 64 kB is a real
+        failure mode the paper designs around ("the limited amount of
+        memory available in typical ULP systems").
+        """
+        if length < 0:
+            raise ConfigurationError(f"negative allocation: {length}")
+        base = -(-self._alloc_cursor // align) * align
+        if base + length > self.size:
+            raise SimulationError(
+                f"L2 exhausted: need {length} bytes at {base:#x}, size {self.size:#x}")
+        self._alloc_cursor = base + length
+        return base
+
+    def reset_allocator(self) -> None:
+        """Forget all allocations (a new offload session)."""
+        self._alloc_cursor = 0
+
+    @property
+    def bytes_allocated(self) -> int:
+        """High-water mark of the bump allocator."""
+        return self._alloc_cursor
+
+    @property
+    def bytes_free(self) -> int:
+        """Remaining allocatable bytes."""
+        return self.size - self._alloc_cursor
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size:
+            raise SimulationError(
+                f"L2 access out of range: {length} bytes at {address:#x} "
+                f"(size {self.size:#x})")

@@ -1,0 +1,130 @@
+"""The PULP3 SoC: cluster + L2 + QSPI slave + GPIOs + FLL.
+
+The SoC is the accelerator-side endpoint of the offload: its QSPI slave
+parses the wire protocol frames the host sends, executing them against
+the L2 (binary load, data marshalling) and the control plane (start /
+status), while the *fetch enable* and *end of computation* GPIO lines
+carry the synchronization events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError, SimulationError
+from repro.link.gpio import EventLine
+from repro.link.protocol import Command, Frame
+from repro.pulp.binary import KernelBinary
+from repro.pulp.cluster import Cluster
+from repro.pulp.fll import FrequencyLockedLoop
+from repro.pulp.l2 import L2Memory
+from repro.power.pulp_model import PulpPowerModel
+
+
+class SocState(enum.Enum):
+    """Accelerator control-plane states."""
+
+    IDLE = "idle"
+    LOADED = "loaded"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class LoadedBinary:
+    """Bookkeeping for the binary currently resident in L2."""
+
+    binary: KernelBinary
+    base_address: int
+
+
+class PulpSoc:
+    """The accelerator system-on-chip."""
+
+    def __init__(self, power_model: Optional[PulpPowerModel] = None):
+        self.l2 = L2Memory()
+        self.cluster = Cluster(l2=self.l2)
+        self.power_model = power_model if power_model is not None else PulpPowerModel()
+        self.fll = FrequencyLockedLoop(self.power_model.table)
+        self.fetch_enable = EventLine("fetch-enable")
+        self.end_of_computation = EventLine("end-of-computation")
+        self.state = SocState.IDLE
+        self.loaded: Optional[LoadedBinary] = None
+        self._data_regions: Dict[int, int] = {}
+        self.frames_handled = 0
+
+    # -- QSPI slave: the wire-protocol endpoint --------------------------------
+
+    def handle_frame(self, frame: Frame) -> bytes:
+        """Execute one protocol frame; returns response payload bytes
+        (non-empty only for READ_DATA / STATUS)."""
+        self.frames_handled += 1
+        if frame.command is Command.LOAD_BINARY:
+            return self._handle_load(frame)
+        if frame.command is Command.WRITE_DATA:
+            return self._handle_write(frame)
+        if frame.command is Command.READ_DATA:
+            return self._handle_read(frame)
+        if frame.command is Command.START:
+            return self._handle_start(frame)
+        if frame.command is Command.STATUS:
+            return bytes([list(SocState).index(self.state)])
+        raise ProtocolError(f"unhandled command {frame.command}")
+
+    def _handle_load(self, frame: Frame) -> bytes:
+        if self.state is SocState.RUNNING:
+            raise ProtocolError("binary load while running")
+        self.l2.write(frame.address, frame.payload)
+        self.state = SocState.LOADED
+        return b""
+
+    def _handle_write(self, frame: Frame) -> bytes:
+        if self.state is SocState.RUNNING:
+            raise ProtocolError("data write while running")
+        self.l2.write(frame.address, frame.payload)
+        self._data_regions[frame.address] = len(frame.payload)
+        return b""
+
+    def _handle_read(self, frame: Frame) -> bytes:
+        length = int.from_bytes(frame.payload[:4], "little") if frame.payload \
+            else self._data_regions.get(frame.address, 0)
+        if length == 0:
+            raise ProtocolError(
+                f"READ_DATA with unknown length at {frame.address:#x}")
+        return self.l2.read(frame.address, length)
+
+    def _handle_start(self, frame: Frame) -> bytes:
+        if self.state not in (SocState.LOADED, SocState.DONE):
+            raise ProtocolError(f"START in state {self.state}")
+        if self.loaded is None:
+            raise ProtocolError("START before binary registration")
+        self.state = SocState.RUNNING
+        return b""
+
+    # -- host-visible control plane -----------------------------------------------
+
+    def register_binary(self, binary: KernelBinary, base_address: int) -> None:
+        """Record which binary lives at *base_address* (done by the
+        offload manager alongside the LOAD_BINARY frames)."""
+        self.loaded = LoadedBinary(binary, base_address)
+
+    def trigger_fetch_enable(self, time: float) -> float:
+        """Host pulses the fetch-enable GPIO; the cluster starts."""
+        if self.state is not SocState.RUNNING:
+            raise SimulationError(
+                f"fetch enable in state {self.state} (send START first)")
+        return self.fetch_enable.pulse(time)
+
+    def computation_done(self, time: float) -> float:
+        """Cluster signals completion; EOC wakes the host."""
+        if self.state is not SocState.RUNNING:
+            raise SimulationError(f"EOC in state {self.state}")
+        self.state = SocState.DONE
+        return self.end_of_computation.pulse(time)
+
+    def reset(self) -> None:
+        """Return to the idle state (binary stays resident)."""
+        self.state = SocState.IDLE if self.loaded is None else SocState.LOADED
+        self._data_regions.clear()

@@ -1,0 +1,56 @@
+"""The cluster's hardware synchronizer.
+
+"The cluster also contains a HW synchronizer used to accelerate
+synchronization between the cores, making sure that they can be put to
+sleep and woken up in just a few cycles."  The model provides a
+reusable barrier: arriving cores go to sleep (clock-gated, costing no
+active power) and the last arrival wakes everyone within
+``wakeup_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator, Timeout
+
+
+class HardwareSynchronizer:
+    """Few-cycle hardware barrier across the cluster cores."""
+
+    def __init__(self, simulator: Simulator, participants: int,
+                 wakeup_cycles: float = 2.0):
+        if participants < 1:
+            raise SimulationError(f"need >= 1 participant, got {participants}")
+        self.simulator = simulator
+        self.participants = participants
+        self.wakeup_cycles = wakeup_cycles
+        self._arrived = 0
+        self._generation_event: Optional[Event] = None
+        self.barriers_completed = 0
+        self.sleep_cycles: List[float] = []
+
+    def barrier(self):
+        """Generator: join the current barrier; resumes once all
+        participants arrived plus the wakeup latency."""
+        if self._generation_event is None:
+            self._generation_event = self.simulator.event(name="hw-barrier")
+        event = self._generation_event
+        self._arrived += 1
+        arrival_time = self.simulator.now
+        if self._arrived == self.participants:
+            self._arrived = 0
+            self._generation_event = None
+            self.barriers_completed += 1
+            event.trigger(self.simulator.now)
+        yield event
+        self.sleep_cycles.append(self.simulator.now - arrival_time)
+        yield Timeout(self.wakeup_cycles)
+
+    @property
+    def average_sleep(self) -> float:
+        """Mean cycles a core slept per barrier crossing."""
+        if not self.sleep_cycles:
+            return 0.0
+        return sum(self.sleep_cycles) / len(self.sleep_cycles)

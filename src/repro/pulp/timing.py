@@ -1,0 +1,173 @@
+"""Fast analytic timing for parallel execution on the cluster.
+
+This is the experiment harness's timing path (DESIGN.md section 5): a
+kernel program is split across threads loop-chunk-wise, each chunk is
+lowered by the OR10N target, and TCDM bank contention is added
+analytically.  The discrete-event :class:`~repro.pulp.cluster.Cluster`
+validates the contention model on scaled-down kernels.
+
+The analytic contention term: with ``b`` word-interleaved banks and
+``n`` cores issuing memory ops independently, a given access collides
+with any one other core's access with probability ``1/(2b)`` (the other
+core must be in its memory cycle *and* hit the same bank), so the
+expected extra cycles per access are ``m * (n - 1) / (2b)`` where ``m``
+is the cluster-wide memory intensity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.isa.program import Loop, Program
+from repro.isa.report import LoweredReport
+from repro.isa.target import Target
+from repro.pulp.core import ComputeOp, MemOp, OpStream
+from repro.pulp.tcdm import Tcdm, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Analytic TCDM bank-contention model."""
+
+    banks: int = Tcdm.DEFAULT_BANKS
+
+    def stall_factor(self, cores_active: int, memory_fraction: float) -> float:
+        """Multiplier on execution cycles due to bank conflicts."""
+        if cores_active < 1:
+            raise ConfigurationError(f"cores_active must be >= 1, got {cores_active}")
+        memory_fraction = min(max(memory_fraction, 0.0), 1.0)
+        conflict_probability = (cores_active - 1) / (2.0 * self.banks)
+        return 1.0 + memory_fraction ** 2 * conflict_probability
+
+
+@dataclass
+class ParallelTiming:
+    """Wall-clock decomposition of a parallel kernel execution."""
+
+    wall_cycles: float = 0.0
+    serial_cycles: float = 0.0
+    parallel_cycles: float = 0.0
+    per_thread_cycles: List[float] = field(default_factory=list)
+    memory_accesses: float = 0.0
+    parallel_regions: int = 0
+
+    @property
+    def memory_intensity(self) -> float:
+        """Cluster-wide TCDM accesses per wall cycle (capped at 1)."""
+        if self.wall_cycles == 0:
+            return 0.0
+        return min(1.0, self.memory_accesses / self.wall_cycles)
+
+
+def chunk_trips(trips: int, threads: int) -> List[int]:
+    """OpenMP static schedule: split *trips* into per-thread chunks."""
+    if threads < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads}")
+    base, extra = divmod(trips, threads)
+    return [base + (1 if t < extra else 0) for t in range(threads)]
+
+
+def parallel_wall_cycles(program: Program, target: Target, threads: int,
+                         contention: Optional[ContentionModel] = None
+                         ) -> ParallelTiming:
+    """Wall cycles of *program* on *threads* cores (no runtime overheads —
+    the OpenMP model adds those on top).
+
+    Top-level parallelizable loops are split static-chunk-wise; everything
+    else runs serially on the master core.
+    """
+    contention = contention if contention is not None else ContentionModel()
+    timing = ParallelTiming()
+    for node in program.body:
+        if isinstance(node, Loop) and node.parallelizable and threads > 1:
+            chunks = chunk_trips(node.trips, threads)
+            reports = [target.lower_nodes([node.with_trips(c)])
+                       for c in chunks if c > 0]
+            cycles = [r.cycles for r in reports]
+            intensity = _region_intensity(reports)
+            factor = contention.stall_factor(len(cycles), intensity)
+            region_wall = max(cycles) * factor
+            timing.wall_cycles += region_wall
+            timing.parallel_cycles += region_wall
+            timing.per_thread_cycles = _accumulate(
+                timing.per_thread_cycles, cycles, threads)
+            timing.memory_accesses += sum(r.memory_accesses for r in reports)
+            timing.parallel_regions += 1
+        else:
+            report = target.lower_nodes([node])
+            timing.wall_cycles += report.cycles
+            timing.serial_cycles += report.cycles
+            timing.memory_accesses += report.memory_accesses
+    return timing
+
+
+def _region_intensity(reports: Sequence[LoweredReport]) -> float:
+    total_cycles = sum(r.cycles for r in reports)
+    if total_cycles == 0:
+        return 0.0
+    accesses = sum(r.memory_accesses for r in reports)
+    # Intensity per core: accesses happen over the region's wall time.
+    wall = max(r.cycles for r in reports)
+    if wall == 0:
+        return 0.0
+    return min(1.0, accesses / (wall * len(reports)))
+
+
+def _accumulate(existing: List[float], cycles: Sequence[float],
+                threads: int) -> List[float]:
+    if not existing:
+        existing = [0.0] * threads
+    for index, value in enumerate(cycles):
+        existing[index] += value
+    return existing
+
+
+def op_stream_from_report(report: LoweredReport, core_index: int = 0,
+                          tcdm_size: int = Tcdm.DEFAULT_SIZE,
+                          region_bytes: int = 4096,
+                          pattern: str = "strided") -> OpStream:
+    """Synthesize a DES op stream reproducing a lowered report's shape.
+
+    With ``pattern="strided"`` memory accesses walk a per-core region of
+    the TCDM with a word stride — the layout a blocked kernel produces,
+    under which the word-interleaved banks desynchronize the cores into
+    a nearly conflict-free rotation.  With ``pattern="random"`` addresses
+    come from a deterministic per-core LCG, the worst realistic case the
+    analytic contention model is fitted to.  Compute cycles fill the
+    gaps uniformly.
+    """
+    if pattern not in ("strided", "random"):
+        raise ConfigurationError(f"unknown access pattern {pattern!r}")
+    accesses = int(round(report.memory_accesses))
+    compute_cycles = max(0.0, report.cycles - accesses)
+    stream: OpStream = []
+    base = (core_index * region_bytes) % max(WORD_BYTES, tcdm_size - region_bytes)
+    base -= base % WORD_BYTES
+    if accesses == 0:
+        if compute_cycles > 0:
+            stream.append(ComputeOp(compute_cycles))
+        return stream
+    gap = compute_cycles / accesses
+    carry = 0.0
+    lcg_state = 0x9E3779B9 * (core_index + 1) & 0xFFFFFFFF
+    for index in range(accesses):
+        carry += gap
+        whole = math.floor(carry)
+        if whole > 0:
+            stream.append(ComputeOp(float(whole)))
+            carry -= whole
+        if pattern == "strided":
+            address = base + (index * WORD_BYTES) % region_bytes
+        else:
+            lcg_state = (lcg_state * 1664525 + 1013904223) & 0xFFFFFFFF
+            # Use the high LCG bits: the low bits of a power-of-two LCG
+            # are periodic and would alias with the bank interleaving.
+            word = (lcg_state >> 16) % (region_bytes // WORD_BYTES)
+            address = base + word * WORD_BYTES
+        stream.append(MemOp(address, is_store=(index % 4 == 3)))
+    if carry > 1e-9:
+        stream.append(ComputeOp(carry))
+    return stream

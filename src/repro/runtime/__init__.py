@@ -1,0 +1,29 @@
+"""OpenMP runtime models.
+
+The paper programs the accelerator with "a streamlined implementation of
+the OpenMP runtime library" on the PULP cores and exposes offload through
+the OpenMP v4.0 ``#pragma omp target`` directive with ``map`` clauses on
+the host.  Correspondingly:
+
+* :class:`~repro.runtime.omp.DeviceOpenMp` — the device-side runtime:
+  team fork/join (clock-gating idle cores through the HW synchronizer),
+  ``parallel for`` with static/dynamic schedules, barriers and
+  reductions, all with cycle-cost accounting;
+* :class:`~repro.runtime.host.TargetRegion` — the host-side ``target``
+  construct: named ``map(to:)``/``map(from:)`` data clauses that the
+  offload manager turns into wire-protocol frames.
+"""
+
+from repro.runtime.host import MapClause, MapDirection, TargetRegion
+from repro.runtime.omp import DeviceOpenMp, ParallelExecution, Schedule
+from repro.runtime.overheads import OmpOverheads
+
+__all__ = [
+    "OmpOverheads",
+    "Schedule",
+    "ParallelExecution",
+    "DeviceOpenMp",
+    "MapDirection",
+    "MapClause",
+    "TargetRegion",
+]

@@ -1,0 +1,156 @@
+"""Device-side OpenMP execution model.
+
+Combines the analytic parallel timing of
+:func:`repro.pulp.timing.parallel_wall_cycles` with the runtime construct
+costs of :class:`~repro.runtime.overheads.OmpOverheads`, producing the
+quantities Figure 4 (right) reports: parallel speedup versus a single
+core, and the runtime overhead fraction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RuntimeModelError
+from repro.isa.program import Loop, Program
+from repro.isa.target import Target
+from repro.pulp.timing import ContentionModel, chunk_trips
+from repro.runtime.overheads import OmpOverheads
+
+
+class Schedule(enum.Enum):
+    """OpenMP ``for`` schedules supported by the runtime."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class ParallelExecution:
+    """Result of executing one kernel program on the cluster."""
+
+    threads: int
+    wall_cycles: float
+    work_cycles: float          #: compute cycles on the critical path
+    serial_cycles: float        #: serial (master-only) portion
+    overhead_cycles: float      #: OpenMP runtime cycles
+    memory_accesses: float
+    parallel_regions: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Runtime overhead over total execution (the paper's 6 % metric)."""
+        if self.wall_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.wall_cycles
+
+    @property
+    def memory_intensity(self) -> float:
+        """Cluster TCDM accesses per wall cycle, capped at 1."""
+        if self.wall_cycles == 0:
+            return 0.0
+        return min(1.0, self.memory_accesses / self.wall_cycles)
+
+
+class DeviceOpenMp:
+    """The streamlined OpenMP runtime running on the PULP cluster."""
+
+    def __init__(self, target: Target, threads: int = 4,
+                 overheads: Optional[OmpOverheads] = None,
+                 contention: Optional[ContentionModel] = None,
+                 schedule: Schedule = Schedule.STATIC):
+        if threads < 1:
+            raise RuntimeModelError(f"threads must be >= 1, got {threads}")
+        self.target = target
+        self.threads = threads
+        self.overheads = overheads if overheads is not None else OmpOverheads()
+        self.contention = contention if contention is not None else ContentionModel()
+        self.schedule = schedule
+
+    def execute(self, program: Program) -> ParallelExecution:
+        """Execute *program*: top-level parallelizable loops run on the
+        team, everything else on the master core."""
+        wall = 0.0
+        work = 0.0
+        serial = 0.0
+        overhead = 0.0
+        accesses = 0.0
+        regions = 0
+        for node in program.body:
+            if isinstance(node, Loop) and node.parallelizable and self.threads > 1:
+                region = self._parallel_region(node)
+                wall += region.wall
+                work += region.work
+                overhead += region.overhead
+                accesses += region.accesses
+                regions += 1
+            else:
+                report = self.target.lower_nodes([node])
+                wall += report.cycles
+                work += report.cycles
+                serial += report.cycles
+                accesses += report.memory_accesses
+        return ParallelExecution(
+            threads=self.threads,
+            wall_cycles=wall,
+            work_cycles=work,
+            serial_cycles=serial,
+            overhead_cycles=overhead,
+            memory_accesses=accesses,
+            parallel_regions=regions,
+        )
+
+    def speedup_vs_single(self, program: Program) -> float:
+        """Parallel speedup over the same runtime with one thread."""
+        single = DeviceOpenMp(self.target, 1, self.overheads,
+                              self.contention, self.schedule)
+        return single.execute(program).wall_cycles \
+            / self.execute(program).wall_cycles
+
+    # -- internals ---------------------------------------------------------------
+
+    @dataclass
+    class _Region:
+        wall: float
+        work: float
+        overhead: float
+        accesses: float
+
+    def _parallel_region(self, loop: Loop) -> "DeviceOpenMp._Region":
+        overhead = self.overheads.region_fixed_cost(self.threads, loop.reduction)
+        if self.schedule is Schedule.STATIC:
+            chunks = chunk_trips(loop.trips, self.threads)
+            reports = [self.target.lower_nodes([loop.with_trips(c)])
+                       for c in chunks if c > 0]
+            per_thread = [r.cycles for r in reports]
+        else:
+            # Dynamic: unit chunks, self-balancing; cost a dequeue per chunk.
+            per_iteration = self.target.lower_nodes([loop.with_trips(1)])
+            chunks_per_thread = chunk_trips(loop.trips, self.threads)
+            reports = []
+            per_thread = []
+            for count in chunks_per_thread:
+                if count == 0:
+                    continue
+                cycles = count * (per_iteration.cycles
+                                  + self.overheads.dynamic_chunk)
+                per_thread.append(cycles)
+                reports.append(per_iteration)
+            overhead += loop.trips * self.overheads.dynamic_chunk / max(1, self.threads)
+        if not per_thread:
+            return self._Region(wall=overhead, work=0.0,
+                                overhead=overhead, accesses=0.0)
+        if self.schedule is Schedule.STATIC:
+            accesses = sum(r.memory_accesses for r in reports)
+            busiest = max(per_thread)
+        else:
+            accesses = reports[0].memory_accesses * loop.trips
+            busiest = max(per_thread)
+        intensity = min(1.0, accesses / (busiest * len(per_thread))) \
+            if busiest > 0 else 0.0
+        factor = self.contention.stall_factor(len(per_thread), intensity)
+        wall = busiest * factor + overhead
+        return self._Region(wall=wall, work=busiest * factor,
+                            overhead=overhead, accesses=accesses)

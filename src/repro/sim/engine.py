@@ -1,0 +1,149 @@
+"""Core of the discrete-event engine: simulator, processes, events."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to advance its local time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    Triggering wakes every waiter at the current simulation time and
+    delivers ``value`` as the result of their ``yield``.
+    """
+
+    def __init__(self, simulator: "Simulator", name: str = ""):
+        self._simulator = simulator
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._simulator.schedule(0.0, process.resume, value)
+
+    def add_waiter(self, process: "Process") -> None:
+        """Register a process; wakes immediately if already triggered."""
+        if self.triggered:
+            self._simulator.schedule(0.0, process.resume, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    def __init__(self, simulator: "Simulator",
+                 generator: Generator, name: str = ""):
+        self._simulator = simulator
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.completion = Event(simulator, name=f"{name}.done")
+
+    def resume(self, value: Any = None) -> None:
+        """Advance the generator by one command (engine-internal)."""
+        if self.finished:
+            return
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.completion.trigger(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._simulator.schedule(command.delay, self.resume, None)
+        elif isinstance(command, Event):
+            command.add_waiter(self)
+        elif isinstance(command, Process):
+            command.completion.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}")
+
+
+class Simulator:
+    """The event queue and clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._sequence = 0
+        self._processes: List[Process] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after *delay* time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence,
+                                     callback, args))
+        self._sequence += 1
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh event."""
+        return Event(self, name)
+
+    def add_process(self, generator: Generator, name: str = "") -> Process:
+        """Register and start a process at the current time."""
+        process = Process(self, generator, name or f"process-{len(self._processes)}")
+        self._processes.append(process)
+        self.schedule(0.0, process.resume, None)
+        return process
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (or stop at time *until*); returns the
+        final simulation time."""
+        while self._queue:
+            time, _seq, callback, args = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            callback(*args)
+        return self._now
+
+    def run_all(self) -> float:
+        """Run to completion and verify every process finished.
+
+        Raises :class:`~repro.errors.DeadlockError` when the queue drains
+        while processes are still blocked (a lost wakeup in the model).
+        """
+        self.run()
+        stuck = [p.name for p in self._processes if not p.finished]
+        if stuck:
+            raise DeadlockError(
+                f"simulation drained with blocked processes: {stuck}")
+        return self._now

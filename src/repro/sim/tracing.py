@@ -1,0 +1,166 @@
+"""Event tracing for discrete-event simulations.
+
+A :class:`TraceRecorder` collects timestamped events (per actor) during
+a simulation; :func:`render_timeline` draws a compact per-actor lane
+view.  The cluster uses it optionally — tracing every TCDM access of a
+full kernel would drown the signal, so recorders support windowing and
+per-kind filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    actor: str
+    kind: str
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Collects events, optionally filtered and windowed."""
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None,
+                 window: Optional[Tuple[float, float]] = None,
+                 capacity: int = 100_000):
+        if capacity < 1:
+            raise SimulationError(f"invalid trace capacity {capacity}")
+        self.kinds: Optional[Set[str]] = set(kinds) if kinds else None
+        self.window = window
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, actor: str, kind: str,
+               detail: str = "") -> None:
+        """Record one event (subject to filter/window/capacity)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.window is not None:
+            start, end = self.window
+            if not start <= time <= end:
+                return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, actor, kind, detail))
+
+    def by_actor(self) -> Dict[str, List[TraceEvent]]:
+        """Events grouped per actor, time-ordered."""
+        grouped: Dict[str, List[TraceEvent]] = {}
+        for event in sorted(self.events, key=lambda e: e.time):
+            grouped.setdefault(event.actor, []).append(event)
+        return grouped
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+
+_KIND_GLYPHS = {
+    "compute": "=",
+    "memory": "m",
+    "stall": "x",
+    "barrier": "|",
+    "dma": "d",
+}
+
+
+def render_timeline(recorder: TraceRecorder, width: int = 72) -> str:
+    """Per-actor lanes with one glyph per event bucket."""
+    if not recorder.events:
+        return "(no events recorded)"
+    if width < 8:
+        raise SimulationError(f"timeline width too small: {width}")
+    times = [event.time for event in recorder.events]
+    start, end = min(times), max(times)
+    span = max(end - start, 1e-12)
+    lanes = []
+    grouped = recorder.by_actor()
+    label_width = max(len(actor) for actor in grouped)
+    for actor, events in sorted(grouped.items()):
+        lane = [" "] * width
+        for event in events:
+            column = min(width - 1,
+                         int((event.time - start) / span * (width - 1)))
+            lane[column] = _KIND_GLYPHS.get(event.kind, "*")
+        lanes.append(f"{actor:<{label_width}} |{''.join(lane)}|")
+    footer = (f"{'':<{label_width}}  {start:.0f} .. {end:.0f} cycles, "
+              f"{len(recorder.events)} events"
+              + (f" ({recorder.dropped} dropped)" if recorder.dropped else ""))
+    lanes.append(footer)
+    return "\n".join(lanes)
+
+
+def trace_cluster_run(streams, banks: int = 8,
+                      kinds: Optional[Iterable[str]] = None
+                      ) -> Tuple["object", TraceRecorder]:
+    """Run op streams on an instrumented cluster, recording events.
+
+    A convenience wrapper: builds a fresh DES cluster whose cores report
+    compute bursts, granted accesses, stalls and barrier crossings into
+    a recorder. Returns ``(ClusterRun, TraceRecorder)``.
+    """
+    from repro.pulp.core import ComputeOp, MemOp, Or10nCore
+    from repro.pulp.synchronizer import HardwareSynchronizer
+    from repro.pulp.tcdm import Tcdm
+    from repro.sim.engine import Simulator, Timeout
+
+    recorder = TraceRecorder(kinds=kinds)
+    simulator = Simulator()
+    tcdm = Tcdm(simulator, banks=banks)
+    synchronizer = HardwareSynchronizer(simulator, participants=len(streams))
+    cores = [Or10nCore(simulator, tcdm, index)
+             for index in range(len(streams))]
+
+    def traced(core, stream):
+        actor = f"core{core.core_id}"
+        for op in stream:
+            if isinstance(op, ComputeOp):
+                recorder.record(simulator.now, actor, "compute",
+                                f"{op.cycles:.0f}cy")
+                if op.cycles > 0:
+                    yield Timeout(op.cycles)
+                core.stats.compute_cycles += op.cycles
+            elif isinstance(op, MemOp):
+                resource = tcdm.bank_resource(op.address)
+                requested = simulator.now
+                yield resource.request()
+                waited = simulator.now - requested
+                if waited > 0:
+                    recorder.record(requested, actor, "stall",
+                                    f"{waited:.0f}cy")
+                core.stats.stall_cycles += waited
+                recorder.record(simulator.now, actor, "memory",
+                                f"@{op.address:#x}")
+                yield Timeout(1.0)
+                resource.release()
+                core.stats.memory_cycles += 1.0
+                core.stats.accesses += 1
+        recorder.record(simulator.now, actor, "barrier")
+        before = simulator.now
+        yield from synchronizer.barrier()
+        core.stats.barrier_cycles += simulator.now - before
+
+    for core, stream in zip(cores, streams):
+        simulator.add_process(traced(core, stream), name=f"core{core.core_id}")
+    wall = simulator.run_all()
+
+    from repro.pulp.cluster import ClusterRun
+    from repro.pulp.dma import DmaStats
+    run = ClusterRun(
+        wall_cycles=wall,
+        core_stats=[core.stats for core in cores],
+        dma_stats=DmaStats(),
+        conflict_rate=tcdm.conflict_rate(),
+        barrier_count=synchronizer.barriers_completed,
+    )
+    return run, recorder

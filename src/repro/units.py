@@ -1,0 +1,158 @@
+"""Unit helpers and human-readable formatting.
+
+The library uses **base SI units everywhere**: seconds, hertz, volts,
+watts, joules, bytes, bits.  These helpers exist so that call sites can
+say ``mhz(32)`` instead of ``32e6`` and so that reports can render
+``1.48 mW`` instead of ``0.00148``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Constructors (value in conventional engineering unit -> base SI unit)
+# ---------------------------------------------------------------------------
+
+
+def khz(value: float) -> float:
+    """Kilohertz to hertz."""
+    return float(value) * 1e3
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return float(value) * 1e6
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return float(value) * 1e9
+
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return float(value) * 1e-6
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return float(value) * 1e-3
+
+
+def ua(value: float) -> float:
+    """Microamperes to amperes."""
+    return float(value) * 1e-6
+
+
+def ma(value: float) -> float:
+    """Milliamperes to amperes."""
+    return float(value) * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return float(value) * 1e-6
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def kib(value: float) -> int:
+    """Kibibytes to bytes."""
+    return int(round(float(value) * 1024))
+
+
+def uj(value: float) -> float:
+    """Microjoules to joules."""
+    return float(value) * 1e-6
+
+
+def ua_per_mhz(value: float) -> float:
+    """Datasheet current density (µA/MHz) to amperes-per-hertz."""
+    return float(value) * 1e-6 / 1e6
+
+
+def uw_per_mhz(value: float) -> float:
+    """Power density (µW/MHz) to watts-per-hertz."""
+    return float(value) * 1e-6 / 1e6
+
+
+# ---------------------------------------------------------------------------
+# Derived quantities
+# ---------------------------------------------------------------------------
+
+
+def gops(ops: float, seconds: float) -> float:
+    """Throughput in giga-operations per second."""
+    if seconds <= 0:
+        raise ConfigurationError(f"non-positive duration: {seconds!r}")
+    return ops / seconds / 1e9
+
+
+def gops_per_watt(ops: float, seconds: float, watts: float) -> float:
+    """Energy efficiency in GOPS/W."""
+    if watts <= 0:
+        raise ConfigurationError(f"non-positive power: {watts!r}")
+    return gops(ops, seconds) / watts
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+)
+
+
+def si_format(value: float, unit: str, digits: int = 3) -> str:
+    """Format *value* with an SI prefix, e.g. ``si_format(1.48e-3, 'W')``
+    gives ``'1.48 mW'``.
+    """
+    if value == 0:
+        return f"0 {unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value} {unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}"
+
+
+def format_hz(value: float) -> str:
+    """Format a frequency, e.g. ``'32 MHz'``."""
+    return si_format(value, "Hz")
+
+
+def format_watts(value: float) -> str:
+    """Format a power, e.g. ``'1.48 mW'``."""
+    return si_format(value, "W")
+
+
+def format_bytes(value: int) -> str:
+    """Format a byte count in binary units, e.g. ``'8 kB'``."""
+    value = int(value)
+    if abs(value) >= 1024 * 1024:
+        return f"{value / (1024 * 1024):.3g} MB"
+    if abs(value) >= 1024:
+        return f"{value / 1024:.3g} kB"
+    return f"{value} B"
+
+
+def format_seconds(value: float) -> str:
+    """Format a duration, e.g. ``'1.2 ms'``."""
+    return si_format(value, "s")

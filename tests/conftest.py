@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import HeterogeneousSystem
+from repro.isa.baseline import BaselineRiscTarget
+from repro.isa.cortexm import CortexM3Target, CortexM4Target
+from repro.isa.or10n import Or10nTarget
+from repro.isa.program import Block, Loop, Program
+from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.kernels.matmul import MatmulKernel
+
+
+@pytest.fixture
+def baseline_target():
+    return BaselineRiscTarget()
+
+
+@pytest.fixture
+def or10n_target():
+    return Or10nTarget()
+
+
+@pytest.fixture
+def m4_target():
+    return CortexM4Target()
+
+
+@pytest.fixture
+def m3_target():
+    return CortexM3Target()
+
+
+@pytest.fixture
+def small_matmul():
+    """A small matmul kernel for fast functional tests."""
+    return MatmulKernel("char", n=16)
+
+
+@pytest.fixture
+def matmul_program():
+    """The full-size char matmul program (the Table-I configuration)."""
+    return MatmulKernel("char").build_program()
+
+
+@pytest.fixture
+def simple_program():
+    """A tiny, hand-checkable loop-nest program.
+
+    Structure: one parallel loop of 8 iterations, each running an inner
+    loop of 4 iterations of [load, load, mac, addr] and an epilogue
+    [store].
+    """
+    inner = Loop(4, [Block([
+        load(DType.I32), load(DType.I32), mac(DType.I32), addr(),
+    ])], name="inner")
+    outer = Loop(8, [inner, Block([store(DType.I32)])],
+                 parallelizable=True, name="outer")
+    return Program("simple", [outer], input_bytes=128, output_bytes=32)
+
+
+@pytest.fixture
+def system():
+    """A fresh heterogeneous system."""
+    return HeterogeneousSystem()

@@ -1,0 +1,168 @@
+"""Tests for the application pipeline layer, the energy breakdown, and
+the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerModelError
+from repro.app import Pipeline, Placement, Stage
+from repro.app.pipeline import render_pipeline
+from repro.core.offload import OffloadTiming
+from repro.core.system import HeterogeneousSystem
+from repro.kernels import CnnKernel, MatmulKernel, SvmKernel
+from repro.power.breakdown import (
+    EnergyBreakdown,
+    breakdown_offload,
+    render_breakdown,
+)
+from repro.power.energy import EnergyAccount
+from repro.units import mhz
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        pipeline = Pipeline([Stage(CnnKernel()),
+                             Stage(SvmKernel("linear"))])
+        return pipeline.analyze(mhz(8))
+
+    def test_stage_count(self, report):
+        assert len(report.stages) == 2
+
+    def test_auto_placement_offloads_compute_heavy(self, report):
+        placements = {s.name: s.placement for s in report.stages}
+        assert placements["cnn"] is Placement.ACCELERATOR
+
+    def test_period_is_sum_of_stages(self, report):
+        assert report.period == pytest.approx(
+            sum(s.time_per_item for s in report.stages))
+        assert report.throughput == pytest.approx(1 / report.period)
+
+    def test_bottleneck_identified(self, report):
+        assert report.bottleneck.time_per_item == max(
+            s.time_per_item for s in report.stages)
+
+    def test_energy_accumulates(self, report):
+        assert report.energy_per_item == pytest.approx(
+            sum(s.energy_per_item for s in report.stages))
+
+    def test_forced_host_placement(self):
+        pipeline = Pipeline([Stage(CnnKernel(), Placement.HOST)])
+        report = pipeline.analyze(mhz(8))
+        assert report.stages[0].placement is Placement.HOST
+        assert report.stages[0].speedup_vs_host == 1.0
+
+    def test_forced_accelerator_placement(self):
+        pipeline = Pipeline([Stage(MatmulKernel("char"),
+                                   Placement.ACCELERATOR)])
+        report = pipeline.analyze(mhz(8))
+        assert report.stages[0].placement is Placement.ACCELERATOR
+        assert report.stages[0].speedup_vs_host > 5
+
+    def test_auto_falls_back_to_host_when_no_budget(self):
+        # At 32 MHz the envelope leaves nothing for the accelerator;
+        # AUTO must quietly keep the stage on the host.
+        pipeline = Pipeline([Stage(MatmulKernel("char"))])
+        report = pipeline.analyze(mhz(32))
+        assert report.stages[0].placement is Placement.HOST
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pipeline([])
+
+    def test_render(self, report):
+        text = render_pipeline(report)
+        assert "bottleneck" in text
+        assert "items/s" in text
+
+    def test_shared_system_binary_caching(self):
+        system = HeterogeneousSystem()
+        pipeline = Pipeline([Stage(CnnKernel(), Placement.ACCELERATOR)],
+                            system=system)
+        pipeline.analyze(mhz(8))
+        second = pipeline.analyze(mhz(8))
+        # Binary already resident on the second analysis.
+        assert second.stages[0].time_per_item > 0
+
+
+class TestEnergyBreakdown:
+    def _timing(self):
+        system = HeterogeneousSystem()
+        result = system.offload(MatmulKernel("char"), host_frequency=mhz(8),
+                                iterations=8, double_buffered=True)
+        return result.timing
+
+    def test_parts_sum_to_total(self):
+        timing = self._timing()
+        breakdown = breakdown_offload(timing)
+        assert breakdown.total == pytest.approx(
+            timing.energy.total_energy)
+
+    def test_fractions_sum_to_one(self):
+        breakdown = breakdown_offload(self._timing())
+        total = sum(breakdown.fraction(p) for p in
+                    ("transfer", "compute", "boot", "sync", "idle_waits"))
+        assert total == pytest.approx(1.0)
+
+    def test_transfer_heavy_kernel_dominated_by_transfer(self):
+        breakdown = breakdown_offload(self._timing())
+        assert breakdown.transfer > breakdown.sync
+
+    def test_unknown_label_rejected(self):
+        account = EnergyAccount()
+        account.add("mystery", 1.0, 1.0)
+        timing = OffloadTiming(
+            iterations=1, double_buffered=False, binary_time=0,
+            boot_time=0, input_time=0, output_time=0, compute_time=1,
+            sync_time=0, total_time=1, ideal_time=1, energy=account)
+        with pytest.raises(PowerModelError):
+            breakdown_offload(timing)
+
+    def test_render(self):
+        text = render_breakdown(breakdown_offload(self._timing()))
+        assert "compute" in text and "uJ" in text
+
+    def test_empty_breakdown(self):
+        empty = EnergyBreakdown(0, 0, 0, 0)
+        assert empty.total == 0
+        assert empty.fraction("compute") == 0.0
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.sensitivity import run
+        return run(factors=(0.8, 1.0, 1.25))
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 9  # 3 knobs x 3 factors
+
+    def test_nominal_matches_paper_anchor(self, rows):
+        nominal = [r for r in rows if r.factor == 1.0]
+        for row in nominal:
+            assert row.peak_efficiency == pytest.approx(304, rel=0.08)
+            assert row.arch_speedup == pytest.approx(2.38, abs=0.05)
+
+    def test_density_scaling_inverts_efficiency(self, rows):
+        density = {r.factor: r for r in rows if r.knob == "dynamic densities"}
+        assert density[0.8].peak_efficiency > density[1.25].peak_efficiency
+        # Densities do not touch the timing model.
+        assert density[0.8].arch_speedup == density[1.25].arch_speedup
+
+    def test_simd_overhead_moves_arch_speedup(self, rows):
+        simd = {r.factor: r for r in rows if r.knob == "simd overhead"}
+        assert simd[0.8].arch_speedup > simd[1.25].arch_speedup
+
+    def test_leakage_second_order(self, rows):
+        leakage = {r.factor: r for r in rows if r.knob == "leakage"}
+        density = {r.factor: r for r in rows
+                   if r.knob == "dynamic densities"}
+        leak_spread = abs(leakage[0.8].efficiency_shift()
+                          - leakage[1.25].efficiency_shift())
+        density_spread = abs(density[0.8].efficiency_shift()
+                             - density[1.25].efficiency_shift())
+        assert leak_spread < density_spread
+
+    def test_render(self, rows):
+        from repro.experiments.sensitivity import render
+        text = render(rows)
+        assert "GOPS/W" in text and "simd overhead" in text

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure3", "figure4", "figure5a",
+                        "figure5b", "all"):
+            assert parser.parse_args([command]).command == command
+
+    def test_offload_defaults(self):
+        args = build_parser().parse_args(["offload"])
+        assert args.kernel == "matmul"
+        assert args.host_mhz == 8.0
+        assert args.iterations == 1
+        assert not args.double_buffer
+
+    def test_offload_kernel_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["offload", "--kernel", "nonesuch"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "hog" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "PULP peak efficiency" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        assert "mean parallel speedup" in capsys.readouterr().out
+
+    def test_figure5b_with_kernel(self, capsys):
+        assert main(["figure5b", "--kernel", "matmul"]) == 0
+        assert "matmul" in capsys.readouterr().out
+
+    def test_offload(self, capsys):
+        code = main(["offload", "--kernel", "strassen", "--host-mhz", "4",
+                     "--iterations", "2", "--double-buffer"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strassen" in out
+        assert "verified: True" in out

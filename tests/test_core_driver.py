@@ -1,0 +1,108 @@
+"""Tests for the reliable offload driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinkError, OffloadError
+from repro.core.driver import OffloadDriver, SessionState
+from repro.kernels.matmul import MatmulKernel
+from repro.pulp.binary import KernelBinary
+from repro.units import mhz
+
+
+def _session_pieces(seed=0, n=8):
+    kernel = MatmulKernel("char", n=n)
+    program = kernel.build_program()
+    inputs = kernel.generate_inputs(seed)
+    outputs = kernel.compute(inputs)
+    return (KernelBinary.from_program(program),
+            kernel.serialize_inputs(inputs),
+            kernel.serialize_outputs(outputs))
+
+
+def _run_session(driver, binary, input_payload, output_payload):
+    driver.load(binary, input_payload, len(output_payload))
+    driver.arm(input_payload)
+    driver.start()
+    return driver.complete(output_payload)
+
+
+class TestCleanSession:
+    def test_full_lifecycle(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver()
+        received = _run_session(driver, binary, inputs, outputs)
+        assert received == outputs
+        assert driver.state is SessionState.COMPLETE
+        assert driver.stats.retry_overhead == 0.0
+
+    def test_results_land_in_l2_and_read_back(self):
+        binary, inputs, outputs = _session_pieces(seed=3)
+        driver = OffloadDriver()
+        received = _run_session(driver, binary, inputs, outputs)
+        matrix = np.frombuffer(received, dtype=np.int8)
+        assert matrix.shape == (64,)
+
+    def test_state_machine_enforced(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver()
+        with pytest.raises(OffloadError):
+            driver.arm(inputs)
+        driver.load(binary, inputs, len(outputs))
+        with pytest.raises(OffloadError):
+            driver.start()
+        with pytest.raises(OffloadError):
+            driver.complete(outputs)
+        with pytest.raises(OffloadError):
+            driver.load(binary, inputs, len(outputs))
+
+    def test_reset_allows_new_session(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver()
+        _run_session(driver, binary, inputs, outputs)
+        driver.reset()
+        assert driver.state is SessionState.IDLE
+        received = _run_session(driver, binary, inputs, outputs)
+        assert received == outputs
+
+    def test_wire_time_accounting(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver()
+        _run_session(driver, binary, inputs, outputs)
+        assert driver.wire_time(mhz(8)) > 0
+        # Quad link at a faster host clock is quicker.
+        assert driver.wire_time(mhz(16)) < driver.wire_time(mhz(8))
+
+    def test_payload_accounting(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver()
+        _run_session(driver, binary, inputs, outputs)
+        # binary + inputs + the 4-byte READ_DATA length request
+        # (LOAD_BINARY, WRITE_DATA, START, READ_DATA = 4 frames).
+        assert driver.stats.payload_bytes == \
+            binary.image_bytes + len(inputs) + 4
+        assert driver.stats.frames_sent == 4
+
+
+class TestNoisySession:
+    def test_survives_noise_with_identical_results(self):
+        binary, inputs, outputs = _session_pieces(seed=5)
+        clean = OffloadDriver()
+        noisy = OffloadDriver(bit_error_rate=2e-5, max_attempts=64, seed=9)
+        assert _run_session(clean, binary, inputs, outputs) == \
+            _run_session(noisy, binary, inputs, outputs) == outputs
+
+    def test_retries_cost_wire_time(self):
+        binary, inputs, outputs = _session_pieces(seed=5)
+        clean = OffloadDriver()
+        noisy = OffloadDriver(bit_error_rate=5e-5, max_attempts=256, seed=3)
+        _run_session(clean, binary, inputs, outputs)
+        _run_session(noisy, binary, inputs, outputs)
+        assert noisy.stats.retry_overhead > 0
+        assert noisy.wire_time(mhz(8)) > clean.wire_time(mhz(8))
+
+    def test_hopeless_channel_fails_loudly(self):
+        binary, inputs, outputs = _session_pieces()
+        driver = OffloadDriver(bit_error_rate=0.05, max_attempts=3)
+        with pytest.raises(LinkError):
+            driver.load(binary, inputs, len(outputs))

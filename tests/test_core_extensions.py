@@ -1,0 +1,111 @@
+"""Tests for the Section-V extensions: sensor paths and dual tasking."""
+
+import pytest
+
+from repro.errors import BudgetError, ConfigurationError
+from repro.core.dual_task import DualTaskModel, HostTask
+from repro.core.sensor import (
+    DEDICATED_SENSOR_PORT,
+    SensorInterface,
+    SensorPath,
+    SensorPipeline,
+)
+from repro.kernels import CnnKernel, HogKernel, MatmulKernel
+from repro.units import mhz
+
+
+class TestSensorInterface:
+    def test_acquisition_time(self):
+        sensor = SensorInterface(bandwidth=1e6)
+        assert sensor.acquisition_time(2000) == pytest.approx(2e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SensorInterface(bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            SensorInterface().acquisition_time(-1)
+
+    def test_dedicated_port_costs_standing_power(self):
+        assert DEDICATED_SENSOR_PORT.extra_idle_power > 0
+        assert SensorInterface().extra_idle_power == 0
+
+
+class TestSensorPipeline:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return SensorPipeline().compare(HogKernel(), host_frequency=mhz(4))
+
+    def test_both_paths_evaluated(self, comparison):
+        assert set(comparison) == {SensorPath.THROUGH_HOST, SensorPath.DIRECT}
+
+    def test_direct_path_reduces_link_traffic(self, comparison):
+        through = comparison[SensorPath.THROUGH_HOST]
+        direct = comparison[SensorPath.DIRECT]
+        assert direct.link_bytes_per_frame < through.link_bytes_per_frame
+        # hog: only the 36 kB descriptor crosses in the direct case.
+        assert direct.link_bytes_per_frame == 36864
+
+    def test_direct_path_at_least_as_fast(self, comparison):
+        through = comparison[SensorPath.THROUGH_HOST]
+        direct = comparison[SensorPath.DIRECT]
+        assert direct.frame_rate >= through.frame_rate
+
+    def test_compute_bound_kernel_indifferent(self):
+        # cnn moves 2 kB/frame: both paths are compute-bound and agree.
+        comparison = SensorPipeline().compare(CnnKernel(),
+                                              host_frequency=mhz(8))
+        through = comparison[SensorPath.THROUGH_HOST]
+        direct = comparison[SensorPath.DIRECT]
+        assert direct.frame_time == pytest.approx(through.frame_time,
+                                                  rel=0.05)
+
+    def test_frame_rate_positive(self, comparison):
+        for report in comparison.values():
+            assert report.frame_rate > 1
+            assert report.frame_energy > 0
+
+
+class TestDualTask:
+    def test_light_task_feasible_everywhere(self):
+        model = DualTaskModel()
+        task = HostTask("sampler", cycles_per_period=1000, period=0.01)
+        points = model.evaluate(MatmulKernel("char"), task)
+        assert all(p.feasible for p in points)
+
+    def test_heavy_task_needs_fast_host(self):
+        model = DualTaskModel()
+        task = HostTask("control", cycles_per_period=40000, period=0.01)
+        points = {p.host_frequency: p
+                  for p in model.evaluate(CnnKernel(), task)}
+        assert not points[mhz(2)].feasible    # 200% utilization
+        assert points[mhz(8)].feasible
+
+    def test_best_maximizes_speedup(self):
+        model = DualTaskModel()
+        task = HostTask("control", cycles_per_period=40000, period=0.01)
+        best = model.best(CnnKernel(), task)
+        assert best.feasible
+        others = [p for p in model.evaluate(CnnKernel(), task) if p.feasible]
+        assert best.accelerator_speedup == max(
+            p.accelerator_speedup for p in others)
+
+    def test_impossible_task_raises(self):
+        model = DualTaskModel()
+        task = HostTask("hog-on-host", cycles_per_period=1e9, period=0.01)
+        with pytest.raises(BudgetError):
+            model.best(MatmulKernel("char"), task)
+
+    def test_utilization_math(self):
+        task = HostTask("t", cycles_per_period=8000, period=1e-3)
+        assert task.utilization(mhz(8)) == pytest.approx(1.0)
+        assert task.utilization(mhz(16)) == pytest.approx(0.5)
+
+    def test_invalid_task(self):
+        with pytest.raises(ConfigurationError):
+            HostTask("t", cycles_per_period=0, period=1.0)
+
+    def test_power_stays_in_envelope(self):
+        model = DualTaskModel()
+        task = HostTask("sampler", cycles_per_period=100, period=0.01)
+        for point in model.evaluate(MatmulKernel("char"), task):
+            assert point.total_power <= 10e-3 * (1 + 1e-6)

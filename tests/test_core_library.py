@@ -1,0 +1,105 @@
+"""Tests for the library-offload planner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.library import (
+    LibraryEntry,
+    LibraryPlanner,
+    render_plan,
+)
+from repro.kernels import CnnKernel, HogKernel, MatmulKernel, SvmKernel
+from repro.pulp.l2 import L2Memory
+
+
+def _entry(name, binary, data=4096, rate=1.0):
+    return LibraryEntry(kernel_name=name, binary_bytes=binary,
+                        data_bytes=data, invocations_per_second=rate)
+
+
+class TestPlannerMechanics:
+    def test_everything_fits_small_set(self):
+        planner = LibraryPlanner()
+        plan = planner.plan([_entry("a", 8000), _entry("b", 8000)])
+        assert len(plan.resident) == 2
+        assert not plan.evicted
+
+    def test_knapsack_prefers_high_value(self):
+        # Budget fits only one of two equal-size binaries: keep the one
+        # invoked more often.
+        planner = LibraryPlanner(L2Memory(size=16 * 1024))
+        entries = [_entry("rare", 10 * 1024, data=2048, rate=0.1),
+                   _entry("hot", 10 * 1024, data=2048, rate=100.0)]
+        plan = planner.plan(entries)
+        assert [e.kernel_name for e in plan.resident] == ["hot"]
+        assert [e.kernel_name for e in plan.evicted] == ["rare"]
+
+    def test_data_reservation_honoured(self):
+        planner = LibraryPlanner(L2Memory(size=32 * 1024))
+        entries = [_entry("k", 20 * 1024, data=30 * 1024)]
+        plan = planner.plan(entries)
+        assert plan.data_reservation == 30 * 1024
+        assert plan.l2_budget == 2 * 1024
+        assert not plan.resident  # binary no longer fits
+
+    def test_resident_bytes_within_budget(self):
+        planner = LibraryPlanner(L2Memory(size=48 * 1024))
+        entries = [_entry(f"k{i}", 9 * 1024, data=8 * 1024, rate=i + 1)
+                   for i in range(6)]
+        plan = planner.plan(entries)
+        assert plan.resident_bytes <= plan.l2_budget
+        assert plan.saved_traffic > 0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LibraryPlanner().plan([])
+
+    def test_negative_rate_rejected(self):
+        planner = LibraryPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.entries_for([(MatmulKernel("char"), -1.0)])
+
+    def test_traffic_accounting(self):
+        entry = _entry("k", 1000, rate=3.0)
+        assert entry.saved_bytes_per_second == 3000.0
+
+
+class TestPaperWorkingSet:
+    """The paper's own observation: the ten benchmark binaries cannot
+    all be resident in 64 kB — single-kernel offload was forced."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        planner = LibraryPlanner()
+        workload = [(MatmulKernel("char"), 10.0),
+                    (SvmKernel("linear"), 30.0),
+                    (CnnKernel(), 25.0),
+                    (HogKernel(), 25.0)]
+        entries = planner.entries_for(workload)
+        return planner.plan(entries)
+
+    def test_not_everything_fits(self, plan):
+        # cnn (47 kB) + hog (24 kB) + svm (11 kB) + matmul (11 kB)
+        # cannot co-reside with hog's 36 kB data reservation.
+        assert plan.evicted
+
+    def test_highest_traffic_binary_preferred(self, plan):
+        # hog (24 kB x 25 Hz = 602 kB/s saved) beats svm+matmul combined
+        # (453 kB/s) within the 28 kB left after its data reservation.
+        resident = {entry.kernel_name for entry in plan.resident}
+        assert resident == {"hog"}
+        # cnn's 48 kB binary can never fit next to hog's data
+        # reservation: its 1.2 MB/s of re-offload traffic is the price
+        # of single-kernel offload the paper accepted.
+        assert any(e.kernel_name == "cnn" for e in plan.evicted)
+
+    def test_duty_cycle_savings_positive(self, plan):
+        from repro.link.spi import SpiLink
+        from repro.units import mhz
+        saved = plan.offload_seconds_saved(SpiLink(), mhz(8))
+        assert saved > 0
+
+    def test_render(self, plan):
+        text = render_plan(plan)
+        assert "resident" in text
+        assert "link duty cycle saved" in text

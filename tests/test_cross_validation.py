@@ -1,0 +1,103 @@
+"""Systematic cross-validation between the three timing paths.
+
+The library computes the same quantities at three abstraction levels:
+
+1. analytic (cost tables + contention formula),
+2. discrete-event (cluster of op-stream cores),
+3. instruction-level (OR10N-mini ISS, single and multicore).
+
+These tests sweep configurations and assert the levels agree where they
+model the same thing, and diverge in the direction the abstractions
+predict where they don't.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa.or10n import Or10nTarget
+from repro.isa.report import LoweredReport
+from repro.kernels.matmul import MatmulKernel
+from repro.machine.programs import run_matmul_i8_parallel
+from repro.pulp.cluster import Cluster
+from repro.pulp.executor import CycleLevelExecutor
+from repro.pulp.timing import ContentionModel, op_stream_from_report
+from repro.runtime.omp import DeviceOpenMp
+
+
+class TestAnalyticVsDes:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4])
+    def test_thread_sweep_on_matmul(self, threads):
+        program = MatmulKernel("char", n=12).build_program()
+        executor = CycleLevelExecutor(Or10nTarget(), threads=threads)
+        result = executor.execute(program)
+        assert result.deviation < 0.06, threads
+
+    @pytest.mark.parametrize("banks", [4, 8, 16])
+    def test_bank_sweep_contention(self, banks):
+        intensity = 0.6
+        cycles = 3000.0
+        streams = []
+        for core in range(4):
+            report = LoweredReport("x", cycles=cycles,
+                                   memory_accesses=cycles * intensity)
+            streams.append(op_stream_from_report(report, core_index=core,
+                                                 pattern="random"))
+        run = Cluster(banks=banks).run(streams)
+        analytic = ContentionModel(banks=banks).stall_factor(4, intensity)
+        des = run.wall_cycles / cycles
+        assert des == pytest.approx(analytic, abs=0.08), banks
+
+    def test_speedup_curves_track(self):
+        """Analytic and DES parallel speedups agree across team sizes."""
+        program = MatmulKernel("char", n=12).build_program()
+        target = Or10nTarget()
+        for threads in (2, 4):
+            analytic = DeviceOpenMp(target, threads).execute(program)
+            single = DeviceOpenMp(target, 1).execute(program)
+            analytic_speedup = single.wall_cycles / analytic.wall_cycles
+            des = CycleLevelExecutor(target, threads).execute(program)
+            des_single = CycleLevelExecutor(target, 1).execute(program)
+            des_speedup = des_single.wall_cycles / des.wall_cycles
+            assert des_speedup == pytest.approx(analytic_speedup, rel=0.08)
+
+
+class TestIssVsAnalyticParallel:
+    def test_parallel_efficiency_bracket(self):
+        """The ISS's measured 4-core efficiency lands within the
+        envelope the analytic OpenMP model predicts for a kernel with
+        negligible runtime overhead (the assembly version has none)."""
+        kernel = MatmulKernel("char", n=16)
+        inputs = kernel.generate_inputs(7)
+        from repro.machine.programs import run_matmul_i8
+        _, single = run_matmul_i8(inputs["a"], inputs["b"])
+        _, multi = run_matmul_i8_parallel(inputs["a"], inputs["b"])
+        iss_speedup = single.cycles / multi.wall_cycles
+        # No fork/join software in the assembly version: its speedup
+        # must beat the analytic model's (which charges the OpenMP
+        # runtime) but stay at or below the ideal 4.
+        program = kernel.build_program()
+        omp_speedup = DeviceOpenMp(Or10nTarget(), 4).speedup_vs_single(program)
+        assert omp_speedup - 0.2 <= iss_speedup <= 4.0
+
+    def test_iss_conflicts_consistent_with_contention_model(self):
+        kernel = MatmulKernel("char", n=16)
+        inputs = kernel.generate_inputs(3)
+        _, multi = run_matmul_i8_parallel(inputs["a"], inputs["b"])
+        # The ISS's measured wall stretch from conflicts stays within
+        # the same order as the analytic stall factor for the measured
+        # access intensity.
+        active = sum(core.cycles_active for core in multi.cores)
+        stalled = sum(core.cycles_stalled for core in multi.cores)
+        stretch = 1.0 + stalled / active
+        intensity = multi.bank_accesses / (4 * multi.wall_cycles)
+        analytic = ContentionModel().stall_factor(4, min(1.0, intensity * 4))
+        assert stretch < analytic + 0.15
+
+    def test_bit_exactness_all_team_sizes(self):
+        kernel = MatmulKernel("char", n=12)
+        inputs = kernel.generate_inputs(9)
+        expected = kernel.compute(inputs)["c"]
+        for cores in (1, 2, 3, 4):
+            out, _ = run_matmul_i8_parallel(inputs["a"], inputs["b"],
+                                            cores=cores)
+            assert np.array_equal(out, expected), cores

@@ -1,0 +1,108 @@
+"""Tests for the experiment result store and diff tooling."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import figure3, table1
+from repro.experiments.store import (
+    diff_results,
+    load_results,
+    render_diff,
+    save_results,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip_table1(self, tmp_path):
+        rows = table1.run()
+        path = tmp_path / "table1.json"
+        save_results(rows, path, metadata={"experiment": "table1"})
+        document = load_results(path)
+        assert document["metadata"]["experiment"] == "table1"
+        assert len(document["results"]) == 10
+        assert document["results"][0]["name"] == "matmul"
+
+    def test_roundtrip_figure3(self, tmp_path):
+        result = figure3.run()
+        path = tmp_path / "figure3.json"
+        save_results(result, path)
+        document = load_results(path)
+        assert len(document["results"]["points"]) == 13
+
+    def test_enum_flattening(self, tmp_path):
+        from repro.app.pipeline import StageReport, Placement
+        report = StageReport(name="x", placement=Placement.HOST,
+                             time_per_item=1.0, energy_per_item=2.0,
+                             speedup_vs_host=1.0)
+        path = tmp_path / "stage.json"
+        save_results(report, path)
+        assert load_results(path)["results"]["placement"] == "host"
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_results(object(), tmp_path / "bad.json")
+
+    def test_load_rejects_non_store(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+
+class TestDiff:
+    def _documents(self, before, after):
+        return {"results": before}, {"results": after}
+
+    def test_identical_runs_clean(self, tmp_path):
+        rows = table1.run()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_results(rows, a)
+        save_results(table1.run(), b)
+        deltas = diff_results(load_results(a), load_results(b))
+        assert deltas == []
+
+    def test_numeric_change_detected(self):
+        before, after = self._documents({"x": 100.0}, {"x": 110.0})
+        deltas = diff_results(before, after)
+        assert len(deltas) == 1
+        assert deltas[0].relative_change == pytest.approx(0.10)
+
+    def test_tolerance_suppresses_noise(self):
+        before, after = self._documents({"x": 100.0}, {"x": 100.0 + 1e-8})
+        assert diff_results(before, after, tolerance=1e-6) == []
+
+    def test_missing_key_is_structural(self):
+        before, after = self._documents({"x": 1.0, "y": 2.0}, {"x": 1.0})
+        deltas = diff_results(before, after)
+        assert len(deltas) == 1
+        assert math.isnan(deltas[0].before)
+
+    def test_list_length_change(self):
+        before, after = self._documents([1, 2], [1, 2, 3])
+        deltas = diff_results(before, after)
+        assert any("[len]" in d.path for d in deltas)
+
+    def test_nested_paths(self):
+        before, after = self._documents(
+            {"a": {"b": [{"c": 1.0}]}},
+            {"a": {"b": [{"c": 2.0}]}})
+        deltas = diff_results(before, after)
+        assert deltas[0].path == "a.b[0].c"
+
+    def test_bool_change(self):
+        before, after = self._documents({"ok": True}, {"ok": False})
+        assert len(diff_results(before, after)) == 1
+
+    def test_render(self):
+        before, after = self._documents({"x": 1.0}, {"x": 2.0})
+        text = render_diff(diff_results(before, after))
+        assert "x: 1 -> 2" in text
+        assert render_diff([]) == "no metric changes"
+
+    def test_render_truncates(self):
+        before = {"results": {f"k{i}": float(i) for i in range(50)}}
+        after = {"results": {f"k{i}": float(i + 1) for i in range(50)}}
+        text = render_diff(diff_results(before, after), limit=5)
+        assert "more" in text

@@ -1,0 +1,193 @@
+"""Tests for the fixed-point substrate (repro.fixed)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixed import (
+    FxpArray,
+    Int64Accumulator,
+    Q1_15,
+    Q8_8,
+    Q16_16,
+    QFormat,
+    fxp_add,
+    fxp_from_float,
+    fxp_mac,
+    fxp_mul,
+    fxp_sub,
+    fxp_to_float,
+    saturate,
+)
+
+
+class TestQFormat:
+    def test_q1_15_properties(self):
+        assert Q1_15.width == 16
+        assert Q1_15.scale == 1 << 15
+        assert Q1_15.raw_min == -(1 << 15)
+        assert Q1_15.raw_max == (1 << 15) - 1
+        assert Q1_15.storage_bytes == 2
+
+    def test_q16_16_range(self):
+        assert Q16_16.width == 32
+        assert Q16_16.max_value == pytest.approx(32768, rel=1e-3)
+        assert Q16_16.storage_bytes == 4
+
+    def test_unsigned_format(self):
+        fmt = QFormat(8, 8, signed=False)
+        assert fmt.raw_min == 0
+        assert fmt.width == 16
+
+    def test_resolution(self):
+        assert Q8_8.resolution == pytest.approx(1 / 256)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(FixedPointError):
+            QFormat(-1, 15)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(FixedPointError):
+            QFormat(40, 40)
+
+    def test_str(self):
+        assert str(Q1_15) == "Q0.15"
+        assert str(QFormat(8, 8, signed=False)) == "UQ8.8"
+
+
+class TestScalarOps:
+    def test_from_float_roundtrip(self):
+        raw = fxp_from_float(0.5, Q1_15)
+        assert raw == 1 << 14
+        assert fxp_to_float(raw, Q1_15) == pytest.approx(0.5)
+
+    def test_from_float_saturates(self):
+        assert fxp_from_float(10.0, Q1_15) == Q1_15.raw_max
+        assert fxp_from_float(-10.0, Q1_15) == Q1_15.raw_min
+
+    def test_add_saturates(self):
+        near_max = Q1_15.raw_max - 1
+        assert fxp_add(near_max, 100, Q1_15) == Q1_15.raw_max
+
+    def test_sub_saturates(self):
+        assert fxp_sub(Q1_15.raw_min, 100, Q1_15) == Q1_15.raw_min
+
+    def test_mul_renormalizes(self):
+        half = fxp_from_float(0.5, Q1_15)
+        quarter = fxp_mul(half, half, Q1_15, Q1_15, Q1_15)
+        assert fxp_to_float(quarter, Q1_15) == pytest.approx(0.25, abs=1e-4)
+
+    def test_mul_rejects_widening_output(self):
+        with pytest.raises(FixedPointError):
+            fxp_mul(1, 1, Q1_15, Q1_15, QFormat(0, 31))
+
+    def test_mac(self):
+        half = fxp_from_float(0.5, Q1_15)
+        acc = fxp_from_float(0.25, Q1_15)
+        result = fxp_mac(acc, half, half, Q1_15, Q1_15, Q1_15)
+        assert fxp_to_float(result, Q1_15) == pytest.approx(0.5, abs=1e-4)
+
+    @given(st.floats(-4.0, 4.0))
+    def test_quantization_error_bounded(self, value):
+        raw = fxp_from_float(value, Q8_8)
+        back = fxp_to_float(raw, Q8_8)
+        clipped = min(max(value, Q8_8.min_value), Q8_8.max_value)
+        assert abs(back - clipped) <= Q8_8.resolution
+
+    @given(st.integers(-(1 << 20), 1 << 20))
+    def test_saturate_idempotent(self, raw):
+        once = saturate(raw, Q1_15)
+        assert saturate(once, Q1_15) == once
+        assert Q1_15.raw_min <= once <= Q1_15.raw_max
+
+
+class TestArrays:
+    def test_array_roundtrip(self):
+        values = np.array([0.1, -0.5, 0.9])
+        arr = FxpArray.from_float(values, Q1_15)
+        assert np.allclose(arr.to_float(), values, atol=Q1_15.resolution)
+
+    def test_array_add_saturates(self):
+        a = FxpArray(np.array([Q1_15.raw_max]), Q1_15)
+        b = FxpArray(np.array([100]), Q1_15)
+        assert a.add(b).raw[0] == Q1_15.raw_max
+
+    def test_array_mul(self):
+        a = FxpArray.from_float(np.array([0.5, -0.5]), Q1_15)
+        out = a.mul(a, Q1_15)
+        assert np.allclose(out.to_float(), [0.25, 0.25], atol=1e-4)
+
+    def test_format_mismatch_raises(self):
+        a = FxpArray(np.array([0]), Q1_15)
+        b = FxpArray(np.array([0]), Q8_8)
+        with pytest.raises(FixedPointError):
+            a.add(b)
+
+    def test_out_of_range_raw_rejected(self):
+        with pytest.raises(FixedPointError):
+            FxpArray(np.array([1 << 20]), Q1_15)
+
+    def test_size_bytes(self):
+        arr = FxpArray(np.zeros(10, dtype=np.int64), Q1_15)
+        assert arr.size_bytes == 20
+
+
+class TestInt64Accumulator:
+    def test_simple_add(self):
+        acc = Int64Accumulator()
+        acc.add(5).add(-3)
+        assert acc.value == 2
+
+    def test_carry_propagation(self):
+        acc = Int64Accumulator(0xFFFFFFFF)
+        acc.add(1)
+        assert acc.value == 0x100000000
+
+    def test_negative_values(self):
+        acc = Int64Accumulator()
+        acc.add(-1)
+        assert acc.value == -1
+        acc.add(-(1 << 40))
+        assert acc.value == -1 - (1 << 40)
+
+    def test_wraps_at_64_bits(self):
+        acc = Int64Accumulator((1 << 63) - 1)
+        acc.add(1)
+        assert acc.value == -(1 << 63)
+
+    def test_primitive_op_accounting(self):
+        acc = Int64Accumulator()
+        acc.add(1)
+        assert acc.primitive_ops == Int64Accumulator.OPS_PER_ADD
+        acc.add_product32(3, 4)
+        assert acc.primitive_ops == 2 * Int64Accumulator.OPS_PER_ADD + 2
+
+    def test_add_product32(self):
+        acc = Int64Accumulator()
+        acc.add_product32(-(1 << 31), 2)
+        assert acc.value == -(1 << 32)
+
+    def test_shift_right(self):
+        acc = Int64Accumulator(1 << 20)
+        assert acc.shift_right(4) == 1 << 16
+
+    def test_reset_preserves_ops(self):
+        acc = Int64Accumulator(42)
+        acc.add(1)
+        ops = acc.primitive_ops
+        acc.reset()
+        assert acc.value == 0
+        assert acc.primitive_ops == ops
+
+    @given(st.lists(st.integers(-(1 << 62), 1 << 62), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_matches_python_ints(self, addends):
+        acc = Int64Accumulator()
+        total = 0
+        for addend in addends:
+            acc.add(addend)
+            total = (total + addend) & 0xFFFFFFFFFFFFFFFF
+        expected = total - (1 << 64) if total & (1 << 63) else total
+        assert acc.value == expected

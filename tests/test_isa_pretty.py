@@ -1,0 +1,68 @@
+"""Tests for the program pretty-printer."""
+
+import pytest
+
+from repro.isa.or10n import Or10nTarget
+from repro.isa.pretty import format_loop_header, format_op, render_program
+from repro.isa.program import Block, Loop, Program
+from repro.isa.vop import DType, OpKind, VOp, alu, load, mac
+from repro.kernels.matmul import MatmulKernel
+
+
+class TestFormatOp:
+    def test_simple(self):
+        assert format_op(load(DType.I8)) == "load.i8"
+
+    def test_count(self):
+        assert format_op(mac(DType.I16, 3.0)) == "mac.i16 x3"
+
+    def test_flags(self):
+        op = VOp(OpKind.LOAD, DType.I32, vector=False, unaligned=True)
+        assert "[scalar,unaligned]" in format_op(op)
+
+
+class TestLoopHeader:
+    def test_basic(self):
+        loop = Loop(16, [Block([load()])], name="rows")
+        assert format_loop_header(loop) == "for rows (x16)"
+
+    def test_attributes(self):
+        loop = Loop(8, [Block([mac(DType.I8)])], vectorizable=True,
+                    simd_dtype=DType.I8, parallelizable=True, name="j")
+        header = format_loop_header(loop)
+        assert "parallel" in header
+        assert "vectorizable(i8)" in header
+
+    def test_target_simd_annotation(self):
+        loop = Loop(8, [Block([mac(DType.I8)])], vectorizable=True,
+                    simd_dtype=DType.I8)
+        header = format_loop_header(loop, Or10nTarget())
+        assert "simd: 4 lanes" in header
+
+    def test_blocked_simd_annotation(self):
+        loop = Loop(8, [Block([alu(OpKind.SHIFT, DType.I8)])],
+                    vectorizable=True, simd_dtype=DType.I8)
+        header = format_loop_header(loop, Or10nTarget())
+        assert "simd: blocked" in header
+
+
+class TestRenderProgram:
+    def test_structure(self, simple_program):
+        text = render_program(simple_program)
+        assert "program 'simple'" in text
+        assert text.count("for ") == 2
+        assert "{" in text
+
+    def test_with_target_costs(self, simple_program):
+        text = render_program(simple_program, Or10nTarget())
+        assert "cycles on or10n" in text
+
+    def test_real_kernel_renders(self):
+        text = render_program(MatmulKernel("char").build_program(),
+                              Or10nTarget())
+        assert "for i" in text and "for j" in text and "for k" in text
+
+    def test_block_truncation(self):
+        big = Block([alu(OpKind.ADD) for _ in range(20)])
+        text = render_program(Program("p", [big]), max_ops_per_block=4)
+        assert "+16 more" in text

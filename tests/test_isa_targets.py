@@ -1,0 +1,213 @@
+"""Tests for the target cost tables and the lowering walk."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.costs import (
+    SimdSpec,
+    TargetCosts,
+    baseline_costs,
+    cortex_m3_costs,
+    cortex_m4_costs,
+    or10n_costs,
+)
+from repro.isa.baseline import BaselineRiscTarget
+from repro.isa.cortexm import CortexM3Target, CortexM4Target
+from repro.isa.or10n import Or10nTarget
+from repro.isa.program import Block, Loop, Program
+from repro.isa.target import Target
+from repro.isa.vop import DType, OpKind, VOp, addr, alu, load, mac, store
+
+
+class TestCostTables:
+    def test_baseline_mac_expands_to_two_ops(self):
+        costs = baseline_costs()
+        assert costs.instructions_for(OpKind.MAC) == 2.0
+
+    def test_or10n_fused_mac(self):
+        costs = or10n_costs()
+        assert costs.cycles_for(OpKind.MAC) == 1.0
+        assert costs.hardware_loops == 2
+        assert costs.addr_folded
+
+    def test_m4_native_wide_mac_cheaper_than_or10n(self):
+        # The UMLAL/SMLAL story behind hog's slowdown.
+        assert cortex_m4_costs().cycles_for(OpKind.MAC64) \
+            < or10n_costs().cycles_for(OpKind.MAC64)
+
+    def test_m3_mac_slower_than_m4(self):
+        assert cortex_m3_costs().cycles_for(OpKind.MAC) \
+            > cortex_m4_costs().cycles_for(OpKind.MAC)
+
+    def test_m_series_have_no_simd(self):
+        assert not cortex_m4_costs().simd
+        assert not cortex_m3_costs().simd
+
+    def test_m_series_pay_flash_fetch_stalls(self):
+        assert cortex_m4_costs().cycle_scale > 1.0
+        assert or10n_costs().cycle_scale == 1.0
+
+    def test_simd_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimdSpec(lanes=0)
+        with pytest.raises(ConfigurationError):
+            SimdSpec(lanes=4, overhead_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            SimdSpec(lanes=4, pure_alu_overhead=0.9)
+
+    def test_simd_net_speedup(self):
+        spec = SimdSpec(lanes=4, overhead_factor=2.0)
+        assert spec.net_speedup == 2.0
+
+    def test_with_overrides(self):
+        modified = or10n_costs().with_overrides(hardware_loops=0)
+        assert modified.hardware_loops == 0
+        assert or10n_costs().hardware_loops == 2
+
+    def test_unknown_kind_raises(self):
+        costs = TargetCosts(
+            name="tiny", op_cycles={}, op_instructions={},
+            loop_iter_cycles=1, loop_iter_instructions=1,
+            loop_setup_cycles=1)
+        with pytest.raises(ConfigurationError):
+            costs.cycles_for(OpKind.MAC)
+
+
+class TestLowering:
+    def test_block_cost(self, baseline_target):
+        program = Program("p", [Block([load(), load(), mac()])])
+        report = baseline_target.lower(program)
+        # 1 + 1 + 2 instructions, CPI 1.
+        assert report.instructions == 4
+        assert report.cycles == 4
+        assert report.memory_accesses == 2
+
+    def test_loop_overhead_counted(self, baseline_target):
+        program = Program("p", [Loop(10, [Block([alu(OpKind.ADD)])])])
+        report = baseline_target.lower(program)
+        # 10 adds + 10 * 2 loop-control + setup(1 instr).
+        assert report.instructions == 10 + 20 + 1
+        assert report.cycles_by_kind["loop_overhead"] == 20
+
+    def test_hw_loop_removes_iteration_overhead(self, or10n_target):
+        inner = Loop(100, [Block([alu(OpKind.ADD)])])
+        report = or10n_target.lower(Program("p", [inner]))
+        assert report.cycles_by_kind.get("loop_overhead", 0.0) == 0.0
+
+    def test_hw_loops_limited_to_two_levels(self, or10n_target):
+        level1 = Loop(4, [Block([alu(OpKind.ADD)])])
+        level2 = Loop(4, [level1])
+        level3 = Loop(4, [level2])
+        report = or10n_target.lower(Program("p", [level3]))
+        # Only the third (outermost) loop pays per-iteration overhead.
+        assert report.cycles_by_kind["loop_overhead"] == \
+            4 * or10n_target.costs.loop_iter_cycles
+
+    def test_addr_folding(self, or10n_target, baseline_target):
+        program = Program("p", [Block([addr(count=5)])])
+        assert or10n_target.lower(program).cycles == 0
+        assert baseline_target.lower(program).cycles == 5
+
+    def test_non_foldable_addr_costs(self, or10n_target):
+        program = Program("p", [Block([addr(count=5, foldable=False)])])
+        assert or10n_target.lower(program).cycles == 5
+
+    def test_cycle_scale_applied(self, m4_target):
+        program = Program("p", [Block([alu(OpKind.ADD, count=100)])])
+        assert m4_target.lower(program).cycles == pytest.approx(120.0)
+
+    def test_lower_nodes_subset(self, or10n_target, simple_program):
+        full = or10n_target.lower(simple_program)
+        parts = or10n_target.lower_nodes(simple_program.body)
+        assert parts.cycles == pytest.approx(full.cycles)
+
+
+class TestVectorization:
+    def _vec_loop(self, trips=64, dtype=DType.I8, ops=None):
+        body = Block(ops if ops is not None else
+                     [load(dtype), mac(dtype)])
+        return Program("p", [Loop(trips, [body], vectorizable=True,
+                                  simd_dtype=dtype)])
+
+    def test_or10n_vectorizes_char(self, or10n_target):
+        plan = or10n_target.vector_plan(
+            self._vec_loop().body[0])
+        assert plan is not None
+        assert plan.lanes == 4
+
+    def test_vectorization_reduces_cycles(self, or10n_target):
+        vec = or10n_target.lower(self._vec_loop())
+        scalar_program = Program("p", [Loop(64, [Block([
+            load(DType.I8), mac(DType.I8)])])])
+        scalar = or10n_target.lower(scalar_program)
+        assert vec.cycles < scalar.cycles
+
+    def test_shift_blocks_vectorization(self, or10n_target):
+        program = self._vec_loop(ops=[load(DType.I16),
+                                      alu(OpKind.SHIFT, DType.I16),
+                                      mac(DType.I16)])
+        assert or10n_target.vector_plan(program.body[0]) is None
+
+    def test_scalar_marked_ops_do_not_block(self, or10n_target):
+        program = self._vec_loop(ops=[load(DType.I8), mac(DType.I8),
+                                      alu(OpKind.SHIFT, DType.I32,
+                                          vector=False)])
+        assert or10n_target.vector_plan(program.body[0]) is not None
+
+    def test_scalar_ops_replicate_per_lane(self, or10n_target):
+        with_scalar = self._vec_loop(ops=[
+            load(DType.I8), mac(DType.I8),
+            alu(OpKind.ADD, DType.I32, vector=False)])
+        without = self._vec_loop()
+        delta = or10n_target.lower(with_scalar).cycles \
+            - or10n_target.lower(without).cycles
+        # Replicated 4x per vector iteration, 16 vector iterations,
+        # scaled by the SIMD overhead factor.
+        spec = or10n_target.costs.simd[DType.I8]
+        assert delta == pytest.approx(16 * 4 * spec.overhead_factor)
+
+    def test_i32_never_vectorizes(self, or10n_target):
+        program = self._vec_loop(dtype=DType.I32)
+        assert or10n_target.vector_plan(program.body[0]) is None
+
+    def test_m_series_never_vectorize(self, m4_target, m3_target):
+        loop = self._vec_loop().body[0]
+        assert m4_target.vector_plan(loop) is None
+        assert m3_target.vector_plan(loop) is None
+
+    def test_pure_alu_loops_get_light_overhead(self, or10n_target):
+        adds = self._vec_loop(ops=[load(DType.I8),
+                                   alu(OpKind.ADD, DType.I8),
+                                   store(DType.I8)])
+        plan = or10n_target.vector_plan(adds.body[0])
+        spec = or10n_target.costs.simd[DType.I8]
+        assert plan.overhead_factor == spec.pure_alu_overhead
+
+    def test_unaligned_penalty_only_when_vectorized(self, m4_target):
+        aligned = Program("p", [Loop(8, [Block([load(DType.I32)])])])
+        unaligned = Program("p", [Loop(8, [Block([
+            load(DType.I32, unaligned=True)])])])
+        # Scalar context: no penalty on either.
+        assert m4_target.lower(aligned).cycles == \
+            m4_target.lower(unaligned).cycles
+
+    def test_baseline_ignores_vectorizable_flag(self, baseline_target):
+        vec = baseline_target.lower(self._vec_loop())
+        scalar = baseline_target.lower(Program("p", [Loop(64, [Block([
+            load(DType.I8), mac(DType.I8)])])]))
+        assert vec.cycles == scalar.cycles
+
+
+class TestReportProperties:
+    def test_cpi(self, baseline_target, simple_program):
+        report = baseline_target.lower(simple_program)
+        # CPI 1 on ops; the only deviation is the 2-cycle loop setup
+        # charged as one instruction.
+        assert 1.0 < report.cpi < 1.1
+
+    def test_memory_intensity(self, or10n_target):
+        program = Program("p", [Block([load(count=10),
+                                       alu(OpKind.ADD, count=10)])])
+        report = or10n_target.lower(program)
+        # loads cost 2 cycles each on OR10N, adds 1.
+        assert report.memory_intensity() == pytest.approx(20 / 30)

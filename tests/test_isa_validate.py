@@ -1,0 +1,111 @@
+"""Tests for the IR validator and the cycle-breakdown experiment."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.experiments.cycle_breakdown import CATEGORIES, render, run
+from repro.isa.program import Block, Loop, Program
+from repro.isa.validate import Severity, validate_program
+from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.kernels.registry import all_kernels
+
+
+class TestValidator:
+    def test_all_registered_kernels_clean(self):
+        for kernel in all_kernels():
+            findings = validate_program(kernel.build_program())
+            errors = [f for f in findings if f.severity is Severity.ERROR]
+            assert not errors, (kernel.name, [str(f) for f in errors])
+
+    def test_empty_program_is_error(self):
+        findings = validate_program(Program("empty", []))
+        assert any(f.severity is Severity.ERROR for f in findings)
+
+    def test_no_parallel_loop_warns(self):
+        program = Program("serial", [Loop(4, [Block([load()])])],
+                          input_bytes=16)
+        findings = validate_program(program)
+        assert any("parallel" in f.message for f in findings)
+
+    def test_nested_parallel_is_error(self):
+        inner = Loop(4, [Block([load()])], parallelizable=True)
+        outer = Loop(4, [inner], parallelizable=True)
+        findings = validate_program(Program("nested", [outer]))
+        assert any(f.severity is Severity.ERROR and "nested" in f.message
+                   for f in findings)
+
+    def test_strict_raises_on_error(self):
+        with pytest.raises(IsaError):
+            validate_program(Program("empty", []), strict=True)
+
+    def test_strict_tolerates_warnings(self):
+        program = Program("serial", [Loop(4, [Block([load(),
+                                                     store()])])])
+        validate_program(program, strict=True)  # no exception
+
+    def test_vectorizable_without_vector_ops(self):
+        loop = Loop(8, [Block([addr()])], vectorizable=True,
+                    simd_dtype=DType.I8, parallelizable=True)
+        findings = validate_program(Program("v", [loop]))
+        assert any("no vector-marked ops" in f.message for f in findings)
+
+    def test_vectorizable_all_wide_warns(self):
+        loop = Loop(8, [Block([alu(OpKind.ADD, DType.I32)])],
+                    vectorizable=True, simd_dtype=DType.I8,
+                    parallelizable=True)
+        findings = validate_program(Program("v", [loop]))
+        assert any("32-bit" in f.message for f in findings)
+
+    def test_io_without_memory_ops_warns(self):
+        loop = Loop(8, [Block([alu(OpKind.ADD)])], parallelizable=True)
+        findings = validate_program(
+            Program("p", [loop], input_bytes=64, output_bytes=64))
+        messages = " ".join(f.message for f in findings)
+        assert "no loads" in messages
+        assert "no stores" in messages
+
+    def test_zero_trip_warns(self):
+        loop = Loop(0, [Block([load()])], parallelizable=True)
+        findings = validate_program(Program("z", [loop]))
+        assert any("zero-trip" in f.message for f in findings)
+
+    def test_finding_str(self):
+        findings = validate_program(Program("empty", []))
+        assert "[error]" in str(findings[0])
+
+
+class TestCycleBreakdown:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run()
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 10 * 3
+
+    def test_shares_sum_to_one(self, rows):
+        for row in rows:
+            total = sum(row.shares.values())
+            assert total == pytest.approx(1.0, abs=1e-6), row
+
+    def test_hog_wide_ops_dominate_or10n_not_m4(self, rows):
+        by_key = {(r.kernel, r.target): r for r in rows}
+        hog_or10n = by_key[("hog", "or10n")]
+        hog_m4 = by_key[("hog", "cortex-m4")]
+        assert hog_or10n.share("wide64") > 0.35
+        assert hog_or10n.share("wide64") > hog_m4.share("wide64")
+
+    def test_hw_loops_remove_loop_share(self, rows):
+        by_key = {(r.kernel, r.target): r for r in rows}
+        assert by_key[("matmul", "or10n")].share("loop") < \
+            by_key[("matmul", "cortex-m4")].share("loop")
+
+    def test_matmul_dominated_by_memory_and_mac(self, rows):
+        by_key = {(r.kernel, r.target): r for r in rows}
+        row = by_key[("matmul", "or10n")]
+        assert row.share("memory") + row.share("mul/mac") > 0.5
+
+    def test_render(self, rows):
+        text = render(rows, target="or10n")
+        assert "hog" in text
+        for category in CATEGORIES:
+            assert category in text

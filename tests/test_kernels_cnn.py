@@ -1,0 +1,129 @@
+"""Tests for the CNN kernel and its approximated variant."""
+
+import numpy as np
+import pytest
+
+from repro.isa.baseline import BaselineRiscTarget
+from repro.kernels.cnn import (
+    CnnKernel,
+    CONV1_MAPS,
+    CONV2_CONNECTIVITY,
+    CONV2_MAPS,
+    PERFORATION,
+    _avg_pool,
+    _conv2d_valid,
+    conv2_connection_table,
+    perforation_mask,
+)
+
+
+class TestBuildingBlocks:
+    def test_conv2d_valid_shape(self):
+        image = np.zeros((32, 32), dtype=np.int64)
+        weights = np.ones((5, 5), dtype=np.int64)
+        assert _conv2d_valid(image, weights).shape == (28, 28)
+
+    def test_conv2d_matches_direct(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(-100, 100, (10, 10))
+        weights = rng.integers(-10, 10, (3, 3))
+        out = _conv2d_valid(image, weights)
+        direct = sum(weights[dy, dx] * image[dy:dy + 8, dx:dx + 8]
+                     for dy in range(3) for dx in range(3))
+        assert np.array_equal(out, direct)
+
+    def test_avg_pool(self):
+        maps = np.arange(16).reshape(1, 4, 4).astype(np.int64)
+        pooled = _avg_pool(maps)
+        assert pooled.shape == (1, 2, 2)
+        assert pooled[0, 0, 0] == (0 + 1 + 4 + 5) >> 2
+
+    def test_connection_table_density(self):
+        table = conv2_connection_table()
+        assert table.shape == (CONV2_MAPS, CONV1_MAPS)
+        density = table.sum() / table.size
+        assert density == pytest.approx(CONV2_CONNECTIVITY, abs=0.05)
+
+    def test_connection_table_every_input_used(self):
+        table = conv2_connection_table()
+        assert table.any(axis=0).all()
+        assert table.any(axis=1).all()
+
+    def test_perforation_mask_density(self):
+        mask = perforation_mask()
+        computed = mask.sum() / mask.size
+        assert computed == pytest.approx(1 - PERFORATION, abs=0.05)
+
+
+class TestFunctional:
+    def test_scores_match_float_reference(self):
+        kernel = CnnKernel()
+        inputs = kernel.generate_inputs(0)
+        fixed = kernel.compute(inputs)
+        ref = kernel.reference(inputs)
+        assert np.allclose(fixed["scores"] / 65536.0, ref["scores"],
+                           atol=0.02)
+
+    def test_labels_match_reference(self):
+        for seed in range(5):
+            kernel = CnnKernel()
+            inputs = kernel.generate_inputs(seed)
+            assert kernel.compute(inputs)["label"][0] == \
+                kernel.reference(inputs)["label"][0]
+
+    def test_approx_close_to_exact(self):
+        exact = CnnKernel(approximate=False)
+        approx = CnnKernel(approximate=True)
+        inputs = exact.generate_inputs(0)
+        exact_scores = exact.compute(inputs)["scores"] / 65536.0
+        approx_scores = approx.compute(inputs)["scores"] / 65536.0
+        # Approximation error is visible but bounded.
+        assert 0 < np.abs(exact_scores - approx_scores).max() < 0.5
+
+    def test_output_is_forty_bytes(self):
+        result = CnnKernel().run(seed=1)
+        assert result.output_bytes == 40
+
+    def test_deterministic(self):
+        kernel = CnnKernel(approximate=True)
+        assert kernel.run(3).output_payload == kernel.run(3).output_payload
+
+    def test_zero_image_gives_bias_response(self):
+        kernel = CnnKernel()
+        inputs = kernel.generate_inputs(0)
+        inputs["image"] = np.zeros_like(inputs["image"])
+        scores = kernel.compute(inputs)["scores"]
+        assert scores.shape == (10,)
+
+
+class TestProgram:
+    def test_table1_sizes(self):
+        program = CnnKernel().build_program()
+        assert program.input_bytes == 2048
+        assert program.output_bytes == 40
+
+    def test_risc_ops_near_paper(self, baseline_target):
+        exact = baseline_target.risc_ops(CnnKernel().build_program())
+        approx = baseline_target.risc_ops(
+            CnnKernel(approximate=True).build_program())
+        assert exact == pytest.approx(3.3e6, rel=0.08)
+        assert approx == pytest.approx(2.6e6, rel=0.08)
+        assert approx < exact
+
+    def test_binary_near_paper(self):
+        from repro.pulp.binary import KernelBinary
+        binary = KernelBinary.from_program(CnnKernel().build_program())
+        assert binary.image_bytes == pytest.approx(48.1 * 1024, rel=0.05)
+
+    def test_weight_bytes_accounting(self):
+        kernel = CnnKernel()
+        # The fully-connected layer dominates the 48 kB binary.
+        assert kernel.weight_bytes() > 35 * 1024
+
+    def test_six_parallel_regions(self):
+        program = CnnKernel().build_program()
+        assert len(program.parallel_loops()) == 6
+
+    def test_approx_adds_fill_region(self):
+        program = CnnKernel(approximate=True).build_program()
+        assert len(program.parallel_loops()) == 7

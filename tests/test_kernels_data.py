@@ -1,0 +1,113 @@
+"""Semantic end-to-end tests using the structured data generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.cnn import CnnKernel
+from repro.kernels.data import (
+    classification_accuracy,
+    prototype_svm_problem,
+    synthetic_image,
+)
+from repro.kernels.hog import CELLS, HogKernel
+from repro.kernels.svm import SvmKernel
+
+
+class TestSyntheticImages:
+    def test_kinds(self):
+        for kind in ("gradient", "checker", "blobs"):
+            image = synthetic_image(64, kind)
+            assert image.shape == (64, 64)
+            assert image.dtype == np.uint8
+
+    def test_gradient_is_monotone(self):
+        image = synthetic_image(64, "gradient")
+        assert np.all(np.diff(image[0].astype(int)) >= 0)
+
+    def test_blobs_deterministic_per_seed(self):
+        assert np.array_equal(synthetic_image(64, "blobs", 5),
+                              synthetic_image(64, "blobs", 5))
+        assert not np.array_equal(synthetic_image(64, "blobs", 5),
+                                  synthetic_image(64, "blobs", 6))
+
+    def test_unknown_kind(self):
+        with pytest.raises(KernelError):
+            synthetic_image(64, "noise2d")
+
+    def test_too_small(self):
+        with pytest.raises(KernelError):
+            synthetic_image(4)
+
+
+class TestHogSemantics:
+    def test_gradient_image_concentrates_horizontal_bins(self):
+        """A pure horizontal ramp has only horizontal gradients: the
+        0-ish orientation bins must hold nearly all the energy."""
+        kernel = HogKernel()
+        image = synthetic_image(128, "gradient")
+        descriptor = kernel.compute({"image": image})["descriptor"]
+        by_bin = descriptor.astype(np.int64).sum(axis=(0, 1, 2))
+        assert by_bin.argmax() in (0, len(by_bin) - 1)
+
+    def test_checker_has_more_energy_than_flat(self):
+        kernel = HogKernel()
+        checker = kernel.compute(
+            {"image": synthetic_image(128, "checker")})["descriptor"]
+        flat = kernel.compute(
+            {"image": np.full((128, 128), 90, np.uint8)})["descriptor"]
+        assert checker.sum() > 100 * max(1, flat.sum())
+
+    def test_blob_centers_energize_their_cells(self):
+        kernel = HogKernel()
+        image = np.full((128, 128), 20, np.uint8)
+        image[24:40, 24:40] = 220  # one bright square at cells (3..4, 3..4)
+        descriptor = kernel.compute({"image": image})["descriptor"]
+        cell_energy = descriptor.astype(np.int64).sum(axis=(2, 3))
+        hot = np.unravel_index(cell_energy.argmax(), cell_energy.shape)
+        assert 2 <= hot[0] <= 5 and 2 <= hot[1] <= 5
+
+
+class TestSvmSemantics:
+    @pytest.mark.parametrize("variant", ["linear", "poly", "RBF"])
+    def test_prototype_problem_solved(self, variant):
+        accuracy = classification_accuracy(SvmKernel(variant), seed=0)
+        assert accuracy == 1.0
+
+    @pytest.mark.parametrize("variant", ["linear", "RBF"])
+    def test_robust_across_seeds(self, variant):
+        kernel = SvmKernel(variant)
+        accuracies = [classification_accuracy(kernel, seed=s)
+                      for s in range(5)]
+        assert min(accuracies) >= 0.9
+
+    def test_accuracy_degrades_with_noise(self):
+        kernel = SvmKernel("linear")
+        clean = classification_accuracy(kernel, seed=3, noise=0.02)
+        noisy = classification_accuracy(kernel, seed=3, noise=0.6)
+        assert clean >= noisy
+
+    def test_labels_match_float_reference_on_structured_data(self):
+        kernel = SvmKernel("RBF")
+        inputs, _ = prototype_svm_problem(kernel, seed=2)
+        fixed = kernel.compute(inputs)["labels"]
+        ref = kernel.reference(inputs)["labels"]
+        assert (fixed == ref).mean() >= 0.95
+
+    def test_needs_enough_support_vectors(self):
+        kernel = SvmKernel("linear", support_vectors=4, classes=16)
+        with pytest.raises(KernelError):
+            prototype_svm_problem(kernel)
+
+
+class TestCnnOnStructuredData:
+    def test_distinct_images_distinct_scores(self):
+        kernel = CnnKernel()
+        inputs = kernel.generate_inputs(0)
+        blob = synthetic_image(32, "blobs", 1).astype(np.int64)
+        checker = synthetic_image(32, "checker").astype(np.int64)
+        scale = 64  # uint8 -> roughly Q1.15 quarter-scale
+        a = dict(inputs, image=(blob * scale).astype(np.int16))
+        b = dict(inputs, image=(checker * scale).astype(np.int16))
+        assert not np.array_equal(kernel.compute(a)["scores"],
+                                  kernel.compute(b)["scores"])

@@ -1,0 +1,134 @@
+"""Tests for the shared fixed-point math routines."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.kernels.fixmath import (
+    CORDIC_ITERATIONS,
+    Q15_ONE,
+    Q16_ONE,
+    cordic_vectoring,
+    cube_q15,
+    exp_neg_q,
+    hardtanh_q15,
+    rsqrt_q16,
+    tanh_q15,
+)
+
+
+class TestExpNeg:
+    def test_exp_zero_is_one(self):
+        assert exp_neg_q(np.array([0]))[0] == pytest.approx(Q15_ONE, abs=64)
+
+    def test_matches_float_exp(self):
+        xs = np.linspace(0.0, 6.0, 50)
+        raw = exp_neg_q((xs * Q16_ONE).astype(np.int64))
+        expected = np.exp(-xs)
+        assert np.allclose(raw / Q15_ONE, expected, atol=2e-3)
+
+    def test_underflow_to_zero(self):
+        assert exp_neg_q(np.array([20 * Q16_ONE]))[0] == 0
+
+    def test_monotone_decreasing(self):
+        xs = (np.linspace(0, 7.9, 100) * Q16_ONE).astype(np.int64)
+        values = exp_neg_q(xs)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(FixedPointError):
+            exp_neg_q(np.array([-1]))
+
+
+class TestCube:
+    def test_matches_float(self):
+        xs = np.linspace(-0.9, 0.9, 30)
+        raw = cube_q15((xs * Q15_ONE).astype(np.int64))
+        assert np.allclose(raw / Q15_ONE, xs ** 3, atol=2e-3)
+
+    def test_odd_symmetry_within_shift_floor(self):
+        # Arithmetic >> floors toward -inf, so the fixed-point cube is
+        # odd only to within one LSB (faithful to the embedded code).
+        x = np.array([12345])
+        assert abs(cube_q15(x)[0] + cube_q15(-x)[0]) <= 2
+
+
+class TestTanh:
+    def test_matches_float_tanh(self):
+        xs = np.linspace(-3.5, 3.5, 100)
+        raw = tanh_q15((xs * Q15_ONE).astype(np.int64))
+        assert np.allclose(raw / Q15_ONE, np.tanh(xs), atol=4e-3)
+
+    def test_saturates_at_extremes(self):
+        big = tanh_q15(np.array([100 * Q15_ONE]))[0]
+        assert big / Q15_ONE == pytest.approx(1.0, abs=1e-3)
+
+    def test_odd(self):
+        x = np.array([7777])
+        assert tanh_q15(x)[0] == -tanh_q15(-x)[0]
+
+    def test_hardtanh_clips(self):
+        xs = np.array([-3 * Q15_ONE, 0, 3 * Q15_ONE])
+        out = hardtanh_q15(xs)
+        assert out[0] == -Q15_ONE
+        assert out[1] == 0
+        assert out[2] == Q15_ONE - 1
+
+
+class TestCordic:
+    def test_angle_matches_atan2(self):
+        rng = np.random.default_rng(1)
+        dx = rng.integers(-255, 256, 500) << 16
+        dy = rng.integers(-255, 256, 500) << 16
+        mask = (dx != 0) | (dy != 0)
+        _, angle = cordic_vectoring(dx, dy)
+        expected = np.arctan2(dy[mask], dx[mask])
+        assert np.allclose(angle[mask] / Q16_ONE, expected, atol=2e-3)
+
+    def test_magnitude_matches_hypot(self):
+        rng = np.random.default_rng(2)
+        dx = rng.integers(-255, 256, 500) << 16
+        dy = rng.integers(-255, 256, 500) << 16
+        magnitude, _ = cordic_vectoring(dx, dy)
+        expected = np.hypot(dx.astype(float), dy.astype(float))
+        nonzero = expected > 0
+        assert np.allclose(magnitude[nonzero], expected[nonzero], rtol=5e-3)
+
+    def test_axis_cases(self):
+        mag, ang = cordic_vectoring(np.array([100 << 16]), np.array([0]))
+        assert ang[0] == pytest.approx(0, abs=200)
+        mag, ang = cordic_vectoring(np.array([0]), np.array([100 << 16]))
+        assert ang[0] / Q16_ONE == pytest.approx(math.pi / 2, abs=1e-3)
+        mag, ang = cordic_vectoring(np.array([-100 << 16]), np.array([0]))
+        assert abs(ang[0]) / Q16_ONE == pytest.approx(math.pi, abs=1e-2)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(FixedPointError):
+            cordic_vectoring(np.array([1]), np.array([1]), iterations=0)
+        with pytest.raises(FixedPointError):
+            cordic_vectoring(np.array([1]), np.array([1]),
+                             iterations=CORDIC_ITERATIONS + 1)
+
+
+class TestRsqrt:
+    @pytest.mark.parametrize("value", [0.01, 0.5, 1.0, 7.0, 100.0, 5e4, 2e6])
+    def test_matches_float(self, value):
+        raw = int(value * Q16_ONE)
+        got = rsqrt_q16(np.array([raw]), iterations=5)[0] / Q16_ONE
+        assert got == pytest.approx(value ** -0.5, rel=0.03)
+
+    def test_positive_required(self):
+        with pytest.raises(FixedPointError):
+            rsqrt_q16(np.array([0]))
+
+    @given(st.floats(0.01, 1e5))
+    @settings(max_examples=60)
+    def test_sqrt_identity(self, value):
+        raw = int(value * Q16_ONE)
+        rsqrt = rsqrt_q16(np.array([raw]), iterations=5)[0]
+        sqrt = (raw * rsqrt) >> 16
+        assert sqrt / Q16_ONE == pytest.approx(math.sqrt(value), rel=0.05)

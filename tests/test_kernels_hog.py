@@ -1,0 +1,131 @@
+"""Tests for the HOG kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.isa.baseline import BaselineRiscTarget
+from repro.isa.cortexm import CortexM3Target, CortexM4Target
+from repro.isa.or10n import Or10nTarget
+from repro.isa.vop import OpKind
+from repro.kernels.hog import (
+    BINS,
+    BLOCKS,
+    CELLS,
+    CLIP_Q16,
+    HogKernel,
+    gaussian_window_q15,
+)
+from repro.kernels.fixmath import Q16_ONE
+
+
+@pytest.fixture(scope="module")
+def hog_pair():
+    kernel = HogKernel()
+    inputs = kernel.generate_inputs(5)
+    return kernel, inputs, kernel.compute(inputs), kernel.reference(inputs)
+
+
+class TestGaussianWindow:
+    def test_shape_and_peak(self):
+        window = gaussian_window_q15()
+        assert window.shape == (16, 16)
+        peak = np.unravel_index(window.argmax(), window.shape)
+        assert peak in ((7, 7), (7, 8), (8, 7), (8, 8))
+
+    def test_symmetric(self):
+        window = gaussian_window_q15()
+        assert np.array_equal(window, window[::-1, :])
+        assert np.array_equal(window, window[:, ::-1])
+
+
+class TestFunctional:
+    def test_descriptor_shape_and_dtype(self, hog_pair):
+        _, _, fixed, _ = hog_pair
+        descriptor = fixed["descriptor"]
+        assert descriptor.shape == (CELLS, CELLS, 4, BINS)
+        assert descriptor.dtype == np.int32
+
+    def test_matches_float_reference(self, hog_pair):
+        _, _, fixed, ref = hog_pair
+        out = fixed["descriptor"] / Q16_ONE
+        expected = ref["descriptor"]
+        correlation = np.corrcoef(out.ravel(), expected.ravel())[0, 1]
+        assert correlation > 0.99
+        assert np.abs(out - expected).mean() < 0.01
+
+    def test_values_clipped_and_nonnegative(self, hog_pair):
+        _, _, fixed, _ = hog_pair
+        descriptor = fixed["descriptor"]
+        assert descriptor.min() >= 0
+        assert descriptor.max() <= CLIP_Q16
+
+    def test_flat_image_gives_zero_descriptor(self):
+        kernel = HogKernel()
+        flat = {"image": np.full((128, 128), 100, dtype=np.uint8)}
+        descriptor = kernel.compute(flat)["descriptor"]
+        assert not descriptor.any()
+
+    def test_horizontal_edge_energizes_vertical_gradient_bin(self):
+        kernel = HogKernel()
+        image = np.zeros((128, 128), dtype=np.uint8)
+        image[64:, :] = 200  # strong horizontal edge -> vertical gradient
+        descriptor = kernel.compute({"image": image})["descriptor"]
+        # The gradient direction is pi/2: bin index BINS // 2.
+        edge_cells = descriptor[7:9, 4:12]
+        strongest_bin = edge_cells.sum(axis=(0, 1, 2)).argmax()
+        assert strongest_bin == pytest.approx(BINS // 2, abs=1)
+
+    def test_output_size_is_36kb(self, hog_pair):
+        kernel, inputs, fixed, _ = hog_pair
+        payload = kernel.serialize_outputs(fixed)
+        assert len(payload) == CELLS * CELLS * 4 * BINS * 4 == 36864
+
+    def test_rejects_wrong_dtype(self):
+        kernel = HogKernel()
+        with pytest.raises(KernelError):
+            kernel.compute({"image": np.zeros((128, 128), dtype=np.int16)})
+
+    def test_rejects_wrong_shape(self):
+        kernel = HogKernel()
+        with pytest.raises(KernelError):
+            kernel.compute({"image": np.zeros((64, 64), dtype=np.uint8)})
+
+
+class TestProgram:
+    def test_table1_sizes(self):
+        program = HogKernel().build_program()
+        assert program.input_bytes == 16384
+        assert program.output_bytes == 36864
+
+    def test_risc_ops_order_of_magnitude(self, baseline_target):
+        # Known deviation (EXPERIMENTS.md): we reach ~24M of the paper's
+        # 31M; the shape requirement is hog >> every other kernel.
+        ops = baseline_target.risc_ops(HogKernel().build_program())
+        assert 20e6 < ops < 32e6
+
+    def test_architectural_slowdown_vs_m4(self):
+        # The paper's signature hog result: OR10N is *slower* than the
+        # M4 (software 64-bit vs native UMLAL) and on par with the M3.
+        program = HogKernel().build_program()
+        or10n = Or10nTarget().lower(program).cycles
+        m4 = CortexM4Target().lower(program).cycles
+        m3 = CortexM3Target().lower(program).cycles
+        assert m4 / or10n < 1.0
+        assert m3 / or10n == pytest.approx(1.0, abs=0.1)
+
+    def test_wide_ops_dominate(self, baseline_target):
+        program = HogKernel().build_program()
+        counts = program.dynamic_op_counts()
+        wide = sum(counts.get(kind, 0) for kind in
+                   (OpKind.MUL64, OpKind.ADD64, OpKind.SHIFT64, OpKind.MAC64))
+        assert wide > 0.3 * sum(counts.values())
+
+    def test_three_parallel_phases(self):
+        program = HogKernel().build_program()
+        assert len(program.parallel_loops()) == 3
+
+    def test_blocks_phase_squares(self):
+        program = HogKernel().build_program()
+        blocks = [l for l in program.parallel_loops() if l.name == "blocks"]
+        assert blocks[0].trips == BLOCKS

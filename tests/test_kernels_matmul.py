@@ -1,0 +1,155 @@
+"""Tests for the matmul kernels (char / short / fixed) and strassen."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.isa.baseline import BaselineRiscTarget
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.strassen import StrassenKernel, strassen_multiply
+
+
+class TestMatmulFunctional:
+    @pytest.mark.parametrize("variant", ["char", "short", "fixed"])
+    def test_identity_like(self, variant):
+        kernel = MatmulKernel(variant, n=8)
+        fmt_max = {"char": 127, "short": 32767, "fixed": 32767}[variant]
+        shift = {"char": 7, "short": 15, "fixed": 15}[variant]
+        dtype = {"char": np.int8, "short": np.int16,
+                 "fixed": np.int16}[variant]
+        # A diagonal "one" in the fixed-point sense: scale = 1 << shift
+        # would overflow, so use scale/2 and expect halved outputs.
+        half = 1 << (shift - 1)
+        a = np.zeros((8, 8), dtype=dtype)
+        np.fill_diagonal(a, min(half, fmt_max))
+        b = (np.arange(64).reshape(8, 8) - 32).astype(dtype)
+        out = kernel.compute({"a": a, "b": b})["c"]
+        expected = (b.astype(np.int64) + 1) >> 1  # round-half-up of b/2
+        assert np.array_equal(out, expected.astype(dtype))
+
+    def test_zero_inputs(self):
+        kernel = MatmulKernel("char", n=4)
+        zero = np.zeros((4, 4), dtype=np.int8)
+        assert not kernel.compute({"a": zero, "b": zero})["c"].any()
+
+    @pytest.mark.parametrize("variant", ["char", "short"])
+    def test_matches_reference_within_rounding(self, variant):
+        kernel = MatmulKernel(variant, n=16)
+        inputs = kernel.generate_inputs(0)
+        out = kernel.compute(inputs)["c"].astype(np.float64)
+        ref = kernel.reference(inputs)["c"]
+        info = np.iinfo(kernel.compute(inputs)["c"].dtype)
+        ref_clipped = np.clip(ref, info.min, info.max)
+        assert np.abs(out - ref_clipped).max() <= 1.0
+
+    def test_fixed_renormalization_differs_from_wide_accumulate(self):
+        # Per-product renormalization loses precision versus accumulating
+        # the raw products — the outputs should be close but not equal.
+        kernel = MatmulKernel("fixed", n=16)
+        inputs = kernel.generate_inputs(1)
+        out = kernel.compute(inputs)["c"].astype(np.float64)
+        ref = kernel.reference(inputs)["c"]
+        error = np.abs(out - np.clip(ref, -32768, 32767))
+        assert 0 < error.max() <= 16
+
+    def test_saturation(self):
+        kernel = MatmulKernel("char", n=4)
+        a = np.full((4, 4), 127, dtype=np.int8)
+        b = np.full((4, 4), 127, dtype=np.int8)
+        out = kernel.compute({"a": a, "b": b})["c"]
+        assert np.all(out == 127)  # 4*127*127 >> 7 saturates
+
+    def test_shape_validation(self):
+        kernel = MatmulKernel("char", n=8)
+        bad = np.zeros((4, 4), dtype=np.int8)
+        with pytest.raises(KernelError):
+            kernel.compute({"a": bad, "b": bad})
+
+    def test_unknown_variant(self):
+        with pytest.raises(KernelError):
+            MatmulKernel("double")
+
+    def test_serialization_roundtrip(self):
+        kernel = MatmulKernel("short", n=8)
+        result = kernel.run(seed=2)
+        out = np.frombuffer(result.output_payload, dtype=np.int16)
+        assert np.array_equal(out.reshape(8, 8), result.outputs["c"])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_in_seed(self, seed):
+        kernel = MatmulKernel("char", n=8)
+        first = kernel.run(seed).output_payload
+        second = kernel.run(seed).output_payload
+        assert first == second
+
+
+class TestMatmulProgram:
+    def test_table1_sizes(self):
+        program = MatmulKernel("char").build_program()
+        assert program.input_bytes == 8192
+        assert program.output_bytes == 4096
+        program = MatmulKernel("short").build_program()
+        assert program.input_bytes == 16384
+        assert program.output_bytes == 8192
+
+    def test_risc_ops_near_paper(self, baseline_target):
+        ops = baseline_target.risc_ops(MatmulKernel("char").build_program())
+        assert ops == pytest.approx(2.4e6, rel=0.05)
+        ops = baseline_target.risc_ops(MatmulKernel("fixed").build_program())
+        assert ops == pytest.approx(2.7e6, rel=0.05)
+
+    def test_fixed_has_more_ops_than_char(self, baseline_target):
+        char_ops = baseline_target.risc_ops(MatmulKernel("char").build_program())
+        fixed_ops = baseline_target.risc_ops(MatmulKernel("fixed").build_program())
+        assert fixed_ops > char_ops
+
+    def test_fixed_not_vectorizable(self, or10n_target):
+        program = MatmulKernel("fixed").build_program()
+        j_loop = program.body[0].body[0]
+        assert or10n_target.vector_plan(j_loop) is None
+
+    def test_char_vectorizable(self, or10n_target):
+        program = MatmulKernel("char").build_program()
+        j_loop = program.body[0].body[0]
+        plan = or10n_target.vector_plan(j_loop)
+        assert plan is not None and plan.lanes == 4
+
+
+class TestStrassen:
+    def test_strassen_multiply_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-100, 100, (32, 32))
+        b = rng.integers(-100, 100, (32, 32))
+        assert np.array_equal(strassen_multiply(a, b, threshold=8), a @ b)
+
+    def test_recursion_depth_irrelevant(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(-50, 50, (64, 64))
+        b = rng.integers(-50, 50, (64, 64))
+        assert np.array_equal(strassen_multiply(a, b, threshold=8),
+                              strassen_multiply(a, b, threshold=64))
+
+    def test_kernel_matches_classic_matmul(self):
+        matmul = MatmulKernel("char")
+        strassen = StrassenKernel()
+        inputs = matmul.generate_inputs(3)
+        assert np.array_equal(matmul.compute(inputs)["c"],
+                              strassen.compute(inputs)["c"])
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(KernelError):
+            StrassenKernel(n=63)
+
+    def test_fewer_risc_ops_than_classic(self, baseline_target):
+        classic = baseline_target.risc_ops(MatmulKernel("char").build_program())
+        fast = baseline_target.risc_ops(StrassenKernel().build_program())
+        assert fast < classic
+        assert fast == pytest.approx(2.3e6, rel=0.05)
+
+    def test_program_has_three_phases(self):
+        program = StrassenKernel().build_program()
+        assert len(program.body) == 3
+        assert all(loop.parallelizable for loop in program.body)

@@ -1,0 +1,118 @@
+"""Tests for the SVM kernels (linear / poly / RBF)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.isa.baseline import BaselineRiscTarget
+from repro.kernels.fixmath import Q15_ONE
+from repro.kernels.svm import SvmKernel
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("variant", ["linear", "poly", "RBF"])
+    def test_decisions_match_float_reference(self, variant):
+        kernel = SvmKernel(variant)
+        inputs = kernel.generate_inputs(0)
+        fixed = kernel.compute(inputs)
+        ref = kernel.reference(inputs)
+        assert np.allclose(fixed["decisions"] / 65536.0, ref["decisions"],
+                           atol=0.01)
+
+    @pytest.mark.parametrize("variant", ["linear", "poly", "RBF"])
+    def test_labels_agree_with_reference(self, variant):
+        kernel = SvmKernel(variant)
+        inputs = kernel.generate_inputs(7)
+        fixed = kernel.compute(inputs)
+        ref = kernel.reference(inputs)
+        agreement = (fixed["labels"] == ref["labels"]).mean()
+        assert agreement >= 0.9
+
+    def test_output_shapes(self):
+        kernel = SvmKernel("linear", test_vectors=10, classes=4)
+        outputs = kernel.compute(kernel.generate_inputs(0))
+        assert outputs["decisions"].shape == (10, 4)
+        assert outputs["labels"].shape == (10,)
+
+    def test_rbf_kernel_values_bounded(self):
+        kernel = SvmKernel("RBF")
+        inputs = kernel.generate_inputs(0)
+        values = kernel._kernel_matrix_q15(inputs["sv"], inputs["x"])
+        assert np.all(values >= 0)
+        assert np.all(values <= Q15_ONE)
+
+    def test_rbf_self_similarity_maximal(self):
+        kernel = SvmKernel("RBF", dimensions=8, support_vectors=3,
+                           test_vectors=3)
+        inputs = kernel.generate_inputs(0)
+        inputs["x"] = inputs["sv"][:3].copy()
+        values = kernel._kernel_matrix_q15(inputs["sv"], inputs["x"])
+        # K(x, x) = exp(0) = 1 must dominate the row.
+        for row in range(3):
+            assert values[row].argmax() == row
+            assert values[row, row] == pytest.approx(Q15_ONE, abs=256)
+
+    def test_linear_kernel_scales_with_alignment(self):
+        kernel = SvmKernel("linear", dimensions=16, support_vectors=2,
+                           test_vectors=1)
+        inputs = kernel.generate_inputs(0)
+        inputs["sv"][0] = 10000
+        inputs["sv"][1] = -10000
+        inputs["x"][0] = 10000
+        values = kernel._kernel_matrix_q15(inputs["sv"], inputs["x"])
+        assert values[0, 0] > 0 > values[0, 1]
+
+    def test_serialization_roundtrip(self):
+        kernel = SvmKernel("poly")
+        result = kernel.run(seed=1)
+        decisions_bytes = kernel.test_vectors * kernel.classes * 4
+        decisions = np.frombuffer(
+            result.output_payload[:decisions_bytes], dtype=np.int32)
+        assert np.array_equal(
+            decisions.reshape(kernel.test_vectors, kernel.classes),
+            result.outputs["decisions"])
+
+    def test_invalid_kernel_name(self):
+        with pytest.raises(KernelError):
+            SvmKernel("sigmoid")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(KernelError):
+            SvmKernel("linear", dimensions=0)
+
+
+class TestProgram:
+    def test_table1_sizes(self):
+        program = SvmKernel("linear").build_program()
+        assert program.input_bytes == pytest.approx(6.9 * 1024, rel=0.05)
+        assert program.output_bytes == pytest.approx(1.6 * 1024, rel=0.05)
+
+    def test_risc_ops_ordering(self, baseline_target):
+        linear = baseline_target.risc_ops(SvmKernel("linear").build_program())
+        poly = baseline_target.risc_ops(SvmKernel("poly").build_program())
+        rbf = baseline_target.risc_ops(SvmKernel("RBF").build_program())
+        # Table I: 650k < 684k < 781k.
+        assert linear < poly < rbf
+        assert linear == pytest.approx(650e3, rel=0.08)
+        assert poly == pytest.approx(684e3, rel=0.08)
+        assert rbf == pytest.approx(781e3, rel=0.08)
+
+    def test_fixed_point_blocks_vectorization(self, or10n_target):
+        program = SvmKernel("linear").build_program()
+        for loop in program.loops():
+            assert or10n_target.vector_plan(loop) is None
+
+    def test_parallel_over_test_vectors(self):
+        program = SvmKernel("RBF").build_program()
+        parallel = program.parallel_loops()
+        assert len(parallel) == 1
+        assert parallel[0].trips == 24
+
+    def test_model_shipped_as_const(self):
+        kernel = SvmKernel("linear")
+        program = kernel.build_program()
+        assert program.const_bytes == kernel.model_bytes()
+        assert program.const_bytes > 6000  # SVs dominate
+
+    def test_rbf_ships_exp_table(self):
+        assert SvmKernel("RBF").model_bytes() > SvmKernel("linear").model_bytes()

@@ -1,0 +1,172 @@
+"""Tests for the SPI link, GPIO event lines and the wire protocol."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LinkError, ProtocolError
+from repro.link import (
+    Command,
+    EventLine,
+    Frame,
+    SpiLink,
+    SpiMode,
+    decode_frames,
+    encode_frame,
+    frame_overhead_bytes,
+)
+from repro.link.protocol import FRAME_OVERHEAD_BYTES
+from repro.units import mhz
+
+
+class TestSpiLink:
+    def test_quad_is_four_times_single(self):
+        single = SpiLink(SpiMode.SINGLE)
+        quad = SpiLink(SpiMode.QUAD)
+        assert quad.throughput(mhz(10)) == 4 * single.throughput(mhz(10))
+
+    def test_throughput_bytes_per_second(self):
+        link = SpiLink(SpiMode.SINGLE)
+        assert link.throughput(mhz(8)) == pytest.approx(1e6)  # 1 MB/s
+
+    def test_transfer_includes_framing(self):
+        link = SpiLink(SpiMode.SINGLE, frame_overhead_bytes=10)
+        transfer = link.transfer(100, mhz(1))
+        assert transfer.wire_bytes == 110
+        assert transfer.time == pytest.approx(110 * 8 / 1e6)
+
+    def test_zero_payload_free(self):
+        link = SpiLink()
+        assert link.transfer(0, mhz(1)).time == 0.0
+
+    def test_energy_scales_with_time(self):
+        link = SpiLink()
+        small = link.transfer(100, mhz(4))
+        large = link.transfer(1000, mhz(4))
+        assert large.energy > small.energy
+
+    def test_active_power_reasonable(self):
+        # The link must remain a small consumer inside the 10 mW budget.
+        link = SpiLink(SpiMode.QUAD)
+        assert link.active_power(mhz(13)) < 1e-3
+
+    def test_transfer_throughput_property(self):
+        transfer = SpiLink(SpiMode.QUAD).transfer(4096, mhz(10))
+        assert transfer.throughput == pytest.approx(
+            4096 / transfer.time)
+
+    def test_invalid_clock(self):
+        with pytest.raises(LinkError):
+            SpiLink().throughput(0)
+
+    def test_negative_payload(self):
+        with pytest.raises(LinkError):
+            SpiLink().transfer(-1, mhz(1))
+
+
+class TestEventLine:
+    def test_pulse_sequence(self):
+        line = EventLine("eoc")
+        seen = line.pulse(1.0)
+        assert seen == pytest.approx(1.0 + line.propagation_delay)
+        assert line.edge_count == 2
+        assert not line.level
+
+    def test_raise_then_clear(self):
+        line = EventLine("fe")
+        line.raise_event(0.0)
+        assert line.level
+        line.clear_event(1.0)
+        assert not line.level
+
+    def test_double_raise_rejected(self):
+        line = EventLine("fe")
+        line.raise_event(0.0)
+        with pytest.raises(LinkError):
+            line.raise_event(1.0)
+
+    def test_time_travel_rejected(self):
+        line = EventLine("fe")
+        line.raise_event(5.0)
+        with pytest.raises(LinkError):
+            line.clear_event(1.0)
+
+    def test_energy_accounting(self):
+        line = EventLine("fe")
+        line.pulse(0.0)
+        line.pulse(1.0)
+        assert line.total_energy == pytest.approx(4 * line.energy_per_edge)
+
+    def test_edge_log(self):
+        line = EventLine("fe")
+        line.raise_event(1.0)
+        line.clear_event(2.0)
+        assert line.edges == [(1.0, True), (2.0, False)]
+
+
+class TestProtocol:
+    def test_roundtrip_simple(self):
+        frame = Frame(Command.WRITE_DATA, 0x1000, b"payload")
+        decoded, = decode_frames(encode_frame(frame))
+        assert decoded == frame
+
+    def test_empty_payload(self):
+        frame = Frame(Command.START, 0x0)
+        decoded, = decode_frames(encode_frame(frame))
+        assert decoded.payload == b""
+        assert decoded.wire_size == FRAME_OVERHEAD_BYTES
+
+    def test_multiple_frames(self):
+        frames = [Frame(Command.LOAD_BINARY, 0, b"\x01\x02"),
+                  Frame(Command.WRITE_DATA, 64, b"abc"),
+                  Frame(Command.START, 0)]
+        stream = b"".join(encode_frame(f) for f in frames)
+        assert decode_frames(stream) == frames
+
+    def test_overhead_constant(self):
+        assert frame_overhead_bytes() == FRAME_OVERHEAD_BYTES == 10
+
+    def test_checksum_detects_corruption(self):
+        data = bytearray(encode_frame(Frame(Command.WRITE_DATA, 0, b"abcd")))
+        data[10] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_frames(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError):
+            decode_frames(b"\x01\x00\x00")
+
+    def test_truncated_payload(self):
+        encoded = encode_frame(Frame(Command.WRITE_DATA, 0, b"abcd"))
+        with pytest.raises(ProtocolError):
+            decode_frames(encoded[:-3])
+
+    def test_unknown_command(self):
+        data = bytearray(encode_frame(Frame(Command.STATUS, 0)))
+        data[0] = 0x7F
+        # Fix the checksum so only the command is wrong.
+        body = bytes(data[:-1])
+        data[-1] = (~sum(body)) & 0xFF
+        with pytest.raises(ProtocolError):
+            decode_frames(bytes(data))
+
+    def test_address_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            Frame(Command.START, 1 << 32)
+
+    @given(st.sampled_from(list(Command)),
+           st.integers(0, 2**32 - 1),
+           st.binary(max_size=512))
+    def test_roundtrip_property(self, command, address, payload):
+        frame = Frame(command, address, payload)
+        decoded, = decode_frames(encode_frame(frame))
+        assert decoded.command is command
+        assert decoded.address == address
+        assert decoded.payload == payload
+
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8))
+    def test_multi_frame_roundtrip(self, payloads):
+        frames = [Frame(Command.WRITE_DATA, i * 64, p)
+                  for i, p in enumerate(payloads)]
+        stream = b"".join(encode_frame(f) for f in frames)
+        assert decode_frames(stream) == frames

@@ -1,0 +1,119 @@
+"""Failure-injection tests: noisy link + retransmission protocol."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.link.noise import NoisyChannel, RetransmittingSender
+from repro.link.protocol import Command, Frame, decode_frames, encode_frame
+
+
+class TestNoisyChannel:
+    def test_clean_channel_passthrough(self):
+        channel = NoisyChannel(0.0)
+        data = bytes(range(64))
+        assert channel.transmit(data) == data
+        assert channel.bits_flipped == 0
+
+    def test_noise_corrupts(self):
+        channel = NoisyChannel(0.05, seed=3)
+        data = bytes(64)
+        corrupted = channel.transmit(data)
+        assert corrupted != data
+        assert channel.bits_flipped > 0
+
+    def test_deterministic_per_seed(self):
+        data = bytes(range(128))
+        first = NoisyChannel(0.01, seed=7).transmit(data)
+        second = NoisyChannel(0.01, seed=7).transmit(data)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        data = bytes(128)
+        assert NoisyChannel(0.02, seed=1).transmit(data) != \
+            NoisyChannel(0.02, seed=2).transmit(data)
+
+    def test_observed_rate_tracks_configured(self):
+        channel = NoisyChannel(0.02, seed=5)
+        channel.transmit(bytes(4096))
+        assert channel.observed_error_rate == pytest.approx(0.02, rel=0.3)
+
+    def test_invalid_rate(self):
+        with pytest.raises(LinkError):
+            NoisyChannel(1.0)
+        with pytest.raises(LinkError):
+            NoisyChannel(-0.1)
+
+
+class TestRetransmittingSender:
+    def _frame(self, size=256):
+        return Frame(Command.WRITE_DATA, 0x100, bytes(range(256)) * (size // 256))
+
+    def test_clean_channel_single_attempt(self):
+        sender = RetransmittingSender(NoisyChannel(0.0))
+        received = sender.send(self._frame())
+        assert received == self._frame()
+        assert sender.total_attempts == 1
+        assert sender.retransmission_overhead == 0.0
+
+    def test_noisy_channel_retransmits(self):
+        # BER 1e-3 on a ~270-byte frame corrupts most transmissions.
+        sender = RetransmittingSender(NoisyChannel(1e-3, seed=11),
+                                      max_attempts=64)
+        received = sender.send(self._frame())
+        assert received == self._frame()
+        assert sender.total_attempts >= 1
+        assert sender.log[0].wire_bytes >= self._frame().wire_size
+
+    def test_checksum_never_accepts_corruption(self):
+        # Deliver many frames over a noisy channel: every accepted frame
+        # must be byte-identical to what was sent.
+        sender = RetransmittingSender(NoisyChannel(5e-4, seed=23),
+                                      max_attempts=128)
+        for index in range(20):
+            frame = Frame(Command.WRITE_DATA, index * 64,
+                          bytes([index]) * 128)
+            assert sender.send(frame) == frame
+
+    def test_hopeless_channel_raises(self):
+        sender = RetransmittingSender(NoisyChannel(0.2, seed=1),
+                                      max_attempts=4)
+        with pytest.raises(LinkError):
+            sender.send(self._frame())
+
+    def test_delivery_callback(self):
+        delivered = []
+        sender = RetransmittingSender(NoisyChannel(0.0),
+                                      deliver=delivered.append)
+        sender.send(self._frame())
+        assert delivered == [self._frame()]
+
+    def test_overhead_metric(self):
+        sender = RetransmittingSender(NoisyChannel(2e-3, seed=9),
+                                      max_attempts=256)
+        for _ in range(10):
+            sender.send(self._frame())
+        assert sender.retransmission_overhead > 0.0
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(LinkError):
+            RetransmittingSender(NoisyChannel(0.0), max_attempts=0)
+
+
+class TestEndToEndNoisyOffload:
+    def test_soc_receives_clean_payload_through_noise(self):
+        """A full LOAD/WRITE/START sequence over a noisy wire."""
+        from repro.pulp.binary import KernelBinary
+        from repro.pulp.soc import PulpSoc, SocState
+
+        soc = PulpSoc()
+        binary = KernelBinary("noisy-demo", code_bytes=512)
+        soc.register_binary(binary, 0)
+        sender = RetransmittingSender(NoisyChannel(5e-4, seed=42),
+                                      max_attempts=128,
+                                      deliver=soc.handle_frame)
+        sender.send(Frame(Command.LOAD_BINARY, 0, binary.to_bytes()))
+        sender.send(Frame(Command.WRITE_DATA, 0x1000, b"sensor data"))
+        sender.send(Frame(Command.START, 0))
+        assert soc.state is SocState.RUNNING
+        assert soc.l2.read(0x1000, 11) == b"sensor data"
+        assert soc.l2.read(0, binary.image_bytes) == binary.to_bytes()

@@ -1,0 +1,141 @@
+"""Tests for the lockstep multicore ISS cluster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import Machine, SharedMemoryCluster, assemble
+from repro.machine.programs import run_matmul_i8, run_matmul_i8_parallel
+from repro.kernels.matmul import MatmulKernel
+
+
+def _counting_program(address="0x200", trips=50):
+    return assemble(f"""
+        addi r3, r0, {trips}
+        hwloop r3, end
+        lw r4, {address}(r0)
+        addi r5, r5, 1
+    end:
+        halt
+    """)
+
+
+class TestLockstepBasics:
+    def test_single_core_matches_iss(self):
+        source = """
+            addi r1, r0, 0x100
+            addi r3, r0, 32
+            hwloop r3, end
+            lb   r4, 0(r1)
+            mac  r10, r4, r4
+            addi r1, r1, 1
+        end:
+            halt
+        """
+        program = assemble(source)
+        data = np.arange(32, dtype=np.int8).tobytes()
+        machine = Machine()
+        machine.write_block(0x100, data)
+        reference = machine.run(program)
+        cluster = SharedMemoryCluster(cores=1)
+        cluster.write_block(0x100, data)
+        result = cluster.run([program])
+        assert result.cores[0].registers[10] == reference.registers[10]
+        assert result.wall_cycles == reference.cycles
+
+    def test_same_bank_contention(self):
+        program = _counting_program()
+        result = SharedMemoryCluster(cores=4).run([program] * 4)
+        assert result.bank_conflicts > 0
+        assert result.conflict_rate > 0.3
+        # All cores still finish with the right count.
+        assert all(core.registers[5] == 50 for core in result.cores)
+
+    def test_distinct_banks_conflict_free(self):
+        programs = [_counting_program(hex(0x200 + 4 * i)) for i in range(4)]
+        result = SharedMemoryCluster(cores=4).run(programs)
+        assert result.bank_conflicts == 0
+
+    def test_contention_stretches_wall_time(self):
+        program = _counting_program()
+        contended = SharedMemoryCluster(cores=4).run([program] * 4)
+        spread = SharedMemoryCluster(cores=4).run(
+            [_counting_program(hex(0x200 + 4 * i)) for i in range(4)])
+        assert contended.wall_cycles > spread.wall_cycles
+
+    def test_round_robin_fairness(self):
+        program = _counting_program(trips=200)
+        result = SharedMemoryCluster(cores=4).run([program] * 4)
+        stalls = [core.cycles_stalled for core in result.cores]
+        # Rotating priority: no core starves (within 2x of the median).
+        assert max(stalls) < 2 * (sorted(stalls)[len(stalls) // 2] + 1)
+
+    def test_register_presets(self):
+        program = assemble("add r3, r1, r2\nhalt")
+        cluster = SharedMemoryCluster(cores=2)
+        result = cluster.run([program, program],
+                             register_presets=[{1: 10, 2: 20},
+                                               {1: 1, 2: 2}])
+        assert result.cores[0].registers[3] == 30
+        assert result.cores[1].registers[3] == 3
+
+    def test_runaway_detection(self):
+        program = assemble("jump -1\nhalt")
+        with pytest.raises(SimulationError):
+            SharedMemoryCluster(cores=1).run([program], max_cycles=500)
+
+    def test_core_count_validated(self):
+        with pytest.raises(SimulationError):
+            SharedMemoryCluster(cores=0)
+        cluster = SharedMemoryCluster(cores=2)
+        with pytest.raises(SimulationError):
+            cluster.run([])
+
+
+class TestParallelMatmul:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kernel = MatmulKernel("char", n=16)
+        inputs = kernel.generate_inputs(4)
+        expected = kernel.compute(inputs)["c"]
+        single_out, single = run_matmul_i8(inputs["a"], inputs["b"])
+        multi_out, multi = run_matmul_i8_parallel(inputs["a"], inputs["b"])
+        return expected, single_out, single, multi_out, multi
+
+    def test_parallel_result_correct(self, runs):
+        expected, _, _, multi_out, _ = runs
+        assert np.array_equal(multi_out, expected)
+
+    def test_near_ideal_speedup(self, runs):
+        _, _, single, _, multi = runs
+        speedup = single.cycles / multi.wall_cycles
+        # The instruction-level counterpart of Figure 4 (right).
+        assert 3.4 < speedup <= 4.0
+
+    def test_conflict_rate_small(self, runs):
+        _, _, _, _, multi = runs
+        # Word-interleaved banks keep instruction-level conflicts low,
+        # consistent with the analytic contention model's few percent.
+        assert multi.conflict_rate < 0.15
+
+    def test_work_split_across_cores(self, runs):
+        _, _, _, _, multi = runs
+        instruction_counts = [core.instructions for core in multi.cores]
+        assert max(instruction_counts) < 1.2 * min(instruction_counts)
+
+    def test_two_core_speedup_smaller(self):
+        kernel = MatmulKernel("char", n=8)
+        inputs = kernel.generate_inputs(1)
+        _, single = run_matmul_i8(inputs["a"], inputs["b"])
+        _, two = run_matmul_i8_parallel(inputs["a"], inputs["b"], cores=2)
+        _, four = run_matmul_i8_parallel(inputs["a"], inputs["b"], cores=4)
+        assert single.cycles / two.wall_cycles < single.cycles / four.wall_cycles
+        assert 1.7 < single.cycles / two.wall_cycles <= 2.05
+
+    def test_fewer_banks_more_conflicts(self):
+        kernel = MatmulKernel("char", n=12)
+        inputs = kernel.generate_inputs(2)
+        _, few = run_matmul_i8_parallel(inputs["a"], inputs["b"], banks=1)
+        _, many = run_matmul_i8_parallel(inputs["a"], inputs["b"], banks=8)
+        assert few.conflict_rate > many.conflict_rate
+        assert few.wall_cycles > many.wall_cycles

@@ -1,0 +1,127 @@
+"""Tests for the MCU device model, catalog and STM32-L476 host."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.matmul import MatmulKernel
+from repro.mcu import MCU_CATALOG, Stm32L476, mcu_by_name
+from repro.units import mhz, mw
+
+
+class TestMcuDevice:
+    def test_active_power_linear_in_frequency(self):
+        device = mcu_by_name("STM32-L476")
+        p16 = device.active_power(mhz(16))
+        p32 = device.active_power(mhz(32))
+        assert p32 - device.base_power == pytest.approx(
+            2 * (p16 - device.base_power))
+
+    def test_l476_near_10mw_at_32mhz(self):
+        # The paper's baseline: at 32 MHz the host uses up the envelope.
+        device = mcu_by_name("STM32-L476")
+        assert device.active_power(mhz(32)) == pytest.approx(mw(10), rel=0.05)
+
+    def test_max_frequency_within_budget(self):
+        device = mcu_by_name("STM32-L476")
+        frequency = device.max_frequency_within(mw(5))
+        assert device.active_power(frequency) <= mw(5) * (1 + 1e-9)
+        assert frequency > mhz(10)
+
+    def test_max_frequency_capped_at_fmax(self):
+        device = mcu_by_name("STM32-L476")
+        assert device.max_frequency_within(1.0) == device.fmax
+
+    def test_max_frequency_zero_when_floor_exceeds(self):
+        device = mcu_by_name("STM32F407")
+        assert device.max_frequency_within(device.base_power / 2) == 0.0
+
+    def test_run_returns_time_and_energy(self, matmul_program):
+        device = mcu_by_name("STM32-L476")
+        execution = device.run(matmul_program, mhz(32))
+        assert execution.time > 0
+        assert execution.energy == pytest.approx(
+            execution.time * execution.power)
+
+    def test_run_validates_frequency(self, matmul_program):
+        device = mcu_by_name("STM32-L476")
+        with pytest.raises(ConfigurationError):
+            device.run(matmul_program, device.fmax * 2)
+        with pytest.raises(ConfigurationError):
+            device.run(matmul_program, 0.0)
+
+    def test_throughput_ops(self, matmul_program, baseline_target):
+        device = mcu_by_name("STM32-L476")
+        ops = baseline_target.risc_ops(matmul_program)
+        throughput = device.throughput_ops(ops, matmul_program, mhz(32))
+        # About 1 RISC op/cycle on the M4: throughput ~ f.
+        assert throughput == pytest.approx(mhz(32), rel=0.25)
+
+
+class TestCatalog:
+    def test_seven_devices(self):
+        assert len(MCU_CATALOG) == 7
+
+    def test_lookup_by_name(self):
+        assert mcu_by_name("Ambiq Apollo").core_name.startswith("Cortex-M4")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            mcu_by_name("ESP32")
+
+    def test_apollo_most_efficient(self):
+        # The Apollo's subthreshold design gives it by far the lowest
+        # run current of the catalog.
+        apollo = mcu_by_name("Ambiq Apollo")
+        others = [d for d in MCU_CATALOG if d.name != apollo.name]
+        assert all(apollo.run_current_density < d.run_current_density
+                   for d in others)
+
+    def test_msp430_slower_per_cycle(self, matmul_program):
+        # The 16-bit MSP430 needs about twice the cycles of an M3.
+        msp = mcu_by_name("MSP430")
+        lpc = mcu_by_name("NXP LPC1800")
+        assert msp.lower(matmul_program).cycles == pytest.approx(
+            2 * lpc.lower(matmul_program).cycles, rel=0.01)
+
+    def test_m4_devices_share_cycle_counts(self, matmul_program):
+        f407 = mcu_by_name("STM32F407").lower(matmul_program).cycles
+        l476 = mcu_by_name("STM32-L476").lower(matmul_program).cycles
+        assert f407 == l476
+
+
+class TestStm32L476Host:
+    def test_spi_clock_tracks_core_clock(self):
+        host = Stm32L476()
+        assert host.spi_clock(mhz(8)) == pytest.approx(mhz(8))
+        assert host.spi_clock(mhz(26)) == pytest.approx(mhz(26))
+
+    def test_spi_clock_capped(self):
+        host = Stm32L476()
+        clock = host.spi_clock(mhz(80))
+        assert clock <= host.timings.spi_max_clock
+        # Power-of-two prescaler from the core clock.
+        assert mhz(80) / clock in (2.0,)
+
+    def test_spi_clock_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Stm32L476().spi_clock(0)
+
+    def test_dma_setup_time_scales(self):
+        host = Stm32L476()
+        assert host.dma_setup_time(mhz(8)) == pytest.approx(
+            2 * host.dma_setup_time(mhz(16)))
+
+    def test_gpio_event_time(self):
+        host = Stm32L476()
+        assert host.gpio_event_time(mhz(10)) == pytest.approx(
+            host.timings.gpio_event_cycles / mhz(10))
+
+    def test_sleep_power_far_below_active(self):
+        host = Stm32L476()
+        assert host.sleep_power < host.active_power(mhz(1)) / 10
+
+    def test_baseline_frequency(self):
+        assert Stm32L476.BASELINE_FREQUENCY == mhz(32)
+
+    def test_wakeup_time_microseconds(self):
+        assert 0 < Stm32L476().wakeup_time < 1e-4

@@ -1,0 +1,68 @@
+"""Package-level tests: exception hierarchy, public exports, metadata."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name, obj in inspect.getmembers(errors, inspect.isclass):
+            if issubclass(obj, Exception) and obj.__module__ == "repro.errors":
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ProtocolError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.KernelError("x")
+
+    def test_subsystem_relationships(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.OperatingPointError, errors.PowerModelError)
+        assert issubclass(errors.BudgetError, errors.PowerModelError)
+        assert issubclass(errors.ProtocolError, errors.LinkError)
+        assert issubclass(errors.LoweringError, errors.IsaError)
+        assert issubclass(errors.OffloadError, errors.RuntimeModelError)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_facade_importable_from_top_level(self):
+        from repro import (
+            HeterogeneousSystem,
+            MatmulKernel,
+            PulpPowerModel,
+            Stm32L476,
+            mhz,
+        )
+        assert HeterogeneousSystem is not None
+        assert mhz(1) == 1e6
+
+    def test_kernel_count_stable(self):
+        assert len(repro.all_kernels()) == 10
+
+    def test_subpackage_docstrings(self):
+        import repro.core
+        import repro.isa
+        import repro.kernels
+        import repro.link
+        import repro.machine
+        import repro.mcu
+        import repro.power
+        import repro.pulp
+        import repro.runtime
+        import repro.sim
+        for module in (repro.core, repro.isa, repro.kernels, repro.link,
+                       repro.machine, repro.mcu, repro.power, repro.pulp,
+                       repro.runtime, repro.sim):
+            assert module.__doc__ and len(module.__doc__) > 40, module

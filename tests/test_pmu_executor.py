@@ -1,0 +1,105 @@
+"""Tests for the PMU and the cycle-level kernel executor."""
+
+import pytest
+
+from repro.errors import PowerModelError, SimulationError
+from repro.isa.or10n import Or10nTarget
+from repro.kernels.matmul import MatmulKernel
+from repro.kernels.svm import SvmKernel
+from repro.power.activity import PulpComponent
+from repro.power.pmu import PerformanceMonitor, PmuCounters
+from repro.power.pulp_model import PulpPowerModel
+from repro.pulp.cluster import Cluster
+from repro.pulp.core import ComputeOp, MemOp
+from repro.pulp.executor import CycleLevelExecutor
+from repro.units import mhz
+
+
+class TestPmu:
+    def _run(self):
+        streams = [[ComputeOp(50.0)] + [MemOp(4 * i) for i in range(50)]
+                   for _ in range(4)]
+        return Cluster().run(streams)
+
+    def test_counters_from_run(self):
+        run = self._run()
+        counters = PerformanceMonitor.counters_from_run(run)
+        assert counters.wall_cycles == run.wall_cycles
+        assert counters.tcdm_access_cycles == 200
+        assert all(v > 0 for v in counters.core_active_cycles.values())
+
+    def test_profile_core_activity(self):
+        profile = PerformanceMonitor.profile_from_run(self._run())
+        chi = profile.chi(PulpComponent.CORE0)
+        assert 0.9 < chi.run <= 1.0
+        assert chi.idle + chi.run + chi.dma == pytest.approx(1.0)
+
+    def test_profile_partial_team(self):
+        run = Cluster().run([[ComputeOp(100.0)], [ComputeOp(10.0)]])
+        profile = PerformanceMonitor.profile_from_run(run)
+        assert profile.chi(PulpComponent.CORE0).run > \
+            profile.chi(PulpComponent.CORE1).run
+        # Cores 2/3 never existed in this run: fully idle.
+        assert profile.chi(PulpComponent.CORE3).idle == 1.0
+
+    def test_profile_feeds_power_model(self):
+        profile = PerformanceMonitor.profile_from_run(self._run())
+        power = PulpPowerModel().total_power(mhz(46), 0.5, profile)
+        assert 0.5e-3 < power < 3e-3
+
+    def test_dma_traffic_classified(self):
+        cluster = Cluster()
+        cluster.l2.write(0, bytes(4096))
+        run = cluster.run([[ComputeOp(1200.0)]],
+                          dma_jobs=[(0, 0, 4096, True)])
+        profile = PerformanceMonitor.profile_from_run(run)
+        assert profile.chi(PulpComponent.DMA).dma > 0.5
+        assert profile.chi(PulpComponent.TCDM).dma > 0.5
+
+    def test_invalid_counters(self):
+        with pytest.raises(PowerModelError):
+            PmuCounters(wall_cycles=0, core_active_cycles={},
+                        tcdm_access_cycles=0, dma_busy_cycles=0)
+
+
+class TestCycleLevelExecutor:
+    def test_matches_analytic_on_matmul(self):
+        executor = CycleLevelExecutor(Or10nTarget(), threads=4)
+        result = executor.execute(MatmulKernel("char", n=16).build_program())
+        assert result.deviation < 0.05
+
+    def test_matches_analytic_on_svm(self):
+        kernel = SvmKernel("linear", dimensions=32, support_vectors=8,
+                           test_vectors=8, classes=4)
+        executor = CycleLevelExecutor(Or10nTarget(), threads=4)
+        result = executor.execute(kernel.build_program())
+        assert result.deviation < 0.05
+
+    def test_single_thread(self):
+        executor = CycleLevelExecutor(Or10nTarget(), threads=1)
+        result = executor.execute(MatmulKernel("char", n=8).build_program())
+        assert result.deviation < 0.05
+        assert len(result.runs) == 1
+
+    def test_parallel_faster_than_serial(self):
+        program = MatmulKernel("char", n=16).build_program()
+        one = CycleLevelExecutor(Or10nTarget(), 1).execute(program)
+        four = CycleLevelExecutor(Or10nTarget(), 4).execute(program)
+        assert four.wall_cycles < one.wall_cycles / 2.5
+
+    def test_strided_pattern_supported(self):
+        executor = CycleLevelExecutor(Or10nTarget(), threads=4,
+                                      access_pattern="strided")
+        result = executor.execute(MatmulKernel("char", n=8).build_program())
+        assert result.wall_cycles > 0
+
+    def test_invalid_threads(self):
+        with pytest.raises(SimulationError):
+            CycleLevelExecutor(Or10nTarget(), threads=5)
+
+    def test_runs_cover_regions(self):
+        kernel = SvmKernel("linear", dimensions=16, support_vectors=4,
+                           test_vectors=4, classes=2)
+        program = kernel.build_program()
+        result = CycleLevelExecutor(Or10nTarget(), 4).execute(program)
+        assert len(result.runs) == len(program.body)

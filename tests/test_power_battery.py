@@ -1,0 +1,98 @@
+"""Tests for the battery/duty-cycle lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.battery import (
+    AA_PAIR,
+    CR2032,
+    Battery,
+    DutyCycle,
+    lifetime_years,
+    render_budget,
+)
+
+
+class TestBattery:
+    def test_cr2032_energy(self):
+        # 225 mAh x 3 V x 0.85 ~ 2065 J.
+        assert CR2032.energy_joules == pytest.approx(2065, rel=0.01)
+
+    def test_aa_pair_bigger(self):
+        assert AA_PAIR.energy_joules > 10 * CR2032.energy_joules
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Battery("bad", capacity_mah=0, voltage=3.0)
+        with pytest.raises(ConfigurationError):
+            Battery("bad", capacity_mah=100, voltage=3.0, usable_fraction=0)
+
+
+class TestDutyCycle:
+    def test_sleep_only(self):
+        cycle = DutyCycle(period=1.0, sleep_power=10e-6)
+        assert cycle.average_power == pytest.approx(10e-6)
+
+    def test_activities_accumulate(self):
+        cycle = DutyCycle(period=1.0, sleep_power=0.0)
+        cycle.add("sense", energy=1e-3, occurrences=2, duration=0.01)
+        cycle.add("transmit", energy=5e-3, duration=0.1)
+        assert cycle.energy_per_period == pytest.approx(7e-3)
+        assert cycle.active_time == pytest.approx(0.12)
+
+    def test_sleep_remainder(self):
+        cycle = DutyCycle(period=10.0, sleep_power=1e-6)
+        cycle.add("work", energy=0.0, duration=4.0)
+        assert cycle.energy_per_period == pytest.approx(6e-6)
+
+    def test_overcommit_rejected(self):
+        cycle = DutyCycle(period=1.0, sleep_power=0.0)
+        with pytest.raises(ConfigurationError):
+            cycle.add("too long", energy=1e-3, duration=2.0)
+
+    def test_energy_shares_sum_to_one(self):
+        cycle = DutyCycle(period=1.0, sleep_power=5e-6)
+        cycle.add("a", energy=1e-4, duration=0.05)
+        cycle.add("b", energy=2e-4, duration=0.05)
+        assert sum(cycle.energy_shares().values()) == pytest.approx(1.0)
+
+
+class TestLifetime:
+    def test_basic_math(self):
+        cycle = DutyCycle(period=1.0, sleep_power=0.0)
+        cycle.add("work", energy=CR2032.energy_joules / 31_557_600.0)
+        assert lifetime_years(CR2032, cycle) == pytest.approx(1.0, rel=1e-6)
+
+    def test_harvesting_extends(self):
+        cycle = DutyCycle(period=1.0, sleep_power=100e-6)
+        plain = lifetime_years(CR2032, cycle)
+        helped = lifetime_years(CR2032, cycle, harvest_power=50e-6)
+        assert helped == pytest.approx(2 * plain)
+
+    def test_full_harvest_is_indefinite(self):
+        cycle = DutyCycle(period=1.0, sleep_power=10e-6)
+        assert lifetime_years(CR2032, cycle, harvest_power=20e-6) \
+            == float("inf")
+
+    def test_negative_harvest_rejected(self):
+        cycle = DutyCycle(period=1.0, sleep_power=1e-6)
+        with pytest.raises(ConfigurationError):
+            lifetime_years(CR2032, cycle, harvest_power=-1.0)
+
+
+class TestIntegrationWithOffloads:
+    def test_smart_sensor_deployment(self, system):
+        """A full path: offload energy -> duty cycle -> lifetime."""
+        from repro.kernels import CnnKernel
+        from repro.units import mhz
+        result = system.offload(CnnKernel(), host_frequency=mhz(8),
+                                iterations=4, double_buffered=True)
+        per_frame_energy = result.timing.energy.total_energy / 4
+        per_frame_time = result.timing.total_time / 4
+        cycle = DutyCycle(period=1.0, sleep_power=system.host.sleep_power)
+        cycle.add("classify", energy=per_frame_energy,
+                  occurrences=2, duration=per_frame_time)
+        years = lifetime_years(CR2032, cycle)
+        assert 0.2 < years < 20
+        text = render_budget(CR2032, cycle)
+        assert "lifetime" in text and "classify" in text

@@ -1,0 +1,160 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check invariants that hold across the whole stack rather than in
+one module: monotonicities of the cost/power/efficiency models,
+linearity of the lowering in trip counts, and conservation properties
+of the offload schedules.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import OffloadCostModel
+from repro.isa.baseline import BaselineRiscTarget
+from repro.isa.cortexm import CortexM4Target
+from repro.isa.or10n import Or10nTarget
+from repro.isa.program import Block, Loop, Program
+from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.power.activity import ActivityProfile
+from repro.power.pulp_model import PulpPowerModel
+from repro.pulp.timing import chunk_trips
+from repro.units import mhz, mw
+
+_ACTIVITY = ActivityProfile.matmul()
+_POWER = PulpPowerModel()
+_COST = OffloadCostModel()
+
+
+def _loop_program(trips, inner_trips=8):
+    inner = Loop(inner_trips, [Block([
+        load(DType.I16), load(DType.I16), mac(DType.I16), addr(count=2)])])
+    return Program("p", [Loop(trips, [inner, Block([store(DType.I16)])])])
+
+
+class TestLoweringProperties:
+    @given(st.integers(1, 200), st.integers(1, 200))
+    @settings(max_examples=40)
+    def test_cycles_monotone_in_trips(self, a, b):
+        assume(a != b)
+        target = Or10nTarget()
+        low, high = sorted((a, b))
+        assert target.lower(_loop_program(low)).cycles \
+            < target.lower(_loop_program(high)).cycles
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=30)
+    def test_outer_trips_scale_linearly(self, trips):
+        target = CortexM4Target()
+        one = target.lower(_loop_program(1))
+        many = target.lower(_loop_program(trips))
+        # Everything except the outer loop setup scales with trips.
+        setup = target.costs.loop_setup_cycles * target.costs.cycle_scale
+        assert many.cycles - setup == pytest.approx(
+            trips * (one.cycles - setup), rel=1e-9)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_riscops_never_below_dynamic_ops(self, trips):
+        program = _loop_program(trips)
+        baseline = BaselineRiscTarget()
+        assert baseline.risc_ops(program) >= program.total_dynamic_ops()
+
+    @given(st.integers(0, 1000), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_chunk_trips_partition(self, trips, threads):
+        chunks = chunk_trips(trips, threads)
+        assert sum(chunks) == trips
+        assert max(chunks) - min(chunks) <= 1
+        assert len(chunks) == threads
+
+
+class TestPowerProperties:
+    @given(st.floats(0.5, 1.0), st.floats(0.5, 1.0))
+    @settings(max_examples=40)
+    def test_density_monotone_in_voltage(self, v1, v2):
+        assume(abs(v1 - v2) > 1e-6)
+        low, high = sorted((v1, v2))
+        assert _POWER.dynamic_density(_ACTIVITY, low) \
+            < _POWER.dynamic_density(_ACTIVITY, high)
+
+    @given(st.floats(1e-3, 40e-3), st.floats(1e-3, 40e-3))
+    @settings(max_examples=40)
+    def test_max_frequency_monotone_in_budget(self, b1, b2):
+        assume(abs(b1 - b2) > 1e-5)
+        low, high = sorted((b1, b2))
+        f_low, _ = _POWER.max_frequency_within(low, _ACTIVITY)
+        f_high, _ = _POWER.max_frequency_within(high, _ACTIVITY)
+        assert f_low <= f_high
+
+    @given(st.floats(2e-3, 38e-3))
+    @settings(max_examples=40)
+    def test_budget_solution_is_feasible_and_tight(self, budget):
+        frequency, voltage = _POWER.max_frequency_within(budget, _ACTIVITY)
+        assume(frequency > 0)
+        power = _POWER.total_power(frequency, voltage, _ACTIVITY)
+        assert power <= budget * (1 + 1e-6)
+        # Tight: 3% more frequency would either exceed f_max or budget.
+        bumped = frequency * 1.03
+        if bumped <= _POWER.table.f_max:
+            bumped_voltage = _POWER.table.voltage_for(bumped)
+            assert _POWER.total_power(bumped, bumped_voltage,
+                                      _ACTIVITY) > budget
+
+
+class TestOffloadProperties:
+    def _timing(self, iterations, double_buffered=False,
+                input_bytes=4096):
+        return _COST.offload_timing(
+            binary_bytes=10000, input_bytes=input_bytes, output_bytes=2048,
+            compute_cycles=300e3, pulp_frequency=mhz(150),
+            pulp_voltage=0.65, activity=_ACTIVITY,
+            host_frequency=mhz(8), iterations=iterations,
+            double_buffered=double_buffered)
+
+    @given(st.integers(1, 200), st.integers(1, 200))
+    @settings(max_examples=30)
+    def test_efficiency_monotone_in_iterations(self, n1, n2):
+        assume(n1 != n2)
+        low, high = sorted((n1, n2))
+        assert self._timing(low).efficiency <= \
+            self._timing(high).efficiency + 1e-12
+
+    @given(st.integers(1, 128), st.booleans())
+    @settings(max_examples=30)
+    def test_total_time_exceeds_ideal(self, iterations, double_buffered):
+        timing = self._timing(iterations, double_buffered)
+        assert timing.total_time >= timing.ideal_time
+        assert 0 < timing.efficiency <= 1
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=20)
+    def test_double_buffering_never_slower(self, iterations):
+        serial = self._timing(iterations)
+        overlapped = self._timing(iterations, double_buffered=True)
+        # Same work, overlapped transfers: wall time can only shrink
+        # (up to the prologue/epilogue, covered by a small tolerance).
+        assert overlapped.total_time <= serial.total_time * 1.001 \
+            + serial.input_time + serial.output_time
+
+    @given(st.integers(256, 16384))
+    @settings(max_examples=20)
+    def test_energy_positive_and_scales_with_payload(self, input_bytes):
+        small = self._timing(4, input_bytes=256)
+        large = self._timing(4, input_bytes=input_bytes)
+        assert large.energy.total_energy >= small.energy.total_energy
+
+
+class TestEndToEndProperties:
+    @given(st.sampled_from([1, 2, 4, 8, 16, 26]))
+    @settings(max_examples=10, deadline=None)
+    def test_envelope_speedup_consistency(self, host_mhz):
+        from repro.core.envelope import PowerEnvelopeSolver
+        solver = PowerEnvelopeSolver()
+        point = solver.solve(mhz(host_mhz), _ACTIVITY)
+        assert point.accelerator_usable
+        assert point.total_power <= mw(10) * (1 + 1e-6)
+        assert point.pulp_voltage <= 1.0
+        assert point.pulp_frequency <= _POWER.table.fmax_at(point.pulp_voltage) * (1 + 1e-6)

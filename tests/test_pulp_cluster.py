@@ -1,0 +1,208 @@
+"""Tests for the cycle-level cluster: cores, DMA, synchronizer, assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pulp.cluster import Cluster
+from repro.pulp.core import ComputeOp, MemOp, Or10nCore
+from repro.pulp.dma import DmaController
+from repro.pulp.l2 import L2Memory
+from repro.pulp.synchronizer import HardwareSynchronizer
+from repro.pulp.tcdm import Tcdm
+from repro.sim.engine import Simulator, Timeout
+
+
+class TestOr10nCore:
+    def _run_single(self, stream):
+        sim = Simulator()
+        tcdm = Tcdm(sim)
+        core = Or10nCore(sim, tcdm, 0)
+        sim.add_process(core.run(stream))
+        sim.run_all()
+        return sim.now, core.stats
+
+    def test_compute_only(self):
+        wall, stats = self._run_single([ComputeOp(10.0), ComputeOp(5.0)])
+        assert wall == 15.0
+        assert stats.compute_cycles == 15.0
+        assert stats.accesses == 0
+
+    def test_memory_access_costs_one_cycle(self):
+        wall, stats = self._run_single([MemOp(0), MemOp(4)])
+        assert wall == 2.0
+        assert stats.memory_cycles == 2.0
+        assert stats.accesses == 2
+
+    def test_mixed_stream(self):
+        wall, stats = self._run_single(
+            [ComputeOp(3.0), MemOp(0), ComputeOp(2.0), MemOp(8)])
+        assert wall == 7.0
+        assert stats.active_cycles == 7.0
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(SimulationError):
+            ComputeOp(-1.0)
+
+    def test_bad_op_rejected(self):
+        sim = Simulator()
+        core = Or10nCore(sim, Tcdm(sim), 0)
+        sim.add_process(core.run(["junk"]))
+        with pytest.raises(SimulationError):
+            sim.run_all()
+
+
+class TestHardwareSynchronizer:
+    def test_barrier_waits_for_all(self):
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=3, wakeup_cycles=2.0)
+        release_times = []
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from sync.barrier()
+            release_times.append(sim.now)
+
+        for delay in (1.0, 5.0, 10.0):
+            sim.add_process(worker(delay))
+        sim.run_all()
+        # Everyone leaves at the last arrival (10.0) plus the wakeup.
+        assert release_times == [12.0, 12.0, 12.0]
+        assert sync.barriers_completed == 1
+
+    def test_barrier_reusable(self):
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=2)
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from sync.barrier()
+            yield Timeout(delay)
+            yield from sync.barrier()
+
+        sim.add_process(worker(1.0))
+        sim.add_process(worker(3.0))
+        sim.run_all()
+        assert sync.barriers_completed == 2
+
+    def test_average_sleep(self):
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=2)
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from sync.barrier()
+
+        sim.add_process(worker(0.0))
+        sim.add_process(worker(10.0))
+        sim.run_all()
+        assert sync.average_sleep == pytest.approx(5.0)
+
+    def test_invalid_participants(self):
+        with pytest.raises(SimulationError):
+            HardwareSynchronizer(Simulator(), participants=0)
+
+
+class TestDmaController:
+    def _setup(self):
+        sim = Simulator()
+        l2 = L2Memory()
+        tcdm = Tcdm(sim)
+        return sim, l2, tcdm, DmaController(sim, l2, tcdm)
+
+    def test_functional_copy_to_tcdm(self):
+        sim, l2, tcdm, dma = self._setup()
+        l2.write(0x40, bytes(range(16)))
+        sim.add_process(dma.transfer(0x40, 0x80, 16, to_tcdm=True))
+        sim.run_all()
+        assert tcdm.read(0x80, 16) == bytes(range(16))
+
+    def test_functional_copy_to_l2(self):
+        sim, l2, tcdm, dma = self._setup()
+        tcdm.write(0, b"\x11" * 8)
+        sim.add_process(dma.transfer(0x200, 0, 8, to_tcdm=False))
+        sim.run_all()
+        assert l2.read(0x200, 8) == b"\x11" * 8
+
+    def test_timing_setup_plus_word_per_cycle(self):
+        sim, l2, tcdm, dma = self._setup()
+        sim.add_process(dma.transfer(0, 0, 64))
+        sim.run_all()
+        # 8 setup + 16 words at (grant + 1 cycle hold) each.
+        assert sim.now == pytest.approx(dma.setup_cycles + 16)
+        assert dma.stats.transfers == 1
+        assert dma.stats.bytes_moved == 64
+
+    def test_ideal_cycles(self):
+        _, _, _, dma = self._setup()
+        assert dma.ideal_cycles(64) == dma.setup_cycles + 16
+        assert dma.ideal_cycles(1) == dma.setup_cycles + 1
+
+    def test_partial_word_tail(self):
+        sim, l2, tcdm, dma = self._setup()
+        l2.write(0, b"abcde")
+        sim.add_process(dma.transfer(0, 0, 5))
+        sim.run_all()
+        assert tcdm.read(0, 5) == b"abcde"
+
+    def test_negative_length_rejected(self):
+        sim, _, _, dma = self._setup()
+        sim.add_process(dma.transfer(0, 0, -1))
+        with pytest.raises(SimulationError):
+            sim.run_all()
+
+    def test_channel_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            DmaController(sim, L2Memory(), Tcdm(sim), channels=0)
+
+
+class TestCluster:
+    def test_single_core(self):
+        run = Cluster().run([[ComputeOp(100.0)]])
+        assert run.wall_cycles >= 100.0
+        assert run.core_stats[0].compute_cycles == 100.0
+
+    def test_wall_is_slowest_core(self):
+        streams = [[ComputeOp(float(100 * (i + 1)))] for i in range(4)]
+        run = Cluster().run(streams)
+        # Slowest core (400) + barrier wakeup.
+        assert run.wall_cycles == pytest.approx(402.0)
+        assert run.barrier_count == 1
+
+    def test_same_bank_serializes(self):
+        streams = [[MemOp(0) for _ in range(10)] for _ in range(2)]
+        run = Cluster().run(streams)
+        assert run.wall_cycles >= 20.0
+
+    def test_different_banks_parallel(self):
+        streams = [[MemOp(4 * c) for _ in range(10)] for c in range(4)]
+        run = Cluster().run(streams)
+        # Each core owns one bank: no serialization beyond the barrier.
+        assert run.wall_cycles == pytest.approx(12.0)
+
+    def test_activity_ratio(self):
+        run = Cluster().run([[ComputeOp(100.0)], [ComputeOp(50.0)]])
+        assert run.activity_ratio(0) > run.activity_ratio(1)
+
+    def test_memory_intensity(self):
+        streams = [[MemOp(4 * i) for i in range(50)]]
+        run = Cluster().run(streams)
+        assert 0.5 < run.memory_intensity() <= 1.0
+
+    def test_dma_job_runs_concurrently(self):
+        cluster = Cluster()
+        cluster.l2.write(0, bytes(64))
+        run = cluster.run([[ComputeOp(1000.0)]],
+                          dma_jobs=[(0, 0x1000, 64, True)])
+        assert run.dma_stats.transfers == 1
+        assert run.wall_cycles == pytest.approx(1002.0)
+
+    def test_stream_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            Cluster().run([])
+        with pytest.raises(ConfigurationError):
+            Cluster().run([[]] * 5)
+
+    def test_busiest_core(self):
+        run = Cluster().run([[ComputeOp(10.0)], [ComputeOp(70.0)]])
+        assert run.busiest_core_cycles >= 70.0

@@ -1,0 +1,174 @@
+"""Tests for the PULP memories: L2, TCDM, I$ and the kernel binary."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa.program import Block, Loop, Program
+from repro.isa.vop import load
+from repro.pulp.binary import BOOT_BYTES, RUNTIME_STUB_BYTES, KernelBinary
+from repro.pulp.icache import SharedICache
+from repro.pulp.l2 import L2Memory
+from repro.pulp.tcdm import WORD_BYTES, Tcdm
+from repro.sim.engine import Simulator
+
+
+class TestL2Memory:
+    def test_default_size_is_64k(self):
+        assert L2Memory().size == 65536
+
+    def test_write_read_roundtrip(self):
+        l2 = L2Memory()
+        l2.write(0x100, b"hello world")
+        assert l2.read(0x100, 11) == b"hello world"
+
+    def test_out_of_range_rejected(self):
+        l2 = L2Memory(size=1024)
+        with pytest.raises(SimulationError):
+            l2.write(1020, b"too long")
+        with pytest.raises(SimulationError):
+            l2.read(-1, 4)
+
+    def test_fill(self):
+        l2 = L2Memory()
+        l2.fill(0, 16, 0xAB)
+        assert l2.read(0, 16) == b"\xab" * 16
+
+    def test_allocator_alignment(self):
+        l2 = L2Memory()
+        l2.allocate(3)
+        second = l2.allocate(4, align=16)
+        assert second % 16 == 0
+
+    def test_allocator_exhaustion(self):
+        l2 = L2Memory(size=1024)
+        l2.allocate(1000)
+        with pytest.raises(SimulationError):
+            l2.allocate(100)
+
+    def test_allocator_reset(self):
+        l2 = L2Memory(size=1024)
+        l2.allocate(1000)
+        l2.reset_allocator()
+        assert l2.allocate(1000) == 0
+
+    def test_bytes_free(self):
+        l2 = L2Memory(size=1024)
+        l2.allocate(100)
+        assert l2.bytes_free == 924
+        assert l2.bytes_allocated == 100
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            L2Memory(size=0)
+
+
+class TestTcdm:
+    def test_word_interleaving(self):
+        tcdm = Tcdm(Simulator(), banks=8)
+        banks = [tcdm.bank_of(i * WORD_BYTES) for i in range(16)]
+        assert banks == [0, 1, 2, 3, 4, 5, 6, 7] * 2
+
+    def test_same_word_same_bank(self):
+        tcdm = Tcdm(Simulator(), banks=8)
+        assert tcdm.bank_of(0) == tcdm.bank_of(3)
+        assert tcdm.bank_of(4) != tcdm.bank_of(0)
+
+    def test_functional_storage(self):
+        tcdm = Tcdm(Simulator())
+        tcdm.write(64, b"\x01\x02\x03\x04")
+        assert tcdm.read(64, 4) == b"\x01\x02\x03\x04"
+
+    def test_access_counting(self):
+        tcdm = Tcdm(Simulator())
+        tcdm.write(0, b"x" * 10)  # 3 words
+        tcdm.read(0, 4)           # 1 word
+        assert tcdm.accesses == 4
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tcdm(Simulator(), size=1000, banks=8)  # not divisible
+        with pytest.raises(ConfigurationError):
+            Tcdm(Simulator(), banks=0)
+
+    def test_out_of_range(self):
+        tcdm = Tcdm(Simulator())
+        with pytest.raises(SimulationError):
+            tcdm.read(tcdm.size, 4)
+
+    def test_conflict_rate_zero_without_traffic(self):
+        assert Tcdm(Simulator()).conflict_rate() == 0.0
+
+
+class TestSharedICache:
+    def test_cold_miss_then_hits(self):
+        icache = SharedICache()
+        assert icache.fetch(0x0) == icache.refill_cycles
+        assert icache.fetch(0x4) == 0.0   # same line
+        assert icache.fetch(0x0) == 0.0
+        assert icache.hit_rate == pytest.approx(2 / 3)
+
+    def test_distinct_lines_miss(self):
+        icache = SharedICache(line_bytes=16)
+        icache.fetch(0)
+        assert icache.fetch(16) == icache.refill_cycles
+        assert icache.misses == 2
+
+    def test_warmup_cycles(self):
+        icache = SharedICache(line_bytes=16, refill_cycles=10)
+        assert icache.warmup_cycles(160) == 100
+        assert icache.warmup_cycles(0) == 0
+
+    def test_warmup_capped_at_capacity(self):
+        icache = SharedICache(size=1024, line_bytes=16, refill_cycles=10)
+        assert icache.warmup_cycles(1 << 20) == (1024 // 16) * 10
+
+    def test_invalidate(self):
+        icache = SharedICache()
+        icache.fetch(0)
+        icache.invalidate()
+        assert icache.fetch(0) == icache.refill_cycles
+
+    def test_eviction_keeps_working(self):
+        icache = SharedICache(size=32, line_bytes=16)
+        for address in range(0, 16 * 10, 16):
+            icache.fetch(address)
+        assert icache.misses == 10
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedICache(size=100, line_bytes=16)
+
+    def test_negative_code_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedICache().warmup_cycles(-1)
+
+
+class TestKernelBinary:
+    def test_from_program(self):
+        program = Program("k", [Loop(4, [Block([load()])])],
+                          const_bytes=1000, buffer_bytes=2000)
+        binary = KernelBinary.from_program(program)
+        assert binary.const_bytes == 1000
+        assert binary.buffer_bytes == 2000
+        assert binary.code_bytes >= RUNTIME_STUB_BYTES + BOOT_BYTES
+
+    def test_image_excludes_buffers(self):
+        binary = KernelBinary("k", code_bytes=1000, const_bytes=500,
+                              buffer_bytes=4000)
+        assert binary.image_bytes == 1500
+        assert binary.footprint_bytes == 5500
+
+    def test_to_bytes_length_and_determinism(self):
+        binary = KernelBinary("k", code_bytes=100, const_bytes=33)
+        image = binary.to_bytes()
+        assert len(image) == 133
+        assert image == KernelBinary("k", 100, 33).to_bytes()
+
+    def test_different_names_different_images(self):
+        a = KernelBinary("a", code_bytes=64).to_bytes()
+        b = KernelBinary("b", code_bytes=64).to_bytes()
+        assert a != b
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelBinary("k", code_bytes=-1)

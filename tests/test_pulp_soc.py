@@ -1,0 +1,139 @@
+"""Tests for the PULP SoC control plane, QSPI slave and FLL."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    OperatingPointError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.link.protocol import Command, Frame
+from repro.pulp.binary import KernelBinary
+from repro.pulp.fll import ClockDivider, FrequencyLockedLoop
+from repro.pulp.soc import PulpSoc, SocState
+from repro.power.pulp_model import PULP3_TABLE
+from repro.units import mhz
+
+
+def _loaded_soc():
+    soc = PulpSoc()
+    binary = KernelBinary("demo", code_bytes=256)
+    soc.register_binary(binary, 0)
+    soc.handle_frame(Frame(Command.LOAD_BINARY, 0, binary.to_bytes()))
+    return soc, binary
+
+
+class TestQspiSlave:
+    def test_load_binary_lands_in_l2(self):
+        soc, binary = _loaded_soc()
+        assert soc.l2.read(0, binary.image_bytes) == binary.to_bytes()
+        assert soc.state is SocState.LOADED
+
+    def test_write_then_read_data(self):
+        soc, _ = _loaded_soc()
+        soc.handle_frame(Frame(Command.WRITE_DATA, 0x400, b"input!"))
+        response = soc.handle_frame(Frame(Command.READ_DATA, 0x400))
+        assert response == b"input!"
+
+    def test_read_with_explicit_length(self):
+        soc, _ = _loaded_soc()
+        soc.handle_frame(Frame(Command.WRITE_DATA, 0x400, b"abcdef"))
+        response = soc.handle_frame(
+            Frame(Command.READ_DATA, 0x400, (4).to_bytes(4, "little")))
+        assert response == b"abcd"
+
+    def test_read_unknown_region_rejected(self):
+        soc, _ = _loaded_soc()
+        with pytest.raises(ProtocolError):
+            soc.handle_frame(Frame(Command.READ_DATA, 0x999))
+
+    def test_status_reports_state(self):
+        soc, _ = _loaded_soc()
+        status = soc.handle_frame(Frame(Command.STATUS, 0))
+        assert status == bytes([list(SocState).index(SocState.LOADED)])
+
+    def test_start_requires_loaded_binary(self):
+        soc = PulpSoc()
+        with pytest.raises(ProtocolError):
+            soc.handle_frame(Frame(Command.START, 0))
+
+    def test_full_control_sequence(self):
+        soc, _ = _loaded_soc()
+        soc.handle_frame(Frame(Command.START, 0))
+        assert soc.state is SocState.RUNNING
+        soc.trigger_fetch_enable(time=1.0)
+        soc.computation_done(time=2.0)
+        assert soc.state is SocState.DONE
+        assert soc.fetch_enable.edge_count == 2
+        assert soc.end_of_computation.edge_count == 2
+
+    def test_write_while_running_rejected(self):
+        soc, _ = _loaded_soc()
+        soc.handle_frame(Frame(Command.START, 0))
+        with pytest.raises(ProtocolError):
+            soc.handle_frame(Frame(Command.WRITE_DATA, 0x100, b"x"))
+
+    def test_fetch_enable_requires_running(self):
+        soc, _ = _loaded_soc()
+        with pytest.raises(SimulationError):
+            soc.trigger_fetch_enable(time=0.0)
+
+    def test_eoc_requires_running(self):
+        soc, _ = _loaded_soc()
+        with pytest.raises(SimulationError):
+            soc.computation_done(time=0.0)
+
+    def test_reset_keeps_binary_resident(self):
+        soc, _ = _loaded_soc()
+        soc.handle_frame(Frame(Command.START, 0))
+        soc.trigger_fetch_enable(1.0)
+        soc.computation_done(2.0)
+        soc.reset()
+        assert soc.state is SocState.LOADED
+        soc.handle_frame(Frame(Command.START, 0))  # restart works
+
+    def test_frames_handled_counter(self):
+        soc, _ = _loaded_soc()
+        assert soc.frames_handled == 1
+
+
+class TestClockDivider:
+    def test_divides(self):
+        divider = ClockDivider("periph", 4)
+        assert divider.output(mhz(100)) == mhz(25)
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ConfigurationError):
+            ClockDivider("x", 0)
+        with pytest.raises(ConfigurationError):
+            ClockDivider("x", 1.5)
+
+
+class TestFrequencyLockedLoop:
+    def test_set_frequency_close_from_below(self):
+        fll = FrequencyLockedLoop(PULP3_TABLE)
+        fll.set_frequency(mhz(100), voltage=0.8)
+        assert fll.frequency <= mhz(100)
+        assert fll.frequency == pytest.approx(mhz(100), rel=0.001)
+
+    def test_lock_time_returned(self):
+        fll = FrequencyLockedLoop(PULP3_TABLE)
+        assert fll.set_frequency(mhz(50), 0.6) == fll.lock_time
+        assert fll.hops == 1
+
+    def test_over_fmax_rejected(self):
+        fll = FrequencyLockedLoop(PULP3_TABLE)
+        with pytest.raises(OperatingPointError):
+            fll.set_frequency(mhz(400), voltage=0.5)
+
+    def test_domain_dividers(self):
+        fll = FrequencyLockedLoop(PULP3_TABLE)
+        fll.set_frequency(mhz(100), voltage=0.8)
+        assert fll.cluster_frequency == fll.frequency
+        assert fll.peripheral_frequency == fll.frequency / 2
+
+    def test_invalid_target(self):
+        fll = FrequencyLockedLoop(PULP3_TABLE)
+        with pytest.raises(ConfigurationError):
+            fll.set_frequency(0, 0.5)

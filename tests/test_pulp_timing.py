@@ -1,0 +1,163 @@
+"""Tests for the analytic timing model and its DES cross-validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.or10n import Or10nTarget
+from repro.isa.program import Block, Loop, Program
+from repro.isa.report import LoweredReport
+from repro.isa.vop import DType, OpKind, alu, load, mac
+from repro.pulp.cluster import Cluster
+from repro.pulp.timing import (
+    ContentionModel,
+    chunk_trips,
+    op_stream_from_report,
+    parallel_wall_cycles,
+)
+
+
+class TestContentionModel:
+    def test_single_core_no_contention(self):
+        assert ContentionModel().stall_factor(1, 0.9) == 1.0
+
+    def test_grows_with_cores(self):
+        model = ContentionModel()
+        factors = [model.stall_factor(n, 0.5) for n in (1, 2, 3, 4)]
+        assert factors == sorted(factors)
+
+    def test_grows_with_intensity(self):
+        model = ContentionModel()
+        assert model.stall_factor(4, 0.9) > model.stall_factor(4, 0.1)
+
+    def test_more_banks_less_contention(self):
+        assert ContentionModel(banks=16).stall_factor(4, 0.5) \
+            < ContentionModel(banks=4).stall_factor(4, 0.5)
+
+    def test_intensity_clamped(self):
+        model = ContentionModel()
+        assert model.stall_factor(4, 2.0) == model.stall_factor(4, 1.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel().stall_factor(0, 0.5)
+
+
+class TestChunkTrips:
+    def test_even_split(self):
+        assert chunk_trips(8, 4) == [2, 2, 2, 2]
+
+    def test_remainder_goes_to_first_threads(self):
+        assert chunk_trips(10, 4) == [3, 3, 2, 2]
+
+    def test_fewer_trips_than_threads(self):
+        assert chunk_trips(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_trips(self):
+        assert chunk_trips(0, 4) == [0, 0, 0, 0]
+
+    def test_sums_to_trips(self):
+        for trips in range(0, 50):
+            assert sum(chunk_trips(trips, 4)) == trips
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            chunk_trips(10, 0)
+
+
+class TestParallelWallCycles:
+    def test_serial_program_unchanged(self, or10n_target):
+        program = Program("p", [Loop(10, [Block([alu(OpKind.ADD)])])])
+        timing = parallel_wall_cycles(program, or10n_target, threads=4)
+        assert timing.parallel_regions == 0
+        assert timing.serial_cycles == timing.wall_cycles
+
+    def test_parallel_loop_speeds_up(self, or10n_target, simple_program):
+        single = parallel_wall_cycles(simple_program, or10n_target, 1)
+        quad = parallel_wall_cycles(simple_program, or10n_target, 4)
+        assert quad.wall_cycles < single.wall_cycles
+        assert 2.0 < single.wall_cycles / quad.wall_cycles <= 4.0
+
+    def test_imbalance_visible(self, or10n_target):
+        # 5 iterations on 4 threads: one thread does 2.
+        inner = Block([alu(OpKind.ADD, count=100)])
+        program = Program("p", [Loop(5, [inner], parallelizable=True)])
+        timing = parallel_wall_cycles(program, or10n_target, 4)
+        per_iter = or10n_target.lower_nodes(
+            [Loop(1, [inner])]).cycles
+        assert timing.wall_cycles >= 2 * (per_iter - 1)
+
+    def test_memory_accesses_aggregated(self, or10n_target, simple_program):
+        timing = parallel_wall_cycles(simple_program, or10n_target, 4)
+        assert timing.memory_accesses == 64 + 8  # loads + stores
+
+
+class TestOpStreamSynthesis:
+    def test_shapes_match_report(self):
+        report = LoweredReport("x", cycles=1000.0, memory_accesses=250.0)
+        stream = op_stream_from_report(report)
+        mem = sum(1 for op in stream if hasattr(op, "address"))
+        compute = sum(op.cycles for op in stream if hasattr(op, "cycles"))
+        assert mem == 250
+        assert compute == pytest.approx(750.0, abs=1.0)
+
+    def test_no_memory(self):
+        report = LoweredReport("x", cycles=100.0, memory_accesses=0.0)
+        stream = op_stream_from_report(report)
+        assert len(stream) == 1
+        assert stream[0].cycles == 100.0
+
+    def test_invalid_pattern(self):
+        report = LoweredReport("x", cycles=10.0, memory_accesses=1.0)
+        with pytest.raises(ConfigurationError):
+            op_stream_from_report(report, pattern="zigzag")
+
+
+class TestAnalyticVsDiscreteEvent:
+    """DESIGN.md section 5: both timing paths must agree."""
+
+    @pytest.mark.parametrize("intensity", [0.25, 0.5, 0.8])
+    def test_contention_within_tolerance(self, intensity):
+        cycles = 4000.0
+        streams = []
+        for core in range(4):
+            report = LoweredReport("x", cycles=cycles,
+                                   memory_accesses=cycles * intensity)
+            streams.append(op_stream_from_report(report, core_index=core,
+                                                 pattern="random"))
+        run = Cluster().run(streams)
+        des_factor = run.wall_cycles / cycles
+        analytic = ContentionModel().stall_factor(4, intensity)
+        assert des_factor == pytest.approx(analytic, abs=0.06)
+
+    def test_strided_patterns_nearly_conflict_free(self):
+        # Word-interleaving desynchronizes strided walkers: the DES
+        # should show almost no contention (the property the TCDM's
+        # interleaving scheme exists to provide).
+        cycles = 4000.0
+        streams = []
+        for core in range(4):
+            report = LoweredReport("x", cycles=cycles,
+                                   memory_accesses=cycles * 0.5)
+            streams.append(op_stream_from_report(report, core_index=core,
+                                                 pattern="strided"))
+        run = Cluster().run(streams)
+        assert run.wall_cycles / cycles < 1.02
+
+    def test_kernel_shaped_parallel_run(self, or10n_target):
+        # Split a real (small) kernel program across 4 cores and check
+        # the DES wall time tracks the analytic model.
+        from repro.kernels.matmul import MatmulKernel
+        program = MatmulKernel("char", n=12).build_program()
+        loop = program.body[0]
+        chunks = chunk_trips(loop.trips, 4)
+        streams = []
+        reports = []
+        for core, chunk in enumerate(chunks):
+            report = or10n_target.lower_nodes([loop.with_trips(chunk)])
+            reports.append(report)
+            streams.append(op_stream_from_report(report, core_index=core,
+                                                 pattern="random"))
+        run = Cluster().run(streams)
+        analytic = parallel_wall_cycles(program, or10n_target, 4)
+        assert run.wall_cycles == pytest.approx(analytic.wall_cycles,
+                                                rel=0.08)

@@ -1,0 +1,225 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Event, Resource, Simulator, Timeout
+
+
+class TestSimulatorBasics:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_ordering(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_at_same_time(self):
+        sim = Simulator()
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(5.0, log.append, 5)
+        sim.run(until=2.0)
+        assert log == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert log == [1, 5]
+
+
+class TestProcesses:
+    def test_timeout_advances_local_time(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield Timeout(1.5)
+            times.append(sim.now)
+            yield Timeout(2.5)
+            times.append(sim.now)
+
+        sim.add_process(proc())
+        sim.run_all()
+        assert times == [1.5, 4.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.1)
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        process = sim.add_process(proc())
+        sim.run_all()
+        assert process.finished
+        assert process.result == 42
+
+    def test_wait_on_event(self):
+        sim = Simulator()
+        event = sim.event("go")
+        values = []
+
+        def waiter():
+            value = yield event
+            values.append((sim.now, value))
+
+        sim.add_process(waiter())
+        sim.schedule(3.0, event.trigger, "payload")
+        sim.run_all()
+        assert values == [(3.0, "payload")]
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger("early")
+        values = []
+
+        def waiter():
+            value = yield event
+            values.append(value)
+
+        sim.add_process(waiter())
+        sim.run_all()
+        assert values == ["early"]
+
+    def test_event_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_wait_on_process_completion(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(5.0)
+            return "done"
+
+        def watcher(target):
+            result = yield target
+            return (sim.now, result)
+
+        worker_process = sim.add_process(worker())
+        watcher_process = sim.add_process(watcher(worker_process))
+        sim.run_all()
+        assert watcher_process.result == (5.0, "done")
+
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a command"
+
+        sim.add_process(proc())
+        with pytest.raises(SimulationError):
+            sim.run_all()
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+        event = sim.event("never")
+
+        def stuck():
+            yield event
+
+        sim.add_process(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run_all()
+
+
+class TestResource:
+    def test_mutual_exclusion_serializes(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        finish_times = []
+
+        def worker():
+            yield resource.request()
+            yield Timeout(2.0)
+            resource.release()
+            finish_times.append(sim.now)
+
+        for _ in range(3):
+            sim.add_process(worker())
+        sim.run_all()
+        assert finish_times == [2.0, 4.0, 6.0]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        finish_times = []
+
+        def worker():
+            yield resource.request()
+            yield Timeout(2.0)
+            resource.release()
+            finish_times.append(sim.now)
+
+        for _ in range(4):
+            sim.add_process(worker())
+        sim.run_all()
+        assert finish_times == [2.0, 2.0, 4.0, 4.0]
+
+    def test_statistics(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="bank")
+
+        def worker():
+            yield resource.request()
+            yield Timeout(1.0)
+            resource.release()
+
+        for _ in range(3):
+            sim.add_process(worker())
+        sim.run_all()
+        assert resource.grants == 3
+        assert resource.waits == 2
+        assert resource.wait_time == pytest.approx(1.0 + 2.0)
+        assert resource.average_wait == pytest.approx(1.0)
+
+    def test_release_without_hold_rejected(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(tag):
+            yield resource.request()
+            order.append(tag)
+            yield Timeout(1.0)
+            resource.release()
+
+        for tag in range(5):
+            sim.add_process(worker(tag))
+        sim.run_all()
+        assert order == [0, 1, 2, 3, 4]

@@ -1,0 +1,88 @@
+"""Tests for the DES event tracing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pulp.core import ComputeOp, MemOp
+from repro.sim.tracing import (
+    TraceRecorder,
+    render_timeline,
+    trace_cluster_run,
+)
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(5.0, "a", "compute")
+        recorder.record(1.0, "a", "memory")
+        events = recorder.by_actor()["a"]
+        assert [e.time for e in events] == [1.0, 5.0]
+
+    def test_kind_filter(self):
+        recorder = TraceRecorder(kinds=["stall"])
+        recorder.record(0.0, "a", "compute")
+        recorder.record(1.0, "a", "stall")
+        assert recorder.count("compute") == 0
+        assert recorder.count("stall") == 1
+
+    def test_window(self):
+        recorder = TraceRecorder(window=(10.0, 20.0))
+        recorder.record(5.0, "a", "memory")
+        recorder.record(15.0, "a", "memory")
+        recorder.record(25.0, "a", "memory")
+        assert len(recorder.events) == 1
+
+    def test_capacity_drops(self):
+        recorder = TraceRecorder(capacity=2)
+        for time in range(5):
+            recorder.record(float(time), "a", "memory")
+        assert len(recorder.events) == 2
+        assert recorder.dropped == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder(capacity=0)
+
+
+class TestTimelineRendering:
+    def test_empty(self):
+        assert render_timeline(TraceRecorder()) == "(no events recorded)"
+
+    def test_lanes_per_actor(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "core0", "compute")
+        recorder.record(10.0, "core1", "stall")
+        text = render_timeline(recorder)
+        assert "core0" in text and "core1" in text
+        assert "=" in text and "x" in text
+
+    def test_width_validated(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "a", "compute")
+        with pytest.raises(SimulationError):
+            render_timeline(recorder, width=2)
+
+
+class TestTraceClusterRun:
+    def test_traces_match_run_statistics(self):
+        streams = [[ComputeOp(5.0)] + [MemOp(4 * i) for i in range(10)]
+                   for _ in range(2)]
+        run, recorder = trace_cluster_run(streams)
+        assert recorder.count("memory") == \
+            sum(stats.accesses for stats in run.core_stats) == 20
+        assert recorder.count("barrier") == 2
+        assert run.wall_cycles > 0
+
+    def test_stalls_recorded_under_contention(self):
+        streams = [[MemOp(0) for _ in range(10)] for _ in range(4)]
+        run, recorder = trace_cluster_run(streams)
+        assert recorder.count("stall") > 0
+        text = render_timeline(recorder)
+        assert "x" in text
+
+    def test_kind_filtered_cluster_trace(self):
+        streams = [[ComputeOp(3.0), MemOp(0)] for _ in range(2)]
+        _, recorder = trace_cluster_run(streams, kinds=["memory"])
+        assert recorder.count("compute") == 0
+        assert recorder.count("memory") == 2
