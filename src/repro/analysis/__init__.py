@@ -1,0 +1,64 @@
+"""Static analysis of OR10N-mini machine programs.
+
+The correctness gate between the assembler and everything that trusts
+its cycle counts: a CFG builder (:mod:`~repro.analysis.cfg`), reaching
+definitions and liveness (:mod:`~repro.analysis.dataflow`), a static
+load-use stall model cross-validated against the interpreter
+(:mod:`~repro.analysis.stalls`), and a coded rule engine
+(:mod:`~repro.analysis.rules`, ``OR001``..``OR010``) sharing the
+:class:`~repro.isa.validate.Finding` vocabulary with the loop-nest IR
+validator.  ``python -m repro lint`` is the CLI surface.
+"""
+
+# The machine package's import-time strict gating re-enters this
+# package (programs.py lints every built-in kernel as it assembles
+# them).  Importing repro.machine first lets that re-entry find our
+# submodules fully initialized regardless of which side is imported
+# first.
+import repro.machine  # noqa: F401  (import order, see above)
+
+from repro.analysis.cfg import CFG, EXIT, BasicBlock, HwLoopSpan, build_cfg
+from repro.analysis.dataflow import (
+    ALL_REGISTERS,
+    dead_stores,
+    initialized_registers,
+    live_registers,
+    uninitialized_reads,
+)
+from repro.analysis.linter import (
+    AnalysisReport,
+    lint_instructions,
+    lint_source,
+    lint_unit,
+)
+from repro.analysis.rules import analyze_program, check_targets, run_rules
+from repro.analysis.stalls import (
+    StallSite,
+    predicted_stalls,
+    stall_sites,
+    stalls_by_block,
+)
+
+__all__ = [
+    "CFG",
+    "EXIT",
+    "BasicBlock",
+    "HwLoopSpan",
+    "build_cfg",
+    "ALL_REGISTERS",
+    "initialized_registers",
+    "live_registers",
+    "uninitialized_reads",
+    "dead_stores",
+    "AnalysisReport",
+    "lint_source",
+    "lint_unit",
+    "lint_instructions",
+    "analyze_program",
+    "check_targets",
+    "run_rules",
+    "StallSite",
+    "stall_sites",
+    "stalls_by_block",
+    "predicted_stalls",
+]

@@ -1,0 +1,220 @@
+"""Control-flow graph construction over assembled OR10N-mini programs.
+
+The unit of the graph is the classic *basic block*: a maximal
+straight-line run of instructions entered only at its first instruction
+and left only at its last.  Edges come from four sources:
+
+* fall-through from one block into the next,
+* taken branches and jumps (offsets are relative to the next pc),
+* the two edges out of a ``hwloop`` setup — into the body, and over it
+  for a zero trip count,
+* the *hardware back-edge*: any transfer that lands on a loop body's
+  end pc from inside the body re-enters the body head while trips
+  remain, exactly as in :meth:`repro.machine.interpreter.Machine.run`.
+
+A virtual exit (:data:`EXIT`) collects ``halt`` instructions and any
+control transfer to ``len(program)`` (falling off the end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import IsaError
+from repro.machine.encoding import BRANCHES, Instruction, Opcode
+
+#: Virtual exit-node index used in successor/predecessor lists.
+EXIT = -1
+
+
+@dataclass(frozen=True)
+class HwLoopSpan:
+    """One static hardware-loop region: body is ``[start, end)``."""
+
+    setup_pc: int
+    start: int
+    end: int
+    trip_register: int
+    #: 1-based static nesting depth (1 = outermost).
+    depth: int = 1
+
+    def contains(self, pc: int) -> bool:
+        """Whether *pc* lies inside the loop body."""
+        return self.start <= pc < self.end
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def pcs(self) -> range:
+        """The pcs covered by this block."""
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one instruction sequence."""
+
+    program: Sequence[Instruction]
+    blocks: List[BasicBlock]
+    block_of: List[int]
+    hwloops: List[HwLoopSpan]
+    reachable: Set[int]
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The basic block containing *pc*."""
+        return self.blocks[self.block_of[pc]]
+
+    def loops_containing(self, pc: int) -> List[HwLoopSpan]:
+        """All hardware-loop bodies whose span covers *pc*."""
+        return [span for span in self.hwloops if span.contains(pc)]
+
+    def reachable_pcs(self) -> Set[int]:
+        """All pcs inside reachable blocks."""
+        pcs: Set[int] = set()
+        for index in self.reachable:
+            pcs.update(self.blocks[index].pcs())
+        return pcs
+
+
+def _branch_target(pc: int, instruction: Instruction) -> int:
+    return pc + 1 + instruction.imm
+
+
+def _hwloop_spans(program: Sequence[Instruction]) -> List[HwLoopSpan]:
+    spans: List[HwLoopSpan] = []
+    for pc, instruction in enumerate(program):
+        if instruction.opcode is Opcode.HWLOOP:
+            spans.append(HwLoopSpan(setup_pc=pc, start=pc + 1,
+                                    end=pc + 1 + instruction.imm,
+                                    trip_register=instruction.ra))
+    # Static nesting depth: how many other spans fully enclose each one.
+    with_depth = []
+    for span in spans:
+        depth = 1 + sum(1 for other in spans
+                        if other is not span
+                        and other.start <= span.setup_pc
+                        and span.end <= other.end)
+        with_depth.append(HwLoopSpan(span.setup_pc, span.start, span.end,
+                                     span.trip_register, depth))
+    return with_depth
+
+
+def _leaders(program: Sequence[Instruction]) -> List[int]:
+    length = len(program)
+    leaders = {0} if length else set()
+    for pc, instruction in enumerate(program):
+        opcode = instruction.opcode
+        if opcode in BRANCHES:
+            target = _branch_target(pc, instruction)
+            if 0 <= target < length:
+                leaders.add(target)
+            if pc + 1 < length:
+                leaders.add(pc + 1)
+        elif opcode is Opcode.HWLOOP:
+            if pc + 1 < length:
+                leaders.add(pc + 1)          # body head
+            skip = pc + 1 + instruction.imm
+            if 0 <= skip < length:
+                leaders.add(skip)            # zero-trip skip / body end
+        elif opcode is Opcode.HALT and pc + 1 < length:
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def build_cfg(program: Sequence[Instruction]) -> CFG:
+    """Build the CFG of *program*.
+
+    Control transfers that resolve outside ``[0, len(program)]`` raise
+    :class:`~repro.errors.IsaError` — run rule OR006
+    (:func:`repro.analysis.rules.run_rules`) first for a finding-based
+    report instead of an exception.
+    """
+    length = len(program)
+    for pc, instruction in enumerate(program):
+        if instruction.opcode in BRANCHES:
+            target = _branch_target(pc, instruction)
+            if not 0 <= target <= length:
+                raise IsaError(f"pc {pc}: branch target {target} outside "
+                               f"program [0, {length}]")
+        elif instruction.opcode is Opcode.HWLOOP:
+            if not pc + 1 <= pc + 1 + instruction.imm <= length:
+                raise IsaError(f"pc {pc}: hwloop body [{pc + 1}, "
+                               f"{pc + 1 + instruction.imm}) is not a "
+                               f"forward range inside the program")
+
+    spans = _hwloop_spans(program)
+    leaders = _leaders(program)
+    blocks: List[BasicBlock] = []
+    block_of = [0] * length
+    for index, start in enumerate(leaders):
+        end = leaders[index + 1] if index + 1 < len(leaders) else length
+        block = BasicBlock(index=index, start=start, end=end)
+        blocks.append(block)
+        for pc in range(start, end):
+            block_of[pc] = index
+
+    def _edge_targets(pc: int, target: int) -> List[int]:
+        """Resolve one transfer *pc* -> *target*, adding the hardware
+        back-edge when the target is an enclosing loop's end pc."""
+        targets = [target]
+        for span in spans:
+            if span.contains(pc) and target == span.end:
+                targets.append(span.start)
+        return targets
+
+    for block in blocks:
+        last_pc = block.end - 1
+        last = program[last_pc]
+        opcode = last.opcode
+        raw_targets: List[int] = []
+        if opcode is Opcode.HALT:
+            raw_targets = []
+        elif opcode is Opcode.JUMP:
+            raw_targets = _edge_targets(last_pc,
+                                        _branch_target(last_pc, last))
+        elif opcode in BRANCHES:
+            raw_targets = _edge_targets(last_pc,
+                                        _branch_target(last_pc, last))
+            raw_targets += _edge_targets(last_pc, last_pc + 1)
+        elif opcode is Opcode.HWLOOP:
+            raw_targets = [last_pc + 1, last_pc + 1 + last.imm]
+        else:
+            raw_targets = _edge_targets(last_pc, last_pc + 1)
+
+        seen = set()
+        for target in raw_targets:
+            successor = EXIT if target >= length else block_of[target]
+            if successor in seen:
+                continue
+            seen.add(successor)
+            block.successors.append(successor)
+            if successor is not EXIT:
+                blocks[successor].predecessors.append(block.index)
+        if opcode is Opcode.HALT:
+            block.successors.append(EXIT)
+
+    reachable: Set[int] = set()
+    if blocks:
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            if index in reachable or index == EXIT:
+                continue
+            reachable.add(index)
+            stack.extend(s for s in blocks[index].successors
+                         if s != EXIT and s not in reachable)
+
+    return CFG(program=program, blocks=blocks, block_of=block_of,
+               hwloops=spans, reachable=reachable)

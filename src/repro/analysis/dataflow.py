@@ -1,0 +1,223 @@
+"""Classic forward/backward dataflow over the OR10N-mini CFG.
+
+Two register-level analyses drive the lint rules:
+
+* **Initialization** (a reaching-definitions projection): for every
+  block entry, which registers *may* hold a written value (union over
+  predecessors) and which *must* (intersection).  A read outside the
+  *may* set is a definite use of garbage; outside the *must* set, a
+  use that is uninitialized on at least one path.
+* **Liveness**: which registers may still be read between a program
+  point and the exit.  A definition that is dead (not live-out at the
+  defining instruction) is either a redundant store or a result the
+  caller never declared.
+
+Both are solved with the standard round-robin iteration to a fixpoint;
+the lattices are subsets of the 32-register file, so termination is
+bounded and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.machine.encoding import (
+    REGISTERS,
+    Instruction,
+    dest_register,
+    source_registers,
+)
+
+from repro.analysis.cfg import CFG, EXIT
+
+ALL_REGISTERS: FrozenSet[int] = frozenset(range(REGISTERS))
+
+
+def _block_gen(program: Sequence[Instruction], start: int,
+               end: int) -> Set[int]:
+    """Registers written anywhere in ``[start, end)``."""
+    written: Set[int] = set()
+    for pc in range(start, end):
+        rd = dest_register(program[pc])
+        if rd is not None and rd != 0:
+            written.add(rd)
+    return written
+
+
+@dataclass
+class InitState:
+    """Per-block initialization facts (register index sets)."""
+
+    may_in: List[Set[int]]
+    must_in: List[Set[int]]
+
+    def at(self, index: int):
+        """(may, must) initialized-register sets entering block *index*."""
+        return self.may_in[index], self.must_in[index]
+
+
+def initialized_registers(cfg: CFG,
+                          entry_regs: FrozenSet[int] = frozenset()
+                          ) -> InitState:
+    """Solve the forward initialization analysis.
+
+    *entry_regs* are the registers the runtime presets before the first
+    instruction (kernel arguments); ``r0`` is always initialized.
+    """
+    entry = set(entry_regs) | {0}
+    blocks = cfg.blocks
+    gens = [_block_gen(cfg.program, b.start, b.end) for b in blocks]
+    may_in = [set() for _ in blocks]
+    must_in = [set(ALL_REGISTERS) for _ in blocks]
+    if blocks:
+        may_in[0] = set(entry)
+        must_in[0] = set(entry)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block.index == 0:
+                may = set(entry)
+                must = set(entry)
+            else:
+                preds = [p for p in block.predecessors if p != EXIT]
+                if preds:
+                    may = set().union(*(may_in[p] | gens[p] for p in preds))
+                    must = set(ALL_REGISTERS)
+                    for p in preds:
+                        must &= must_in[p] | gens[p]
+                else:
+                    may, must = set(), set()
+                may |= {0}
+                must |= {0}
+            if may != may_in[block.index] or must != must_in[block.index]:
+                may_in[block.index] = may
+                must_in[block.index] = must
+                changed = True
+    return InitState(may_in=may_in, must_in=must_in)
+
+
+@dataclass
+class LivenessState:
+    """Per-block liveness facts (register index sets)."""
+
+    live_in: List[Set[int]]
+    live_out: List[Set[int]]
+
+
+def live_registers(cfg: CFG,
+                   exit_live: FrozenSet[int] = ALL_REGISTERS
+                   ) -> LivenessState:
+    """Solve backward liveness.
+
+    *exit_live* is the set of registers still observable after the
+    program halts (a runner reading ``result.registers[10]`` makes
+    ``r10`` exit-live).  The default — everything — makes dead-store
+    detection conservative: only values overwritten before any read on
+    every path are flagged.
+    """
+    blocks = cfg.blocks
+    use = [set() for _ in blocks]
+    define = [set() for _ in blocks]
+    for block in blocks:
+        seen_def: Set[int] = set()
+        for pc in block.pcs():
+            instruction = cfg.program[pc]
+            for reg in source_registers(instruction):
+                if reg not in seen_def:
+                    use[block.index].add(reg)
+            rd = dest_register(instruction)
+            if rd is not None and rd != 0:
+                seen_def.add(rd)
+        define[block.index] = seen_def
+
+    live_in = [set() for _ in blocks]
+    live_out = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out: Set[int] = set()
+            for successor in block.successors:
+                if successor == EXIT:
+                    out |= exit_live
+                else:
+                    out |= live_in[successor]
+            if not block.successors:
+                out |= exit_live
+            new_in = use[block.index] | (out - define[block.index])
+            if out != live_out[block.index] \
+                    or new_in != live_in[block.index]:
+                live_out[block.index] = out
+                live_in[block.index] = new_in
+                changed = True
+    return LivenessState(live_in=live_in, live_out=live_out)
+
+
+@dataclass(frozen=True)
+class RegisterEvent:
+    """One suspicious register access found by the instruction walk."""
+
+    pc: int
+    register: int
+    definite: bool
+
+
+def uninitialized_reads(cfg: CFG, init: InitState,
+                        restrict_to: Optional[Set[int]] = None
+                        ) -> List[RegisterEvent]:
+    """Reads of registers not written on every (or any) incoming path.
+
+    Returns one event per (pc, register); ``definite`` is True when no
+    path writes the register first.  Only reachable blocks are walked —
+    unreachable code gets its own rule.
+    """
+    events: List[RegisterEvent] = []
+    reported: Set[tuple] = set()
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        may, must = init.at(block.index)
+        may, must = set(may), set(must)
+        for pc in block.pcs():
+            instruction = cfg.program[pc]
+            for reg in source_registers(instruction):
+                if reg in must or (restrict_to and reg not in restrict_to):
+                    continue
+                key = (pc, reg)
+                if key in reported:
+                    continue
+                reported.add(key)
+                events.append(RegisterEvent(pc=pc, register=reg,
+                                            definite=reg not in may))
+            rd = dest_register(instruction)
+            if rd is not None and rd != 0:
+                may.add(rd)
+                must.add(rd)
+    return events
+
+
+def dead_stores(cfg: CFG, liveness: LivenessState) -> List[RegisterEvent]:
+    """Definitions never read before being overwritten (or exit).
+
+    ``definite`` is always True: with the conservative exit-liveness
+    default, anything reported is overwritten before use on every path.
+    """
+    events: List[RegisterEvent] = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        live = set(liveness.live_out[block.index])
+        for pc in reversed(block.pcs()):
+            instruction = cfg.program[pc]
+            rd = dest_register(instruction)
+            if rd is not None and rd != 0:
+                if rd not in live:
+                    events.append(RegisterEvent(pc=pc, register=rd,
+                                                definite=True))
+                live.discard(rd)
+            live.update(source_registers(instruction))
+    events.sort(key=lambda event: event.pc)
+    return events

@@ -1,0 +1,257 @@
+"""Lint rules over the OR10N-mini CFG and dataflow results.
+
+Rule catalog (see ``docs/ANALYSIS.md`` for the full write-up):
+
+======  ========  ====================================================
+code    severity  condition
+======  ========  ====================================================
+OR001   error     register read before any write on some path
+                  (warning when only *some* paths miss the write)
+OR002   warning   dead store: value overwritten before any read
+OR003   warning   write to r0 (architecturally discarded)
+OR004   warning   unreachable instructions
+OR005   error     no reachable HALT (warning: control can fall off
+                  the program end on some path)
+OR006   error     branch/jump/hwloop target outside the program
+OR007   error     hardware-loop nesting deeper than the two loop
+                  register sets (or partially overlapping bodies)
+OR008   error     branch crossing a hardware-loop body boundary
+OR009   warning   trip-count register written inside the loop body
+OR010   info      load-use stall site (value consumed by the next
+                  instruction)
+======  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.isa.validate import Finding, Severity
+from repro.machine.encoding import (
+    BRANCHES,
+    Instruction,
+    Opcode,
+    dest_register,
+)
+from repro.machine.interpreter import Machine
+
+from repro.analysis.cfg import CFG, EXIT, build_cfg
+from repro.analysis.dataflow import (
+    ALL_REGISTERS,
+    dead_stores,
+    initialized_registers,
+    live_registers,
+    uninitialized_reads,
+)
+from repro.analysis.stalls import stall_sites
+
+
+def _location(pc: int) -> str:
+    return f"pc {pc}"
+
+
+def _line(lines: Optional[Sequence[int]], pc: int) -> Optional[int]:
+    if lines is None or pc >= len(lines):
+        return None
+    return lines[pc]
+
+
+def check_targets(program: Sequence[Instruction],
+                  lines: Optional[Sequence[int]] = None) -> List[Finding]:
+    """OR006: control transfers that resolve outside the program.
+
+    This is the only rule that runs *before* CFG construction (an
+    out-of-bounds edge has no graph representation); when it fires, the
+    graph-based rules are skipped.
+    """
+    findings: List[Finding] = []
+    length = len(program)
+    for pc, instruction in enumerate(program):
+        if instruction.opcode in BRANCHES:
+            target = pc + 1 + instruction.imm
+            if not 0 <= target <= length:
+                findings.append(Finding(
+                    Severity.ERROR, _location(pc),
+                    f"{instruction.opcode.name} target {target} is outside "
+                    f"the program [0, {length}]",
+                    code="OR006", line=_line(lines, pc)))
+        elif instruction.opcode is Opcode.HWLOOP:
+            end = pc + 1 + instruction.imm
+            if end > length:
+                findings.append(Finding(
+                    Severity.ERROR, _location(pc),
+                    f"hwloop body ends at {end}, past the last "
+                    f"instruction ({length - 1})",
+                    code="OR006", line=_line(lines, pc)))
+            elif end < pc + 1:
+                findings.append(Finding(
+                    Severity.ERROR, _location(pc),
+                    f"hwloop body length {instruction.imm} is negative",
+                    code="OR006", line=_line(lines, pc)))
+    return findings
+
+
+def run_rules(cfg: CFG,
+              lines: Optional[Sequence[int]] = None,
+              entry_regs: FrozenSet[int] = frozenset(),
+              exit_live: FrozenSet[int] = ALL_REGISTERS) -> List[Finding]:
+    """Run every CFG/dataflow rule and return the combined findings."""
+    findings: List[Finding] = []
+    findings += _rule_registers(cfg, lines, entry_regs, exit_live)
+    findings += _rule_reachability(cfg, lines)
+    findings += _rule_hwloops(cfg, lines)
+    findings += _rule_stalls(cfg, lines)
+    return findings
+
+
+def _rule_registers(cfg: CFG, lines, entry_regs,
+                    exit_live) -> List[Finding]:
+    findings: List[Finding] = []
+    init = initialized_registers(cfg, entry_regs=entry_regs)
+    for event in uninitialized_reads(cfg, init):
+        if event.definite:
+            findings.append(Finding(
+                Severity.ERROR, _location(event.pc),
+                f"r{event.register} is read but never written on any "
+                f"path from entry",
+                code="OR001", line=_line(lines, event.pc)))
+        else:
+            findings.append(Finding(
+                Severity.WARNING, _location(event.pc),
+                f"r{event.register} may be read before initialization "
+                f"(written on some paths only)",
+                code="OR001", line=_line(lines, event.pc)))
+    liveness = live_registers(cfg, exit_live=exit_live)
+    for event in dead_stores(cfg, liveness):
+        findings.append(Finding(
+            Severity.WARNING, _location(event.pc),
+            f"dead store: r{event.register} is overwritten before any "
+            f"read",
+            code="OR002", line=_line(lines, event.pc)))
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        for pc in block.pcs():
+            if dest_register(cfg.program[pc]) == 0:
+                findings.append(Finding(
+                    Severity.WARNING, _location(pc),
+                    "write to r0 is discarded (r0 is hard-wired zero)",
+                    code="OR003", line=_line(lines, pc)))
+    return findings
+
+
+def _rule_reachability(cfg: CFG, lines) -> List[Finding]:
+    findings: List[Finding] = []
+    for block in cfg.blocks:
+        if block.index in cfg.reachable:
+            continue
+        span = f"pc {block.start}" if len(block) == 1 \
+            else f"pc {block.start}..{block.end - 1}"
+        findings.append(Finding(
+            Severity.WARNING, span,
+            f"unreachable: {len(block)} instruction(s) can never execute",
+            code="OR004", line=_line(lines, block.start)))
+
+    halt_reachable = any(
+        cfg.program[pc].opcode is Opcode.HALT
+        for index in cfg.reachable
+        for pc in cfg.blocks[index].pcs())
+    if cfg.blocks and not halt_reachable:
+        findings.append(Finding(
+            Severity.ERROR, "program",
+            "no HALT is reachable from entry: every path loops forever "
+            "or falls off the end",
+            code="OR005", line=None))
+    else:
+        for index in cfg.reachable:
+            block = cfg.blocks[index]
+            if EXIT in block.successors \
+                    and cfg.program[block.end - 1].opcode is not Opcode.HALT:
+                findings.append(Finding(
+                    Severity.WARNING, _location(block.end - 1),
+                    "control can fall off the end of the program without "
+                    "reaching HALT",
+                    code="OR005", line=_line(lines, block.end - 1)))
+    return findings
+
+
+def _rule_hwloops(cfg: CFG, lines) -> List[Finding]:
+    findings: List[Finding] = []
+    for span in cfg.hwloops:
+        if span.depth > Machine.HW_LOOPS:
+            findings.append(Finding(
+                Severity.ERROR, _location(span.setup_pc),
+                f"hardware loops nest {span.depth} deep; the core has "
+                f"{Machine.HW_LOOPS} loop register sets",
+                code="OR007", line=_line(lines, span.setup_pc)))
+        for other in cfg.hwloops:
+            if other.setup_pc <= span.setup_pc:
+                continue
+            overlaps = span.start < other.end and other.start < span.end
+            nested = (span.start <= other.setup_pc and other.end <= span.end) \
+                or (other.start <= span.setup_pc and span.end <= other.end)
+            if overlaps and not nested:
+                findings.append(Finding(
+                    Severity.ERROR, _location(other.setup_pc),
+                    f"hwloop bodies [{span.start}, {span.end}) and "
+                    f"[{other.start}, {other.end}) overlap without nesting",
+                    code="OR007", line=_line(lines, other.setup_pc)))
+        for pc in range(span.start, min(span.end, len(cfg.program))):
+            if dest_register(cfg.program[pc]) == span.trip_register \
+                    and span.trip_register != 0:
+                findings.append(Finding(
+                    Severity.WARNING, _location(pc),
+                    f"trip-count register r{span.trip_register} of the "
+                    f"hwloop at pc {span.setup_pc} is written inside the "
+                    f"loop body",
+                    code="OR009", line=_line(lines, pc)))
+
+    for pc, instruction in enumerate(cfg.program):
+        if instruction.opcode not in BRANCHES:
+            continue
+        target = pc + 1 + instruction.imm
+        for span in cfg.hwloops:
+            inside_source = span.contains(pc)
+            inside_target = span.contains(target)
+            if inside_source and not inside_target and target != span.end:
+                findings.append(Finding(
+                    Severity.ERROR, _location(pc),
+                    f"branch inside the hwloop body [{span.start}, "
+                    f"{span.end}) targets pc {target} outside it",
+                    code="OR008", line=_line(lines, pc)))
+            elif inside_target and not inside_source \
+                    and pc != span.setup_pc:
+                findings.append(Finding(
+                    Severity.ERROR, _location(pc),
+                    f"branch from pc {pc} jumps into the hwloop body "
+                    f"[{span.start}, {span.end}) without executing its "
+                    f"setup",
+                    code="OR008", line=_line(lines, pc)))
+    return findings
+
+
+def _rule_stalls(cfg: CFG, lines) -> List[Finding]:
+    findings: List[Finding] = []
+    for site in stall_sites(cfg):
+        findings.append(Finding(
+            Severity.INFO, _location(site.pc),
+            f"load-use stall: r{site.register} is consumed by the next "
+            f"instruction",
+            code="OR010", line=_line(lines, site.pc)))
+    return findings
+
+
+def analyze_program(program: Sequence[Instruction],
+                    lines: Optional[Sequence[int]] = None,
+                    entry_regs: FrozenSet[int] = frozenset(),
+                    exit_live: FrozenSet[int] = ALL_REGISTERS
+                    ) -> List[Finding]:
+    """Full pipeline over a bare instruction list: OR006 gate, then CFG
+    construction and every dataflow rule."""
+    findings = check_targets(program, lines)
+    if any(f.severity is Severity.ERROR for f in findings):
+        return findings
+    cfg = build_cfg(program)
+    findings += run_rules(cfg, lines=lines, entry_regs=entry_regs,
+                          exit_live=exit_live)
+    return findings

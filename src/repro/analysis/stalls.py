@@ -1,0 +1,91 @@
+"""Static load-use stall accounting.
+
+The OR10N-mini interpreter charges every load two cycles — TCDM latency
+plus an *average* load-use stall — but separately counts the loads whose
+destination really is consumed by the very next instruction
+(:attr:`repro.machine.interpreter.ExecutionResult.load_use_stalls`).
+This module predicts those events statically: a *stall site* is a load
+whose value the instruction fetched immediately afterwards reads.
+
+Multiplying each site's static verdict by the per-pc execution counts of
+:class:`repro.machine.profiler.ProfilingMachine` must reproduce the
+interpreter's dynamic stall total exactly; ``tests/test_analysis.py``
+cross-validates this on the built-in kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.machine.encoding import LOADS, Instruction, source_registers
+
+from repro.analysis.cfg import CFG
+
+
+@dataclass(frozen=True)
+class StallSite:
+    """One static load-use hazard."""
+
+    pc: int
+    register: int
+    #: pcs of the instructions that may execute next and read the value.
+    consumers: Sequence[int]
+
+
+def _next_pcs(cfg: CFG, pc: int) -> List[int]:
+    """The pcs that can be fetched immediately after *pc*.
+
+    Fall-through, plus the hardware back-edge when *pc* closes a loop
+    body.  Loads never branch, so their only successors are these.
+    """
+    nexts = [pc + 1] if pc + 1 < len(cfg.program) else []
+    for span in cfg.hwloops:
+        if span.contains(pc) and pc + 1 == span.end:
+            nexts.append(span.start)
+    return nexts
+
+
+def stall_sites(cfg: CFG) -> List[StallSite]:
+    """All loads whose destination is read by a possible next fetch."""
+    sites: List[StallSite] = []
+    for pc, instruction in enumerate(cfg.program):
+        if instruction.opcode not in LOADS or instruction.rd == 0:
+            continue
+        consumers = [
+            next_pc for next_pc in _next_pcs(cfg, pc)
+            if instruction.rd in source_registers(cfg.program[next_pc])
+        ]
+        if consumers:
+            sites.append(StallSite(pc=pc, register=instruction.rd,
+                                   consumers=tuple(consumers)))
+    return sites
+
+
+def stalls_by_block(cfg: CFG) -> Dict[int, int]:
+    """Static stall-site count per basic block (block index -> count)."""
+    counts: Dict[int, int] = {block.index: 0 for block in cfg.blocks}
+    for site in stall_sites(cfg):
+        counts[cfg.block_of[site.pc]] += 1
+    return counts
+
+
+def predicted_stalls(cfg: CFG,
+                     executions_by_pc: Sequence[int]) -> int:
+    """Dynamic stall total implied by static sites x execution counts.
+
+    For a site whose consumer set covers *every* possible next fetch the
+    prediction is exact; for a site with a partial consumer set (a load
+    closing a hardware-loop body where only one of back-edge target and
+    fall-through reads the value) the consumers' own execution counts
+    apportion the estimate.
+    """
+    total = 0
+    for site in stall_sites(cfg):
+        nexts = _next_pcs(cfg, site.pc)
+        if len(site.consumers) == len(nexts):
+            total += executions_by_pc[site.pc]
+        else:
+            total += min(executions_by_pc[site.pc],
+                         sum(executions_by_pc[pc] for pc in site.consumers))
+    return total

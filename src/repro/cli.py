@@ -8,7 +8,12 @@ Usage::
     python -m repro figure5a
     python -m repro figure5b [--kernel matmul]
     python -m repro offload --kernel "svm (RBF)" --host-mhz 8 --iterations 32
+    python -m repro lint kernel.s [--format json] [--entry-regs r1,r2]
+    python -m repro lint --all-builtin
     python -m repro all
+
+``lint`` exits 1 when any ERROR-severity finding exists (any finding at
+all with ``--strict``), so it can gate CI.
 """
 
 from __future__ import annotations
@@ -58,6 +63,67 @@ def _cmd_report(_args) -> str:
     return build_report()
 
 
+def _parse_entry_regs(text: str):
+    registers = set()
+    for token in filter(None, (t.strip() for t in text.split(","))):
+        name = token.lower().lstrip("r")
+        try:
+            index = int(name)
+        except ValueError:
+            raise SystemExit(f"lint: bad register {token!r} in --entry-regs")
+        if not 0 <= index < 32:
+            raise SystemExit(f"lint: register {token!r} out of range")
+        registers.add(index)
+    return frozenset(registers)
+
+
+def _cmd_lint(args) -> str:
+    from repro.analysis.dataflow import ALL_REGISTERS
+    from repro.analysis.linter import lint_source
+    from repro.errors import IsaError
+    from repro.isa.validate import Severity
+    from repro.machine.programs import BUILTIN_PROGRAMS
+
+    entry_regs = _parse_entry_regs(args.entry_regs or "")
+    reports = []
+    if args.all_builtin:
+        for program in BUILTIN_PROGRAMS.values():
+            reports.append(lint_source(
+                program.source, name=program.name,
+                entry_regs=program.entry_regs,
+                exit_live=program.exit_live if program.exit_live is not None
+                else ALL_REGISTERS))
+    if not args.all_builtin and not args.files:
+        raise SystemExit("lint: give one or more .s files or --all-builtin")
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"lint: cannot read {path}: {exc}")
+        try:
+            reports.append(lint_source(source, name=path,
+                                       entry_regs=entry_regs))
+        except IsaError as exc:
+            # Assembly itself failed; surface it like a finding and fail.
+            args._exit_code = 1
+            reports.append(None)
+            print(f"{path}: assembly error: {exc}", file=sys.stderr)
+
+    failed = any(report is None or not report.ok for report in reports)
+    if args.strict:
+        failed = failed or any(
+            report is not None and any(
+                f.severity is not Severity.INFO for f in report.findings)
+            for report in reports)
+    if failed:
+        args._exit_code = 1
+    good = [report for report in reports if report is not None]
+    if args.format == "json":
+        return "[" + ",\n".join(r.to_json() for r in good) + "]"
+    return "\n\n".join(r.render() for r in good)
+
+
 def _cmd_all(args) -> str:
     sections = [
         ("Table I", _cmd_table1(args)),
@@ -92,6 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
     off.add_argument("--host-mhz", type=float, default=8.0)
     off.add_argument("--iterations", type=int, default=1)
     off.add_argument("--double-buffer", action="store_true")
+    lint = sub.add_parser(
+        "lint", help="static CFG/dataflow analysis of OR10N-mini assembly")
+    lint.add_argument("files", nargs="*",
+                      help="assembly source files to analyze")
+    lint.add_argument("--all-builtin", action="store_true",
+                      help="lint every built-in machine program")
+    lint.add_argument("--format", choices=("pretty", "json"),
+                      default="pretty", help="output format")
+    lint.add_argument("--entry-regs", default="",
+                      help="comma-separated registers preset at entry, "
+                           "e.g. r1,r2,r4")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on warnings too, not only errors")
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -105,6 +184,7 @@ _COMMANDS = {
     "figure5a": _cmd_figure5a,
     "figure5b": _cmd_figure5b,
     "offload": _cmd_offload,
+    "lint": _cmd_lint,
     "all": _cmd_all,
     "report": _cmd_report,
 }
@@ -121,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.close()
         except BrokenPipeError:
             pass
-    return 0
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ between itself and the label ``rN`` times.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.errors import IsaError
@@ -32,6 +33,24 @@ from repro.machine.encoding import (
     Instruction,
     Opcode,
 )
+
+
+@dataclass(frozen=True)
+class AssemblyUnit:
+    """An assembled program plus the source metadata diagnostics need.
+
+    ``lines[i]`` is the 1-based source line of ``instructions[i]``, so
+    downstream tooling (the :mod:`repro.analysis` linter in particular)
+    can point findings back at the text the author wrote.
+    """
+
+    instructions: Tuple[Instruction, ...]
+    lines: Tuple[int, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
 
 _LABEL_RE = re.compile(r"^([A-Za-z_][\w]*)\s*:\s*(.*)$")
 _MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(r\d+)\s*\)$")
@@ -74,18 +93,19 @@ def _parse_value(token: str, labels: Dict[str, int],
     raise IsaError(f"unknown label or value {token!r}")
 
 
-def _first_pass(source: str) -> Tuple[List[Tuple[str, List[str]]],
+def _first_pass(source: str) -> Tuple[List[Tuple[str, List[str], int]],
                                       Dict[str, int]]:
-    statements: List[Tuple[str, List[str]]] = []
+    statements: List[Tuple[str, List[str], int]] = []
     labels: Dict[str, int] = {}
-    for raw_line in source.splitlines():
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
         line = _strip(raw_line)
         while line:
             match = _LABEL_RE.match(line)
             if match:
                 label, line = match.group(1), match.group(2).strip()
                 if label in labels:
-                    raise IsaError(f"duplicate label {label!r}")
+                    raise IsaError(
+                        f"line {line_number}: duplicate label {label!r}")
                 labels[label] = len(statements)
                 continue
             parts = line.split(None, 1)
@@ -93,23 +113,62 @@ def _first_pass(source: str) -> Tuple[List[Tuple[str, List[str]]],
             operand_text = parts[1] if len(parts) > 1 else ""
             operands = [op.strip() for op in operand_text.split(",")] \
                 if operand_text else []
-            statements.append((mnemonic, operands))
+            statements.append((mnemonic, operands, line_number))
             line = ""
     return statements, labels
 
 
-def assemble(source: str) -> List[Instruction]:
-    """Assemble *source* into an instruction list."""
+def assemble_unit(source: str) -> AssemblyUnit:
+    """Assemble *source* into an :class:`AssemblyUnit` with line info."""
     statements, labels = _first_pass(source)
     instructions: List[Instruction] = []
-    for position, (mnemonic, operands) in enumerate(statements):
+    lines: List[int] = []
+    for position, (mnemonic, operands, line_number) in enumerate(statements):
         try:
             opcode = Opcode[mnemonic.upper()]
         except KeyError:
-            raise IsaError(f"unknown mnemonic {mnemonic!r}") from None
-        instructions.append(
-            _build(opcode, operands, labels, position))
-    return instructions
+            raise IsaError(f"line {line_number}: "
+                           f"unknown mnemonic {mnemonic!r}") from None
+        try:
+            instructions.append(_build(opcode, operands, labels, position))
+        except IsaError as exc:
+            raise IsaError(f"line {line_number}: {exc}") from None
+        lines.append(line_number)
+    _check_targets(instructions, lines)
+    return AssemblyUnit(instructions=tuple(instructions), lines=tuple(lines),
+                        labels=dict(labels), source=source)
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble *source* into an instruction list."""
+    return list(assemble_unit(source).instructions)
+
+
+def _check_targets(instructions: List[Instruction],
+                   lines: List[int]) -> None:
+    """Reject control transfers that resolve outside the program.
+
+    A branch/jump target of exactly ``len(instructions)`` (falling off
+    the end) is tolerated here — the interpreter terminates cleanly —
+    and flagged by the analyzer instead (rule OR005).  A hardware loop
+    whose body extends past the last instruction can never take its
+    back-edge, so it is always an error.
+    """
+    length = len(instructions)
+    for position, instruction in enumerate(instructions):
+        line = lines[position]
+        if instruction.opcode in BRANCHES:
+            target = position + 1 + instruction.imm
+            if not 0 <= target <= length:
+                raise IsaError(
+                    f"line {line}: {instruction.opcode.name} target "
+                    f"{target} outside program [0, {length}]")
+        elif instruction.opcode is Opcode.HWLOOP:
+            end = position + 1 + instruction.imm
+            if end > length:
+                raise IsaError(
+                    f"line {line}: hwloop body ends at {end}, past the "
+                    f"last instruction ({length - 1})")
 
 
 def _build(opcode: Opcode, operands: List[str], labels: Dict[str, int],
@@ -169,5 +228,31 @@ def _expect(operands: List[str], count: int, opcode: Opcode) -> None:
 
 
 def disassemble(instructions: List[Instruction]) -> str:
-    """Instructions back to text (labels are not reconstructed)."""
-    return "\n".join(str(instruction) for instruction in instructions)
+    """Instructions back to assemblable text.
+
+    Branch offsets are emitted numerically (the assembler reads bare
+    integers as ready-made relative offsets), but hardware-loop end
+    positions must come back as labels: ``hwloop rN, <operand>`` parses
+    its operand as an *absolute* end position while ``Instruction``
+    stores the body *length*, so a synthetic ``Lk:`` label is placed at
+    each loop end to keep ``assemble(disassemble(p)) == p``.
+    """
+    length = len(instructions)
+    end_labels: Dict[int, str] = {}
+    for position, instruction in enumerate(instructions):
+        if instruction.opcode is Opcode.HWLOOP:
+            end = position + 1 + instruction.imm
+            if 0 <= end <= length:
+                end_labels.setdefault(end, f"L{len(end_labels)}")
+    lines: List[str] = []
+    for position, instruction in enumerate(instructions):
+        if position in end_labels:
+            lines.append(f"{end_labels[position]}:")
+        end = position + 1 + instruction.imm
+        if instruction.opcode is Opcode.HWLOOP and end in end_labels:
+            lines.append(f"hwloop r{instruction.ra}, {end_labels[end]}")
+        else:
+            lines.append(str(instruction))
+    if length in end_labels:
+        lines.append(f"{end_labels[length]}:")
+    return "\n".join(lines)

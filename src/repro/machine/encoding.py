@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.errors import IsaError
 
@@ -116,6 +117,46 @@ class Instruction:
         if self.opcode in I_TYPE:
             return f"{name} r{self.rd}, r{self.ra}, {self.imm}"
         return f"{name} r{self.rd}, r{self.ra}, r{self.rb}"
+
+
+def source_registers(instruction: Instruction) -> Tuple[int, ...]:
+    """Registers *read* by an instruction, in operand order.
+
+    Stores read ``rd`` (the value being stored); MAC reads its
+    destination as the accumulator; HWLOOP reads its trip-count
+    register.  Shared by the interpreter's hazard accounting and the
+    static dataflow analyses in :mod:`repro.analysis`.
+    """
+    opcode = instruction.opcode
+    if opcode is Opcode.HALT or opcode is Opcode.JUMP:
+        return ()
+    if opcode is Opcode.HWLOOP:
+        return (instruction.ra,)
+    if opcode in LOADS:
+        return (instruction.ra,)
+    if opcode in STORES:
+        return (instruction.rd, instruction.ra)
+    if opcode in BRANCHES:
+        return (instruction.ra, instruction.rb)
+    if opcode in I_TYPE:
+        return (instruction.ra,)
+    if opcode is Opcode.MAC:
+        return (instruction.rd, instruction.ra, instruction.rb)
+    return (instruction.ra, instruction.rb)
+
+
+def dest_register(instruction: Instruction) -> Optional[int]:
+    """The register *written* by an instruction, or ``None``.
+
+    ``r0`` writes are architecturally discarded but still reported here
+    (the analyzer flags them); stores, branches, HWLOOP and HALT write
+    nothing.
+    """
+    opcode = instruction.opcode
+    if (opcode is Opcode.HALT or opcode is Opcode.HWLOOP
+            or opcode in STORES or opcode in BRANCHES):
+        return None
+    return instruction.rd
 
 
 def encode(instruction: Instruction) -> int:

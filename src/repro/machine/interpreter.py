@@ -10,7 +10,7 @@ can be compared against the loop-nest model directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.machine.encoding import (
@@ -19,6 +19,7 @@ from repro.machine.encoding import (
     STORES,
     Instruction,
     Opcode,
+    source_registers,
 )
 
 _MASK32 = 0xFFFFFFFF
@@ -44,6 +45,9 @@ class ExecutionResult:
     stores: int
     registers: List[int]
     halted: bool
+    #: Loads whose destination is read by the very next instruction —
+    #: the dynamic twin of :func:`repro.analysis.stalls.stall_sites`.
+    load_use_stalls: int = 0
 
     @property
     def memory_accesses(self) -> int:
@@ -112,6 +116,8 @@ class Machine:
         stores = 0
         hw_loops: List[_HwLoop] = []
         halted = False
+        load_use_stalls = 0
+        pending_load_rd: Optional[int] = None
 
         while 0 <= pc < len(program):
             if executed >= max_steps:
@@ -121,6 +127,11 @@ class Machine:
             opcode = instruction.opcode
             executed += 1
             next_pc = pc + 1
+
+            if pending_load_rd is not None:
+                if pending_load_rd in source_registers(instruction):
+                    load_use_stalls += 1
+                pending_load_rd = None
 
             if opcode is Opcode.HALT:
                 cycles += 1
@@ -158,6 +169,7 @@ class Machine:
                 value = self._load(address, width)
                 if instruction.rd != 0:
                     registers[instruction.rd] = value
+                    pending_load_rd = instruction.rd
                 loads += 1
                 cycles += 2  # TCDM latency + average load-use stall
             elif opcode in STORES:
@@ -188,6 +200,7 @@ class Machine:
             stores=stores,
             registers=list(registers),
             halted=halted,
+            load_use_stalls=load_use_stalls,
         )
 
     @staticmethod

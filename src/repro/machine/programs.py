@@ -5,20 +5,77 @@ These are the instruction-level counterparts of the analytic kernels:
 :meth:`repro.kernels.matmul.MatmulKernel.compute` computes (char
 variant), instruction by instruction, so the two abstraction levels can
 be validated against each other — both functionally and in cycles.
+
+Every built-in program is gated through the static analyzer at import
+time (:func:`repro.analysis.lint_unit` in strict mode): an
+uninitialized-register read, an illegal hardware-loop shape, or
+unreachable code in any kernel below is an :class:`~repro.errors.IsaError`
+before anything can run it.  ``BUILTIN_PROGRAMS`` exposes the registry
+(source text, entry registers, output registers) that both the gate and
+``python -m repro lint --all-builtin`` use.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import KernelError
-from repro.machine.assembler import assemble
+from repro.machine.assembler import AssemblyUnit, assemble_unit
 from repro.machine.interpreter import ExecutionResult, Machine
 
+
+@dataclass(frozen=True)
+class BuiltinProgram:
+    """One registered assembly kernel plus its register contract."""
+
+    name: str
+    unit: AssemblyUnit
+    #: Registers the runner presets before execution (kernel arguments).
+    entry_regs: FrozenSet[int]
+    #: Registers the runner reads back afterwards; ``None`` = memory
+    #: results only (every register is then treated as observable).
+    exit_live: Optional[FrozenSet[int]] = None
+
+    @property
+    def source(self) -> str:
+        """The assembly source text."""
+        return self.unit.source
+
+    @property
+    def instructions(self) -> Tuple:
+        """The assembled instruction tuple."""
+        return self.unit.instructions
+
+
+#: Registry of built-in programs by name, filled by :func:`_builtin`.
+BUILTIN_PROGRAMS: Dict[str, BuiltinProgram] = {}
+
+
+def _builtin(name: str, source: str, entry_regs: FrozenSet[int],
+             exit_live: Optional[FrozenSet[int]] = None) -> List:
+    """Assemble, statically verify, and register a built-in program.
+
+    Returns the instruction list (module-level constants keep their
+    historical ``List[Instruction]`` shape).  Analysis runs in strict
+    mode: any ERROR finding aborts the import.
+    """
+    from repro.analysis.dataflow import ALL_REGISTERS
+    from repro.analysis.linter import lint_unit
+
+    unit = assemble_unit(source)
+    lint_unit(unit, name=name, entry_regs=entry_regs,
+              exit_live=exit_live if exit_live is not None
+              else ALL_REGISTERS).raise_on_error()
+    BUILTIN_PROGRAMS[name] = BuiltinProgram(
+        name=name, unit=unit, entry_regs=entry_regs, exit_live=exit_live)
+    return list(unit.instructions)
+
+
 #: Copy r3 words from [r1] to [r2].
-MEMCPY_WORDS = assemble("""
+MEMCPY_WORDS = _builtin("memcpy_words", """
         hwloop r3, copy_end
         lw   r4, 0(r1)
         addi r1, r1, 4
@@ -26,10 +83,10 @@ MEMCPY_WORDS = assemble("""
         addi r2, r2, 4
 copy_end:
         halt
-""")
+""", entry_regs=frozenset({1, 2, 3}))
 
 #: Lane-wise int8 vector add: r4 words from [r1] + [r2] -> [r3].
-VECTOR_ADD_I8 = assemble("""
+VECTOR_ADD_I8 = _builtin("vector_add_i8", """
         hwloop r4, add_end
         lw   r5, 0(r1)
         lw   r6, 0(r2)
@@ -40,10 +97,10 @@ VECTOR_ADD_I8 = assemble("""
         addi r3, r3, 4
 add_end:
         halt
-""")
+""", entry_regs=frozenset({1, 2, 3, 4}))
 
 #: int8 dot product of r3 elements at [r1], [r2]; result in r10.
-DOT_PRODUCT_I8 = assemble("""
+DOT_PRODUCT_I8 = _builtin("dot_product_i8", """
         addi r10, r0, 0
         hwloop r3, dot_end
         lb   r4, 0(r1)
@@ -53,10 +110,10 @@ DOT_PRODUCT_I8 = assemble("""
         addi r2, r2, 1
 dot_end:
         halt
-""")
+""", entry_regs=frozenset({1, 2, 3}), exit_live=frozenset({10}))
 
 #: char matmul: C = sat8((A @ B + 64) >> 7); bases in r1/r2/r3, n in r4.
-MATMUL_I8 = assemble("""
+MATMUL_I8 = _builtin("matmul_i8", """
         addi r5, r0, 0            ; i = 0
 i_loop:
         addi r6, r0, 0            ; j = 0
@@ -87,12 +144,12 @@ k_end:
         addi r5, r5, 1
         blt  r5, r4, i_loop
         halt
-""")
+""", entry_regs=frozenset({1, 2, 3, 4}))
 
 #: Row-partitioned char matmul for the multicore cluster: as MATMUL_I8,
 #: but computing rows [r5, r16) — each core gets its static chunk, the
 #: OpenMP schedule written out in assembly.
-MATMUL_ROWS_I8 = assemble("""
+MATMUL_ROWS_I8 = _builtin("matmul_rows_i8", """
 i_loop:
         addi r6, r0, 0            ; j = 0
 j_loop:
@@ -122,7 +179,7 @@ k_end:
         addi r5, r5, 1
         blt  r5, r16, i_loop
         halt
-""")
+""", entry_regs=frozenset({1, 2, 3, 4, 5, 16}))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,398 @@
+"""Tests for the OR10N-mini static analyzer: CFG construction,
+dataflow, the OR-rule catalog on seeded-bug fixtures, and the
+static-vs-dynamic load-use stall cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EXIT,
+    build_cfg,
+    lint_instructions,
+    lint_source,
+    predicted_stalls,
+    stall_sites,
+    stalls_by_block,
+)
+from repro.analysis.dataflow import (
+    ALL_REGISTERS,
+    initialized_registers,
+    live_registers,
+)
+from repro.errors import IsaError
+from repro.isa.validate import Severity
+from repro.machine import (
+    DOT_PRODUCT_I8,
+    MATMUL_I8,
+    VECTOR_ADD_I8,
+    Machine,
+    Opcode,
+    assemble,
+)
+from repro.machine.assembler import assemble_unit
+from repro.machine.encoding import Instruction
+from repro.machine.profiler import ProfilingMachine
+
+
+def _codes(report):
+    return {f.code for f in report.findings}
+
+
+def _findings(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(assemble("addi r1, r0, 1\nadd r2, r1, r1\nhalt"))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == [EXIT]
+        assert cfg.reachable == {0}
+
+    def test_branch_splits_blocks(self):
+        cfg = build_cfg(assemble("""
+        top:
+            addi r1, r1, 1
+            blt  r1, r2, top
+            halt
+        """))
+        block = cfg.block_at(0)  # [addi, blt]
+        assert set(block.successors) == {cfg.block_of[0], cfg.block_of[2]}
+
+    def test_hwloop_back_edge_and_skip_edge(self):
+        cfg = build_cfg(assemble("""
+            hwloop r1, end
+            addi r2, r2, 1
+        end:
+            halt
+        """))
+        setup = cfg.block_at(0)
+        body = cfg.block_at(1)
+        exit_block = cfg.block_at(2)
+        # Setup enters the body and can skip it on zero trips.
+        assert set(setup.successors) == {body.index, exit_block.index}
+        # The body falls through to the end AND takes the back edge.
+        assert set(body.successors) == {body.index, exit_block.index}
+        assert len(cfg.hwloops) == 1
+        assert cfg.hwloops[0].start == 1 and cfg.hwloops[0].end == 2
+
+    def test_nested_hwloop_depths(self):
+        cfg = build_cfg(assemble("""
+            hwloop r1, e1
+            hwloop r2, e2
+            addi r3, r3, 1
+        e2:
+            addi r4, r4, 1
+        e1:
+            halt
+        """))
+        depths = sorted(span.depth for span in cfg.hwloops)
+        assert depths == [1, 2]
+
+    def test_unreachable_block_detected(self):
+        cfg = build_cfg(assemble("""
+            jump done
+            addi r1, r0, 1
+        done:
+            halt
+        """))
+        assert cfg.block_of[1] not in cfg.reachable
+
+    def test_reachable_pcs(self):
+        cfg = build_cfg(assemble("jump done\naddi r1, r0, 1\ndone:\nhalt"))
+        assert cfg.reachable_pcs() == {0, 2}
+
+    def test_out_of_bounds_branch_raises(self):
+        program = [Instruction(Opcode.JUMP, imm=40),
+                   Instruction(Opcode.HALT)]
+        with pytest.raises(IsaError):
+            build_cfg(program)
+
+
+class TestDataflow:
+    def test_entry_registers_initialized(self):
+        cfg = build_cfg(assemble("add r3, r1, r2\nhalt"))
+        init = initialized_registers(cfg, entry_regs=frozenset({1, 2}))
+        may, must = init.at(0)
+        assert {0, 1, 2} <= must
+        assert 3 not in may
+
+    def test_liveness_respects_exit_live(self):
+        cfg = build_cfg(assemble("addi r5, r0, 7\nhalt"))
+        narrow = live_registers(cfg, exit_live=frozenset({10}))
+        assert 5 not in narrow.live_out[cfg.block_of[0]]
+        wide = live_registers(cfg, exit_live=ALL_REGISTERS)
+        assert 5 in wide.live_out[cfg.block_of[0]]
+
+
+class TestRules:
+    def test_or001_uninitialized_read(self):
+        report = lint_source("""
+            addi r1, r0, 3
+            add  r2, r1, r5
+            halt
+        """)
+        findings = _findings(report, "OR001")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].line == 3
+        assert "r5" in findings[0].message
+        assert not report.ok
+
+    def test_or001_maybe_uninitialized_is_warning(self):
+        report = lint_source("""
+            beq  r1, r0, skip
+            addi r2, r0, 1
+        skip:
+            add  r3, r2, r0     ; r2 written on one path only
+            halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR001")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert report.ok  # warnings do not fail the lint
+
+    def test_or001_entry_regs_suppress(self):
+        source = "add r2, r1, r1\nhalt"
+        assert _findings(lint_source(source), "OR001")
+        assert not _findings(
+            lint_source(source, entry_regs=frozenset({1})), "OR001")
+
+    def test_or002_dead_store(self):
+        report = lint_source("""
+            addi r1, r0, 1      ; overwritten before any read
+            addi r1, r0, 2
+            halt
+        """)
+        findings = _findings(report, "OR002")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_or002_respects_exit_liveness(self):
+        source = "addi r9, r0, 1\nhalt"
+        assert not _findings(lint_source(source), "OR002")
+        narrowed = lint_source(source, exit_live=frozenset({10}))
+        assert _findings(narrowed, "OR002")
+
+    def test_or003_write_to_r0(self):
+        report = lint_source("addi r0, r0, 99\nhalt")
+        findings = _findings(report, "OR003")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_or004_unreachable(self):
+        report = lint_source("""
+            jump done
+            addi r9, r0, 1
+        done:
+            halt
+        """)
+        findings = _findings(report, "OR004")
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_or005_no_halt(self):
+        report = lint_source("""
+        spin:
+            jump spin
+        """)
+        findings = _findings(report, "OR005")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+
+    def test_or005_fall_off_end_warns(self):
+        report = lint_source("""
+            beq r1, r0, out
+            halt
+        out:
+            addi r2, r0, 1      ; last instruction is not halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR005")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_or006_out_of_bounds_branch(self):
+        program = [Instruction(Opcode.BEQ, ra=1, rb=2, imm=100),
+                   Instruction(Opcode.HALT)]
+        report = lint_instructions(program)
+        findings = _findings(report, "OR006")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert report.cfg is None  # graph rules are skipped
+
+    def test_or007_nesting_depth(self):
+        program = [
+            Instruction(Opcode.HWLOOP, ra=1, imm=7),
+            Instruction(Opcode.HWLOOP, ra=2, imm=5),
+            Instruction(Opcode.HWLOOP, ra=3, imm=3),
+            Instruction(Opcode.ADD, rd=4, ra=4, rb=4),
+            Instruction(Opcode.ADD, rd=5, ra=5, rb=5),
+            Instruction(Opcode.ADD, rd=6, ra=6, rb=6),
+            Instruction(Opcode.ADD, rd=7, ra=7, rb=7),
+            Instruction(Opcode.ADD, rd=8, ra=8, rb=8),
+            Instruction(Opcode.HALT),
+        ]
+        report = lint_instructions(
+            program, entry_regs=frozenset(range(32)))
+        findings = _findings(report, "OR007")
+        assert any(f.severity is Severity.ERROR for f in findings)
+        assert any("nest 3 deep" in f.message for f in findings)
+
+    def test_or008_branch_out_of_hwloop_body(self):
+        report = lint_source("""
+            hwloop r1, end
+            addi r2, r2, 1
+            beq  r2, r1, out
+            addi r3, r3, 1
+        end:
+            halt
+        out:
+            halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR008")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].line == 4
+
+    def test_or008_branch_into_hwloop_body(self):
+        report = lint_source("""
+            beq  r1, r0, inside
+            hwloop r1, end
+            addi r2, r2, 1
+        inside:
+            addi r3, r3, 1
+        end:
+            halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR008")
+        assert len(findings) == 1
+        assert "without executing its setup" in findings[0].message
+
+    def test_or009_trip_register_mutated(self):
+        report = lint_source("""
+            hwloop r1, end
+            addi r1, r1, -1
+        end:
+            halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR009")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_or010_stall_site_reported(self):
+        report = lint_source("""
+            lw  r4, 0(r1)
+            add r5, r4, r4      ; consumes r4 immediately
+            halt
+        """, entry_regs=frozenset({1}))
+        findings = _findings(report, "OR010")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+
+    def test_clean_program_has_no_findings(self):
+        report = lint_source("""
+            addi r1, r0, 5
+            addi r2, r0, 7
+            add  r3, r1, r2
+            halt
+        """)
+        assert report.findings == []
+        assert report.ok
+
+
+class TestReport:
+    def test_render_mentions_codes_and_lines(self):
+        report = lint_source("add r2, r1, r1\nhalt")
+        text = report.render()
+        assert "OR001" in text
+        assert "line 1" in text
+
+    def test_json_round_trips(self):
+        import json
+
+        report = lint_source("add r2, r1, r1\nhalt")
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "OR001"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_strict_raises(self):
+        report = lint_source("add r2, r1, r1\nhalt")
+        with pytest.raises(IsaError):
+            report.raise_on_error()
+
+
+class TestStallCrossValidation:
+    """Static stall sites x profiled execution counts must equal the
+    interpreter's dynamically measured load-use stalls (acceptance
+    criterion: >= 3 built-in programs)."""
+
+    def _cross_validate(self, program, presets, setup=None):
+        machine = ProfilingMachine()
+        if setup:
+            setup(machine)
+        for register, value in presets.items():
+            machine.registers[register] = value
+        run = machine.run_profiled(program)
+        static = predicted_stalls(build_cfg(program), run.executions_by_pc)
+        assert static == run.result.load_use_stalls
+        return run.result
+
+    def test_dot_product(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(-128, 128, 96).astype(np.int8)
+        def setup(machine):
+            machine.write_block(0x100, a.tobytes())
+            machine.write_block(0x1100, a.tobytes())
+        result = self._cross_validate(
+            DOT_PRODUCT_I8, {1: 0x100, 2: 0x1100, 3: 96}, setup)
+        # One stall per element: the mac consumes the second lb's value.
+        assert result.load_use_stalls == 96
+
+    def test_vector_add(self):
+        rng = np.random.default_rng(8)
+        a = rng.integers(-128, 128, 64).astype(np.int8)
+        def setup(machine):
+            machine.write_block(0x100, a.tobytes())
+            machine.write_block(0x1100, a.tobytes())
+        result = self._cross_validate(
+            VECTOR_ADD_I8,
+            {1: 0x100, 2: 0x1100, 3: 0x2100, 4: 16}, setup)
+        assert result.load_use_stalls == 16
+
+    def test_matmul(self):
+        n = 8
+        rng = np.random.default_rng(9)
+        a = rng.integers(-128, 128, (n, n)).astype(np.int8)
+        base_a, base_b = 0x100, 0x100 + n * n + 64
+        def setup(machine):
+            machine.write_block(base_a, a.tobytes())
+            machine.write_block(base_b, a.tobytes())
+        result = self._cross_validate(
+            MATMUL_I8,
+            {1: base_a, 2: base_b, 3: 0x100 + 2 * (n * n + 64), 4: n},
+            setup)
+        # The inner hwloop stalls once per k-iteration: n^3 in total.
+        assert result.load_use_stalls == n ** 3
+
+    def test_interpreter_counts_only_real_hazards(self):
+        machine = Machine()
+        machine.registers[1] = 0x100
+        result = machine.run(assemble("""
+            lw  r4, 0(r1)
+            addi r6, r0, 1      ; does not consume r4
+            add r5, r4, r6      ; consumes r4 one cycle later: no stall
+            halt
+        """))
+        assert result.load_use_stalls == 0
+        result = machine.run(assemble("""
+            lw  r4, 0(r1)
+            add r5, r4, r4
+            halt
+        """))
+        assert result.load_use_stalls == 1
+
+    def test_stalls_by_block_partition(self):
+        cfg = build_cfg(DOT_PRODUCT_I8)
+        per_block = stalls_by_block(cfg)
+        assert sum(per_block.values()) == len(stall_sites(cfg))

@@ -1,0 +1,91 @@
+"""Tier-1 correctness gate: every registered kernel lowering and every
+built-in machine program must pass static analysis with zero ERROR
+findings, and the CLI gate must agree."""
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.dataflow import ALL_REGISTERS
+from repro.cli import main
+from repro.isa.validate import Severity, validate_program
+from repro.kernels.registry import BENCHMARK_NAMES, all_kernels
+from repro.machine.programs import BUILTIN_PROGRAMS
+
+
+class TestKernelLoweringsClean:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_kernel_program_has_no_errors(self, name):
+        kernel = next(k for k, n in zip(all_kernels(), BENCHMARK_NAMES)
+                      if n == name)
+        findings = validate_program(kernel.build_program())
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert not errors, [str(f) for f in errors]
+        # Every finding carries a VP rule code now.
+        assert all(f.code.startswith("VP") for f in findings)
+
+
+class TestBuiltinProgramsClean:
+    def test_registry_is_populated(self):
+        assert set(BUILTIN_PROGRAMS) == {
+            "memcpy_words", "vector_add_i8", "dot_product_i8",
+            "matmul_i8", "matmul_rows_i8",
+        }
+
+    @pytest.mark.parametrize("name", sorted((
+        "memcpy_words", "vector_add_i8", "dot_product_i8",
+        "matmul_i8", "matmul_rows_i8",
+    )))
+    def test_builtin_has_zero_error_findings(self, name):
+        program = BUILTIN_PROGRAMS[name]
+        report = lint_source(
+            program.source, name=name, entry_regs=program.entry_regs,
+            exit_live=program.exit_live if program.exit_live is not None
+            else ALL_REGISTERS)
+        assert report.ok, [str(f) for f in report.errors]
+        # The demo kernels should also be warning-free.
+        non_info = [f for f in report.findings
+                    if f.severity is not Severity.INFO]
+        assert not non_info, [str(f) for f in non_info]
+
+
+class TestCliGate:
+    def test_lint_all_builtin_exits_zero(self, capsys):
+        assert main(["lint", "--all-builtin"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul_i8" in out
+
+    def test_lint_all_builtin_json(self, capsys):
+        import json
+
+        assert main(["lint", "--all-builtin", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(entry["ok"] for entry in payload)
+
+    def test_lint_flags_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("add r2, r1, r5\nhalt\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OR001" in out
+
+    def test_lint_entry_regs_option(self, tmp_path, capsys):
+        source = tmp_path / "ok.s"
+        source.write_text("add r2, r1, r1\nhalt\n")
+        assert main(["lint", str(source), "--entry-regs", "r1"]) == 0
+        capsys.readouterr()
+
+    def test_lint_strict_fails_on_warning(self, tmp_path, capsys):
+        source = tmp_path / "warn.s"
+        # Dead store: r1 overwritten before any read.
+        source.write_text("addi r1, r0, 1\naddi r1, r0, 2\nhalt\n")
+        assert main(["lint", str(source)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(source), "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_lint_reports_assembly_errors(self, tmp_path, capsys):
+        source = tmp_path / "broken.s"
+        source.write_text("frobnicate r1, r2\n")
+        assert main(["lint", str(source)]) == 1
+        err = capsys.readouterr().err
+        assert "line 1" in err

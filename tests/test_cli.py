@@ -27,6 +27,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["offload", "--kernel", "nonesuch"])
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint", "--all-builtin"])
+        assert args.command == "lint"
+        assert args.files == []
+        assert args.all_builtin
+        assert args.format == "pretty"
+        assert not args.strict
+
+    def test_lint_format_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+    def test_lint_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_lint_bad_entry_regs_rejected(self, tmp_path):
+        source = tmp_path / "x.s"
+        source.write_text("halt\n")
+        with pytest.raises(SystemExit):
+            main(["lint", str(source), "--entry-regs", "r99"])
+
 
 class TestCommands:
     def test_table1(self, capsys):

@@ -2,6 +2,10 @@
 
 * Random straight-line ALU programs run on the OR10N-mini ISS and on a
   direct golden evaluator of the same semantics; results must agree.
+* Random instruction lists — including out-of-bounds edges and illegal
+  hardware loops — never crash the static analyzer.
+* Random valid programs survive assemble -> disassemble -> reassemble
+  byte-identically.
 * Random byte blobs fed to the wire-protocol decoder must either raise
   a ProtocolError or decode into frames that re-encode byte-identically.
 * Random frame sequences survive an encode/corrupt/detect cycle.
@@ -12,9 +16,11 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import AnalysisReport, lint_instructions
 from repro.errors import ProtocolError
 from repro.link.protocol import decode_frames, encode_frame
 from repro.machine import Machine, Opcode, assemble
+from repro.machine.assembler import disassemble
 from repro.machine.encoding import Instruction
 
 _MASK32 = 0xFFFFFFFF
@@ -115,6 +121,79 @@ class TestIssDifferential:
         program = body + [Instruction(Opcode.HALT)]
         result = Machine().run(program)
         assert result.cycles == len(program)
+
+
+_MEM_OPS = (Opcode.LW, Opcode.LH, Opcode.LB, Opcode.SW, Opcode.SH,
+            Opcode.SB)
+
+
+@st.composite
+def _any_instruction(draw):
+    """Arbitrary instructions, *including* illegal control flow."""
+    from repro.machine.encoding import I_TYPE
+
+    opcode = draw(st.sampled_from(list(Opcode)))
+    rd = draw(st.integers(0, 31))
+    ra = draw(st.integers(0, 31))
+    rb = draw(st.integers(0, 31))
+    if opcode in I_TYPE:
+        return Instruction(opcode, rd=rd, ra=ra,
+                           imm=draw(st.integers(-200, 200)))
+    if opcode is Opcode.HWLOOP:
+        return Instruction(opcode, ra=ra,
+                           imm=draw(st.integers(-50, 50)))
+    return Instruction(opcode, rd=rd, ra=ra, rb=rb)
+
+
+@st.composite
+def _valid_program(draw):
+    """Structurally valid programs: in-bounds branches, proper hwloops."""
+    body = draw(st.lists(_alu_instruction(), min_size=2, max_size=20))
+    length = len(body) + 1  # plus the final halt
+    program = list(body)
+    # Optionally wrap a suffix of the body in a hardware loop.
+    if draw(st.booleans()) and len(body) >= 3:
+        start = draw(st.integers(1, len(body) - 2))
+        loop_body = len(body) - start
+        program.insert(start, Instruction(Opcode.HWLOOP,
+                                          ra=draw(st.integers(1, 15)),
+                                          imm=loop_body))
+        length += 1
+    # Optionally add an in-bounds forward branch at the front.
+    if draw(st.booleans()):
+        target = draw(st.integers(0, length))
+        program.insert(0, Instruction(Opcode.BEQ,
+                                      ra=draw(st.integers(0, 15)),
+                                      rb=draw(st.integers(0, 15)),
+                                      imm=target - 1))
+    program.append(Instruction(Opcode.HALT))
+    return program
+
+
+class TestAnalyzerFuzz:
+    @given(st.lists(_any_instruction(), min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_analyzer_never_crashes(self, program):
+        report = lint_instructions(program)
+        assert isinstance(report, AnalysisReport)
+        for finding in report.findings:
+            assert finding.code.startswith("OR")
+            assert str(finding)
+
+    @given(_valid_program())
+    @settings(max_examples=150, deadline=None)
+    def test_assemble_disassemble_roundtrip(self, program):
+        text = disassemble(program)
+        assert assemble(text) == program
+
+    @given(_valid_program())
+    @settings(max_examples=100, deadline=None)
+    def test_valid_programs_get_a_cfg(self, program):
+        report = lint_instructions(program)
+        assert report.cfg is not None
+        covered = sorted(pc for block in report.cfg.blocks
+                         for pc in block.pcs())
+        assert covered == list(range(len(program)))
 
 
 class TestProtocolFuzz:

@@ -133,6 +133,64 @@ class TestAssembler:
         again = assemble(disassemble(program))
         assert again == program
 
+    def test_disassemble_reparses_hwloop(self):
+        """hwloop operands are absolute end positions in assembly but
+        body lengths in Instruction.imm; disassemble must bridge the
+        two with synthetic end labels."""
+        program = assemble("""
+            hwloop r3, copy_end
+            lw   r4, 0(r1)
+            sw   r4, 0(r2)
+        copy_end:
+            halt
+        """)
+        again = assemble(disassemble(program))
+        assert again == program
+
+
+class TestAssemblerDiagnostics:
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(IsaError, match="line 3"):
+            assemble("addi r1, r0, 1\nhalt\nfrobnicate r1")
+
+    def test_bad_operand_line_number(self):
+        with pytest.raises(IsaError, match="line 2"):
+            assemble("halt\nadd r1, r2")
+
+    def test_duplicate_label_line_number(self):
+        with pytest.raises(IsaError, match="line 3"):
+            assemble("x:\nhalt\nx:\nhalt")
+
+    def test_assemble_unit_maps_lines(self):
+        from repro.machine.assembler import assemble_unit
+        unit = assemble_unit("""
+            addi r1, r0, 1
+
+            addi r2, r0, 2
+            halt
+        """)
+        assert unit.lines == (2, 4, 5)
+        assert len(unit) == 3
+        assert unit.labels == {}
+
+    def test_branch_target_past_end_rejected(self):
+        with pytest.raises(IsaError, match="outside program"):
+            assemble("beq r1, r2, 5\nhalt")
+
+    def test_negative_jump_target_rejected(self):
+        with pytest.raises(IsaError, match="outside program"):
+            assemble("halt\njump -10\nhalt")
+
+    def test_branch_to_program_end_is_allowed(self):
+        # Falling off the end terminates cleanly; the analyzer warns
+        # (OR005) but the assembler accepts it.
+        program = assemble("beq r1, r2, 1\nhalt")
+        assert program[0].imm == 1
+
+    def test_hwloop_end_past_last_instruction_rejected(self):
+        with pytest.raises(IsaError, match="past the last"):
+            assemble("hwloop r1, 5\naddi r2, r2, 1\nhalt")
+
 
 class TestInterpreter:
     def _run(self, source, setup=None):
