@@ -2,15 +2,23 @@
 
 Usage::
 
-    python -m repro table1
-    python -m repro figure3
-    python -m repro figure4
-    python -m repro figure5a
-    python -m repro figure5b [--kernel matmul]
+    python -m repro table1 [--json]
+    python -m repro figure3 [--json]
+    python -m repro figure4 [--json]
+    python -m repro figure5a [--json]
+    python -m repro figure5b [--kernel matmul] [--json]
     python -m repro offload --kernel "svm (RBF)" --host-mhz 8 --iterations 32
+    python -m repro trace matmul --out trace.json [--flame flame.txt]
+    python -m repro metrics [--kernel matmul] [--json]
     python -m repro lint kernel.s [--format json] [--entry-regs r1,r2]
     python -m repro lint --all-builtin
     python -m repro all
+
+Every experiment subcommand accepts ``--json`` for a machine-readable
+dump of the same results.  ``trace`` runs one offload under the unified
+telemetry hub plus a DES replay of the cluster and writes a Chrome
+trace-event JSON loadable in Perfetto; ``metrics`` prints the telemetry
+counters/lane/phase snapshot.
 
 ``lint`` exits 1 when any ERROR-severity finding exists (any finding at
 all with ``--strict``), so it can gate CI.
@@ -19,6 +27,7 @@ all with ``--strict``), so it can gate CI.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -28,25 +37,44 @@ from repro.kernels import BENCHMARK_NAMES, kernel_by_name
 from repro.units import mhz
 
 
-def _cmd_table1(_args) -> str:
-    return table1.render()
+def _json_dump(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=False)
 
 
-def _cmd_figure3(_args) -> str:
-    return figure3.render()
+def _cmd_table1(args) -> str:
+    rows = table1.run()
+    if getattr(args, "json", False):
+        return _json_dump(table1.to_json_dict(rows))
+    return table1.render(rows)
 
 
-def _cmd_figure4(_args) -> str:
-    return figure4.render()
+def _cmd_figure3(args) -> str:
+    result = figure3.run()
+    if getattr(args, "json", False):
+        return _json_dump(figure3.to_json_dict(result))
+    return figure3.render(result)
 
 
-def _cmd_figure5a(_args) -> str:
-    return figure5.render_figure5a()
+def _cmd_figure4(args) -> str:
+    result = figure4.run()
+    if getattr(args, "json", False):
+        return _json_dump(figure4.to_json_dict(result))
+    return figure4.render(result)
+
+
+def _cmd_figure5a(args) -> str:
+    result = figure5.run_figure5a()
+    if getattr(args, "json", False):
+        return _json_dump(figure5.figure5a_to_json_dict(result))
+    return figure5.render_figure5a(result)
 
 
 def _cmd_figure5b(args) -> str:
     kernel = kernel_by_name(args.kernel) if args.kernel else None
-    return figure5.render_figure5b(figure5.run_figure5b(kernel))
+    result = figure5.run_figure5b(kernel)
+    if getattr(args, "json", False):
+        return _json_dump(figure5.figure5b_to_json_dict(result))
+    return figure5.render_figure5b(result)
 
 
 def _cmd_offload(args) -> str:
@@ -55,7 +83,126 @@ def _cmd_offload(args) -> str:
     result = system.offload(kernel, host_frequency=mhz(args.host_mhz),
                             iterations=args.iterations,
                             double_buffered=args.double_buffer)
+    if getattr(args, "json", False):
+        return _json_dump(result.to_json_dict())
     return result.report()
+
+
+# -- telemetry commands ---------------------------------------------------------
+
+#: Benchmark -> built-in machine program used for the flamegraph view
+#: (the instruction-level counterpart where one exists).
+_FLAME_PROGRAMS = {"matmul": "matmul_i8"}
+
+#: DES replay cap: chunk cycles are scaled down so one replay stays
+#: interactive while preserving the compute/memory mix.
+_DES_CYCLE_CAP = 20_000.0
+
+
+def _des_cluster_lanes(hub, kernel, target) -> None:
+    """Replay the kernel's first parallel loop on the DES cluster and
+    route per-core / per-bank / per-DMA-channel lanes into *hub*."""
+    from repro.isa.program import Loop
+    from repro.isa.report import LoweredReport
+    from repro.obs.bridge import route_recorder
+    from repro.pulp.cluster import Cluster
+    from repro.pulp.core import ComputeOp
+    from repro.pulp.timing import chunk_trips, op_stream_from_report
+    from repro.sim.tracing import TraceRecorder
+
+    program = kernel.build_program()
+    loops = [node for node in program.body
+             if isinstance(node, Loop) and node.parallelizable]
+    streams = []
+    if loops:
+        loop = loops[0]
+        for core, trips in enumerate(chunk_trips(loop.trips, Cluster.CORES)):
+            if trips == 0:
+                continue
+            report = target.lower_nodes([loop.with_trips(trips)])
+            if report.cycles > _DES_CYCLE_CAP:
+                scale = _DES_CYCLE_CAP / report.cycles
+                report = LoweredReport(
+                    target_name=report.target_name,
+                    cycles=report.cycles * scale,
+                    instructions=report.instructions * scale,
+                    memory_accesses=report.memory_accesses * scale)
+            streams.append(op_stream_from_report(report, core_index=core))
+    while len(streams) < Cluster.CORES:
+        streams.append([ComputeOp(1.0)])
+    recorder = TraceRecorder()
+    cluster = Cluster()
+    run = cluster.run(streams,
+                      dma_jobs=[(0, 0, 1024, True), (0, 4096, 1024, False)],
+                      recorder=recorder)
+    route_recorder(recorder, hub)
+    hub.gauge("cluster.wall_cycles", run.wall_cycles, domain="cycles")
+    hub.gauge("cluster.conflict_rate", run.conflict_rate, domain="cycles")
+
+
+def _traced_offload(args):
+    """Run one offload (plus the DES cluster replay) under a live hub."""
+    from repro.obs import Telemetry, use_telemetry
+
+    hub = Telemetry(enabled=True)
+    system = HeterogeneousSystem()
+    kernel = kernel_by_name(args.kernel)
+    with use_telemetry(hub):
+        result = system.offload(kernel, host_frequency=mhz(args.host_mhz),
+                                iterations=args.iterations,
+                                double_buffered=args.double_buffer)
+        _des_cluster_lanes(hub, kernel, system.target)
+    return hub, result
+
+
+def _cmd_trace(args) -> str:
+    from repro.obs import (
+        TraceAnalyzer,
+        render_span_timeline,
+        write_chrome_trace,
+        write_flamegraph,
+    )
+
+    hub, result = _traced_offload(args)
+    write_chrome_trace(hub, args.out)
+    lines = [f"wrote Chrome trace to {args.out} "
+             f"({len(hub.spans)} spans, {len(hub.lanes())} lanes) — "
+             f"open in https://ui.perfetto.dev"]
+    if args.flame:
+        from repro.machine.programs import profile_builtin
+
+        builtin = _FLAME_PROGRAMS.get(args.kernel, "matmul_i8")
+        profiled = profile_builtin(builtin)
+        write_flamegraph(profiled, args.flame, root=builtin)
+        lines.append(f"wrote collapsed stacks of {builtin!r} to {args.flame}")
+    analyzer = TraceAnalyzer(hub)
+    phase, share = analyzer.critical_phase()
+    lines.append("")
+    lines.append(result.report())
+    lines.append("")
+    lines.append(f"critical phase {phase!r} ({share:.1%} of phase time), "
+                 f"overlap efficiency {analyzer.overlap_efficiency():.1%}, "
+                 f"attributed energy {hub.total_energy():.6g} J")
+    if args.ascii:
+        lines.append("")
+        lines.append(render_span_timeline(hub, domain="wall"))
+        lines.append("")
+        lines.append(render_span_timeline(hub, domain="cycles"))
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args) -> str:
+    from repro.obs import metrics_snapshot, render_metrics
+
+    hub, result = _traced_offload(args)
+    snapshot = metrics_snapshot(hub, extra={
+        "kernel": result.kernel_name,
+        "verified": result.verified,
+        "model_energy_j": result.timing.energy.total_energy,
+    })
+    if getattr(args, "json", False):
+        return _json_dump(snapshot)
+    return render_metrics(snapshot)
 
 
 def _cmd_report(_args) -> str:
@@ -145,19 +292,49 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the DATE 2016 heterogeneous-accelerator "
                     "paper's evaluation.")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="Table I: benchmark summary")
-    sub.add_parser("figure3", help="Figure 3: GOPS vs power on matmul")
-    sub.add_parser("figure4", help="Figure 4: architectural/parallel speedup")
-    sub.add_parser("figure5a", help="Figure 5a: speedup within 10 mW")
-    f5b = sub.add_parser("figure5b",
-                         help="Figure 5b: efficiency vs iterations/offload")
+
+    def experiment(name: str, help_text: str) -> argparse.ArgumentParser:
+        sp = sub.add_parser(name, help=help_text)
+        sp.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of text")
+        return sp
+
+    experiment("table1", "Table I: benchmark summary")
+    experiment("figure3", "Figure 3: GOPS vs power on matmul")
+    experiment("figure4", "Figure 4: architectural/parallel speedup")
+    experiment("figure5a", "Figure 5a: speedup within 10 mW")
+    f5b = experiment("figure5b",
+                     "Figure 5b: efficiency vs iterations/offload")
     f5b.add_argument("--kernel", choices=BENCHMARK_NAMES, default=None,
                      help="benchmark to sweep (default: cnn)")
-    off = sub.add_parser("offload", help="run one offload and report it")
+    off = experiment("offload", "run one offload and report it")
     off.add_argument("--kernel", choices=BENCHMARK_NAMES, default="matmul")
     off.add_argument("--host-mhz", type=float, default=8.0)
     off.add_argument("--iterations", type=int, default=1)
     off.add_argument("--double-buffer", action="store_true")
+    trace = sub.add_parser(
+        "trace", help="offload under telemetry; export a Perfetto trace")
+    trace.add_argument("kernel", nargs="?", choices=BENCHMARK_NAMES,
+                       default="matmul", help="benchmark to trace")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event JSON output path")
+    trace.add_argument("--flame", default=None, metavar="PATH",
+                       help="also write flamegraph collapsed stacks of the "
+                            "kernel's machine-level counterpart")
+    trace.add_argument("--ascii", action="store_true",
+                       help="print ASCII span timelines too")
+    trace.add_argument("--host-mhz", type=float, default=8.0)
+    trace.add_argument("--iterations", type=int, default=4)
+    trace.add_argument("--double-buffer", action="store_true")
+    metrics = sub.add_parser(
+        "metrics", help="telemetry counters/lanes/phases of one offload")
+    metrics.add_argument("--kernel", choices=BENCHMARK_NAMES,
+                         default="matmul")
+    metrics.add_argument("--json", action="store_true",
+                         help="machine-readable JSON instead of tables")
+    metrics.add_argument("--host-mhz", type=float, default=8.0)
+    metrics.add_argument("--iterations", type=int, default=4)
+    metrics.add_argument("--double-buffer", action="store_true")
     lint = sub.add_parser(
         "lint", help="static CFG/dataflow analysis of OR10N-mini assembly")
     lint.add_argument("files", nargs="*",
@@ -184,6 +361,8 @@ _COMMANDS = {
     "figure5a": _cmd_figure5a,
     "figure5b": _cmd_figure5b,
     "offload": _cmd_offload,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
     "all": _cmd_all,
     "report": _cmd_report,

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import OffloadError
 from repro.link.spi import SpiLink
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.mcu.stm32l476 import Stm32L476
 from repro.power.activity import ActivityProfile
 from repro.power.energy import EnergyAccount
@@ -52,6 +53,9 @@ class OffloadTiming:
     total_time: float
     ideal_time: float
     energy: EnergyAccount
+    binary_bytes: int = 0      #: payloads, for telemetry span attributes
+    input_bytes: int = 0
+    output_bytes: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -156,7 +160,7 @@ class OffloadCostModel:
                 iterations, pulp_active, host_frequency, energy)
         total += boot_time
 
-        return OffloadTiming(
+        timing = OffloadTiming(
             iterations=iterations,
             double_buffered=double_buffered,
             binary_time=binary.time,
@@ -168,7 +172,14 @@ class OffloadCostModel:
             total_time=total,
             ideal_time=iterations * compute_time,
             energy=energy,
+            binary_bytes=binary.payload_bytes,
+            input_bytes=data_in.payload_bytes,
+            output_bytes=data_out.payload_bytes,
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            emit_offload_spans(telemetry, timing)
+        return timing
 
     def _serial(self, binary: TransferCost, data_in: TransferCost,
                 data_out: TransferCost, compute_time: float,
@@ -221,3 +232,151 @@ class OffloadCostModel:
         energy.add("sync", iterations * sync_time,
                    self.host.active_power(host_frequency))
         return total
+
+
+# ---------------------------------------------------------------------------
+# Telemetry emission
+# ---------------------------------------------------------------------------
+
+
+def emit_offload_spans(telemetry: Telemetry,
+                       timing: OffloadTiming) -> Optional[int]:
+    """Emit the offload schedule into *telemetry* as unified spans.
+
+    Lanes: ``host`` (root ``offload`` span plus per-iteration ``sync``),
+    ``spi`` (``binary`` / ``input[k]`` / ``output[k]`` transfers with
+    byte and throughput attributes), ``pulp`` (``boot`` / ``compute[k]``
+    and, double-buffered, ``period[k]`` containers with ``wait[k]`` idle
+    filler), ``host:idle`` (double-buffered ``host-sleep[k]``).
+
+    Every span carries the energy its phase contributes to the
+    :class:`~repro.power.energy.EnergyAccount`: span energy is duration
+    times the account's per-phase power, so the sum over all spans
+    equals the account's total energy (the envelope roll-up) exactly.
+
+    Returns the root span id, or ``None`` when the hub is disabled.
+    """
+    if not telemetry.enabled:
+        return None
+    power = timing.energy.power_by_label()
+
+    def energy_of(label: str, duration: float) -> float:
+        return duration * power.get(label, 0.0)
+
+    schedule = "double-buffered" if timing.double_buffered else "serial"
+    root = telemetry.span(
+        "offload", "host", 0.0, timing.total_time,
+        schedule=schedule, iterations=timing.iterations)
+    clock = 0.0
+    if timing.binary_time > 0:
+        telemetry.span(
+            "binary", "spi", clock, timing.binary_time, parent=root,
+            energy=energy_of("binary", timing.binary_time),
+            bytes=timing.binary_bytes,
+            throughput_bps=timing.binary_bytes / timing.binary_time)
+        clock += timing.binary_time
+    if timing.boot_time > 0:
+        telemetry.span("boot", "pulp", clock, timing.boot_time, parent=root,
+                       energy=energy_of("boot", timing.boot_time))
+        clock += timing.boot_time
+
+    def transfer_attrs(payload: int, duration: float) -> dict:
+        return {"bytes": payload,
+                "throughput_bps": payload / duration if duration else 0.0}
+
+    if timing.double_buffered:
+        _emit_double_buffered(telemetry, timing, root, clock, energy_of,
+                              transfer_attrs)
+    else:
+        _emit_serial(telemetry, timing, root, clock, energy_of,
+                     transfer_attrs)
+    telemetry.gauge("offload.total_time_s", timing.total_time)
+    telemetry.gauge("offload.efficiency", timing.efficiency)
+    telemetry.gauge("offload.energy_j", timing.energy.total_energy)
+    return root
+
+
+def _emit_serial(telemetry, timing, root, clock, energy_of,
+                 transfer_attrs) -> None:
+    for k in range(timing.iterations):
+        if timing.input_time > 0:
+            telemetry.span(
+                f"input[{k}]", "spi", clock, timing.input_time, parent=root,
+                energy=energy_of("input", timing.input_time), iteration=k,
+                **transfer_attrs(timing.input_bytes, timing.input_time))
+            clock += timing.input_time
+        telemetry.span(f"compute[{k}]", "pulp", clock, timing.compute_time,
+                       parent=root, iteration=k,
+                       energy=energy_of("compute", timing.compute_time))
+        clock += timing.compute_time
+        if timing.sync_time > 0:
+            telemetry.span(f"sync[{k}]", "host", clock, timing.sync_time,
+                           parent=root, iteration=k,
+                           energy=energy_of("sync", timing.sync_time))
+            clock += timing.sync_time
+        if timing.output_time > 0:
+            telemetry.span(
+                f"output[{k}]", "spi", clock, timing.output_time, parent=root,
+                energy=energy_of("output", timing.output_time), iteration=k,
+                **transfer_attrs(timing.output_bytes, timing.output_time))
+            clock += timing.output_time
+
+
+def _emit_double_buffered(telemetry, timing, root, clock, energy_of,
+                          transfer_attrs) -> None:
+    """While iteration *k* computes, the SPI streams iteration *k+1* in
+    and *k-1* out; ``wait``/``host-sleep`` idle filler carries the
+    account's ``accelerator-wait``/``host-sleep`` energy."""
+    transfer = timing.input_time + timing.output_time
+    period = max(timing.compute_time + timing.sync_time, transfer)
+    gap = max(0.0, period - timing.compute_time - timing.sync_time)
+    host_sleep = max(0.0, period - transfer)
+    if timing.input_time > 0:
+        telemetry.span(
+            "input[0]", "spi", clock, timing.input_time, parent=root,
+            energy=energy_of("input", timing.input_time), iteration=0,
+            **transfer_attrs(timing.input_bytes, timing.input_time))
+    clock += timing.input_time
+    for k in range(timing.iterations):
+        period_span = telemetry.span(f"period[{k}]", "pulp", clock, period,
+                                     parent=root, iteration=k)
+        telemetry.span(f"compute[{k}]", "pulp", clock, timing.compute_time,
+                       parent=period_span, iteration=k,
+                       energy=energy_of("compute", timing.compute_time))
+        if gap > 0:
+            telemetry.span(f"wait[{k}]", "pulp",
+                           clock + timing.compute_time, gap,
+                           parent=period_span, iteration=k, idle=True,
+                           energy=energy_of("accelerator-wait", gap))
+        if timing.sync_time > 0:
+            telemetry.span(f"sync[{k}]", "host",
+                           clock + timing.compute_time, timing.sync_time,
+                           parent=period_span, iteration=k,
+                           energy=energy_of("sync", timing.sync_time))
+        if host_sleep > 0:
+            telemetry.span(f"host-sleep[{k}]", "host:idle",
+                           clock + transfer, host_sleep,
+                           parent=period_span, iteration=k, idle=True,
+                           energy=energy_of("host-sleep", host_sleep))
+        wire_clock = clock
+        if k >= 1 and timing.output_time > 0:
+            telemetry.span(
+                f"output[{k - 1}]", "spi", wire_clock, timing.output_time,
+                parent=period_span, iteration=k - 1,
+                energy=energy_of("output", timing.output_time),
+                **transfer_attrs(timing.output_bytes, timing.output_time))
+            wire_clock += timing.output_time
+        if k + 1 < timing.iterations and timing.input_time > 0:
+            telemetry.span(
+                f"input[{k + 1}]", "spi", wire_clock, timing.input_time,
+                parent=period_span, iteration=k + 1,
+                energy=energy_of("input", timing.input_time),
+                **transfer_attrs(timing.input_bytes, timing.input_time))
+        clock += period
+    if timing.output_time > 0:
+        telemetry.span(
+            f"output[{timing.iterations - 1}]", "spi", clock,
+            timing.output_time, parent=root,
+            iteration=timing.iterations - 1,
+            energy=energy_of("output", timing.output_time),
+            **transfer_attrs(timing.output_bytes, timing.output_time))

@@ -76,6 +76,50 @@ class OffloadResult:
         """Fraction of the ideal speedup retained."""
         return self.timing.efficiency
 
+    def to_json_dict(self) -> dict:
+        """Machine-readable summary (the ``--json`` surface)."""
+        timing = self.timing
+        return {
+            "kernel": self.kernel_name,
+            "verified": self.verified,
+            "schedule": ("double-buffered" if timing.double_buffered
+                         else "serial"),
+            "iterations": timing.iterations,
+            "envelope": {
+                "host_frequency_hz": self.envelope.host_frequency,
+                "host_power_w": self.envelope.host_power,
+                "pulp_frequency_hz": self.envelope.pulp_frequency,
+                "pulp_voltage_v": self.envelope.pulp_voltage,
+                "pulp_power_w": self.envelope.pulp_power,
+            },
+            "timing_s": {
+                "binary": timing.binary_time,
+                "boot": timing.boot_time,
+                "input_per_iteration": timing.input_time,
+                "compute_per_iteration": timing.compute_time,
+                "sync_per_iteration": timing.sync_time,
+                "output_per_iteration": timing.output_time,
+                "total": timing.total_time,
+                "ideal": timing.ideal_time,
+            },
+            "bytes": {
+                "binary": timing.binary_bytes,
+                "input": timing.input_bytes,
+                "output": timing.output_bytes,
+            },
+            "efficiency": self.efficiency,
+            "compute_speedup": self.compute_speedup,
+            "effective_speedup": self.effective_speedup,
+            "host_baseline": {
+                "frequency_hz": self.host_baseline.frequency,
+                "cycles": self.host_baseline.cycles,
+                "time_s": self.host_baseline.time,
+                "power_w": self.host_baseline.power,
+                "energy_j": self.host_baseline.energy,
+            },
+            "energy": self.timing.energy.to_dict(),
+        }
+
     def report(self) -> str:
         """Human-readable summary."""
         lines = [

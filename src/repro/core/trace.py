@@ -1,19 +1,31 @@
 """Execution trace: phase timeline of an offload.
 
-Turns an :class:`~repro.core.offload.OffloadTiming` into an ordered list
-of timed phases (binary, per-iteration input / compute / sync / output)
-and renders an ASCII Gantt chart — the picture the paper's Figure 5b
-prose describes ("the computation time dominates" versus "the bandwidth
-of the SPI link is too low").
+The ASCII Gantt view of an :class:`~repro.core.offload.OffloadTiming` —
+the picture the paper's Figure 5b prose describes ("the computation time
+dominates" versus "the bandwidth of the SPI link is too low").
+
+Since the unified telemetry layer (:mod:`repro.obs`) this module is
+*just another renderer*: :func:`trace_offload` emits the offload into a
+scratch :class:`~repro.obs.telemetry.Telemetry` hub via
+:func:`~repro.core.offload.emit_offload_spans` and flattens the
+resulting spans back into the legacy phase list — same events that feed
+the Chrome trace exporter, rendered as text.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List
 
 from repro.errors import ConfigurationError
-from repro.core.offload import OffloadTiming
+from repro.core.offload import OffloadTiming, emit_offload_spans
+from repro.obs.telemetry import Telemetry
+
+#: Legacy phase labels per unified span base name (serial schedule).
+_SERIAL_LABELS = {"input": "in", "output": "out"}
+
+_INDEXED = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
 
 
 @dataclass(frozen=True)
@@ -39,33 +51,44 @@ def trace_offload(timing: OffloadTiming,
     """
     if max_iterations < 1:
         raise ConfigurationError(f"max_iterations must be >= 1")
+    hub = Telemetry(enabled=True)
+    emit_offload_spans(hub, timing)
     phases: List[TracePhase] = []
     clock = 0.0
-    if timing.binary_time > 0:
-        phases.append(TracePhase("binary", clock, timing.binary_time))
-        clock += timing.binary_time
-    if timing.boot_time > 0:
-        phases.append(TracePhase("boot", clock, timing.boot_time))
-        clock += timing.boot_time
-    iterations = min(timing.iterations, max_iterations)
+
+    def push(label: str, duration: float) -> None:
+        nonlocal clock
+        phases.append(TracePhase(label, clock, duration))
+        clock += duration
+
     if timing.double_buffered:
-        transfer = timing.input_time + timing.output_time
-        period = max(timing.compute_time + timing.sync_time, transfer)
-        phases.append(TracePhase("prologue(in)", clock, timing.input_time))
-        clock += timing.input_time
-        for index in range(iterations):
-            phases.append(TracePhase(f"period[{index}]", clock, period))
-            clock += period
-        phases.append(TracePhase("epilogue(out)", clock, timing.output_time))
+        # Containers only: binary/boot, the prologue input, the
+        # steady-state periods, the epilogue output.
+        spans = {span.name: span for span in hub.spans}
+        for name in ("binary", "boot"):
+            if name in spans:
+                push(name, spans[name].duration)
+        push("prologue(in)",
+             spans["input[0]"].duration if "input[0]" in spans else 0.0)
+        for index in range(min(timing.iterations, max_iterations)):
+            push(f"period[{index}]", spans[f"period[{index}]"].duration)
+        last = f"output[{timing.iterations - 1}]"
+        push("epilogue(out)",
+             spans[last].duration if last in spans else 0.0)
         return phases
-    for index in range(iterations):
-        for label, duration in (("in", timing.input_time),
-                                ("compute", timing.compute_time),
-                                ("sync", timing.sync_time),
-                                ("out", timing.output_time)):
-            if duration > 0:
-                phases.append(TracePhase(f"{label}[{index}]", clock, duration))
-                clock += duration
+
+    for span in sorted(hub.leaf_spans(), key=lambda s: (s.start, s.span_id)):
+        if span.duration <= 0:
+            continue
+        match = _INDEXED.match(span.name)
+        if match is None:
+            push(span.name, span.duration)
+            continue
+        index = int(match.group("index"))
+        if index >= max_iterations:
+            continue
+        base = _SERIAL_LABELS.get(match.group("base"), match.group("base"))
+        push(f"{base}[{index}]", span.duration)
     return phases
 
 

@@ -67,3 +67,7 @@ class KernelError(ReproError):
 
 class FixedPointError(ReproError):
     """Invalid fixed-point format or out-of-range conversion."""
+
+
+class ObservabilityError(ReproError):
+    """Errors in the telemetry hub, trace exporters, or analyzers."""

@@ -105,6 +105,34 @@ def run(threads: int = 4) -> Figure3Result:
     return Figure3Result(points=points)
 
 
+def to_json_dict(result: Optional[Figure3Result] = None) -> dict:
+    """Machine-readable Figure 3 (the ``--json`` surface)."""
+    if result is None:
+        result = run()
+    peak = result.pulp_peak
+    best = result.best_mcu
+    return {
+        "experiment": "figure3",
+        "points": [
+            {
+                "device": p.device,
+                "kind": p.kind,
+                "frequency_hz": p.frequency,
+                "voltage_v": p.voltage,
+                "power_w": p.power,
+                "gops": p.gops,
+                "gops_per_watt": p.gops_per_watt,
+            }
+            for p in result.points
+        ],
+        "pulp_peak_gops_per_watt": peak.gops_per_watt,
+        "pulp_peak_power_w": peak.power,
+        "best_mcu": best.device,
+        "best_mcu_gops_per_watt": best.gops_per_watt,
+        "efficiency_gap": result.efficiency_gap(),
+    }
+
+
 def render(result: Optional[Figure3Result] = None) -> str:
     """Text rendering of the scatter plus the headline anchors."""
     if result is None:

@@ -82,6 +82,31 @@ def run(threads: int = 4) -> Figure4Result:
     return Figure4Result(rows=rows, threads=threads)
 
 
+def to_json_dict(result: Optional[Figure4Result] = None) -> dict:
+    """Machine-readable Figure 4 (the ``--json`` surface)."""
+    if result is None:
+        result = run()
+    return {
+        "experiment": "figure4",
+        "threads": result.threads,
+        "rows": [
+            {
+                "name": row.name,
+                "or10n_cycles": row.or10n_cycles,
+                "m4_cycles": row.m4_cycles,
+                "m3_cycles": row.m3_cycles,
+                "arch_speedup_vs_m4": row.arch_speedup_vs_m4,
+                "arch_speedup_vs_m3": row.arch_speedup_vs_m3,
+                "parallel_speedup": row.parallel_speedup,
+                "runtime_overhead": row.runtime_overhead,
+            }
+            for row in result.rows
+        ],
+        "mean_parallel_speedup": result.mean_parallel_speedup,
+        "mean_runtime_overhead": result.mean_runtime_overhead,
+    }
+
+
 def render(result: Optional[Figure4Result] = None) -> str:
     """Text rendering of both panels."""
     if result is None:

@@ -125,6 +125,32 @@ def run_figure5a(threads: int = 4,
     return Figure5aResult(cells=cells)
 
 
+def figure5a_to_json_dict(result: Optional[Figure5aResult] = None) -> dict:
+    """Machine-readable Figure 5a (the ``--json`` surface)."""
+    if result is None:
+        result = run_figure5a()
+    return {
+        "experiment": "figure5a",
+        "cells": [
+            {
+                "kernel": c.kernel,
+                "host_frequency_hz": c.host_frequency,
+                "pulp_frequency_hz": c.pulp_frequency,
+                "pulp_voltage_v": c.pulp_voltage,
+                "total_power_w": c.total_power,
+                "speedup": c.speedup,
+                "host_only_speedup": c.host_only_speedup,
+                "pulp_ops_per_cycle": c.pulp_ops_per_cycle,
+                "host_ops_per_cycle": c.host_ops_per_cycle,
+                "within_budget": c.within_budget,
+            }
+            for c in result.cells
+        ],
+        "best_speedups": {name: result.best_speedup(name)
+                          for name in result.kernels()},
+    }
+
+
 def render_figure5a(result: Optional[Figure5aResult] = None) -> str:
     """Text rendering: one row per benchmark, one column per host clock."""
     if result is None:
@@ -235,6 +261,26 @@ def run_figure5b(kernel: Optional[Kernel] = None, threads: int = 4,
                     total_time=timing.total_time,
                 ))
     return Figure5bResult(kernel=kernel.name, points=points)
+
+
+def figure5b_to_json_dict(result: Optional[Figure5bResult] = None) -> dict:
+    """Machine-readable Figure 5b (the ``--json`` surface)."""
+    if result is None:
+        result = run_figure5b()
+    return {
+        "experiment": "figure5b",
+        "kernel": result.kernel,
+        "points": [
+            {
+                "host_frequency_hz": p.host_frequency,
+                "iterations": p.iterations,
+                "double_buffered": p.double_buffered,
+                "efficiency": p.efficiency,
+                "total_time_s": p.total_time,
+            }
+            for p in result.points
+        ],
+    }
 
 
 def render_figure5b(result: Optional[Figure5bResult] = None) -> str:

@@ -61,6 +61,34 @@ def run() -> List[Table1Row]:
     return rows
 
 
+def to_json_dict(rows: Optional[List[Table1Row]] = None) -> dict:
+    """Machine-readable Table I (the ``--json`` surface)."""
+    if rows is None:
+        rows = run()
+    return {
+        "experiment": "table1",
+        "rows": [
+            {
+                "name": row.name,
+                "description": row.description,
+                "field": row.field,
+                "input_bytes": row.input_bytes,
+                "output_bytes": row.output_bytes,
+                "binary_bytes": row.binary_bytes,
+                "risc_ops": row.risc_ops,
+                "paper": {
+                    "input_bytes": row.paper_input_bytes,
+                    "output_bytes": row.paper_output_bytes,
+                    "binary_bytes": row.paper_binary_bytes,
+                    "risc_ops": row.paper_risc_ops,
+                },
+                "risc_ops_ratio": row.risc_ops_ratio,
+            }
+            for row in rows
+        ],
+    }
+
+
 def render(rows: Optional[List[Table1Row]] = None) -> str:
     """Text rendering in the paper's column order (ours vs paper)."""
     if rows is None:

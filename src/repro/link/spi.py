@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import LinkError
+from repro.obs.telemetry import get_telemetry
 from repro.units import uw_per_mhz
 
 
@@ -91,13 +92,23 @@ class SpiLink:
         wire = self._wire_bytes(payload_bytes)
         time = wire * 8.0 / (self.width * clock)
         energy = time * self.active_power(clock)
-        return SpiTransfer(
+        result = SpiTransfer(
             payload_bytes=int(payload_bytes),
             wire_bytes=wire,
             clock=clock,
             time=time,
             energy=energy,
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("spi.transfers", 1, unit="transfers")
+            telemetry.count("spi.payload_bytes", result.payload_bytes,
+                            unit="bytes")
+            telemetry.count("spi.wire_bytes", wire, unit="bytes")
+            telemetry.gauge("spi.throughput_bps", result.throughput,
+                            unit="B/s")
+            telemetry.gauge("spi.clock_hz", clock, unit="Hz")
+        return result
 
     def _wire_bytes(self, payload_bytes: int) -> int:
         if payload_bytes < 0:

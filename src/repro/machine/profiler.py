@@ -33,6 +33,22 @@ class ProfiledRun:
         return [(pc, self.cycles_by_pc[pc] / total)
                 for pc in ranked[:count] if self.cycles_by_pc[pc] > 0]
 
+    def collapsed(self, root: str = "program") -> List[str]:
+        """Flamegraph collapsed-stack lines (``root;frame count``).
+
+        One frame per hot PC, named ``pc_NNNN_<opcode>``; counts are
+        attributed cycles rounded to at least one sample.  Feed the
+        joined lines to any FlameGraph-compatible renderer.
+        """
+        lines = []
+        for pc, cycles in enumerate(self.cycles_by_pc):
+            if cycles <= 0:
+                continue
+            opcode = self.program[pc].opcode.name.lower()
+            lines.append(f"{root};pc_{pc:04d}_{opcode} "
+                         f"{max(1, round(cycles))}")
+        return lines
+
     def render(self, count: int = 8) -> str:
         """Annotated hotspot listing."""
         lines = [f"profile: {self.result.cycles:,.0f} cycles, "

@@ -275,6 +275,66 @@ def run_matmul_i8_parallel(a: np.ndarray, b: np.ndarray, cores: int = 4,
     return out.reshape(n, n).copy(), result
 
 
+def profile_builtin(name: str):
+    """Profile one built-in kernel on canonical deterministic inputs.
+
+    Returns a :class:`~repro.machine.profiler.ProfiledRun` whose per-PC
+    cycle attribution feeds the flamegraph exporter
+    (:func:`repro.obs.export.collapsed_stacks`).
+    """
+    from repro.machine.profiler import ProfilingMachine
+
+    if name not in BUILTIN_PROGRAMS:
+        raise KernelError(
+            f"unknown builtin {name!r}; have {sorted(BUILTIN_PROGRAMS)}")
+    machine = ProfilingMachine()
+    n = 8
+    pattern = np.arange(64, dtype=np.int8)
+    square = (np.arange(n * n, dtype=np.int32) % 13 - 6).astype(np.int8)
+    if name == "memcpy_words":
+        data = pattern.tobytes()
+        src, dst = 0x100, 0x100 + len(data) + 64
+        machine.write_block(src, data)
+        machine.registers[1] = src
+        machine.registers[2] = dst
+        machine.registers[3] = len(data) // 4
+        program = MEMCPY_WORDS
+    elif name == "vector_add_i8":
+        base_a, base_b, base_c = 0x100, 0x1100, 0x2100
+        machine.write_block(base_a, pattern.tobytes())
+        machine.write_block(base_b, pattern[::-1].copy().tobytes())
+        machine.registers[1] = base_a
+        machine.registers[2] = base_b
+        machine.registers[3] = base_c
+        machine.registers[4] = len(pattern) // 4
+        program = VECTOR_ADD_I8
+    elif name == "dot_product_i8":
+        base_a, base_b = 0x100, 0x1100
+        machine.write_block(base_a, pattern.tobytes())
+        machine.write_block(base_b, pattern[::-1].copy().tobytes())
+        machine.registers[1] = base_a
+        machine.registers[2] = base_b
+        machine.registers[3] = len(pattern)
+        program = DOT_PRODUCT_I8
+    else:
+        base_a = 0x100
+        base_b = 0x100 + n * n + 64
+        base_c = 0x100 + 2 * (n * n + 64)
+        machine.write_block(base_a, square.tobytes())
+        machine.write_block(base_b, square[::-1].copy().tobytes())
+        machine.registers[1] = base_a
+        machine.registers[2] = base_b
+        machine.registers[3] = base_c
+        machine.registers[4] = n
+        if name == "matmul_rows_i8":
+            machine.registers[5] = 0
+            machine.registers[16] = n
+            program = MATMUL_ROWS_I8
+        else:
+            program = MATMUL_I8
+    return machine.run_profiled(program)
+
+
 def run_matmul_i8(a: np.ndarray, b: np.ndarray,
                   machine: Optional[Machine] = None
                   ) -> Tuple[np.ndarray, ExecutionResult]:

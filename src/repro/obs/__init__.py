@@ -1,0 +1,60 @@
+"""Unified observability: telemetry hub, exporters, and analyzers.
+
+The public surface of the telemetry subsystem:
+
+- :class:`Telemetry`, :class:`Span`, :class:`Counter` — the event model;
+- :func:`get_telemetry` / :func:`use_telemetry` — the active hub;
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — Perfetto export;
+- :func:`collapsed_stacks` / :func:`write_flamegraph` — flamegraph export;
+- :func:`metrics_snapshot` / :func:`render_metrics` — metrics surface;
+- :class:`TraceAnalyzer` — utilization / critical path / overlap;
+- :func:`route_recorder` — DES recorder -> hub bridge;
+- :func:`render_span_timeline` — generic ASCII lanes.
+
+See ``docs/OBSERVABILITY.md`` for the event model and formats.
+"""
+
+from repro.obs.analyzer import LaneStats, TraceAnalyzer
+from repro.obs.bridge import route_recorder
+from repro.obs.export import (
+    chrome_trace_events,
+    collapsed_stacks,
+    metrics_snapshot,
+    render_metrics,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.obs.render import render_span_timeline
+from repro.obs.telemetry import (
+    CYCLES,
+    Counter,
+    Span,
+    Telemetry,
+    WALL,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+__all__ = [
+    "CYCLES",
+    "Counter",
+    "LaneStats",
+    "Span",
+    "Telemetry",
+    "TraceAnalyzer",
+    "WALL",
+    "chrome_trace_events",
+    "collapsed_stacks",
+    "get_telemetry",
+    "metrics_snapshot",
+    "render_metrics",
+    "render_span_timeline",
+    "route_recorder",
+    "set_telemetry",
+    "to_chrome_trace",
+    "use_telemetry",
+    "write_chrome_trace",
+    "write_flamegraph",
+]

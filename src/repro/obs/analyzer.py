@@ -1,0 +1,155 @@
+"""Trace analysis: lane utilization, critical path, overlap efficiency.
+
+The :class:`TraceAnalyzer` answers the schedule questions Figure 5b's
+prose argues qualitatively — which lane is the bottleneck, which phase
+dominates the critical path, and how much of the serialized work a
+double-buffered schedule actually hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.telemetry import Span, Telemetry, WALL
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Aggregate statistics of one lane."""
+
+    lane: str
+    domain: str
+    span_count: int
+    busy: float             #: union of non-idle span intervals
+    extent: float           #: last end minus first start, idle included
+    energy: float           #: attributed joules
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over the lane's extent."""
+        if self.extent <= 0:
+            return 0.0
+        return min(1.0, self.busy / self.extent)
+
+
+def _merged_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return total + (current_end - current_start)
+
+
+class TraceAnalyzer:
+    """Computes derived schedule metrics over a telemetry hub."""
+
+    def __init__(self, telemetry: Telemetry):
+        self.telemetry = telemetry
+
+    # -- lanes ------------------------------------------------------------------
+
+    def lane_stats(self, domain: Optional[str] = None
+                   ) -> Dict[str, LaneStats]:
+        """Per-lane busy/extent/utilization/energy.
+
+        Busy time merges the lane's *leaf, non-idle* span intervals, so
+        hierarchical parents (the ``offload`` root, ``period[k]``
+        containers) and idle filler (``wait``, ``host-sleep``) do not
+        inflate utilization.
+        """
+        leaves = self.telemetry.leaf_spans(domain)
+        by_lane: Dict[str, List[Span]] = {}
+        for span in self.telemetry.spans:
+            if domain is None or span.domain == domain:
+                by_lane.setdefault(span.lane, []).append(span)
+        leaf_ids = {s.span_id for s in leaves}
+        stats: Dict[str, LaneStats] = {}
+        for lane, spans in by_lane.items():
+            busy = _merged_length([
+                (s.start, s.end) for s in spans
+                if s.span_id in leaf_ids and not s.is_idle and s.duration > 0])
+            extent = (max(s.end for s in spans)
+                      - min(s.start for s in spans))
+            stats[lane] = LaneStats(
+                lane=lane, domain=spans[0].domain, span_count=len(spans),
+                busy=busy, extent=extent,
+                energy=sum(s.energy for s in spans))
+        return stats
+
+    # -- phases -----------------------------------------------------------------
+
+    def phase_totals(self, domain: str = WALL) -> Dict[str, float]:
+        """Total duration per phase (leaf span base name), idle included."""
+        totals: Dict[str, float] = {}
+        for span in self.telemetry.leaf_spans(domain):
+            key = span.base_name()
+            totals[key] = totals.get(key, 0.0) + span.duration
+        return totals
+
+    def critical_phase(self, domain: str = WALL) -> Tuple[str, float]:
+        """The dominant phase and its share of total phase time.
+
+        This is the "where does the time go" headline: ``compute``
+        dominating means the schedule is compute-bound, ``input`` /
+        ``output`` dominating means "the bandwidth of the SPI link is
+        too low" (the paper's Figure 5b regimes).
+        """
+        totals = self.phase_totals(domain)
+        grand_total = sum(totals.values())
+        if grand_total <= 0:
+            return ("", 0.0)
+        name = max(totals, key=lambda key: totals[key])
+        return (name, totals[name] / grand_total)
+
+    # -- schedule overlap ---------------------------------------------------------
+
+    def overlap_efficiency(self, domain: str = WALL) -> float:
+        """Fraction of serialized work hidden by overlapping lanes.
+
+        ``1 - extent / serial_work`` where ``serial_work`` is the sum of
+        all non-idle leaf span durations and ``extent`` the wall-clock
+        footprint of the schedule.  A serial schedule scores 0; a
+        perfectly double-buffered one approaches the ratio by which
+        transfers disappear behind compute.
+        """
+        leaves = [s for s in self.telemetry.leaf_spans(domain)
+                  if not s.is_idle and s.duration > 0]
+        if not leaves:
+            return 0.0
+        serial_work = sum(s.duration for s in leaves)
+        extent = max(s.end for s in leaves) - min(s.start for s in leaves)
+        if serial_work <= 0:
+            return 0.0
+        return max(0.0, 1.0 - extent / serial_work)
+
+    # -- energy -----------------------------------------------------------------
+
+    def energy_by_phase(self, domain: Optional[str] = None) -> Dict[str, float]:
+        """Attributed joules per phase base name (spans carrying energy)."""
+        totals: Dict[str, float] = {}
+        for span in self.telemetry.spans:
+            if domain is not None and span.domain != domain:
+                continue
+            if span.energy:
+                key = span.base_name()
+                totals[key] = totals.get(key, 0.0) + span.energy
+        return totals
+
+    def energy_by_lane(self, domain: Optional[str] = None) -> Dict[str, float]:
+        """Attributed joules per lane."""
+        totals: Dict[str, float] = {}
+        for span in self.telemetry.spans:
+            if domain is not None and span.domain != domain:
+                continue
+            if span.energy:
+                totals[span.lane] = totals.get(span.lane, 0.0) + span.energy
+        return totals

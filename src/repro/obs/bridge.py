@@ -1,0 +1,48 @@
+"""Bridge from the DES :class:`~repro.sim.tracing.TraceRecorder` into
+the unified telemetry hub.
+
+DES events become cycle-domain spans on per-core, per-bank and per-DMA
+lanes — the cluster-side half of the Perfetto trace, answering "which
+DMA burst stalled core 3 during iteration 2".
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import CYCLES, Telemetry
+
+
+def _lane_of(actor: str) -> str:
+    if actor.startswith("core"):
+        return f"cluster.{actor}"
+    if actor.startswith("bank"):
+        return f"tcdm.{actor}"
+    return actor
+
+
+def route_recorder(recorder, telemetry: Telemetry) -> int:
+    """Route all recorder events into *telemetry* as cycle-domain spans.
+
+    Events with a duration become spans (``stall`` marked idle so it
+    never counts as lane-busy time); zero-duration events (barriers)
+    become instants.  Returns the number of events routed.
+    """
+    if not telemetry.enabled:
+        return 0
+    routed = 0
+    for event in sorted(recorder.events, key=lambda e: (e.time, e.actor)):
+        lane = _lane_of(event.actor)
+        attrs = {"detail": event.detail} if event.detail else {}
+        if event.kind == "stall":
+            attrs["idle"] = True
+        if event.duration > 0:
+            telemetry.span(event.kind, lane, event.time, event.duration,
+                           domain=CYCLES, **attrs)
+        else:
+            telemetry.instant(event.kind, lane, event.time,
+                              domain=CYCLES, **attrs)
+        routed += 1
+    telemetry.count("cluster.trace_events", routed, domain=CYCLES)
+    if recorder.dropped:
+        telemetry.gauge("cluster.trace_events_dropped", recorder.dropped,
+                        domain=CYCLES)
+    return routed

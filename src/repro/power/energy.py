@@ -76,3 +76,38 @@ class EnergyAccount:
         for phase in self.phases:
             result[phase.label] = result.get(phase.label, 0.0) + phase.duration
         return result
+
+    def power_by_label(self) -> Dict[str, float]:
+        """Average power per phase label (energy over time).
+
+        For the single-phase-per-label accounts the offload model
+        builds, this is exactly the phase's constant power — the basis
+        for attributing per-span energy in the telemetry layer so that
+        span roll-ups reproduce :attr:`total_energy`.
+        """
+        powers: Dict[str, float] = {}
+        mixed: Dict[str, bool] = {}
+        for phase in self.phases:
+            if phase.label not in powers:
+                powers[phase.label] = phase.power
+            elif powers[phase.label] != phase.power:
+                mixed[phase.label] = True
+        for label in mixed:
+            time = self.time_by_label()[label]
+            powers[label] = (self.energy_by_label()[label] / time
+                             if time else 0.0)
+        return powers
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable snapshot (for ``--json`` outputs)."""
+        return {
+            "total_time_s": self.total_time,
+            "total_energy_j": self.total_energy,
+            "average_power_w": self.average_power,
+            "phases": [
+                {"label": p.label, "duration_s": p.duration,
+                 "power_w": p.power, "energy_j": p.energy}
+                for p in self.phases
+            ],
+            "energy_by_label_j": self.energy_by_label(),
+        }

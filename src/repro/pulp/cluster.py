@@ -20,6 +20,7 @@ from repro.pulp.l2 import L2Memory
 from repro.pulp.synchronizer import HardwareSynchronizer
 from repro.pulp.tcdm import Tcdm
 from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceRecorder
 
 
 #: A DMA job: (l2_address, tcdm_address, length, to_tcdm).
@@ -72,25 +73,36 @@ class Cluster:
         self.last_run: Optional[ClusterRun] = None
 
     def run(self, streams: Sequence[OpStream],
-            dma_jobs: Sequence[DmaJob] = ()) -> ClusterRun:
+            dma_jobs: Sequence[DmaJob] = (),
+            recorder: Optional[TraceRecorder] = None) -> ClusterRun:
         """Execute one op stream per core plus optional DMA traffic.
 
         Fewer than four streams leaves the remaining cores clock-gated
         (they still join the final barrier through the synchronizer's
         participant count, which is set to the active cores only, as the
         runtime powers unused cores down at fork time).
+
+        An optional *recorder* instruments the run: cores report compute
+        bursts / stalls / granted accesses, TCDM banks report grants,
+        DMA channels report transfers and barrier crossings are marked —
+        the feed for :func:`repro.sim.tracing.render_timeline` and the
+        telemetry bridge.
         """
         if not 1 <= len(streams) <= self.CORES:
             raise ConfigurationError(
                 f"need 1..{self.CORES} streams, got {len(streams)}")
         simulator = Simulator()
-        tcdm = Tcdm(simulator, self.tcdm_size, self.banks)
+        tcdm = Tcdm(simulator, self.tcdm_size, self.banks,
+                    recorder=recorder)
         synchronizer = HardwareSynchronizer(simulator, participants=len(streams))
-        dma = DmaController(simulator, self.l2, tcdm)
-        cores = [Or10nCore(simulator, tcdm, i) for i in range(len(streams))]
+        dma = DmaController(simulator, self.l2, tcdm, recorder=recorder)
+        cores = [Or10nCore(simulator, tcdm, i, recorder=recorder)
+                 for i in range(len(streams))]
 
         def core_process(core: Or10nCore, stream: OpStream):
             yield from core.run(stream)
+            if recorder is not None:
+                recorder.record(simulator.now, core.actor, "barrier")
             before = simulator.now
             yield from synchronizer.barrier()
             core.stats.barrier_cycles += simulator.now - before

@@ -11,11 +11,12 @@ or hand-built in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.errors import SimulationError
 from repro.pulp.tcdm import Tcdm
 from repro.sim.engine import Simulator, Timeout
+from repro.sim.tracing import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -64,19 +65,35 @@ class CoreStats:
 
 
 class Or10nCore:
-    """One OR10N core attached to the shared TCDM."""
+    """One OR10N core attached to the shared TCDM.
 
-    def __init__(self, simulator: Simulator, tcdm: Tcdm, core_id: int):
+    When a *recorder* is attached, the core reports compute bursts,
+    stalls and granted accesses as timed events on its ``core<N>``
+    lane (the PMU-trace feed of the telemetry layer).
+    """
+
+    def __init__(self, simulator: Simulator, tcdm: Tcdm, core_id: int,
+                 recorder: Optional[TraceRecorder] = None):
         self.simulator = simulator
         self.tcdm = tcdm
         self.core_id = core_id
+        self.recorder = recorder
         self.stats = CoreStats()
+
+    @property
+    def actor(self) -> str:
+        """Trace lane name of this core."""
+        return f"core{self.core_id}"
 
     def run(self, stream: Iterable[Union[ComputeOp, MemOp]]):
         """Generator process executing *stream* (register with the
         simulator via ``simulator.add_process(core.run(stream))``)."""
         for op in stream:
             if isinstance(op, ComputeOp):
+                if self.recorder is not None:
+                    self.recorder.record(self.simulator.now, self.actor,
+                                         "compute", f"{op.cycles:.0f}cy",
+                                         duration=op.cycles)
                 if op.cycles > 0:
                     yield Timeout(op.cycles)
                 self.stats.compute_cycles += op.cycles
@@ -90,6 +107,13 @@ class Or10nCore:
         requested = self.simulator.now
         yield resource.request()
         waited = self.simulator.now - requested
+        if self.recorder is not None:
+            if waited > 0:
+                self.recorder.record(requested, self.actor, "stall",
+                                     f"{waited:.0f}cy", duration=waited)
+            self.recorder.record(self.simulator.now, self.actor, "memory",
+                                 f"@{op.address:#x}", duration=1.0)
+        self.tcdm.note_access(self.simulator.now, op.address)
         self.stats.stall_cycles += waited
         yield Timeout(1.0)  # single-cycle TCDM service
         resource.release()

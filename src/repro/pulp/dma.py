@@ -11,10 +11,13 @@ initiator (its direct port still contends at the banks).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from repro.errors import ConfigurationError, SimulationError
 from repro.pulp.l2 import L2Memory
 from repro.pulp.tcdm import WORD_BYTES, Tcdm
 from repro.sim.engine import Simulator, Timeout
+from repro.sim.tracing import TraceRecorder
 
 
 @dataclass
@@ -31,7 +34,8 @@ class DmaController:
     """Multi-channel L2 <-> TCDM DMA."""
 
     def __init__(self, simulator: Simulator, l2: L2Memory, tcdm: Tcdm,
-                 channels: int = 4, setup_cycles: float = 8.0):
+                 channels: int = 4, setup_cycles: float = 8.0,
+                 recorder: Optional[TraceRecorder] = None):
         if channels < 1:
             raise ConfigurationError(f"need >= 1 channel, got {channels}")
         self.simulator = simulator
@@ -39,8 +43,13 @@ class DmaController:
         self.tcdm = tcdm
         self.channels = channels
         self.setup_cycles = setup_cycles
-        self._busy_channels = 0
+        self.recorder = recorder
+        self._free_channels = list(range(channels))
         self.stats = DmaStats()
+
+    @property
+    def _busy_channels(self) -> int:
+        return self.channels - len(self._free_channels)
 
     def transfer(self, l2_address: int, tcdm_address: int, length: int,
                  to_tcdm: bool = True):
@@ -51,9 +60,9 @@ class DmaController:
         """
         if length < 0:
             raise SimulationError(f"negative DMA length {length}")
-        if self._busy_channels >= self.channels:
+        if not self._free_channels:
             raise SimulationError("all DMA channels busy")
-        self._busy_channels += 1
+        channel = self._free_channels.pop(0)
         start = self.simulator.now
         try:
             yield Timeout(self.setup_cycles)
@@ -65,6 +74,8 @@ class DmaController:
                 requested = self.simulator.now
                 yield resource.request()
                 self.stats.stall_cycles += self.simulator.now - requested
+                self.tcdm.note_access(self.simulator.now,
+                                      tcdm_address + offset)
                 yield Timeout(1.0)
                 resource.release()
                 if to_tcdm:
@@ -76,8 +87,15 @@ class DmaController:
             self.stats.transfers += 1
             self.stats.bytes_moved += length
         finally:
-            self._busy_channels -= 1
-            self.stats.busy_cycles += self.simulator.now - start
+            self._free_channels.append(channel)
+            self._free_channels.sort()
+            elapsed = self.simulator.now - start
+            self.stats.busy_cycles += elapsed
+            if self.recorder is not None:
+                direction = "->tcdm" if to_tcdm else "->l2"
+                self.recorder.record(
+                    start, f"dma.ch{channel}", "dma",
+                    f"{length}B{direction}", duration=elapsed)
 
     def ideal_cycles(self, length: int) -> float:
         """Contention-free transfer cycles for *length* bytes."""

@@ -9,11 +9,12 @@ word-interleaved address mapping spreads consecutive words across banks.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
+from repro.sim.tracing import TraceRecorder
 from repro.units import kib
 
 WORD_BYTES = 4
@@ -26,12 +27,14 @@ class Tcdm:
     DEFAULT_BANKS = 8
 
     def __init__(self, simulator: Simulator, size: int = DEFAULT_SIZE,
-                 banks: int = DEFAULT_BANKS):
+                 banks: int = DEFAULT_BANKS,
+                 recorder: Optional[TraceRecorder] = None):
         if banks < 1 or size <= 0 or size % (banks * WORD_BYTES) != 0:
             raise ConfigurationError(
                 f"invalid TCDM geometry: size={size}, banks={banks}")
         self.size = int(size)
         self.banks = int(banks)
+        self.recorder = recorder
         self._data = bytearray(self.size)
         self._bank_resources: List[Resource] = [
             Resource(simulator, capacity=1, name=f"tcdm-bank{i}")
@@ -53,6 +56,17 @@ class Tcdm:
     def bank_resources(self) -> List[Resource]:
         """All bank resources (for statistics)."""
         return list(self._bank_resources)
+
+    def note_access(self, time: float, address: int) -> None:
+        """Report a granted bank access to the attached recorder.
+
+        Called by initiators (cores, DMA) at grant time; one single-cycle
+        ``bank`` event on the serving bank's lane.  No-op without a
+        recorder.
+        """
+        if self.recorder is not None:
+            self.recorder.record(time, f"bank{self.bank_of(address)}",
+                                 "bank", f"@{address:#x}", duration=1.0)
 
     # -- functional storage ------------------------------------------------------
 

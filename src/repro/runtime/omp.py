@@ -16,6 +16,7 @@ from typing import Optional
 from repro.errors import RuntimeModelError
 from repro.isa.program import Loop, Program
 from repro.isa.target import Target
+from repro.obs.telemetry import CYCLES, get_telemetry
 from repro.pulp.timing import ContentionModel, chunk_trips
 from repro.runtime.overheads import OmpOverheads
 
@@ -72,15 +73,23 @@ class DeviceOpenMp:
     def execute(self, program: Program) -> ParallelExecution:
         """Execute *program*: top-level parallelizable loops run on the
         team, everything else on the master core."""
+        telemetry = get_telemetry()
         wall = 0.0
         work = 0.0
         serial = 0.0
         overhead = 0.0
         accesses = 0.0
         regions = 0
-        for node in program.body:
+        for index, node in enumerate(program.body):
             if isinstance(node, Loop) and node.parallelizable and self.threads > 1:
                 region = self._parallel_region(node)
+                if telemetry.enabled and region.wall > 0:
+                    telemetry.span(f"parallel[{regions}]", "omp", wall,
+                                   region.wall, domain=CYCLES,
+                                   threads=self.threads,
+                                   schedule=self.schedule.value,
+                                   overhead_cycles=region.overhead,
+                                   trips=node.trips)
                 wall += region.wall
                 work += region.work
                 overhead += region.overhead
@@ -88,6 +97,10 @@ class DeviceOpenMp:
                 regions += 1
             else:
                 report = self.target.lower_nodes([node])
+                if telemetry.enabled and report.cycles > 0:
+                    telemetry.span(f"serial[{index}]", "omp", wall,
+                                   report.cycles, domain=CYCLES,
+                                   instructions=report.instructions)
                 wall += report.cycles
                 work += report.cycles
                 serial += report.cycles

@@ -5,6 +5,11 @@ a simulation; :func:`render_timeline` draws a compact per-actor lane
 view.  The cluster uses it optionally — tracing every TCDM access of a
 full kernel would drown the signal, so recorders support windowing and
 per-kind filters.
+
+Recorders are also the feed for the unified telemetry layer: route a
+filled recorder into a :class:`~repro.obs.telemetry.Telemetry` hub with
+:func:`repro.obs.bridge.route_recorder` to get per-core / per-bank /
+per-channel lanes in the Chrome trace export.
 """
 
 from __future__ import annotations
@@ -17,12 +22,17 @@ from repro.errors import SimulationError
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event.
+
+    Events may carry a *duration* (compute bursts, granted accesses,
+    DMA transfers); zero-duration events are instants (barriers).
+    """
 
     time: float
     actor: str
     kind: str
     detail: str = ""
+    duration: float = 0.0
 
 
 class TraceRecorder:
@@ -33,6 +43,9 @@ class TraceRecorder:
                  capacity: int = 100_000):
         if capacity < 1:
             raise SimulationError(f"invalid trace capacity {capacity}")
+        if window is not None and window[1] < window[0]:
+            raise SimulationError(
+                f"negative trace window: {window[0]} .. {window[1]}")
         self.kinds: Optional[Set[str]] = set(kinds) if kinds else None
         self.window = window
         self.capacity = capacity
@@ -40,7 +53,7 @@ class TraceRecorder:
         self.dropped = 0
 
     def record(self, time: float, actor: str, kind: str,
-               detail: str = "") -> None:
+               detail: str = "", duration: float = 0.0) -> None:
         """Record one event (subject to filter/window/capacity)."""
         if self.kinds is not None and kind not in self.kinds:
             return
@@ -51,7 +64,12 @@ class TraceRecorder:
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(time, actor, kind, detail))
+        self.events.append(TraceEvent(time, actor, kind, detail, duration))
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the recorder ran out of capacity and dropped events."""
+        return self.dropped > 0
 
     def by_actor(self) -> Dict[str, List[TraceEvent]]:
         """Events grouped per actor, time-ordered."""
@@ -71,12 +89,16 @@ _KIND_GLYPHS = {
     "stall": "x",
     "barrier": "|",
     "dma": "d",
+    "bank": "b",
 }
 
 
 def render_timeline(recorder: TraceRecorder, width: int = 72) -> str:
     """Per-actor lanes with one glyph per event bucket."""
     if not recorder.events:
+        if recorder.truncated:
+            return (f"(no events retained; {recorder.dropped} beyond "
+                    f"capacity {recorder.capacity} were dropped)")
         return "(no events recorded)"
     if width < 8:
         raise SimulationError(f"timeline width too small: {width}")
@@ -97,6 +119,9 @@ def render_timeline(recorder: TraceRecorder, width: int = 72) -> str:
               f"{len(recorder.events)} events"
               + (f" ({recorder.dropped} dropped)" if recorder.dropped else ""))
     lanes.append(footer)
+    if recorder.truncated:
+        lanes.append(f"!! truncated: {recorder.dropped} events beyond "
+                     f"capacity {recorder.capacity} were dropped")
     return "\n".join(lanes)
 
 
@@ -105,62 +130,14 @@ def trace_cluster_run(streams, banks: int = 8,
                       ) -> Tuple["object", TraceRecorder]:
     """Run op streams on an instrumented cluster, recording events.
 
-    A convenience wrapper: builds a fresh DES cluster whose cores report
-    compute bursts, granted accesses, stalls and barrier crossings into
-    a recorder. Returns ``(ClusterRun, TraceRecorder)``.
+    A convenience wrapper over :meth:`repro.pulp.cluster.Cluster.run`
+    with a fresh recorder attached: cores report compute bursts, granted
+    accesses, stalls and barrier crossings (and TCDM banks report
+    grants) into the recorder.  Returns ``(ClusterRun, TraceRecorder)``.
     """
-    from repro.pulp.core import ComputeOp, MemOp, Or10nCore
-    from repro.pulp.synchronizer import HardwareSynchronizer
-    from repro.pulp.tcdm import Tcdm
-    from repro.sim.engine import Simulator, Timeout
+    from repro.pulp.cluster import Cluster
 
     recorder = TraceRecorder(kinds=kinds)
-    simulator = Simulator()
-    tcdm = Tcdm(simulator, banks=banks)
-    synchronizer = HardwareSynchronizer(simulator, participants=len(streams))
-    cores = [Or10nCore(simulator, tcdm, index)
-             for index in range(len(streams))]
-
-    def traced(core, stream):
-        actor = f"core{core.core_id}"
-        for op in stream:
-            if isinstance(op, ComputeOp):
-                recorder.record(simulator.now, actor, "compute",
-                                f"{op.cycles:.0f}cy")
-                if op.cycles > 0:
-                    yield Timeout(op.cycles)
-                core.stats.compute_cycles += op.cycles
-            elif isinstance(op, MemOp):
-                resource = tcdm.bank_resource(op.address)
-                requested = simulator.now
-                yield resource.request()
-                waited = simulator.now - requested
-                if waited > 0:
-                    recorder.record(requested, actor, "stall",
-                                    f"{waited:.0f}cy")
-                core.stats.stall_cycles += waited
-                recorder.record(simulator.now, actor, "memory",
-                                f"@{op.address:#x}")
-                yield Timeout(1.0)
-                resource.release()
-                core.stats.memory_cycles += 1.0
-                core.stats.accesses += 1
-        recorder.record(simulator.now, actor, "barrier")
-        before = simulator.now
-        yield from synchronizer.barrier()
-        core.stats.barrier_cycles += simulator.now - before
-
-    for core, stream in zip(cores, streams):
-        simulator.add_process(traced(core, stream), name=f"core{core.core_id}")
-    wall = simulator.run_all()
-
-    from repro.pulp.cluster import ClusterRun
-    from repro.pulp.dma import DmaStats
-    run = ClusterRun(
-        wall_cycles=wall,
-        core_stats=[core.stats for core in cores],
-        dma_stats=DmaStats(),
-        conflict_rate=tcdm.conflict_rate(),
-        barrier_count=synchronizer.barriers_completed,
-    )
+    cluster = Cluster(banks=banks)
+    run = cluster.run(streams, recorder=recorder)
     return run, recorder

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,6 +51,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["lint", str(source), "--entry-regs", "r99"])
 
+    def test_json_flag_on_experiments(self):
+        parser = build_parser()
+        for command in ("table1", "figure3", "figure4", "figure5a",
+                        "figure5b", "offload", "metrics"):
+            assert parser.parse_args([command, "--json"]).json
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.kernel == "matmul"
+        assert args.out == "trace.json"
+        assert args.flame is None
+        assert not args.ascii
+
+    def test_trace_kernel_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nonesuch"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -76,3 +95,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "strassen" in out
         assert "verified: True" in out
+
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert any(row["name"] == "matmul" for row in payload["rows"])
+
+    def test_figure4_json(self, capsys):
+        assert main(["figure4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "figure4"
+        assert payload["mean_parallel_speedup"] > 1.0
+
+    def test_offload_json(self, capsys):
+        assert main(["offload", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "matmul"
+        assert payload["verified"] is True
+        assert payload["energy"]["total_energy_j"] > 0
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        flame = tmp_path / "flame.txt"
+        code = main(["trace", "matmul", "--out", str(out),
+                     "--flame", str(flame), "--iterations", "2"])
+        assert code == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "host" in lanes and "spi" in lanes
+        assert sum(1 for lane in lanes
+                   if lane.startswith("cluster.core")) >= 4
+        assert flame.read_text().startswith("matmul_i8;pc_")
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "critical phase" in out and "spi" in out
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--json", "--iterations", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "matmul"
+        assert payload["span_count"] > 0
+        assert "spi.payload_bytes" in payload["counters"]

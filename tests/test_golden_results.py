@@ -1,0 +1,82 @@
+"""Regression check: headline numbers versus pinned golden values.
+
+``benchmarks/results/golden.json`` pins the Table I per-kernel numbers
+and the Figure 4 aggregates.  Any model change that moves them fails
+here, so drift is a conscious decision, not an accident.  To re-pin
+after an intentional change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.experiments import table1, figure4
+    rows, f4 = table1.run(), figure4.run()
+    golden = json.load(open("benchmarks/results/golden.json"))
+    golden["table1"] = {r.name: {
+        "risc_ops": r.risc_ops, "binary_bytes": r.binary_bytes,
+        "input_bytes": r.input_bytes, "output_bytes": r.output_bytes,
+    } for r in rows}
+    golden["figure4"] = {
+        "mean_parallel_speedup": f4.mean_parallel_speedup,
+        "mean_runtime_overhead": f4.mean_runtime_overhead,
+        "rows": {r.name: {
+            "or10n_cycles": r.or10n_cycles,
+            "parallel_speedup": r.parallel_speedup,
+            "arch_speedup_vs_m4": r.arch_speedup_vs_m4,
+        } for r in f4.rows}}
+    json.dump(golden, open("benchmarks/results/golden.json", "w"), indent=2)
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figure4, table1
+
+GOLDEN_PATH = (Path(__file__).resolve().parent.parent
+               / "benchmarks" / "results" / "golden.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestTable1Golden:
+    def test_all_kernels_pinned(self, golden):
+        measured = {row.name for row in table1.run()}
+        assert measured == set(golden["table1"])
+
+    def test_rows_match_pinned_values(self, golden):
+        for row in table1.run():
+            pinned = golden["table1"][row.name]
+            assert row.risc_ops == pytest.approx(pinned["risc_ops"],
+                                                 rel=1e-9), row.name
+            assert row.binary_bytes == pinned["binary_bytes"], row.name
+            assert row.input_bytes == pinned["input_bytes"], row.name
+            assert row.output_bytes == pinned["output_bytes"], row.name
+
+
+class TestFigure4Golden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run()
+
+    def test_aggregates_match(self, golden, result):
+        assert result.mean_parallel_speedup == pytest.approx(
+            golden["figure4"]["mean_parallel_speedup"], rel=1e-9)
+        assert result.mean_runtime_overhead == pytest.approx(
+            golden["figure4"]["mean_runtime_overhead"], rel=1e-9)
+
+    def test_per_row_values_match(self, golden, result):
+        pinned_rows = golden["figure4"]["rows"]
+        assert {row.name for row in result.rows} == set(pinned_rows)
+        for row in result.rows:
+            pinned = pinned_rows[row.name]
+            assert row.or10n_cycles == pytest.approx(
+                pinned["or10n_cycles"], rel=1e-9), row.name
+            assert row.parallel_speedup == pytest.approx(
+                pinned["parallel_speedup"], rel=1e-9), row.name
+            assert row.arch_speedup_vs_m4 == pytest.approx(
+                pinned["arch_speedup_vs_m4"], rel=1e-9), row.name

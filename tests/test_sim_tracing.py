@@ -44,6 +44,22 @@ class TestTraceRecorder:
         with pytest.raises(SimulationError):
             TraceRecorder(capacity=0)
 
+    def test_negative_window_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder(window=(20.0, 10.0))
+
+    def test_truncated_property(self):
+        recorder = TraceRecorder(capacity=1)
+        recorder.record(0.0, "a", "memory")
+        assert not recorder.truncated
+        recorder.record(1.0, "a", "memory")
+        assert recorder.truncated and recorder.dropped == 1
+
+    def test_event_durations_recorded(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "a", "compute", "5cy", duration=5.0)
+        assert recorder.events[0].duration == 5.0
+
 
 class TestTimelineRendering:
     def test_empty(self):
@@ -62,6 +78,21 @@ class TestTimelineRendering:
         recorder.record(0.0, "a", "compute")
         with pytest.raises(SimulationError):
             render_timeline(recorder, width=2)
+
+    def test_truncation_surfaced_in_render(self):
+        recorder = TraceRecorder(capacity=2)
+        for time in range(5):
+            recorder.record(float(time), "a", "memory")
+        text = render_timeline(recorder)
+        assert "truncated" in text
+        assert "3 events beyond capacity 2" in text
+
+    def test_all_dropped_still_reports(self):
+        recorder = TraceRecorder(capacity=1, kinds=["memory"])
+        recorder.record(0.0, "a", "memory")
+        recorder.events.clear()
+        recorder.dropped = 4
+        assert "dropped" in render_timeline(recorder)
 
 
 class TestTraceClusterRun:
