@@ -1,102 +1,62 @@
 #!/usr/bin/env python3
-"""Design-space exploration with the analytic models.
+"""Design-space exploration with the ``repro.dse`` subsystem.
 
-Uses the library the way an architect would: sweep the knobs the paper
-discusses in Section V and quantify their effect.
-
-1. power budget: how does the best achievable speedup scale if the
-   envelope is 5 / 10 / 20 mW instead of the paper's 10 mW?
-2. link width: single SPI vs QSPI across iteration counts;
-3. untied link (the paper's proposed improvement): an SPI clock that no
-   longer follows the MCU core clock;
-4. cluster size: what if PULP had 2 or 8 cores instead of 4?
+The same four Section-V sweeps as ever — power budget, link width,
+untied SPI clock, cluster size — but expressed as declarative
+:class:`~repro.dse.ParameterSpace` grids evaluated by the
+:class:`~repro.dse.ExplorationEngine`, instead of hand-written loops.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.core import HeterogeneousSystem, PowerEnvelopeSolver
-from repro.core.offload import OffloadCostModel
-from repro.isa.or10n import Or10nTarget
-from repro.kernels import MatmulKernel
-from repro.link.spi import SpiLink, SpiMode
-from repro.mcu.stm32l476 import Stm32L476
-from repro.power.activity import ActivityProfile
-from repro.pulp.binary import KernelBinary
-from repro.runtime.omp import DeviceOpenMp
-from repro.units import mhz, mw
+from repro.dse import ExplorationEngine, ParameterSpace, pareto_frontier
+from repro.units import mhz
+
+ENGINE = ExplorationEngine(jobs=1)
 
 
-def sweep_budget() -> None:
-    print("1) power budget sweep (matmul, host @ 2 MHz)")
-    kernel = MatmulKernel("char")
-    program = kernel.build_program()
-    omp = DeviceOpenMp(Or10nTarget(), 4)
-    execution = omp.execute(program)
-    activity = ActivityProfile.compute(4, execution.memory_intensity)
-    host_cycles = HeterogeneousSystem().host.device.lower(program).cycles
-    baseline_time = host_cycles / mhz(32)
-    for budget in (mw(5), mw(10), mw(20)):
-        solver = PowerEnvelopeSolver(budget=budget)
-        point = solver.solve(mhz(2), activity)
-        speedup = baseline_time / (execution.wall_cycles
-                                   / point.pulp_frequency)
-        print(f"   {budget * 1e3:4.0f} mW -> PULP @ "
-              f"{point.pulp_frequency / 1e6:5.0f} MHz "
-              f"/ {point.pulp_voltage:.2f} V, speedup {speedup:5.1f}x")
-    print()
-
-
-def sweep_link() -> None:
-    print("2) link width (matmul, host @ 8 MHz, serial offload)")
-    kernel = MatmulKernel("char")
-    for mode in (SpiMode.SINGLE, SpiMode.QUAD):
-        system = HeterogeneousSystem(link=SpiLink(mode))
-        for iterations in (1, 32):
-            result = system.offload(kernel, host_frequency=mhz(8),
-                                    iterations=iterations)
-            print(f"   {mode.name:6s} x{iterations:3d}: "
-                  f"efficiency {result.efficiency:6.1%}, "
-                  f"end-to-end speedup {result.effective_speedup:5.1f}x")
-    print()
-
-
-def untied_link() -> None:
-    print("3) untying the SPI clock from the MCU clock (paper Section V)")
-    kernel = MatmulKernel("char")
-    # Tied (the prototype): SPI clock = host core clock.
-    tied = HeterogeneousSystem()
-    tied_result = tied.offload(kernel, host_frequency=mhz(2), iterations=32)
-    # Untied: a fixed 24 MHz serial clock regardless of host frequency.
-    class UntiedHost(Stm32L476):
-        def spi_clock(self, core_frequency):
-            return mhz(24)
-
-    untied = HeterogeneousSystem(host=UntiedHost())
-    untied_result = untied.offload(kernel, host_frequency=mhz(2),
-                                   iterations=32)
-    print(f"   tied SPI   @ host 2 MHz: efficiency {tied_result.efficiency:6.1%}")
-    print(f"   untied SPI @ 24 MHz:     efficiency {untied_result.efficiency:6.1%}")
-    print()
-
-
-def sweep_cluster_size() -> None:
-    print("4) cluster size (matmul compute time at 150 MHz)")
-    kernel = MatmulKernel("char")
-    program = kernel.build_program()
-    for threads in (1, 2, 4):
-        execution = DeviceOpenMp(Or10nTarget(), threads).execute(program)
-        time = execution.wall_cycles / mhz(150)
-        print(f"   {threads} core(s): {execution.wall_cycles:9,.0f} cycles "
-              f"({time * 1e3:.2f} ms)")
-    print("   (the model is calibrated for the 4-core PULP3 cluster; larger"
-          " teams would need a re-calibrated contention/power model)")
+def sweep(**grid):
+    """Evaluate one grid; returns the feasible records in grid order."""
+    result = ENGINE.run(ParameterSpace(grid={k: list(v)
+                                             for k, v in grid.items()}))
+    return result.feasible_records
 
 
 def main() -> None:
-    sweep_budget()
-    sweep_link()
-    untied_link()
-    sweep_cluster_size()
+    print("1) power budget sweep (matmul, host @ 2 MHz)")
+    for r in sweep(host_mhz=[2], budget_mw=[5, 10, 20]):
+        m = r["metrics"]
+        print(f"   {r['config']['budget_mw']:4.0f} mW -> PULP @ "
+              f"{m['pulp_frequency_hz'] / 1e6:5.0f} MHz "
+              f"/ {m['pulp_voltage_v']:.2f} V, "
+              f"speedup {m['compute_speedup']:5.1f}x")
+
+    print("\n2) link width (matmul, host @ 8 MHz, serial offload)")
+    for r in sweep(spi_mode=["single", "quad"], iterations=[1, 32]):
+        m = r["metrics"]
+        print(f"   {r['config']['spi_mode'].upper():6s} "
+              f"x{r['config']['iterations']:3d}: "
+              f"efficiency {m['efficiency']:6.1%}, "
+              f"end-to-end speedup {m['effective_speedup']:5.1f}x")
+
+    print("\n3) untying the SPI clock (paper Section V)")
+    for r in sweep(host_mhz=[2], link_tying=["tied", "untied"],
+                   untied_clock_mhz=[24], iterations=[32]):
+        tying = r["config"]["link_tying"]
+        label = ("tied SPI   @ host 2 MHz" if tying == "tied"
+                 else "untied SPI @ 24 MHz    ")
+        print(f"   {label}: efficiency {r['metrics']['efficiency']:6.1%}")
+
+    print("\n4) cluster size (matmul compute time at 150 MHz)")
+    records = sweep(cluster_size=[1, 2, 4])
+    for r in records:
+        cycles = r["metrics"]["compute_cycles"]
+        print(f"   {r['config']['cluster_size']} core(s): "
+              f"{cycles:9,.0f} cycles ({cycles / mhz(150) * 1e3:.2f} ms)")
+
+    best = pareto_frontier(records)[0]
+    print(f"   Pareto-best cluster: {best['config']['cluster_size']} cores "
+          f"at {best['metrics']['effective_speedup']:.1f}x end-to-end")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ Usage::
     python -m repro metrics [--kernel matmul] [--json]
     python -m repro lint kernel.s [--format json] [--entry-regs r1,r2]
     python -m repro lint --all-builtin
+    python -m repro dse --host-mhz 2,4,8 --budget-mw 5,10 --jobs 4 \
+        --cache-dir .dse-cache [--json]
+    python -m repro dse --spec space.json --jobs 4
     python -m repro all
 
 Every experiment subcommand accepts ``--json`` for a machine-readable
@@ -271,6 +274,89 @@ def _cmd_lint(args) -> str:
     return "\n\n".join(r.render() for r in good)
 
 
+# -- design-space exploration ---------------------------------------------------
+
+def _parse_values(text: str, parse):
+    values = []
+    for token in filter(None, (t.strip() for t in text.split(","))):
+        try:
+            values.append(parse(token))
+        except ValueError:
+            raise SystemExit(f"dse: bad value {token!r}")
+    if not values:
+        raise SystemExit(f"dse: empty value list {text!r}")
+    return values
+
+
+def _parse_bool(token: str) -> bool:
+    if token.lower() in ("true", "1", "yes"):
+        return True
+    if token.lower() in ("false", "0", "no"):
+        return False
+    raise ValueError(token)
+
+
+#: dse inline options: (argparse dest, knob name, element parser).
+_DSE_KNOB_OPTIONS = (
+    ("kernel", "kernel", str),
+    ("host_mhz", "host_mhz", float),
+    ("budget_mw", "budget_mw", float),
+    ("spi", "spi_mode", str),
+    ("tying", "link_tying", str),
+    ("untied_clock_mhz", "untied_clock_mhz", float),
+    ("cluster", "cluster_size", int),
+    ("iterations", "iterations", int),
+    ("double_buffer", "double_buffered", _parse_bool),
+)
+
+
+def _dse_space(args):
+    from repro.dse import ParameterSpace
+    from repro.errors import ConfigurationError
+
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"dse: cannot load spec {args.spec}: {exc}")
+    else:
+        grid = {}
+        for dest, knob, parse in _DSE_KNOB_OPTIONS:
+            text = getattr(args, dest)
+            if text is not None:
+                grid[knob] = _parse_values(text, parse)
+        if not grid:
+            raise SystemExit("dse: give --spec or at least one knob option "
+                             "(e.g. --host-mhz 2,4,8)")
+        spec = {"grid": grid}
+    try:
+        return ParameterSpace.from_dict(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(f"dse: invalid space: {exc}")
+
+
+def _cmd_dse(args) -> str:
+    from repro.dse import (
+        ExplorationEngine,
+        ResultCache,
+        render,
+        to_json_dict,
+    )
+    from repro.errors import ConfigurationError
+
+    space = _dse_space(args)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        engine = ExplorationEngine(cache=cache, jobs=args.jobs)
+        result = engine.run(space)
+    except ConfigurationError as exc:
+        raise SystemExit(f"dse: {exc}")
+    if getattr(args, "json", False):
+        return _json_dump(to_json_dict(result))
+    return render(result)
+
+
 def _cmd_all(args) -> str:
     sections = [
         ("Table I", _cmd_table1(args)),
@@ -348,6 +434,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "e.g. r1,r2,r4")
     lint.add_argument("--strict", action="store_true",
                       help="fail on warnings too, not only errors")
+    dse = sub.add_parser(
+        "dse", help="design-space exploration: parallel, cached sweeps "
+                    "with Pareto analysis")
+    dse.add_argument("--spec", default=None, metavar="PATH",
+                     help="JSON parameter-space spec "
+                          '({"grid": {...}, "points": [...]})')
+    dse.add_argument("--kernel", default=None,
+                     help="comma-separated kernel names")
+    dse.add_argument("--host-mhz", default=None,
+                     help="comma-separated host frequencies (MHz)")
+    dse.add_argument("--budget-mw", default=None,
+                     help="comma-separated power budgets (mW)")
+    dse.add_argument("--spi", default=None,
+                     help="comma-separated link widths: single,quad")
+    dse.add_argument("--tying", default=None,
+                     help="comma-separated link tying: tied,untied")
+    dse.add_argument("--untied-clock-mhz", default=None,
+                     help="comma-separated untied SPI clocks (MHz)")
+    dse.add_argument("--cluster", default=None,
+                     help="comma-separated cluster sizes")
+    dse.add_argument("--iterations", default=None,
+                     help="comma-separated iterations-per-offload values")
+    dse.add_argument("--double-buffer", default=None,
+                     help="comma-separated schedules: false,true")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = in-process, deterministic "
+                          "fallback)")
+    dse.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent result cache directory")
+    dse.add_argument("--json", action="store_true",
+                     help="machine-readable JSON instead of tables")
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -364,6 +481,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "lint": _cmd_lint,
+    "dse": _cmd_dse,
     "all": _cmd_all,
     "report": _cmd_report,
 }

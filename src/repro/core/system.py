@@ -76,6 +76,34 @@ class OffloadResult:
         """Fraction of the ideal speedup retained."""
         return self.timing.efficiency
 
+    def metrics(self) -> dict:
+        """Flat numeric metrics of this offload.
+
+        The analysis-friendly projection of the result: one flat dict of
+        JSON-safe scalars, consumed by the design-space exploration layer
+        (:mod:`repro.dse`) and usable as a generic objective surface.
+        """
+        timing = self.timing
+        return {
+            "verified": self.verified,
+            "compute_speedup": self.compute_speedup,
+            "effective_speedup": self.effective_speedup,
+            "efficiency": self.efficiency,
+            "compute_cycles": self.execution.wall_cycles,
+            "total_time_s": timing.total_time,
+            "time_per_iteration_s": timing.total_time / timing.iterations,
+            "energy_j": timing.energy.total_energy,
+            "energy_per_iteration_j":
+                timing.energy.total_energy / timing.iterations,
+            "average_power_w": timing.average_power,
+            "total_power_w": self.envelope.total_power,
+            "pulp_frequency_hz": self.envelope.pulp_frequency,
+            "pulp_voltage_v": self.envelope.pulp_voltage,
+            "host_power_w": self.envelope.host_power,
+            "host_baseline_time_s": self.host_baseline.time,
+            "host_baseline_energy_j": self.host_baseline.energy,
+        }
+
     def to_json_dict(self) -> dict:
         """Machine-readable summary (the ``--json`` surface)."""
         timing = self.timing

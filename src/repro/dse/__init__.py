@@ -1,0 +1,61 @@
+"""Design-space exploration: declarative sweeps over the paper's knobs.
+
+The subsystem behind ``python -m repro dse``:
+
+- :class:`~repro.dse.space.ParameterSpace` / ``Configuration`` — a
+  declarative grid + explicit points over host frequency, power budget,
+  link width/tying, cluster size, kernel and schedule, with validation
+  and stable content hashing;
+- :func:`~repro.dse.evaluate.evaluate_config` — one deterministic,
+  picklable model evaluation (``MODEL_VERSION`` names its semantics);
+- :class:`~repro.dse.cache.ResultCache` — content-addressed persistent
+  cache keyed on configuration hash + model version;
+- :class:`~repro.dse.engine.ExplorationEngine` — cache-aware fan-out
+  across a process pool, with :mod:`repro.obs` progress telemetry;
+- :mod:`~repro.dse.pareto` — Pareto frontiers, per-knob sensitivity,
+  JSON/table export.
+
+See ``docs/DSE.md`` for the spec format and semantics.
+"""
+
+from repro.dse.cache import ResultCache
+from repro.dse.engine import (
+    ExplorationEngine,
+    ExplorationResult,
+    ExplorationStats,
+)
+from repro.dse.evaluate import MODEL_VERSION, build_system, evaluate_config
+from repro.dse.pareto import (
+    pareto_frontier,
+    render,
+    sensitivity,
+    to_json_dict,
+)
+from repro.dse.space import (
+    DEFAULTS,
+    KNOB_ORDER,
+    Configuration,
+    ParameterSpace,
+    canonicalize,
+    config_hash,
+)
+
+__all__ = [
+    "Configuration",
+    "DEFAULTS",
+    "ExplorationEngine",
+    "ExplorationResult",
+    "ExplorationStats",
+    "KNOB_ORDER",
+    "MODEL_VERSION",
+    "ParameterSpace",
+    "ResultCache",
+    "build_system",
+    "canonicalize",
+    "config_hash",
+    "evaluate_config",
+    "pareto_frontier",
+    "render",
+    "sensitivity",
+    "to_json_dict",
+]

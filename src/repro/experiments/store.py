@@ -26,6 +26,11 @@ def _flatten(value: Any) -> Any:
         return {str(k): _flatten(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_flatten(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [_flatten(item) for item in value]
+        return sorted(items, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, pathlib.PurePath):
+        return str(value)
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if hasattr(value, "value"):  # enums

@@ -106,3 +106,28 @@ class Stm32L476:
     def sleep_power(self) -> float:
         """Stop-mode power while waiting for the accelerator."""
         return self.device.sleep_power
+
+
+class UntiedSpiHost(Stm32L476):
+    """Host variant with the SPI clock untied from the core clock.
+
+    The paper's Section V improvement: a dedicated serial-clock source
+    lets the link run at full speed even when the MCU core is slowed to
+    free power for the accelerator.  The pads still cap the clock at
+    ``spi_max_clock``.
+    """
+
+    def __init__(self, serial_clock: float = mhz(24),
+                 device: McuDevice = None, timings: HostTimings = None):
+        super().__init__(device, timings)
+        if serial_clock <= 0:
+            raise ConfigurationError(
+                f"non-positive untied SPI clock {serial_clock}")
+        self.serial_clock = serial_clock
+
+    def spi_clock(self, core_frequency: float) -> float:
+        """The fixed serial clock, independent of *core_frequency*."""
+        if core_frequency <= 0:
+            raise ConfigurationError(
+                f"non-positive core frequency {core_frequency}")
+        return min(self.serial_clock, self.timings.spi_max_clock)

@@ -2,7 +2,8 @@
 
 The public surface of the telemetry subsystem:
 
-- :class:`Telemetry`, :class:`Span`, :class:`Counter` — the event model;
+- :class:`Telemetry`, :class:`Span`, :class:`Counter` — the event model
+  (``Telemetry.timed`` wraps a block in a real-elapsed-time span);
 - :func:`get_telemetry` / :func:`use_telemetry` — the active hub;
 - :func:`to_chrome_trace` / :func:`write_chrome_trace` — Perfetto export;
 - :func:`collapsed_stacks` / :func:`write_flamegraph` — flamegraph export;

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -152,6 +153,22 @@ class Telemetry:
             raise ObservabilityError(
                 f"counter {name!r} is {counter.kind}, not {kind}")
         return counter
+
+    @contextlib.contextmanager
+    def timed(self, name: str, lane: str, *, domain: str = WALL,
+              clock=time.perf_counter, **attrs) -> Iterator[None]:
+        """Record a span around a ``with`` block, measured with *clock*.
+
+        Unlike :meth:`span`, which records model time computed by the
+        caller, this measures real elapsed time — the tool for pricing
+        the framework itself (e.g. the DSE engine's evaluation batches).
+        """
+        start = clock()
+        try:
+            yield
+        finally:
+            self.span(name, lane, start, clock() - start, domain=domain,
+                      **attrs)
 
     # -- queries ----------------------------------------------------------------
 

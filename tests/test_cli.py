@@ -15,7 +15,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for command in ("table1", "figure3", "figure4", "figure5a",
-                        "figure5b", "all"):
+                        "figure5b", "dse", "all"):
             assert parser.parse_args([command]).command == command
 
     def test_offload_defaults(self):

@@ -1,0 +1,309 @@
+"""Tests for the design-space exploration subsystem (``repro.dse``)."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    Configuration,
+    ExplorationEngine,
+    ParameterSpace,
+    ResultCache,
+    canonicalize,
+    config_hash,
+    evaluate_config,
+    pareto_frontier,
+    render,
+    sensitivity,
+    to_json_dict,
+)
+from repro.dse import evaluate as dse_evaluate
+from repro.errors import ConfigurationError
+
+
+def tiny_space(**overrides):
+    grid = {"kernel": ["matmul"], "host_mhz": [4.0, 8.0],
+            "budget_mw": [5.0, 10.0]}
+    grid.update(overrides)
+    return ParameterSpace(grid=grid)
+
+
+class TestSpace:
+    def test_defaults_fill_missing_knobs(self):
+        canonical = canonicalize({})
+        assert canonical["kernel"] == "matmul"
+        assert canonical["host_mhz"] == 8.0
+        assert canonical["cluster_size"] == 4
+        assert canonical["double_buffered"] is False
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonicalize({"voltage": 1.2})
+
+    def test_bad_values_rejected(self):
+        for knobs in ({"kernel": "nonesuch"}, {"host_mhz": -1},
+                      {"budget_mw": 0}, {"spi_mode": "octal"},
+                      {"link_tying": "loose"}, {"cluster_size": 3.5},
+                      {"cluster_size": 99}, {"iterations": 0},
+                      {"double_buffered": "maybe"}):
+            with pytest.raises(ConfigurationError):
+                canonicalize(knobs)
+
+    def test_hash_is_key_order_independent(self):
+        a = canonicalize({"host_mhz": 4, "budget_mw": 5})
+        b = canonicalize({"budget_mw": 5.0, "host_mhz": 4.0})
+        assert config_hash(a) == config_hash(b)
+
+    def test_tied_configs_ignore_untied_clock(self):
+        a = Configuration.from_knobs({"link_tying": "tied",
+                                      "untied_clock_mhz": 8})
+        b = Configuration.from_knobs({"link_tying": "tied",
+                                      "untied_clock_mhz": 48})
+        assert a.hash == b.hash
+        c = Configuration.from_knobs({"link_tying": "untied",
+                                      "untied_clock_mhz": 8})
+        d = Configuration.from_knobs({"link_tying": "untied",
+                                      "untied_clock_mhz": 48})
+        assert c.hash != d.hash
+
+    def test_grid_expansion_counts_and_dedups(self):
+        space = ParameterSpace(
+            grid={"host_mhz": [2, 4], "budget_mw": [5, 10]},
+            points=[{"host_mhz": 2, "budget_mw": 5},   # duplicate of grid
+                    {"host_mhz": 16}])
+        configs = space.expand()
+        assert len(configs) == 5
+        assert len({c.hash for c in configs}) == 5
+
+    def test_empty_space_is_the_default_point(self):
+        configs = ParameterSpace().expand()
+        assert len(configs) == 1
+        assert configs[0].as_dict() == canonicalize({})
+
+    def test_spec_roundtrip(self):
+        space = tiny_space()
+        clone = ParameterSpace.from_dict(space.to_dict())
+        assert [c.hash for c in clone.expand()] \
+            == [c.hash for c in space.expand()]
+
+    def test_bad_specs_rejected(self):
+        for spec in ([1, 2], {"mesh": {}}, {"grid": []},
+                     {"grid": {"host_mhz": []}}):
+            with pytest.raises(ConfigurationError):
+                ParameterSpace.from_dict(spec)
+
+
+class TestEvaluate:
+    def test_feasible_record(self):
+        record = evaluate_config({"kernel": "matmul", "host_mhz": 8})
+        assert record["feasible"]
+        assert record["error"] is None
+        metrics = record["metrics"]
+        assert metrics["verified"] is True
+        assert metrics["effective_speedup"] > 1
+        assert metrics["energy_per_iteration_j"] > 0
+        assert record["config_hash"] == config_hash(record["config"])
+
+    def test_deterministic_bit_identical(self):
+        knobs = {"kernel": "cnn", "host_mhz": 4, "iterations": 8,
+                 "double_buffered": True}
+        assert evaluate_config(knobs) == evaluate_config(knobs)
+
+    def test_infeasible_point_is_a_result(self):
+        # 32 MHz host power alone exceeds a 1 mW envelope.
+        record = evaluate_config({"host_mhz": 32, "budget_mw": 1})
+        assert not record["feasible"]
+        assert record["error"]
+        assert record["metrics"] is None
+
+    def test_untied_link_beats_tied_at_slow_host(self):
+        tied = evaluate_config({"host_mhz": 2, "iterations": 32})
+        untied = evaluate_config({"host_mhz": 2, "iterations": 32,
+                                  "link_tying": "untied"})
+        assert untied["metrics"]["efficiency"] \
+            > tied["metrics"]["efficiency"]
+
+
+class TestCache:
+    def test_put_get_roundtrip_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = evaluate_config({"host_mhz": 4})
+        cache.put(record)
+        assert cache.get(record["config_hash"],
+                         record["model_version"]) == record
+        assert len(cache) == 1
+
+    def test_model_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = evaluate_config({"host_mhz": 4})
+        cache.put(record)
+        assert cache.get(record["config_hash"], "other-version") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = evaluate_config({"host_mhz": 4})
+        cache.put(record)
+        (tmp_path / f"{record['config_hash']}.json").write_text("not json")
+        assert cache.get(record["config_hash"],
+                         record["model_version"]) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(evaluate_config({"host_mhz": 4}))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestEngine:
+    def test_cold_run_all_misses(self, tmp_path):
+        engine = ExplorationEngine(cache=ResultCache(tmp_path), jobs=1)
+        result = engine.run(tiny_space())
+        assert result.stats.configurations == 4
+        assert result.stats.cache_misses == 4
+        assert result.stats.cache_hits == 0
+
+    def test_warm_rerun_full_hits_and_identical_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = ExplorationEngine(cache=cache, jobs=1).run(tiny_space())
+        warm = ExplorationEngine(cache=cache, jobs=1).run(tiny_space())
+        assert warm.stats.cache_hits == warm.stats.configurations
+        assert warm.stats.hit_rate == 1.0
+        assert warm.records == cold.records
+        assert pareto_frontier(warm.records) == pareto_frontier(cold.records)
+
+    def test_model_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        ExplorationEngine(cache=cache, jobs=1).run(tiny_space())
+        monkeypatch.setattr(dse_evaluate, "MODEL_VERSION", "dse-next")
+        bumped = ExplorationEngine(cache=cache, jobs=1).run(tiny_space())
+        assert bumped.stats.cache_hits == 0
+        assert bumped.stats.cache_misses == 4
+        assert bumped.model_version == "dse-next"
+
+    def test_changed_knob_misses_overlap_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExplorationEngine(cache=cache, jobs=1).run(tiny_space())
+        widened = ExplorationEngine(cache=cache, jobs=1).run(
+            tiny_space(host_mhz=[4.0, 8.0, 16.0]))
+        assert widened.stats.configurations == 6
+        assert widened.stats.cache_hits == 4     # the overlapping points
+        assert widened.stats.cache_misses == 2   # only the new host_mhz
+
+    def test_parallel_matches_serial(self, tmp_path):
+        space = tiny_space()
+        serial = ExplorationEngine(jobs=1).run(space)
+        parallel = ExplorationEngine(jobs=2).run(space)
+        assert parallel.records == serial.records
+        assert pareto_frontier(parallel.records) \
+            == pareto_frontier(serial.records)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationEngine(jobs=0)
+
+    def test_telemetry_counters_emitted(self, tmp_path):
+        from repro.obs import Telemetry, use_telemetry
+        hub = Telemetry(enabled=True)
+        with use_telemetry(hub):
+            ExplorationEngine(cache=ResultCache(tmp_path), jobs=1) \
+                .run(tiny_space())
+        assert hub.counters["dse.cache.misses"].value == 4
+        assert hub.counters["dse.evaluations"].value == 4
+        lanes = {span.lane for span in hub.spans}
+        assert "dse" in lanes
+
+
+def _record(h, speedup, energy, power, feasible=True, **knobs):
+    return {"config": canonicalize(knobs), "config_hash": h,
+            "model_version": "t", "feasible": feasible, "error": None,
+            "metrics": None if not feasible else {
+                "effective_speedup": speedup,
+                "energy_per_iteration_j": energy,
+                "total_power_w": power,
+            }}
+
+
+class TestPareto:
+    def test_dominated_points_drop(self):
+        records = [_record("a", 10.0, 1e-5, 0.01),
+                   _record("b", 5.0, 2e-5, 0.01),    # dominated by a
+                   _record("c", 8.0, 0.5e-5, 0.01)]  # trades speed for energy
+        frontier = pareto_frontier(records)
+        assert [r["config_hash"] for r in frontier] == ["a", "c"]
+
+    def test_infeasible_never_on_frontier(self):
+        records = [_record("a", 10.0, 1e-5, 0.01),
+                   _record("b", None, None, None, feasible=False)]
+        assert len(pareto_frontier(records)) == 1
+
+    def test_identical_vectors_collapse_to_first_hash(self):
+        records = [_record("bbb", 10.0, 1e-5, 0.01),
+                   _record("aaa", 10.0, 1e-5, 0.01)]
+        frontier = pareto_frontier(records)
+        assert len(frontier) == 1
+        assert frontier[0]["config_hash"] == "aaa"
+
+    def test_sensitivity_ranks_the_moving_knob(self):
+        records = [
+            _record("a", 2.0, 1e-5, 0.01, host_mhz=2, budget_mw=5),
+            _record("b", 9.0, 1e-5, 0.01, host_mhz=8, budget_mw=5),
+            _record("c", 2.1, 1e-5, 0.01, host_mhz=2, budget_mw=10),
+            _record("d", 9.2, 1e-5, 0.01, host_mhz=8, budget_mw=10),
+        ]
+        summary = sensitivity(records)
+        assert summary["host_mhz"]["mean_spread"] \
+            > summary["budget_mw"]["mean_spread"]
+        assert summary["host_mhz"]["values"] == 2
+
+
+class TestCliDse:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["dse", "--host-mhz", "2,4"])
+        assert args.command == "dse"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.json
+
+    def test_requires_some_space(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["dse"])
+
+    def test_json_run_and_warm_cache(self, tmp_path, capsys):
+        from repro.cli import main
+        argv = ["dse", "--host-mhz", "4,8", "--budget-mw", "5,10",
+                "--cache-dir", str(tmp_path / "cache"), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["cache_misses"] == 4
+        assert warm["stats"]["cache_hits"] == 4
+        assert warm["stats"]["hit_rate"] == 1.0
+        assert warm["pareto"] == cold["pareto"]
+        assert warm["records"] == cold["records"]
+
+    def test_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+        spec = tmp_path / "space.json"
+        spec.write_text(json.dumps(
+            {"grid": {"host_mhz": [8]},
+             "points": [{"host_mhz": 16, "budget_mw": 20}]}))
+        assert main(["dse", "--spec", str(spec), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["configurations"] == 2
+
+    def test_bad_spec_exits(self, tmp_path):
+        from repro.cli import main
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"grid": {"voltage": [1.2]}}))
+        with pytest.raises(SystemExit):
+            main(["dse", "--spec", str(spec)])
+
+    def test_text_render(self, capsys):
+        from repro.cli import main
+        assert main(["dse", "--host-mhz", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "explored 1 configuration(s)" in out

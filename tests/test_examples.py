@@ -45,6 +45,8 @@ def test_design_space_exploration(capsys):
     out = _run_example("design_space_exploration", capsys)
     assert "power budget sweep" in out
     assert "untying the SPI clock" in out
+    assert "cluster size" in out
+    assert "Pareto-best cluster" in out
 
 
 def test_assembly_playground(capsys):

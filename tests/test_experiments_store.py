@@ -44,6 +44,26 @@ class TestSaveLoad:
         with pytest.raises(ConfigurationError):
             save_results(object(), tmp_path / "bad.json")
 
+    def test_sets_serialize_sorted(self, tmp_path):
+        path = tmp_path / "sets.json"
+        save_results({"regs": {3, 1, 2}, "names": frozenset({"b", "a"})},
+                     path)
+        results = load_results(path)["results"]
+        assert results["regs"] == [1, 2, 3]
+        assert results["names"] == ["a", "b"]
+
+    def test_set_order_is_deterministic_across_insertions(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_results({"s": {"x", "y", "z"}}, a)
+        save_results({"s": {"z", "x", "y"}}, b)
+        assert a.read_text() == b.read_text()
+
+    def test_paths_serialize_as_strings(self, tmp_path):
+        import pathlib
+        path = tmp_path / "paths.json"
+        save_results({"out": pathlib.Path("/tmp/run1")}, path)
+        assert load_results(path)["results"]["out"] == "/tmp/run1"
+
     def test_load_rejects_non_store(self, tmp_path):
         path = tmp_path / "junk.json"
         path.write_text("[1, 2, 3]")

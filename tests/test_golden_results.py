@@ -80,3 +80,52 @@ class TestFigure4Golden:
                 pinned["parallel_speedup"], rel=1e-9), row.name
             assert row.arch_speedup_vs_m4 == pytest.approx(
                 pinned["arch_speedup_vs_m4"], rel=1e-9), row.name
+
+
+class TestDsePareto:
+    """The pinned small-grid Pareto frontier (see benchmarks/results/
+    golden.json, key ``dse_pareto``).  Re-pin with::
+
+        PYTHONPATH=src python - <<'EOF'
+        import json
+        from repro.dse import ParameterSpace, ExplorationEngine, \
+            pareto_frontier
+        golden = json.load(open("benchmarks/results/golden.json"))
+        space = ParameterSpace.from_dict(golden["dse_pareto"]["spec"])
+        result = ExplorationEngine(jobs=1).run(space)
+        golden["dse_pareto"]["frontier"] = [{
+            "config_hash": r["config_hash"], "config": r["config"],
+            "effective_speedup": r["metrics"]["effective_speedup"],
+            "energy_per_iteration_j":
+                r["metrics"]["energy_per_iteration_j"],
+            "total_power_w": r["metrics"]["total_power_w"],
+        } for r in pareto_frontier(result.records)]
+        json.dump(golden, open("benchmarks/results/golden.json", "w"),
+                  indent=2)
+        EOF
+    """
+
+    @pytest.fixture(scope="class")
+    def frontier(self, request):
+        from repro.dse import ExplorationEngine, ParameterSpace, \
+            pareto_frontier
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        space = ParameterSpace.from_dict(golden["dse_pareto"]["spec"])
+        result = ExplorationEngine(jobs=1).run(space)
+        return golden["dse_pareto"]["frontier"], \
+            pareto_frontier(result.records)
+
+    def test_frontier_membership_matches(self, frontier):
+        pinned, measured = frontier
+        assert [r["config_hash"] for r in measured] \
+            == [r["config_hash"] for r in pinned]
+
+    def test_frontier_objectives_match(self, frontier):
+        pinned, measured = frontier
+        for pin, got in zip(pinned, measured):
+            metrics = got["metrics"]
+            for key in ("effective_speedup", "energy_per_iteration_j",
+                        "total_power_w"):
+                assert metrics[key] == pytest.approx(pin[key], rel=1e-9), \
+                    pin["config_hash"]
