@@ -12,6 +12,7 @@ Usage::
     python -m repro metrics [--kernel matmul] [--json]
     python -m repro lint kernel.s [--format json] [--entry-regs r1,r2]
     python -m repro lint --all-builtin
+    python -m repro faults --scenarios 11 --seed 1 [--json] [--trace t.json]
     python -m repro dse --host-mhz 2,4,8 --budget-mw 5,10 --jobs 4 \
         --cache-dir .dse-cache [--json]
     python -m repro dse --spec space.json --jobs 4
@@ -25,6 +26,12 @@ counters/lane/phase snapshot.
 
 ``lint`` exits 1 when any ERROR-severity finding exists (any finding at
 all with ``--strict``), so it can gate CI.
+
+``faults`` runs a seeded fault-injection campaign against the resilient
+offload runtime and prints the survival/recovery matrix.  It exits 0
+when every scenario ends clean or recovered, 3 when any scenario needed
+the degraded OpenMP host fallback, and 4 when any scenario produced no
+result at all.
 """
 
 from __future__ import annotations
@@ -274,6 +281,41 @@ def _cmd_lint(args) -> str:
     return "\n\n".join(r.render() for r in good)
 
 
+# -- fault campaigns ------------------------------------------------------------
+
+#: ``faults`` exit codes: degraded (host fallback happened) vs failed
+#: (a scenario produced no result at all) are distinct and non-zero so
+#: CI can gate on either.
+FAULTS_EXIT_DEGRADED = 3
+FAULTS_EXIT_FAILED = 4
+
+
+def _cmd_faults(args) -> str:
+    from repro.faults import CampaignRunner, build_campaign
+
+    scenarios = build_campaign(
+        args.scenarios, seed=args.seed, kernel=args.kernel,
+        host_mhz=args.host_mhz, iterations=args.iterations,
+        bit_error_rate=args.ber)
+    runner = CampaignRunner(fallback_enabled=not args.no_fallback)
+    if args.trace:
+        from repro.obs import Telemetry, use_telemetry, write_chrome_trace
+
+        hub = Telemetry(enabled=True)
+        with use_telemetry(hub):
+            result = runner.run(scenarios)
+        write_chrome_trace(hub, args.trace)
+    else:
+        result = runner.run(scenarios)
+    if result.failed:
+        args._exit_code = FAULTS_EXIT_FAILED
+    elif result.degraded:
+        args._exit_code = FAULTS_EXIT_DEGRADED
+    if getattr(args, "json", False):
+        return _json_dump(result.to_json_dict())
+    return result.render()
+
+
 # -- design-space exploration ---------------------------------------------------
 
 def _parse_values(text: str, parse):
@@ -434,6 +476,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "e.g. r1,r2,r4")
     lint.add_argument("--strict", action="store_true",
                       help="fail on warnings too, not only errors")
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign on the resilient "
+                       "offload runtime")
+    faults.add_argument("--scenarios", type=int, default=11,
+                        help="number of seeded scenarios (cycles through "
+                             "the fault taxonomy)")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (same seed => identical matrix)")
+    faults.add_argument("--kernel", choices=BENCHMARK_NAMES,
+                        default="matmul")
+    faults.add_argument("--host-mhz", type=float, default=8.0)
+    faults.add_argument("--iterations", type=int, default=1)
+    faults.add_argument("--ber", type=float, default=2e-5,
+                        help="bit error rate of the bit-error scenarios")
+    faults.add_argument("--no-fallback", action="store_true",
+                        help="disable the OpenMP host fallback (exhausted "
+                             "ladders then count as failed)")
+    faults.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a Chrome trace of the campaign")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of the matrix")
     dse = sub.add_parser(
         "dse", help="design-space exploration: parallel, cached sweeps "
                     "with Pareto analysis")
@@ -481,6 +544,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "lint": _cmd_lint,
+    "faults": _cmd_faults,
     "dse": _cmd_dse,
     "all": _cmd_all,
     "report": _cmd_report,

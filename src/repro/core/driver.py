@@ -60,11 +60,15 @@ class OffloadDriver:
                  link: Optional[SpiLink] = None,
                  bit_error_rate: float = 0.0,
                  max_attempts: int = 32,
-                 seed: int = 1):
+                 seed: int = 1,
+                 channel=None):
         self.soc = soc if soc is not None else PulpSoc()
         self.host = host if host is not None else Stm32L476()
         self.link = link if link is not None else SpiLink()
-        self.channel = NoisyChannel(bit_error_rate, seed=seed)
+        # Any object with ``transmit`` + ``bit_error_rate`` works as the
+        # channel (e.g. repro.faults.injector.FaultyChannel).
+        self.channel = channel if channel is not None \
+            else NoisyChannel(bit_error_rate, seed=seed)
         self._sender = RetransmittingSender(
             self.channel, max_attempts=max_attempts)
         self.state = SessionState.IDLE
@@ -139,12 +143,16 @@ class OffloadDriver:
         delivered = self._sender.send(frame)
         if frame.command is not Command.READ_DATA:
             self.soc.handle_frame(delivered)
+        self._account(frame)
+        return delivered
+
+    def _account(self, frame: Frame) -> None:
+        """Fold the last delivery's wire cost into the session stats."""
         entry = self._sender.log[-1]
         self.stats.frames_sent += 1
         self.stats.transmissions += entry.attempts
         self.stats.wire_bytes += entry.wire_bytes
         self.stats.payload_bytes += len(frame.payload)
-        return delivered
 
     def _require(self, expected: SessionState, operation: str) -> None:
         if self.state is not expected:

@@ -11,7 +11,7 @@ model, the kernel computes, results come back and are verified) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import OffloadError
 from repro.core.envelope import EnvelopePoint, PowerEnvelopeSolver
@@ -46,7 +46,18 @@ class HostRun:
 
 @dataclass
 class OffloadResult:
-    """Everything one offload produced."""
+    """Everything one offload produced.
+
+    The degraded-mode fields are written by the resilient runtime
+    (:mod:`repro.faults`): ``degraded`` marks a result computed by the
+    OpenMP host fallback on the Cortex-M cost model after the recovery
+    ladder was exhausted; ``recovery_actions`` lists the ladder steps
+    taken (``re-arm``, ``reboot``, ``watchdog`` ...); ``fault_attempts``
+    counts failed offload attempts; ``wasted_time_s`` /
+    ``wasted_energy_j`` are the latency and energy of those failed
+    attempts (retransmissions, watchdog waits, backoff) — already folded
+    into ``timing.total_time`` and ``timing.energy``.
+    """
 
     kernel_name: str
     outputs: Arrays
@@ -55,6 +66,12 @@ class OffloadResult:
     envelope: EnvelopePoint
     timing: OffloadTiming
     host_baseline: HostRun
+    degraded: bool = False
+    fallback_reason: Optional[str] = None
+    recovery_actions: Tuple[str, ...] = ()
+    fault_attempts: int = 0
+    wasted_time_s: float = 0.0
+    wasted_energy_j: float = 0.0
 
     @property
     def compute_speedup(self) -> float:
@@ -102,6 +119,10 @@ class OffloadResult:
             "host_power_w": self.envelope.host_power,
             "host_baseline_time_s": self.host_baseline.time,
             "host_baseline_energy_j": self.host_baseline.energy,
+            "degraded": self.degraded,
+            "fault_attempts": self.fault_attempts,
+            "wasted_time_s": self.wasted_time_s,
+            "wasted_energy_j": self.wasted_energy_j,
         }
 
     def to_json_dict(self) -> dict:
@@ -146,6 +167,14 @@ class OffloadResult:
                 "energy_j": self.host_baseline.energy,
             },
             "energy": self.timing.energy.to_dict(),
+            "resilience": {
+                "degraded": self.degraded,
+                "fallback_reason": self.fallback_reason,
+                "recovery_actions": list(self.recovery_actions),
+                "fault_attempts": self.fault_attempts,
+                "wasted_time_s": self.wasted_time_s,
+                "wasted_energy_j": self.wasted_energy_j,
+            },
         }
 
     def report(self) -> str:
@@ -166,6 +195,17 @@ class OffloadResult:
             f"{self.effective_speedup:.1f}x end-to-end",
             f"  outputs verified: {self.verified}",
         ]
+        if self.degraded:
+            lines.append(
+                f"  DEGRADED: host fallback ({self.fallback_reason}) after "
+                f"{self.fault_attempts} failed attempt(s), "
+                f"{format_seconds(self.wasted_time_s)} / "
+                f"{self.wasted_energy_j:.3g} J wasted")
+        elif self.recovery_actions:
+            lines.append(
+                f"  recovered via {' -> '.join(self.recovery_actions)} "
+                f"({self.fault_attempts} failed attempt(s), "
+                f"{format_seconds(self.wasted_time_s)} wasted)")
         return "\n".join(lines)
 
 

@@ -45,6 +45,36 @@ class BudgetError(PowerModelError):
     """A power budget cannot be met (e.g. baseline host exceeds it)."""
 
 
+class TimeoutError(ReproError):  # noqa: A001 — deliberate builtin shadow
+    """An operation exceeded its modeled deadline.
+
+    Raised by the resilient offload runtime when a per-operation wire
+    budget is blown or the RUNNING-state watchdog trips (EOC never
+    arrived).  Named after the builtin on purpose: import it qualified
+    (``errors.TimeoutError``) or aliased to avoid shadowing.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired and was surfaced to the caller.
+
+    The fault-injection framework raises this at the hook points a real
+    system would detect the failure (boot that never came up, STATUS
+    replies that never parse).  The resilient driver converts it into a
+    recovery-ladder escalation; seeing it escape means the fault was
+    configured as unrecoverable or recovery is disabled.
+    """
+
+
+class DegradedExecutionError(ReproError):
+    """Offload recovery was exhausted and host fallback is disabled.
+
+    With fallback enabled the runtime would instead return a degraded
+    :class:`~repro.core.system.OffloadResult` computed on the host
+    (Cortex-M) cost model.
+    """
+
+
 class LinkError(ReproError):
     """Errors in the SPI/QSPI link or the offload wire protocol."""
 

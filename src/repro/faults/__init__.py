@@ -1,0 +1,64 @@
+"""Full-stack fault injection and the resilient offload runtime.
+
+Three layers:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`:
+  declarative, seedable fault scenarios spanning the stack (SPI bit
+  errors, dropped / truncated / duplicated frames, corrupted STATUS
+  replies, accelerator boot failure, kernel hang, power brownout);
+- :mod:`repro.faults.injector` — :class:`FaultInjector`: the seeded,
+  deterministic engine that decides *when* each fault fires and applies
+  it at the right layer of the stack;
+- :mod:`repro.faults.resilient` — :class:`ResilientDriver`: the
+  hardened session driver with per-operation timeouts, a watchdog on
+  RUNNING, bounded retries with exponential backoff, the escalation
+  ladder (retransmit → re-arm → reboot+reload → OpenMP host fallback)
+  and full cost accounting of every recovery action;
+- :mod:`repro.faults.campaign` — seeded fault campaigns producing the
+  survival/recovery matrix behind ``python -m repro faults``.
+"""
+
+from repro.faults.campaign import (
+    OUTCOMES,
+    CampaignResult,
+    CampaignRunner,
+    Scenario,
+    ScenarioOutcome,
+    build_campaign,
+    default_plans,
+)
+from repro.faults.injector import FaultInjector, FaultyChannel
+from repro.faults.plan import (
+    ATTEMPT_FAULTS,
+    FRAME_FAULTS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.resilient import (
+    LADDER,
+    ResilientDriver,
+    RetryPolicy,
+    await_end_of_computation,
+)
+
+__all__ = [
+    "ATTEMPT_FAULTS",
+    "FRAME_FAULTS",
+    "LADDER",
+    "OUTCOMES",
+    "CampaignResult",
+    "CampaignRunner",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyChannel",
+    "ResilientDriver",
+    "RetryPolicy",
+    "Scenario",
+    "ScenarioOutcome",
+    "await_end_of_computation",
+    "build_campaign",
+    "default_plans",
+]

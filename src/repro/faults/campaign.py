@@ -1,0 +1,286 @@
+"""Fault campaigns: N seeded scenarios, one survival/recovery matrix.
+
+A :class:`Campaign` is a list of :class:`Scenario` entries — (fault
+plan, seed, kernel, knobs) tuples.  :class:`CampaignRunner` executes
+each scenario on a fresh :class:`~repro.faults.resilient.ResilientDriver`
+and classifies the outcome:
+
+- ``clean``        — no fault fired, first attempt succeeded;
+- ``recovered``    — faults fired, the ladder (or frame retransmission)
+  absorbed them, the accelerator still produced the result;
+- ``host-fallback``— the ladder was exhausted, the OpenMP host fallback
+  produced a degraded result;
+- ``failed``       — no result at all (only possible with fallback
+  disabled, or a bug — campaigns assert against it).
+
+The :class:`CampaignResult` aggregates the survival matrix (fault plan x
+outcome), availability (scenarios that produced *a* result), and the
+retry-energy overhead (wasted joules over useful joules).  Everything is
+seeded and the runner touches no wall clock, so the same seed reproduces
+the identical matrix bit for bit.  Scenario spans and fault counters are
+emitted through :mod:`repro.obs`, so a campaign can be exported as a
+Perfetto trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DegradedExecutionError, ReproError
+from repro.faults.plan import FaultPlan
+from repro.faults.resilient import ResilientDriver, RetryPolicy
+from repro.kernels import kernel_by_name
+from repro.obs.telemetry import get_telemetry
+from repro.units import mhz
+
+#: Outcome classes, in severity order.
+OUTCOMES = ("clean", "recovered", "host-fallback", "failed")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign cell: a fault plan bound to a seed and a workload."""
+
+    plan: FaultPlan
+    seed: int
+    kernel: str = "matmul"
+    host_mhz: float = 8.0
+    iterations: int = 1
+
+    @property
+    def name(self) -> str:
+        """Unique scenario label."""
+        return f"{self.plan.name}#{self.seed}"
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario ended as."""
+
+    scenario: Scenario
+    outcome: str
+    fault_events: Tuple[str, ...]
+    recovery_actions: Tuple[str, ...]
+    fault_attempts: int
+    total_time_s: float
+    energy_j: float
+    wasted_time_s: float
+    wasted_energy_j: float
+    effective_speedup: float
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe row."""
+        return {
+            "scenario": self.scenario.name,
+            "plan": self.scenario.plan.to_dict(),
+            "seed": self.scenario.seed,
+            "kernel": self.scenario.kernel,
+            "outcome": self.outcome,
+            "fault_events": list(self.fault_events),
+            "recovery_actions": list(self.recovery_actions),
+            "fault_attempts": self.fault_attempts,
+            "total_time_s": self.total_time_s,
+            "energy_j": self.energy_j,
+            "wasted_time_s": self.wasted_time_s,
+            "wasted_energy_j": self.wasted_energy_j,
+            "effective_speedup": self.effective_speedup,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """All scenario outcomes plus the aggregate reliability metrics."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    def matrix(self) -> Dict[str, Dict[str, int]]:
+        """Survival matrix: plan name -> outcome -> count."""
+        rows: Dict[str, Dict[str, int]] = {}
+        for entry in self.outcomes:
+            row = rows.setdefault(entry.scenario.plan.name,
+                                  {outcome: 0 for outcome in OUTCOMES})
+            row[entry.outcome] += 1
+        return rows
+
+    def count(self, outcome: str) -> int:
+        """Scenarios that ended as *outcome*."""
+        return sum(1 for entry in self.outcomes if entry.outcome == outcome)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of scenarios that produced a result at all."""
+        if not self.outcomes:
+            return 1.0
+        return 1.0 - self.count("failed") / len(self.outcomes)
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of scenarios that ended on the host."""
+        if not self.outcomes:
+            return 0.0
+        return self.count("host-fallback") / len(self.outcomes)
+
+    @property
+    def retry_energy_overhead(self) -> float:
+        """Wasted joules over useful joules across the campaign."""
+        useful = sum(e.energy_j - e.wasted_energy_j for e in self.outcomes)
+        wasted = sum(e.wasted_energy_j for e in self.outcomes)
+        if useful <= 0:
+            return 0.0
+        return wasted / useful
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any scenario needed the host fallback."""
+        return self.count("host-fallback") > 0
+
+    @property
+    def failed(self) -> bool:
+        """Whether any scenario produced no result."""
+        return self.count("failed") > 0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable campaign dump (the ``--json`` surface)."""
+        return {
+            "experiment": "faults",
+            "scenarios": len(self.outcomes),
+            "matrix": self.matrix(),
+            "availability": self.availability,
+            "fallback_rate": self.fallback_rate,
+            "retry_energy_overhead": self.retry_energy_overhead,
+            "outcomes": {outcome: self.count(outcome)
+                         for outcome in OUTCOMES},
+            "rows": [entry.to_dict() for entry in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """Human-readable survival matrix + metrics."""
+        lines = [f"fault campaign: {len(self.outcomes)} scenario(s)", ""]
+        width = max([len("plan")] + [len(name) for name in self.matrix()])
+        header = f"  {'plan':<{width}}" + "".join(
+            f" {outcome:>13}" for outcome in OUTCOMES)
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for name, row in self.matrix().items():
+            lines.append(f"  {name:<{width}}" + "".join(
+                f" {row[outcome]:>13d}" for outcome in OUTCOMES))
+        lines.append("")
+        lines.append(f"  availability           {self.availability:8.1%}")
+        lines.append(f"  fallback rate          {self.fallback_rate:8.1%}")
+        lines.append(f"  retry-energy overhead  "
+                     f"{self.retry_energy_overhead:8.1%}")
+        return "\n".join(lines)
+
+
+#: The canonical scenario mix of ``python -m repro faults``: one plan per
+#: fault class plus the acceptance-grade combined scenario.
+def default_plans(bit_error_rate: float = 2e-5) -> Tuple[FaultPlan, ...]:
+    """The default campaign plans, covering the whole taxonomy."""
+    return (
+        FaultPlan.clean(),
+        FaultPlan.bit_errors(bit_error_rate),
+        FaultPlan.drop_frames(count=2),
+        FaultPlan.truncate_frames(count=2),
+        FaultPlan.duplicate_frames(count=2),
+        FaultPlan.corrupt_status(count=1),
+        FaultPlan.boot_failure(count=1),
+        FaultPlan.kernel_hang(count=1),
+        FaultPlan.brownout(droop=0.8),
+        FaultPlan.combined(
+            "hang+bit-errors",
+            FaultPlan.kernel_hang(count=2),
+            FaultPlan.bit_errors(bit_error_rate)),
+        FaultPlan.kernel_hang(count=3),  # exhausts the ladder -> fallback
+    )
+
+
+def build_campaign(scenarios: int, seed: int = 1, kernel: str = "matmul",
+                   host_mhz: float = 8.0, iterations: int = 1,
+                   plans: Optional[Tuple[FaultPlan, ...]] = None,
+                   bit_error_rate: float = 2e-5) -> List[Scenario]:
+    """*scenarios* seeded scenarios cycling through the plan mix."""
+    if scenarios < 1:
+        raise ReproError(f"need at least one scenario, got {scenarios}")
+    mix = plans if plans is not None else default_plans(bit_error_rate)
+    return [
+        Scenario(plan=mix[index % len(mix)],
+                 seed=seed + index,
+                 kernel=kernel,
+                 host_mhz=host_mhz,
+                 iterations=iterations)
+        for index in range(scenarios)
+    ]
+
+
+class CampaignRunner:
+    """Executes scenarios on fresh resilient drivers, deterministically."""
+
+    def __init__(self, policy: Optional[RetryPolicy] = None,
+                 fallback_enabled: bool = True):
+        self.policy = policy
+        self.fallback_enabled = fallback_enabled
+
+    def run(self, scenarios: List[Scenario]) -> CampaignResult:
+        """Run every scenario; injected faults never escape the runner
+        (anything that does is a bug in the resilient runtime)."""
+        result = CampaignResult()
+        telemetry = get_telemetry()
+        clock = 0.0
+        for scenario in scenarios:
+            entry = self._run_one(scenario)
+            result.outcomes.append(entry)
+            if telemetry.enabled:
+                telemetry.span(
+                    f"scenario[{scenario.name}]", "campaign", clock,
+                    entry.total_time_s, outcome=entry.outcome,
+                    plan=scenario.plan.describe(), seed=scenario.seed,
+                    attempts=entry.fault_attempts,
+                    energy=entry.energy_j)
+                telemetry.count(f"faults.outcome.{entry.outcome}")
+                clock += entry.total_time_s
+        if telemetry.enabled:
+            telemetry.gauge("faults.availability", result.availability)
+            telemetry.gauge("faults.retry_energy_overhead",
+                            result.retry_energy_overhead)
+        return result
+
+    def _run_one(self, scenario: Scenario) -> ScenarioOutcome:
+        driver = ResilientDriver(
+            plan=scenario.plan, seed=scenario.seed, policy=self.policy,
+            fallback_enabled=self.fallback_enabled)
+        kernel = kernel_by_name(scenario.kernel)
+        try:
+            offload = driver.offload(
+                kernel, seed=scenario.seed,
+                host_frequency=mhz(scenario.host_mhz),
+                iterations=scenario.iterations)
+        except DegradedExecutionError as exc:
+            return ScenarioOutcome(
+                scenario=scenario, outcome="failed",
+                fault_events=tuple(driver.injector.events),
+                recovery_actions=tuple(driver.recovery_actions),
+                fault_attempts=len(driver.recovery_actions),
+                total_time_s=0.0, energy_j=0.0,
+                wasted_time_s=0.0, wasted_energy_j=0.0,
+                effective_speedup=0.0, error=str(exc))
+        if offload.degraded:
+            outcome = "host-fallback"
+        elif driver.injector.injected or offload.fault_attempts \
+                or offload.recovery_actions:
+            outcome = "recovered"
+        else:
+            outcome = "clean"
+        return ScenarioOutcome(
+            scenario=scenario, outcome=outcome,
+            fault_events=tuple(driver.injector.events),
+            recovery_actions=offload.recovery_actions,
+            fault_attempts=offload.fault_attempts,
+            total_time_s=offload.timing.total_time,
+            energy_j=offload.timing.energy.total_energy,
+            wasted_time_s=offload.wasted_time_s,
+            wasted_energy_j=offload.wasted_energy_j,
+            effective_speedup=offload.effective_speedup,
+            error=None)

@@ -1,0 +1,172 @@
+"""Seeded fault injection: one plan, deterministic fault events.
+
+A :class:`FaultInjector` owns all randomness of a scenario (one LCG,
+same family as :class:`repro.link.noise.NoisyChannel`), so a given
+(plan, seed) pair always produces the identical fault sequence — the
+bedrock of reproducible campaigns.  The injector exposes one hook per
+point in the offload stack where a real system would fail:
+
+- :meth:`mangle_transmission` — frame-level wire faults (drop,
+  truncate, duplicate), applied by :class:`FaultyChannel` on top of the
+  bit-error :class:`~repro.link.noise.NoisyChannel`;
+- :meth:`corrupt_status` — garbage in STATUS replies;
+- :meth:`boot_fails` / :meth:`kernel_hangs` — per-attempt control-plane
+  faults;
+- :meth:`brownout_droop` — operating-point droop.
+
+Every injected event is recorded in :attr:`events` and counted on the
+active telemetry hub (``faults.injected`` plus one counter per kind), so
+fault campaigns show up in Perfetto traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.plan import (
+    ATTEMPT_FAULTS,
+    FRAME_FAULTS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.link.noise import NoisyChannel
+from repro.obs.telemetry import get_telemetry
+
+
+class FaultInjector:
+    """Turns a :class:`~repro.faults.plan.FaultPlan` into seeded events."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 1):
+        self.plan = plan
+        self.seed = seed
+        self._state = (seed * 0x9E3779B9 + 0x7F4A7C15) & 0xFFFFFFFF
+        self.events: List[str] = []
+        self._budgets = {spec.kind: spec.count for spec in plan.specs}
+
+    # -- randomness --------------------------------------------------------------
+
+    def _next_random(self) -> float:
+        self._state = (self._state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return (self._state >> 8) / float(1 << 24)
+
+    def _fires(self, spec: FaultSpec) -> bool:
+        """Consume the spec's budget first, then its probability."""
+        if self._budgets.get(spec.kind, 0) > 0:
+            self._budgets[spec.kind] -= 1
+            return True
+        return spec.rate > 0.0 and self._next_random() < spec.rate
+
+    def _record(self, kind: FaultKind) -> None:
+        self.events.append(kind.value)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("faults.injected")
+            telemetry.count(f"faults.injected.{kind.value}")
+
+    # -- plan queries ------------------------------------------------------------
+
+    @property
+    def bit_error_rate(self) -> float:
+        """The plan's SPI bit-error rate (0 when absent)."""
+        if self.plan.has(FaultKind.BIT_ERRORS):
+            return self.plan.spec_for(FaultKind.BIT_ERRORS).rate
+        return 0.0
+
+    def channel(self) -> "FaultyChannel":
+        """The wire channel of this scenario: bit errors + frame faults."""
+        return FaultyChannel(
+            NoisyChannel(self.bit_error_rate, seed=self.seed), self)
+
+    # -- hook points -------------------------------------------------------------
+
+    def mangle_transmission(self, data: bytes) -> Optional[bytes]:
+        """Apply frame-level wire faults to one transmission.
+
+        Returns the (possibly mangled) bytes, or ``None`` for a dropped
+        transmission that never reaches the receiver.
+        """
+        for kind in FRAME_FAULTS:
+            if not self.plan.has(kind):
+                continue
+            if not self._fires(self.plan.spec_for(kind)):
+                continue
+            self._record(kind)
+            if kind is FaultKind.DROP_FRAME:
+                return None
+            if kind is FaultKind.TRUNCATE_FRAME:
+                # Cut the transfer short mid-payload; keep at least one
+                # byte so "truncated" stays distinct from "dropped".
+                keep = max(1, len(data) // 2)
+                return data[:keep]
+            return data + data  # DUPLICATE_FRAME
+        return data
+
+    def corrupt_status(self, payload: bytes) -> bytes:
+        """Possibly corrupt a STATUS reply payload."""
+        kind = FaultKind.CORRUPT_STATUS
+        if self.plan.has(kind) and self._fires(self.plan.spec_for(kind)):
+            self._record(kind)
+            return bytes(((byte ^ 0xA5) | 0x80) & 0xFF for byte in payload) \
+                or b"\xff"
+        return payload
+
+    def boot_fails(self) -> bool:
+        """Whether this attempt's boot never comes up (one budget unit)."""
+        return self._attempt_fault(FaultKind.BOOT_FAILURE)
+
+    def kernel_hangs(self) -> bool:
+        """Whether this attempt's kernel never raises EOC."""
+        return self._attempt_fault(FaultKind.KERNEL_HANG)
+
+    def _attempt_fault(self, kind: FaultKind) -> bool:
+        assert kind in ATTEMPT_FAULTS
+        if self.plan.has(kind) and self._fires(self.plan.spec_for(kind)):
+            self._record(kind)
+            return True
+        return False
+
+    def brownout_droop(self) -> float:
+        """Clock multiplier for this attempt (1.0 = nominal supply)."""
+        kind = FaultKind.BROWNOUT
+        if self.plan.has(kind):
+            self._record(kind)
+            return self.plan.spec_for(kind).droop
+        return 1.0
+
+    @property
+    def injected(self) -> int:
+        """Total fault events injected so far."""
+        return len(self.events)
+
+
+class FaultyChannel:
+    """A wire channel layering frame-level faults over bit errors.
+
+    Duck-type compatible with :class:`~repro.link.noise.NoisyChannel`
+    (``transmit`` + ``bit_error_rate``), so it drops straight into
+    :class:`~repro.link.noise.RetransmittingSender` and the offload
+    driver.  A dropped transmission returns ``b""`` — zero frames at the
+    receiver, which the sender treats as a failed delivery.
+    """
+
+    def __init__(self, inner: NoisyChannel, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    @property
+    def bit_error_rate(self) -> float:
+        """The underlying bit-error rate (for diagnostics)."""
+        return self.inner.bit_error_rate
+
+    @property
+    def bits_transferred(self) -> int:
+        """Bits pushed through the underlying channel."""
+        return self.inner.bits_transferred
+
+    def transmit(self, data: bytes) -> bytes:
+        """One wire transmission through both fault layers."""
+        mangled = self.injector.mangle_transmission(data)
+        if mangled is None:
+            return b""
+        return self.inner.transmit(mangled)

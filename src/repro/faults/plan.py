@@ -1,0 +1,249 @@
+"""Declarative fault scenarios: what breaks, how often, and when.
+
+The paper's prototype couples the STM32 host to PULP over bare board
+wires and a lightweight SPI protocol — exactly the kind of link and
+accelerator that fails in the field.  A :class:`FaultPlan` is the
+declarative description of one such failure scenario: a list of
+:class:`FaultSpec` entries, each naming a :class:`FaultKind` plus its
+parameters.  Plans are pure data (JSON round-trippable); the seeded
+:class:`~repro.faults.injector.FaultInjector` turns a plan into
+deterministic fault events.
+
+Fault taxonomy (see ``docs/RELIABILITY.md``):
+
+========================  =====================================================
+kind                      models
+========================  =====================================================
+``bit-errors``            SPI bit flips at a configured BER (noisy wires)
+``drop-frame``            a transmission that never arrives (EMI burst, CS
+                          glitch)
+``truncate-frame``        a transfer cut short (DMA abort, watchdog on CS)
+``duplicate-frame``       a replayed transaction (stuck DMA request line)
+``corrupt-status``        garbage in the accelerator's STATUS reply
+``boot-failure``          the accelerator never comes out of reset after START
+``kernel-hang``           the kernel never raises EOC (deadlocked barrier)
+``brownout``              supply droop forcing the FLL to a lower clock
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The modeled fault classes, spanning link, control plane and power."""
+
+    BIT_ERRORS = "bit-errors"
+    DROP_FRAME = "drop-frame"
+    TRUNCATE_FRAME = "truncate-frame"
+    DUPLICATE_FRAME = "duplicate-frame"
+    CORRUPT_STATUS = "corrupt-status"
+    BOOT_FAILURE = "boot-failure"
+    KERNEL_HANG = "kernel-hang"
+    BROWNOUT = "brownout"
+
+
+#: Fault kinds applied per wire transmission (probabilistic via ``rate``
+#: or deterministic via ``count``).
+FRAME_FAULTS = (FaultKind.DROP_FRAME, FaultKind.TRUNCATE_FRAME,
+                FaultKind.DUPLICATE_FRAME)
+
+#: Fault kinds consumed once per offload attempt (``count`` attempts hit).
+ATTEMPT_FAULTS = (FaultKind.BOOT_FAILURE, FaultKind.KERNEL_HANG)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source inside a plan.
+
+    Parameters (kind-dependent):
+
+    - ``rate``: per-event probability (bit for ``bit-errors``, wire
+      transmission for frame faults, STATUS reply for ``corrupt-status``);
+    - ``count``: deterministic budget — the first ``count`` matching
+      events are hit (frame faults, ``boot-failure``, ``kernel-hang``);
+    - ``droop``: clock multiplier in (0, 1] for ``brownout``.
+    """
+
+    kind: FaultKind
+    rate: float = 0.0
+    count: int = 0
+    droop: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ConfigurationError(
+                f"{self.kind.value}: rate {self.rate} outside [0, 1)")
+        if self.count < 0:
+            raise ConfigurationError(
+                f"{self.kind.value}: negative count {self.count}")
+        if not 0.0 < self.droop <= 1.0:
+            raise ConfigurationError(
+                f"{self.kind.value}: droop {self.droop} outside (0, 1]")
+        if self.kind is FaultKind.BIT_ERRORS and self.rate == 0.0:
+            raise ConfigurationError("bit-errors spec needs a rate > 0")
+        if self.kind in FRAME_FAULTS and self.rate == 0.0 and self.count == 0:
+            raise ConfigurationError(
+                f"{self.kind.value} spec needs a rate or a count")
+        if self.kind in ATTEMPT_FAULTS and self.count == 0:
+            raise ConfigurationError(
+                f"{self.kind.value} spec needs a count >= 1")
+        if self.kind is FaultKind.BROWNOUT and self.droop == 1.0:
+            raise ConfigurationError("brownout spec needs a droop < 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        payload: Dict[str, object] = {"kind": self.kind.value}
+        if self.rate:
+            payload["rate"] = self.rate
+        if self.count:
+            payload["count"] = self.count
+        if self.droop != 1.0:
+            payload["droop"] = self.droop
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            kind = FaultKind(payload["kind"])
+        except (KeyError, ValueError):
+            raise ConfigurationError(
+                f"bad fault spec {payload!r}: unknown kind") from None
+        return cls(kind=kind,
+                   rate=float(payload.get("rate", 0.0)),
+                   count=int(payload.get("count", 0)),
+                   droop=float(payload.get("droop", 1.0)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, declarative fault scenario: zero or more fault sources."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        kinds = [spec.kind for spec in self.specs]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigurationError(
+                f"plan {self.name!r} repeats a fault kind")
+
+    @property
+    def kinds(self) -> Tuple[FaultKind, ...]:
+        """The fault kinds this plan injects."""
+        return tuple(spec.kind for spec in self.specs)
+
+    def spec_for(self, kind: FaultKind) -> FaultSpec:
+        """The spec of *kind*; raises ``KeyError`` when absent."""
+        for spec in self.specs:
+            if spec.kind is kind:
+                return spec
+        raise KeyError(kind)
+
+    def has(self, kind: FaultKind) -> bool:
+        """Whether the plan injects *kind*."""
+        return any(spec.kind is kind for spec in self.specs)
+
+    def describe(self) -> str:
+        """Short human-readable summary (``clean`` for the empty plan)."""
+        if not self.specs:
+            return "clean"
+        parts = []
+        for spec in self.specs:
+            detail = []
+            if spec.rate:
+                detail.append(f"rate={spec.rate:g}")
+            if spec.count:
+                detail.append(f"count={spec.count}")
+            if spec.droop != 1.0:
+                detail.append(f"droop={spec.droop:g}")
+            parts.append(f"{spec.kind.value}({', '.join(detail)})")
+        return " + ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {"name": self.name,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        specs = payload.get("specs", [])
+        if not isinstance(specs, list):
+            raise ConfigurationError(f"bad fault plan {payload!r}")
+        return cls(name=str(payload.get("name", "unnamed")),
+                   specs=tuple(FaultSpec.from_dict(s) for s in specs))
+
+    # -- canned plans -----------------------------------------------------------
+
+    @classmethod
+    def clean(cls) -> "FaultPlan":
+        """No faults at all (the control scenario)."""
+        return cls("clean")
+
+    @classmethod
+    def bit_errors(cls, rate: float) -> "FaultPlan":
+        """SPI bit flips at *rate*."""
+        return cls(f"bit-errors@{rate:g}",
+                   (FaultSpec(FaultKind.BIT_ERRORS, rate=rate),))
+
+    @classmethod
+    def drop_frames(cls, count: int = 1, rate: float = 0.0) -> "FaultPlan":
+        """Dropped wire transmissions."""
+        return cls("drop-frame",
+                   (FaultSpec(FaultKind.DROP_FRAME, rate=rate, count=count),))
+
+    @classmethod
+    def truncate_frames(cls, count: int = 1, rate: float = 0.0) -> "FaultPlan":
+        """Truncated wire transmissions."""
+        return cls("truncate-frame",
+                   (FaultSpec(FaultKind.TRUNCATE_FRAME, rate=rate,
+                              count=count),))
+
+    @classmethod
+    def duplicate_frames(cls, count: int = 1,
+                         rate: float = 0.0) -> "FaultPlan":
+        """Duplicated wire transmissions."""
+        return cls("duplicate-frame",
+                   (FaultSpec(FaultKind.DUPLICATE_FRAME, rate=rate,
+                              count=count),))
+
+    @classmethod
+    def corrupt_status(cls, rate: float = 0.0,
+                       count: int = 1) -> "FaultPlan":
+        """Corrupted STATUS replies."""
+        return cls("corrupt-status",
+                   (FaultSpec(FaultKind.CORRUPT_STATUS, rate=rate,
+                              count=count),))
+
+    @classmethod
+    def boot_failure(cls, count: int = 1) -> "FaultPlan":
+        """The first *count* boots never come up."""
+        return cls("boot-failure",
+                   (FaultSpec(FaultKind.BOOT_FAILURE, count=count),))
+
+    @classmethod
+    def kernel_hang(cls, count: int = 1) -> "FaultPlan":
+        """The first *count* kernel runs never raise EOC."""
+        return cls("kernel-hang",
+                   (FaultSpec(FaultKind.KERNEL_HANG, count=count),))
+
+    @classmethod
+    def brownout(cls, droop: float = 0.8) -> "FaultPlan":
+        """Supply droop scaling the accelerator clock by *droop*."""
+        return cls(f"brownout@{droop:g}",
+                   (FaultSpec(FaultKind.BROWNOUT, droop=droop),))
+
+    @classmethod
+    def combined(cls, name: str, *plans: "FaultPlan") -> "FaultPlan":
+        """Merge several single-kind plans into one scenario."""
+        specs: List[FaultSpec] = []
+        for plan in plans:
+            specs.extend(plan.specs)
+        return cls(name, tuple(specs))

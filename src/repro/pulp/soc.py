@@ -128,3 +128,17 @@ class PulpSoc:
         """Return to the idle state (binary stays resident)."""
         self.state = SocState.IDLE if self.loaded is None else SocState.LOADED
         self._data_regions.clear()
+
+    def power_cycle(self) -> None:
+        """Full reboot: the control plane forgets the resident binary.
+
+        The recovery ladder's ``reboot`` rung — after this the host must
+        reload the kernel image before the accelerator accepts START.
+        The event lines are replaced too (a rebooted device starts with
+        its GPIO levels low).
+        """
+        self.loaded = None
+        self.state = SocState.IDLE
+        self._data_regions.clear()
+        self.fetch_enable = EventLine("fetch-enable")
+        self.end_of_computation = EventLine("end-of-computation")

@@ -141,3 +141,50 @@ class TestCommands:
         assert payload["kernel"] == "matmul"
         assert payload["span_count"] > 0
         assert "spi.payload_bytes" in payload["counters"]
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenarios == 11
+        assert args.seed == 1
+        assert args.kernel == "matmul"
+        assert args.ber == pytest.approx(2e-5)
+        assert not args.no_fallback
+        assert args.trace is None
+
+    def test_recoverable_campaign_exits_zero(self, capsys):
+        # The first four default plans (clean, bit-errors, drop,
+        # truncate) all recover without the host fallback.
+        assert main(["faults", "--scenarios", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "100.0%" in out
+
+    def test_fallback_campaign_exits_three(self, capsys):
+        # Eleven scenarios include the ladder-exhausting triple hang.
+        assert main(["faults", "--scenarios", "11"]) == 3
+        out = capsys.readouterr().out
+        assert "host-fallback" in out
+
+    def test_no_fallback_campaign_exits_four(self, capsys):
+        assert main(["faults", "--scenarios", "11", "--no-fallback"]) == 4
+        assert "failed" in capsys.readouterr().out
+
+    def test_json_output_is_deterministic(self, capsys):
+        assert main(["faults", "--scenarios", "5", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["faults", "--scenarios", "5", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["experiment"] == "faults"
+        assert payload["availability"] == 1.0
+        assert payload["scenarios"] == 5
+
+    def test_trace_export(self, capsys, tmp_path):
+        out = tmp_path / "faults-trace.json"
+        assert main(["faults", "--scenarios", "2",
+                     "--trace", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]

@@ -207,6 +207,54 @@ class TestProtocolFuzz:
         # Anything accepted must re-encode to exactly the input.
         assert b"".join(encode_frame(f) for f in frames) == blob
 
+    @given(st.integers(0, 2**31 - 1), st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_injector_mangled_streams_never_crash_decoder(self, seed,
+                                                          payload):
+        """Seeded fault-injection fuzz: every mangling the injector can
+        produce (drop, truncate, duplicate, plus bit errors on top) must
+        either decode cleanly or raise ProtocolError — never anything
+        else, never a hang."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.link.protocol import Command, Frame
+
+        plan = FaultPlan.combined(
+            "fuzz",
+            FaultPlan.drop_frames(rate=0.3),
+            FaultPlan.truncate_frames(rate=0.3),
+            FaultPlan.duplicate_frames(rate=0.3),
+            FaultPlan.bit_errors(1e-3))
+        injector = FaultInjector(plan, seed=seed)
+        channel = injector.channel()
+        encoded = encode_frame(Frame(Command.WRITE_DATA, 0x40, payload))
+        for _ in range(8):
+            received = channel.transmit(encoded)
+            try:
+                frames = decode_frames(received)
+            except ProtocolError:
+                continue
+            for frame in frames:
+                assert encode_frame(frame)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_injector_is_deterministic_per_seed(self, seed):
+        from repro.faults import FaultInjector, FaultPlan
+
+        def run(seed):
+            injector = FaultInjector(
+                FaultPlan.combined("det",
+                                   FaultPlan.drop_frames(rate=0.5),
+                                   FaultPlan.boot_failure(count=2)),
+                seed=seed)
+            trail = []
+            for _ in range(16):
+                trail.append(injector.mangle_transmission(b"x" * 16))
+                trail.append(injector.boot_fails())
+            return trail, list(injector.events)
+
+        assert run(seed) == run(seed)
+
     @given(st.binary(min_size=1, max_size=64),
            st.integers(0, 2**32 - 1))
     @settings(max_examples=100)

@@ -154,6 +154,41 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             Frame(Command.START, 1 << 32)
 
+    def test_zero_length_payload_roundtrip(self):
+        frame = Frame(Command.WRITE_DATA, 0x2000, b"")
+        stream = encode_frame(frame)
+        assert len(stream) == FRAME_OVERHEAD_BYTES
+        decoded, = decode_frames(stream)
+        assert decoded == frame
+
+    def test_bad_checksum_mid_stream(self):
+        # First frame intact, second corrupted: the decoder must reject
+        # the stream (offset in the message points at the bad frame).
+        good = encode_frame(Frame(Command.WRITE_DATA, 0, b"aaaa"))
+        bad = bytearray(encode_frame(Frame(Command.WRITE_DATA, 64, b"bbbb")))
+        bad[-1] ^= 0x01
+        with pytest.raises(ProtocolError, match=r"offset 14"):
+            decode_frames(good + bytes(bad))
+
+    def test_duplicated_frame_decodes_to_two(self):
+        # Duplication is NOT a protocol error at this layer — both copies
+        # are well-formed.  Deduplication is the sender's job (it treats
+        # a multi-frame delivery as failed and retransmits).
+        encoded = encode_frame(Frame(Command.START, 0x10))
+        frames = decode_frames(encoded + encoded)
+        assert len(frames) == 2
+        assert frames[0] == frames[1]
+
+    def test_truncated_header_mid_stream(self):
+        good = encode_frame(Frame(Command.STATUS, 0))
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            decode_frames(good + b"\x05\x00")
+
+    def test_truncated_payload_reports_need(self):
+        encoded = encode_frame(Frame(Command.WRITE_DATA, 0, b"abcdefgh"))
+        with pytest.raises(ProtocolError, match="truncated frame payload"):
+            decode_frames(encoded[:-1])
+
     @given(st.sampled_from(list(Command)),
            st.integers(0, 2**32 - 1),
            st.binary(max_size=512))
