@@ -16,6 +16,8 @@ Usage::
     python -m repro dse --host-mhz 2,4,8 --budget-mw 5,10 --jobs 4 \
         --cache-dir .dse-cache [--json]
     python -m repro dse --spec space.json --jobs 4
+    python -m repro serve --nodes 4 --policy power-cap --arrival-rate 250 \
+        --faults on --seed 7 [--json] [--trace serve.json]
     python -m repro all
 
 Every experiment subcommand accepts ``--json`` for a machine-readable
@@ -32,6 +34,11 @@ offload runtime and prints the survival/recovery matrix.  It exits 0
 when every scenario ends clean or recovered, 3 when any scenario needed
 the degraded OpenMP host fallback, and 4 when any scenario produced no
 result at all.
+
+``serve`` drives a fleet of accelerator nodes from a seeded request
+stream (see ``docs/SERVING.md``) and prints queueing statistics.  It
+exits 0 when the run is healthy and 3 when the deadline-miss rate
+(misses plus drops, over arrivals) exceeds ``--miss-threshold``.
 """
 
 from __future__ import annotations
@@ -316,6 +323,96 @@ def _cmd_faults(args) -> str:
     return result.render()
 
 
+# -- serving --------------------------------------------------------------------
+
+#: ``serve`` exit code when the miss rate breaches ``--miss-threshold``.
+SERVE_EXIT_MISSES = 3
+
+#: The ``--faults on`` per-node plans, cycled across the fleet: a clean
+#: node, a transiently hanging one, one that dies (three consecutive
+#: boot failures exhaust the ladder), and a browned-out slow one.
+_SERVE_FAULT_PLANS = (
+    ("clean", ()),
+    ("kernel_hang", (2,)),
+    ("boot_failure", (3,)),
+    ("brownout", (0.85,)),
+)
+
+
+def _serve_workload(args):
+    from repro.serve import (
+        ClosedLoopWorkload,
+        MmppWorkload,
+        PoissonWorkload,
+        TraceWorkload,
+    )
+
+    if args.replay:
+        return TraceWorkload.from_json(args.replay)
+    requests = args.requests if args.requests > 0 else None
+    if requests is None and args.duration is None:
+        raise SystemExit("serve: give --requests > 0 or a --duration")
+    common = dict(
+        deadline_factor=(args.deadline_factor
+                         if args.deadline_factor > 0 else None),
+        iterations=args.iterations, seed=args.seed)
+    if args.workload == "mmpp":
+        return MmppWorkload(
+            rates=(args.arrival_rate, args.arrival_rate * args.burst),
+            requests=requests, duration=args.duration, **common)
+    if args.workload == "closed":
+        per_client = max(1, (requests or args.clients) // args.clients)
+        return ClosedLoopWorkload(
+            clients=args.clients, think_s=args.think_ms * 1e-3,
+            requests_per_client=per_client, **common)
+    return PoissonWorkload(rate=args.arrival_rate, requests=requests,
+                           duration=args.duration, **common)
+
+
+def _cmd_serve(args) -> str:
+    from repro.faults.plan import FaultPlan
+    from repro.serve import AnalyticServiceBook
+    from repro.serve.engine import (
+        ServeConfig,
+        ServeEngine,
+        default_power_budget,
+    )
+    from repro.serve.scheduler import Policy, SchedulerConfig
+    from repro.units import mw
+
+    book = AnalyticServiceBook(host_mhz=args.host_mhz)
+    policy = Policy(args.policy)
+    budget = mw(args.power_budget) if args.power_budget is not None else None
+    if budget is None and policy is Policy.POWER_CAP:
+        budget = default_power_budget(book, args.nodes)
+    plans = None
+    if args.faults == "on":
+        plans = [getattr(FaultPlan, name)(*plan_args)
+                 for name, plan_args in _SERVE_FAULT_PLANS]
+    config = ServeConfig(
+        workload=_serve_workload(args),
+        nodes=args.nodes,
+        scheduler=SchedulerConfig(
+            policy=policy, queue_capacity=args.queue_capacity,
+            max_batch=args.max_batch, power_budget_w=budget,
+            drop_late=args.drop_late),
+        fault_plans=plans, seed=args.seed, book=book)
+    if args.trace:
+        from repro.obs import Telemetry, use_telemetry, write_chrome_trace
+
+        hub = Telemetry(enabled=True)
+        with use_telemetry(hub):
+            report = ServeEngine(config).run()
+        write_chrome_trace(hub, args.trace)
+    else:
+        report = ServeEngine(config).run()
+    if report.miss_rate > args.miss_threshold:
+        args._exit_code = SERVE_EXIT_MISSES
+    if getattr(args, "json", False):
+        return report.to_json()
+    return report.render()
+
+
 # -- design-space exploration ---------------------------------------------------
 
 def _parse_values(text: str, parse):
@@ -528,6 +625,59 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent result cache directory")
     dse.add_argument("--json", action="store_true",
                      help="machine-readable JSON instead of tables")
+    serve = sub.add_parser(
+        "serve", help="multi-accelerator serving simulation: workload -> "
+                      "scheduler -> node fleet")
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="accelerator nodes in the fleet")
+    serve.add_argument("--policy",
+                       choices=("fifo", "sjf", "edf", "power-cap"),
+                       default="fifo", help="dispatch policy")
+    serve.add_argument("--workload", choices=("poisson", "mmpp", "closed"),
+                       default="poisson", help="request-stream generator")
+    serve.add_argument("--arrival-rate", type=float, default=250.0,
+                       help="open-loop arrival rate (requests/s)")
+    serve.add_argument("--requests", type=int, default=600,
+                       help="request-count bound (0 = duration-bound only)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="arrival-window bound in simulated seconds")
+    serve.add_argument("--burst", type=float, default=4.0,
+                       help="mmpp burst-state rate multiplier")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client count")
+    serve.add_argument("--think-ms", type=float, default=10.0,
+                       help="closed-loop mean think time (ms)")
+    serve.add_argument("--iterations", type=int, default=1,
+                       help="kernel iterations per request")
+    serve.add_argument("--deadline-factor", type=float, default=25.0,
+                       help="deadline = arrival + factor x expected "
+                            "service (0 disables deadlines)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="same-kernel requests coalesced per dispatch")
+    serve.add_argument("--queue-capacity", type=int, default=0,
+                       help="admission-control queue bound (0 = unbounded)")
+    serve.add_argument("--drop-late", action="store_true",
+                       help="drop requests already past their deadline at "
+                            "dispatch time")
+    serve.add_argument("--power-budget", type=float, default=None,
+                       metavar="MW", help="fleet power budget in mW "
+                       "(power-cap default: sized from the fleet)")
+    serve.add_argument("--faults", choices=("on", "off"), default="off",
+                       help="cycle canned per-node fault plans across "
+                            "the fleet")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="run seed (same seed => identical report)")
+    serve.add_argument("--host-mhz", type=float, default=8.0)
+    serve.add_argument("--miss-threshold", type=float, default=0.05,
+                       help="miss-rate ceiling before exiting "
+                            f"{SERVE_EXIT_MISSES}")
+    serve.add_argument("--replay", default=None, metavar="PATH",
+                       help="replay a JSON request trace instead of a "
+                            "generator")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="also write a Chrome trace of the run")
+    serve.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of the summary")
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -546,6 +696,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "faults": _cmd_faults,
     "dse": _cmd_dse,
+    "serve": _cmd_serve,
     "all": _cmd_all,
     "report": _cmd_report,
 }

@@ -8,6 +8,8 @@ runtime, kernels).
 
 from __future__ import annotations
 
+import builtins
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -33,6 +35,19 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still blocked."""
 
 
+class Interrupt(SimulationError):
+    """Thrown into a process by :meth:`repro.sim.Process.interrupt`.
+
+    Carries the interrupter's ``cause``.  A process that catches it can
+    react (e.g. a node abandoning a service when its power budget is
+    revoked); one that does not terminates with ``interrupted`` set.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
 class PowerModelError(ReproError):
     """Errors in operating-point tables or power evaluation."""
 
@@ -45,13 +60,16 @@ class BudgetError(PowerModelError):
     """A power budget cannot be met (e.g. baseline host exceeds it)."""
 
 
-class TimeoutError(ReproError):  # noqa: A001 — deliberate builtin shadow
+class TimeoutError(ReproError, builtins.TimeoutError):  # noqa: A001 — deliberate builtin shadow
     """An operation exceeded its modeled deadline.
 
     Raised by the resilient offload runtime when a per-operation wire
     budget is blown or the RUNNING-state watchdog trips (EOC never
-    arrived).  Named after the builtin on purpose: import it qualified
-    (``errors.TimeoutError``) or aliased to avoid shadowing.
+    arrived).  Named after the builtin on purpose — and it *subclasses*
+    the builtin too, so generic ``except TimeoutError:`` handlers catch
+    it while ``except ReproError:`` keeps working at API boundaries.
+    Import it qualified (``errors.TimeoutError``) or aliased to avoid
+    shadowing.
     """
 
 

@@ -1,0 +1,66 @@
+"""``repro.serve`` — the multi-accelerator offload serving runtime.
+
+The paper couples one STM32-L476 host to one PULP cluster; this package
+gangs a *fleet* of accelerator nodes behind one host runtime and drives
+it from a stream of kernel requests, entirely as a seeded discrete-event
+simulation on :mod:`repro.sim`:
+
+* :mod:`repro.serve.workload` — seeded open-loop (Poisson, bursty MMPP)
+  and closed-loop request generators plus JSON trace replay;
+* :mod:`repro.serve.scheduler` — pluggable dispatch policies (FIFO,
+  shortest-expected-service, EDF, power-cap throttling) with admission
+  control and per-kernel batch coalescing;
+* :mod:`repro.serve.fleet` — node lifecycle (idle/busy/rebooting/dead)
+  with per-node fault plans and resilient-ladder recovery, plus the
+  analytic service book pricing every request through the offload cost
+  model;
+* :mod:`repro.serve.metrics` — queueing statistics (latency percentiles,
+  throughput, utilization, energy per request, deadline-miss and drop
+  rates) and the fleet power timeline;
+* :mod:`repro.serve.engine` — the :class:`ServeEngine` tying them
+  together behind ``python -m repro serve``.
+
+Everything is seeded and wall-clock free: the same configuration
+reproduces bit-identical reports.
+"""
+
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.fleet import (
+    AnalyticServiceBook,
+    Fleet,
+    Node,
+    NodeState,
+    ServiceProfile,
+)
+from repro.serve.metrics import RequestRecord, ServeReport, percentile
+from repro.serve.scheduler import Policy, Scheduler, SchedulerConfig
+from repro.serve.workload import (
+    ClosedLoopWorkload,
+    MmppWorkload,
+    PoissonWorkload,
+    Request,
+    TraceWorkload,
+    Workload,
+)
+
+__all__ = [
+    "AnalyticServiceBook",
+    "ClosedLoopWorkload",
+    "Fleet",
+    "MmppWorkload",
+    "Node",
+    "NodeState",
+    "percentile",
+    "PoissonWorkload",
+    "Policy",
+    "Request",
+    "RequestRecord",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeReport",
+    "ServiceProfile",
+    "TraceWorkload",
+    "Workload",
+]

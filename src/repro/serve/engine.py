@@ -1,0 +1,295 @@
+"""The serving engine: workload -> scheduler -> fleet, as one DES run.
+
+Three kinds of processes share one :class:`~repro.sim.Simulator`:
+
+* the **arrival** process replays the workload's request stream into the
+  scheduler (closed-loop clients additionally re-issue after each
+  completion);
+* the **dispatcher** drains the scheduler queue onto available nodes —
+  power-gated and tier-selected under a budget — and blocks on an
+  :class:`~repro.sim.AnyOf` of the arrival and completion signals when
+  there is nothing to do;
+* each **node** (plus the host-fallback backend) is its own process in
+  :mod:`repro.serve.fleet`.
+
+A batch on a node that dies mid-ladder is requeued at the head of the
+queue (and re-served elsewhere, ultimately by the host when every
+accelerator is gone) — no request is ever silently lost; the engine
+asserts the conservation law ``arrivals == completed + dropped`` at
+drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.plan import FaultPlan
+from repro.faults.resilient import RetryPolicy
+from repro.serve.fleet import (
+    AnalyticServiceBook,
+    Fleet,
+    Node,
+    ServiceBook,
+    ServiceOutcome,
+)
+from repro.serve.metrics import RequestRecord, ServeReport
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.workload import Request, Workload
+from repro.sim.engine import Simulator, Timeout
+
+
+@dataclass
+class ServeConfig:
+    """One serving run, fully specified."""
+
+    workload: Workload
+    nodes: int = 4
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Per-node fault plans, cycled across the fleet (None = fault-free).
+    fault_plans: Optional[List[FaultPlan]] = None
+    seed: int = 1
+    retry: Optional[RetryPolicy] = None
+    #: Pricing backend; None builds the calibrated analytic book.
+    book: Optional[ServiceBook] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"need >= 1 nodes, got {self.nodes}")
+
+
+class ServeEngine:
+    """Runs one :class:`ServeConfig` to completion."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.book = config.book if config.book is not None \
+            else AnalyticServiceBook()
+        self.simulator = Simulator()
+        self.scheduler = Scheduler(config.scheduler, self.book)
+        self.fleet = Fleet(
+            self.simulator, self.book, config.nodes,
+            plans=config.fault_plans, seed=config.seed,
+            retry=config.retry, on_outcome=self._on_outcome)
+        self.records: List[RequestRecord] = []
+        self.submitted = 0
+        self.in_flight = 0
+        self._requeues: Dict[int, int] = {}
+        self._signals: Dict[str, object] = {}
+        self._arrivals_open = True
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        """Execute the run and fold it into a report."""
+        workload = self.config.workload
+        stream = workload.arrivals(self._estimator)
+        self._total_expected = (workload.total_requests
+                                if workload.closed_loop else len(stream))
+        if self._total_expected == 0:
+            raise ConfigurationError(
+                f"workload produced no requests: {workload.describe()}")
+        self.fleet.start()
+        self.simulator.add_process(self._arrival_process(stream),
+                                   name="serve.arrivals")
+        self.simulator.add_process(self._dispatcher(),
+                                   name="serve.dispatcher")
+        self.simulator.run_all()
+        # Conservation: nothing pending, nothing silently lost.
+        completed = len(self.records)
+        dropped = len(self.scheduler.dropped)
+        if self.scheduler.queue or self.in_flight:
+            raise SimulationError(
+                f"serve drain left {len(self.scheduler.queue)} queued and "
+                f"{self.in_flight} in flight")
+        if self.submitted != completed + dropped:
+            raise SimulationError(
+                f"request conservation violated: {self.submitted} arrived "
+                f"!= {completed} completed + {dropped} dropped")
+        return self._report()
+
+    # -- arrivals ----------------------------------------------------------------
+
+    def _estimator(self, kernel: str, iterations: int) -> float:
+        probe = Request(request_id=-1, kernel=kernel, arrival_s=0.0,
+                        iterations=iterations)
+        return self.book.estimate(probe)
+
+    def _arrival_process(self, stream: List[Request]):
+        for request in stream:
+            delay = request.arrival_s - self.simulator.now
+            if delay > 0:
+                yield Timeout(delay)
+            self._submit(request)
+        self._arrivals_open = False
+        # Wake the dispatcher so an already-drained run can finish.
+        self._fire("arrival")
+
+    def _reissue_process(self, request: Request):
+        delay = request.arrival_s - self.simulator.now
+        if delay > 0:
+            yield Timeout(delay)
+        self._submit(request)
+
+    def _submit(self, request: Request) -> None:
+        self.submitted += 1
+        admitted = self.scheduler.submit(request)
+        if admitted:
+            self._fire("arrival")
+        else:
+            # A closed-loop client whose request was turned away thinks
+            # again — otherwise its chain (and the drain) would stall.
+            self._issue_next(request)
+
+    def _issue_next(self, request: Request) -> None:
+        workload = self.config.workload
+        if not workload.closed_loop or request.client is None:
+            return
+        follow = workload.next_request(
+            request.client, self.simulator.now, self._estimator)
+        if follow is not None:
+            self.simulator.add_process(
+                self._reissue_process(follow),
+                name=f"serve.client{request.client}")
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _signal(self, name: str):
+        event = self._signals.get(name)
+        if event is None or event.triggered:
+            event = self.simulator.event(f"serve.{name}")
+            self._signals[name] = event
+        return event
+
+    def _fire(self, name: str) -> None:
+        event = self._signals.get(name)
+        if event is not None and not event.triggered:
+            event.trigger()
+
+    def _done(self) -> bool:
+        return (not self._arrivals_open
+                and self.submitted >= self._total_expected
+                and not self.scheduler.queue
+                and self.in_flight == 0)
+
+    def _dispatcher(self):
+        while True:
+            self._dispatch_ready()
+            if self._done():
+                self.fleet.shutdown()
+                return
+            yield self.simulator.any_of(
+                [self._signal("arrival"), self._signal("complete")],
+                name="serve.wake")
+
+    def _pick_backend(self) -> Optional[Node]:
+        available = self.fleet.available_nodes()
+        if available:
+            return available[0]
+        if not self.fleet.alive_nodes() and self.fleet.host.available:
+            return self.fleet.host
+        return None
+
+    def _dispatch_ready(self) -> None:
+        while self.scheduler.queue:
+            node = self._pick_backend()
+            if node is None:
+                return
+            batch, _late = self.scheduler.take_batch(self.simulator.now)
+            if not batch:
+                continue    # the whole queue was past-deadline drops
+            if node.is_host:
+                tier = "host"
+            else:
+                kernel = batch[0].kernel
+                fast_w = self.book.active_power(kernel, "fast")
+                eco_w = self.book.active_power(kernel, "eco") \
+                    if "eco" in self.book.tiers() else fast_w
+                tier = self.scheduler.tier_for(
+                    self.fleet.tracker.current_w, self.book.idle_power,
+                    fast_w, eco_w)
+                if tier is None:
+                    # Over budget even throttled: defer until a
+                    # completion lowers the fleet draw.
+                    self.scheduler.requeue(batch)
+                    return
+            self.in_flight += len(batch)
+            node.assign(batch, tier)
+
+    # -- completions -------------------------------------------------------------
+
+    def _on_outcome(self, outcome: ServiceOutcome) -> None:
+        self.in_flight -= len(outcome.batch)
+        if outcome.died:
+            # The node took its batch down with it: back to the head of
+            # the queue, to be re-served elsewhere.
+            for request in outcome.batch:
+                self._requeues[request.request_id] = \
+                    self._requeues.get(request.request_id, 0) + 1
+            self.scheduler.requeue(outcome.batch)
+            self._fire("complete")
+            return
+        share = 1.0 / len(outcome.batch)
+        for index, request in enumerate(outcome.batch):
+            self.records.append(RequestRecord(
+                request=request,
+                start_s=outcome.start_s,
+                end_s=outcome.end_s,
+                node=outcome.node.name,
+                tier=outcome.tier,
+                requeues=self._requeues.pop(request.request_id, 0),
+                # Ladder stats land on the batch lead so report-level
+                # sums stay exact.
+                fault_attempts=outcome.fault_attempts if index == 0 else 0,
+                wasted_time_s=outcome.wasted_time_s if index == 0 else 0.0,
+                wasted_energy_j=(outcome.wasted_energy_j
+                                 if index == 0 else 0.0),
+                energy_j=outcome.energy_j * share))
+            self._issue_next(request)
+        self._fire("complete")
+
+    # -- reporting ---------------------------------------------------------------
+
+    def _report(self) -> ServeReport:
+        duration = self.simulator.now
+        nodes = list(self.fleet.nodes) + [self.fleet.host]
+        tracker = self.fleet.tracker
+        report = ServeReport(
+            policy=self.config.scheduler.policy.value,
+            workload=self.config.workload.describe(),
+            nodes=self.config.nodes,
+            duration_s=duration,
+            records=sorted(self.records,
+                           key=lambda r: (r.end_s, r.request.request_id)),
+            dropped=list(self.scheduler.dropped),
+            power_timeline=list(tracker.timeline),
+            power_peak_w=tracker.peak_w,
+            power_budget_w=self.config.scheduler.power_budget_w,
+            node_busy_s={node.name: node.busy_time for node in nodes},
+            node_requests={node.name: node.served_requests
+                           for node in nodes},
+            node_batches={node.name: node.served_batches for node in nodes},
+            node_energy_j={node.name: node.energy_j for node in nodes},
+            dead_nodes=self.fleet.dead_nodes,
+            reboots=sum(node.reboots for node in self.fleet.nodes),
+            fleet_energy_j=tracker.energy(duration))
+        report.emit_telemetry()
+        return report
+
+
+def default_power_budget(book: ServiceBook, nodes: int,
+                         active_fraction: float = 0.75) -> float:
+    """A budget that keeps roughly *active_fraction* of the fleet hot.
+
+    Sized from the book's calibrated draws: host + every node idling +
+    ``ceil(active_fraction * nodes)`` at the hottest fast-tier operating
+    point, plus one part in a thousand of slack so the boundary dispatch
+    is not flapped by float noise.
+    """
+    hot = max(book.active_power(kernel, "fast")
+              for kernel in ("matmul", "svm (RBF)", "cnn"))
+    actives = max(1, -(-int(active_fraction * 1000) * nodes // 1000))
+    actives = min(actives, nodes)
+    return (book.host_power + nodes * book.idle_power
+            + actives * (hot - book.idle_power)) * 1.001

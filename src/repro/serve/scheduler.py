@@ -1,0 +1,180 @@
+"""Dispatch policies, admission control, and batch coalescing.
+
+The scheduler owns the central request queue.  A policy orders it:
+
+========================  =====================================================
+policy                    picks
+========================  =====================================================
+``fifo``                  the oldest request
+``sjf``                   shortest expected service (priced through the
+                          offload cost model — the analytic service book)
+``edf``                   earliest absolute deadline (deadline-less
+                          requests sort last)
+``power-cap``             FIFO order, but dispatch is gated so the fleet
+                          power draw stays under a budget; when the fast
+                          operating point does not fit, the dispatch is
+                          retried at the throttled *eco* envelope point
+                          before being deferred
+========================  =====================================================
+
+Admission control bounds the queue: beyond ``queue_capacity`` pending
+requests, new arrivals are dropped (and counted).  Batch coalescing
+pulls up to ``max_batch`` same-kernel requests out of the queue in one
+dispatch, so the SPI binary upload and accelerator boot are paid once
+per batch instead of once per request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.fleet import ServiceBook
+from repro.serve.workload import Request
+
+#: Power-comparison slack: one part in a million, absorbing float noise
+#: without ever letting a whole extra node through the gate.
+POWER_EPSILON = 1e-6
+
+
+class Policy(enum.Enum):
+    """The built-in dispatch policies."""
+
+    FIFO = "fifo"
+    SJF = "sjf"
+    EDF = "edf"
+    POWER_CAP = "power-cap"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the scheduler."""
+
+    policy: Policy = Policy.FIFO
+    #: Pending-queue bound; 0 = unbounded (no admission control).
+    queue_capacity: int = 0
+    #: Same-kernel requests coalesced per dispatch.
+    max_batch: int = 8
+    #: Fleet power budget in watts (None = ungated).
+    power_budget_w: Optional[float] = None
+    #: Drop requests whose deadline already passed at dispatch time.
+    drop_late: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 0:
+            raise ConfigurationError(
+                f"negative queue capacity: {self.queue_capacity}")
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max batch must be >= 1: {self.max_batch}")
+        if self.power_budget_w is not None and self.power_budget_w <= 0:
+            raise ConfigurationError(
+                f"power budget must be > 0: {self.power_budget_w}")
+        if self.policy is Policy.POWER_CAP and self.power_budget_w is None:
+            raise ConfigurationError(
+                "the power-cap policy needs a power budget")
+
+
+class Scheduler:
+    """Orders the queue, admits arrivals, and coalesces batches."""
+
+    def __init__(self, config: SchedulerConfig, book: ServiceBook):
+        self.config = config
+        self.book = book
+        self.queue: List[Request] = []
+        self.dropped: List[Tuple[Request, str]] = []
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, request: Request) -> bool:
+        """Admit *request* into the queue; False = dropped (queue full)."""
+        capacity = self.config.queue_capacity
+        if capacity and len(self.queue) >= capacity:
+            self.dropped.append((request, "queue-full"))
+            return False
+        self.queue.append(request)
+        return True
+
+    def requeue(self, batch: List[Request]) -> None:
+        """Put a failed node's batch back at the head of the queue."""
+        self.queue[:0] = batch
+
+    # -- ordering ----------------------------------------------------------------
+
+    def _select(self, now: float) -> int:
+        """Index of the next request to dispatch (queue must be non-empty)."""
+        policy = self.config.policy
+        if policy in (Policy.FIFO, Policy.POWER_CAP):
+            return 0
+        if policy is Policy.SJF:
+            return min(range(len(self.queue)),
+                       key=lambda i: (self.book.estimate(self.queue[i]), i))
+        # EDF: deadline-less requests sort after every deadline.
+        return min(range(len(self.queue)),
+                   key=lambda i: (self.queue[i].deadline_s
+                                  if self.queue[i].deadline_s is not None
+                                  else float("inf"), i))
+
+    def take_batch(self, now: float) -> Tuple[List[Request], List[Request]]:
+        """Pull the next batch out of the queue.
+
+        Returns ``(batch, late)``: the coalesced same-kernel batch to
+        dispatch, and the requests dropped for being past their deadline
+        (only with ``drop_late``).  The batch may be empty when the
+        whole queue was late.
+        """
+        late: List[Request] = []
+        if self.config.drop_late:
+            keep = []
+            for request in self.queue:
+                if request.deadline_s is not None \
+                        and now > request.deadline_s:
+                    late.append(request)
+                    self.dropped.append((request, "late"))
+                else:
+                    keep.append(request)
+            self.queue = keep
+        if not self.queue:
+            return [], late
+        lead = self.queue.pop(self._select(now))
+        batch = [lead]
+        index = 0
+        while len(batch) < self.config.max_batch and index < len(self.queue):
+            if self.queue[index].kernel == lead.kernel:
+                batch.append(self.queue.pop(index))
+            else:
+                index += 1
+        return batch, late
+
+    # -- the power gate ----------------------------------------------------------
+
+    def power_allows(self, current_w: float, idle_w: float,
+                     active_w: float) -> bool:
+        """Whether activating one node fits under the budget.
+
+        *current_w* is the fleet draw right now, *idle_w* the candidate
+        node's current (idle) draw, *active_w* its draw while serving.
+        """
+        budget = self.config.power_budget_w
+        if budget is None:
+            return True
+        projected = current_w - idle_w + active_w
+        return projected <= budget * (1.0 + POWER_EPSILON)
+
+    def tier_for(self, current_w: float, idle_w: float,
+                 fast_w: float, eco_w: float) -> Optional[str]:
+        """The service tier a dispatch can run at under the budget.
+
+        Prefers the full-speed envelope point; falls back to the
+        throttled *eco* point; ``None`` defers the dispatch entirely.
+        Without a budget every dispatch runs fast.
+        """
+        if self.config.power_budget_w is None:
+            return "fast"
+        if self.power_allows(current_w, idle_w, fast_w):
+            return "fast"
+        if self.config.policy is Policy.POWER_CAP \
+                and self.power_allows(current_w, idle_w, eco_w):
+            return "eco"
+        return None

@@ -1,12 +1,23 @@
-"""Core of the discrete-event engine: simulator, processes, events."""
+"""Core of the discrete-event engine: simulator, processes, events.
+
+Beyond the original one-shot :class:`Event`, the engine provides the
+composition primitives a scheduler loop needs:
+
+* :class:`AnyOf` — an event that fires when the *first* of its members
+  fires (wait-for-next-completion-or-arrival);
+* :class:`AllOf` — an event that fires when *every* member has fired
+  (barrier / join);
+* :meth:`Process.interrupt` — throw :class:`~repro.errors.Interrupt`
+  into a waiting process, invalidating whatever it was waiting on.
+"""
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, Interrupt, SimulationError
 
 
 @dataclass(frozen=True)
@@ -24,7 +35,9 @@ class Event:
     """A one-shot event processes can wait on.
 
     Triggering wakes every waiter at the current simulation time and
-    delivers ``value`` as the result of their ``yield``.
+    delivers ``value`` as the result of their ``yield``.  Non-process
+    observers (the :class:`AnyOf`/:class:`AllOf` combinators) can attach
+    a callback with :meth:`subscribe`.
     """
 
     def __init__(self, simulator: "Simulator", name: str = ""):
@@ -32,7 +45,8 @@ class Event:
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._waiters: List["Process"] = []
+        self._waiters: List[Tuple["Process", int]] = []
+        self._subscribers: List[Callable[[Any], None]] = []
 
     def trigger(self, value: Any = None) -> None:
         """Fire the event, waking all waiters."""
@@ -41,19 +55,93 @@ class Event:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self._simulator.schedule(0.0, process.resume, value)
+        for process, epoch in waiters:
+            self._simulator.schedule(0.0, process._resume_if, epoch, value)
+        subscribers, self._subscribers = self._subscribers, []
+        for callback in subscribers:
+            callback(value)
 
     def add_waiter(self, process: "Process") -> None:
         """Register a process; wakes immediately if already triggered."""
         if self.triggered:
-            self._simulator.schedule(0.0, process.resume, self.value)
+            self._simulator.schedule(0.0, process._resume_if,
+                                     process._epoch, self.value)
         else:
-            self._waiters.append(process)
+            self._waiters.append((process, process._epoch))
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke *callback(value)* on trigger (immediately if fired)."""
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._subscribers.append(callback)
+
+
+def _member_event(member: Any) -> Event:
+    """The waitable event behind a combinator member."""
+    if isinstance(member, Process):
+        return member.completion
+    if isinstance(member, Event):
+        return member
+    raise SimulationError(
+        f"combinator member must be an Event or Process, got {member!r}")
+
+
+class AnyOf(Event):
+    """Fires when the first member fires; value is ``(member, value)``.
+
+    Members may be :class:`Event` or :class:`Process` instances (a
+    process stands for its completion).  Later member triggers are
+    ignored — the combinator is one-shot like any event.
+    """
+
+    def __init__(self, simulator: "Simulator", members: Sequence[Any],
+                 name: str = "any-of"):
+        super().__init__(simulator, name)
+        if not members:
+            raise SimulationError("AnyOf needs at least one member")
+        self.members = tuple(members)
+        for member in self.members:
+            _member_event(member).subscribe(
+                lambda value, member=member: self._on_member(member, value))
+
+    def _on_member(self, member: Any, value: Any) -> None:
+        if not self.triggered:
+            self.trigger((member, value))
+
+
+class AllOf(Event):
+    """Fires when every member has fired; value lists member values in
+    member order."""
+
+    def __init__(self, simulator: "Simulator", members: Sequence[Any],
+                 name: str = "all-of"):
+        super().__init__(simulator, name)
+        self.members = tuple(members)
+        self._values: List[Any] = [None] * len(self.members)
+        self._remaining = len(self.members)
+        if self._remaining == 0:
+            self.trigger([])
+            return
+        for index, member in enumerate(self.members):
+            _member_event(member).subscribe(
+                lambda value, index=index: self._on_member(index, value))
+
+    def _on_member(self, index: int, value: Any) -> None:
+        self._values[index] = value
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.trigger(list(self._values))
 
 
 class Process:
-    """A running generator inside the simulator."""
+    """A running generator inside the simulator.
+
+    Every suspension (a ``yield``) opens a *wait epoch*; resuming or
+    interrupting closes it.  Stale wakeups from an earlier epoch — e.g.
+    the timeout a process was interrupted out of — are silently dropped,
+    so interruption never double-resumes a process.
+    """
 
     def __init__(self, simulator: "Simulator",
                  generator: Generator, name: str = ""):
@@ -61,25 +149,63 @@ class Process:
         self._generator = generator
         self.name = name
         self.finished = False
+        self.interrupted = False
         self.result: Any = None
         self.completion = Event(simulator, name=f"{name}.done")
+        self._epoch = 0
 
     def resume(self, value: Any = None) -> None:
         """Advance the generator by one command (engine-internal)."""
+        self._step(self._generator.send, value)
+
+    def _resume_if(self, epoch: int, value: Any = None) -> None:
+        """Resume only if the wait that scheduled this is still current."""
+        if epoch != self._epoch:
+            return
+        self.resume(value)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        Delivered at the current simulation time; whatever the process
+        was waiting on (timeout, event, another process) is invalidated.
+        A no-op on finished processes.  If the generator does not catch
+        the interrupt, the process terminates with ``interrupted`` set
+        and a ``None`` result.
+        """
         if self.finished:
             return
+        self._simulator.schedule(0.0, self._deliver_interrupt, self._epoch,
+                                 cause)
+
+    def _deliver_interrupt(self, epoch: int, cause: Any) -> None:
+        if self.finished or epoch != self._epoch:
+            return  # resumed (or finished) before delivery: stale
+        self._step(self._generator.throw, Interrupt(cause))
+
+    def _step(self, advance: Callable, argument: Any) -> None:
+        if self.finished:
+            return
+        self._epoch += 1
         try:
-            command = self._generator.send(value)
+            command = advance(argument)
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
             self.completion.trigger(stop.value)
             return
+        except Interrupt:
+            # The generator let the interrupt escape: the process dies.
+            self.finished = True
+            self.interrupted = True
+            self.completion.trigger(None)
+            return
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Timeout):
-            self._simulator.schedule(command.delay, self.resume, None)
+            self._simulator.schedule(command.delay, self._resume_if,
+                                     self._epoch, None)
         elif isinstance(command, Event):
             command.add_waiter(self)
         elif isinstance(command, Process):
@@ -114,6 +240,21 @@ class Simulator:
     def event(self, name: str = "") -> Event:
         """Create a fresh event."""
         return Event(self, name)
+
+    def any_of(self, members: Sequence[Any], name: str = "any-of") -> AnyOf:
+        """An event firing when the first of *members* fires."""
+        return AnyOf(self, members, name)
+
+    def all_of(self, members: Sequence[Any], name: str = "all-of") -> AllOf:
+        """An event firing when all of *members* have fired."""
+        return AllOf(self, members, name)
+
+    def timeout_event(self, delay: float, value: Any = None,
+                      name: str = "timeout") -> Event:
+        """An event that triggers *delay* time units from now."""
+        event = self.event(name)
+        self.schedule(delay, event.trigger, value)
+        return event
 
     def add_process(self, generator: Generator, name: str = "") -> Process:
         """Register and start a process at the current time."""

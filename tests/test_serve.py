@@ -1,0 +1,492 @@
+"""Tests for the multi-accelerator serving runtime (``repro.serve``)."""
+
+import builtins
+import json
+
+import pytest
+
+from repro import errors
+from repro.cli import main
+from repro.core.system import HeterogeneousSystem
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.serve import (
+    AnalyticServiceBook,
+    ClosedLoopWorkload,
+    MmppWorkload,
+    PoissonWorkload,
+    Request,
+    TraceWorkload,
+)
+from repro.serve.engine import (
+    ServeConfig,
+    ServeEngine,
+    default_power_budget,
+)
+from repro.serve.fleet import ServiceBook
+from repro.serve.metrics import percentile
+from repro.serve.scheduler import Policy, Scheduler, SchedulerConfig
+from repro.serve.workload import Lcg
+
+
+@pytest.fixture(scope="module")
+def book():
+    """One calibrated service book shared by the whole module."""
+    return AnalyticServiceBook()
+
+
+def _flat_estimate(kernel, iterations):
+    return 1e-3 * iterations
+
+
+class ExponentialBook(ServiceBook):
+    """Synthetic memoryless-service book (for queueing-theory checks)."""
+
+    idle_power = 0.0
+    host_power = 0.0
+
+    def __init__(self, mu, seed=1):
+        self.mu = mu
+        self.rng = Lcg(seed)
+
+    def active_power(self, kernel, tier):
+        return 0.0
+
+    def cold_cost(self, kernel, tier):
+        return (0.0, 0.0)
+
+    def batch_compute(self, batch, tier, droop=1.0):
+        return 0.0
+
+    def batch_service(self, batch, tier, droop=1.0):
+        return (sum(self.rng.exponential(self.mu) for _ in batch), 0.0)
+
+    def estimate(self, request):
+        return 1.0 / self.mu
+
+    def host_time(self, request):
+        return 1.0 / self.mu
+
+
+class FixedBook(ServiceBook):
+    """Deterministic per-request service time, zero power."""
+
+    idle_power = 0.0
+    host_power = 0.0
+
+    def __init__(self, service_s=1e-3, cold_s=0.0):
+        self.service_s = service_s
+        self.cold_s = cold_s
+
+    def active_power(self, kernel, tier):
+        return 0.0
+
+    def cold_cost(self, kernel, tier):
+        return (self.cold_s, 0.0)
+
+    def batch_compute(self, batch, tier, droop=1.0):
+        return self.service_s * len(batch)
+
+    def batch_service(self, batch, tier, droop=1.0):
+        return (self.service_s * len(batch) / droop, 0.0)
+
+    def estimate(self, request):
+        return self.service_s
+
+    def host_time(self, request):
+        return self.service_s * 10
+
+
+class TestWorkloads:
+    def test_poisson_stream_is_seeded(self):
+        first = PoissonWorkload(rate=100.0, requests=50, seed=9)
+        second = PoissonWorkload(rate=100.0, requests=50, seed=9)
+        a = first.arrivals(_flat_estimate)
+        b = second.arrivals(_flat_estimate)
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+        other = PoissonWorkload(rate=100.0, requests=50, seed=10)
+        assert [r.to_dict() for r in other.arrivals(_flat_estimate)] \
+            != [r.to_dict() for r in a]
+
+    def test_poisson_mean_rate(self):
+        stream = PoissonWorkload(rate=200.0, requests=4000, seed=3) \
+            .arrivals(_flat_estimate)
+        measured = len(stream) / stream[-1].arrival_s
+        assert measured == pytest.approx(200.0, rel=0.1)
+
+    def test_deadlines_scale_with_estimate(self):
+        stream = PoissonWorkload(rate=100.0, requests=20, seed=1,
+                                 deadline_factor=10.0) \
+            .arrivals(_flat_estimate)
+        for request in stream:
+            assert request.deadline_s == pytest.approx(
+                request.arrival_s + 10.0 * 1e-3)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        poisson = PoissonWorkload(rate=300.0, requests=2000, seed=4) \
+            .arrivals(_flat_estimate)
+        mmpp = MmppWorkload(rates=(100.0, 1000.0), dwell_s=(0.1, 0.05),
+                            requests=2000, seed=4).arrivals(_flat_estimate)
+
+        def cv2(stream):
+            gaps = [b.arrival_s - a.arrival_s
+                    for a, b in zip(stream, stream[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / mean ** 2
+
+        # Poisson gaps have CV^2 ~= 1; MMPP is over-dispersed.
+        assert cv2(poisson) == pytest.approx(1.0, abs=0.3)
+        assert cv2(mmpp) > cv2(poisson) * 1.5
+
+    def test_trace_roundtrip(self, tmp_path):
+        original = PoissonWorkload(rate=100.0, requests=25, seed=2) \
+            .arrivals(_flat_estimate)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([r.to_dict() for r in original]))
+        replayed = TraceWorkload.from_json(str(path)) \
+            .arrivals(_flat_estimate)
+        assert [r.to_dict() for r in replayed] \
+            == [r.to_dict() for r in original]
+
+    def test_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ConfigurationError):
+            TraceWorkload.from_json(str(path))
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([{"kernel": "matmul"}]).arrivals(_flat_estimate)
+
+    def test_closed_loop_budget(self):
+        workload = ClosedLoopWorkload(clients=3, think_s=0.01,
+                                      requests_per_client=2, seed=5)
+        wave = workload.arrivals(_flat_estimate)
+        assert len(wave) == 3
+        extra = [workload.next_request(0, 1.0, _flat_estimate)]
+        assert extra[0] is not None
+        assert workload.next_request(0, 2.0, _flat_estimate) is None
+        assert workload.total_requests == 6
+
+
+class TestScheduler:
+    def _requests(self, spec):
+        return [Request(request_id=i, kernel=k, arrival_s=0.0, deadline_s=d)
+                for i, (k, d) in enumerate(spec)]
+
+    def test_sjf_picks_shortest(self, book):
+        scheduler = Scheduler(
+            SchedulerConfig(policy=Policy.SJF, max_batch=1), book)
+        for request in self._requests(
+                [("cnn", None), ("svm (RBF)", None), ("matmul", None)]):
+            scheduler.submit(request)
+        batch, _ = scheduler.take_batch(0.0)
+        # svm (RBF) has the shortest warm service time of the three.
+        assert batch[0].kernel == "svm (RBF)"
+
+    def test_edf_picks_earliest_deadline(self, book):
+        scheduler = Scheduler(
+            SchedulerConfig(policy=Policy.EDF, max_batch=1), book)
+        for request in self._requests(
+                [("matmul", 0.5), ("matmul", None), ("matmul", 0.1)]):
+            scheduler.submit(request)
+        batch, _ = scheduler.take_batch(0.0)
+        assert batch[0].deadline_s == 0.1
+        batch, _ = scheduler.take_batch(0.0)
+        assert batch[0].deadline_s == 0.5  # deadline-less sorts last
+
+    def test_admission_control_drops_over_capacity(self, book):
+        scheduler = Scheduler(SchedulerConfig(queue_capacity=2), book)
+        requests = self._requests([("matmul", None)] * 4)
+        admitted = [scheduler.submit(r) for r in requests]
+        assert admitted == [True, True, False, False]
+        assert [reason for _, reason in scheduler.dropped] \
+            == ["queue-full", "queue-full"]
+
+    def test_batch_coalesces_same_kernel_only(self, book):
+        scheduler = Scheduler(SchedulerConfig(max_batch=8), book)
+        for request in self._requests(
+                [("matmul", None), ("cnn", None), ("matmul", None),
+                 ("matmul", None)]):
+            scheduler.submit(request)
+        batch, _ = scheduler.take_batch(0.0)
+        assert [r.kernel for r in batch] == ["matmul"] * 3
+        assert [r.request_id for r in batch] == [0, 2, 3]
+        batch, _ = scheduler.take_batch(0.0)
+        assert [r.kernel for r in batch] == ["cnn"]
+
+    def test_max_batch_bounds_coalescing(self, book):
+        scheduler = Scheduler(SchedulerConfig(max_batch=2), book)
+        for request in self._requests([("matmul", None)] * 5):
+            scheduler.submit(request)
+        batch, _ = scheduler.take_batch(0.0)
+        assert len(batch) == 2
+
+    def test_requeue_goes_to_head(self, book):
+        scheduler = Scheduler(SchedulerConfig(), book)
+        for request in self._requests([("matmul", None), ("cnn", None)]):
+            scheduler.submit(request)
+        batch, _ = scheduler.take_batch(0.0)
+        scheduler.requeue(batch)
+        assert scheduler.queue[0].request_id == 0
+
+    def test_drop_late_counts_misses(self, book):
+        scheduler = Scheduler(SchedulerConfig(drop_late=True), book)
+        for request in self._requests([("matmul", 0.1), ("matmul", 9.0)]):
+            scheduler.submit(request)
+        batch, late = scheduler.take_batch(now=1.0)
+        assert [r.request_id for r in late] == [0]
+        assert [r.request_id for r in batch] == [1]
+
+    def test_power_cap_needs_budget(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(policy=Policy.POWER_CAP)
+
+    def test_tier_selection_under_budget(self, book):
+        config = SchedulerConfig(policy=Policy.POWER_CAP,
+                                 power_budget_w=10e-3)
+        scheduler = Scheduler(config, book)
+        assert scheduler.tier_for(4e-3, 1e-3, 6e-3, 3e-3) == "fast"
+        assert scheduler.tier_for(6e-3, 1e-3, 6e-3, 3e-3) == "eco"
+        assert scheduler.tier_for(9e-3, 1e-3, 6e-3, 3e-3) is None
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50.0) == 50
+        assert percentile(values, 95.0) == 95
+        assert percentile(values, 99.0) == 99
+        assert percentile(values, 100.0) == 100
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+
+
+class TestQueueingTheory:
+    def test_mm1_mean_wait_matches_analytic(self):
+        lam, mu = 60.0, 100.0
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=lam, requests=20000,
+                                     deadline_factor=None, seed=1),
+            nodes=1,
+            scheduler=SchedulerConfig(max_batch=1),
+            book=ExponentialBook(mu, seed=18))
+        report = ServeEngine(config).run()
+        analytic = lam / (mu * (mu - lam))    # Wq of M/M/1
+        assert report.mean_wait_s() == pytest.approx(analytic, rel=0.10)
+
+    def test_conservation_at_drain(self):
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=400.0, requests=300, seed=11),
+            nodes=2,
+            scheduler=SchedulerConfig(queue_capacity=16),
+            fault_plans=[FaultPlan.kernel_hang(3), FaultPlan.boot_failure(3)],
+            seed=11, book=FixedBook(service_s=2e-3, cold_s=1e-3))
+        report = ServeEngine(config).run()
+        # The engine itself asserts queue and in-flight are empty; the
+        # report must balance the books.
+        assert report.arrivals == report.completed + len(report.dropped)
+        assert report.arrivals == 300
+
+
+class TestFleetResilience:
+    def test_node_death_requeues_without_loss(self):
+        # Every accelerator dies on its first batch (three boot
+        # failures exhaust the ladder); the host serves everything.
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=500.0, requests=40, seed=3),
+            nodes=2,
+            fault_plans=[FaultPlan.boot_failure(99)],
+            seed=3, book=FixedBook(service_s=1e-3))
+        report = ServeEngine(config).run()
+        assert report.dead_nodes == 2
+        assert report.completed == 40
+        assert not report.dropped
+        assert report.requeues > 0
+        assert report.fallbacks == 40
+        assert all(record.tier == "host" for record in report.records)
+
+    def test_transient_faults_recover_in_place(self):
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=200.0, requests=60, seed=5),
+            nodes=2,
+            fault_plans=[FaultPlan.kernel_hang(2), FaultPlan.clean()],
+            seed=5, book=FixedBook(service_s=1e-3))
+        report = ServeEngine(config).run()
+        assert report.completed == 60
+        assert report.dead_nodes == 0
+        assert report.fallbacks == 0
+        summary = report.metrics()
+        assert summary["fault_attempts"] > 0
+        assert summary["wasted_time_ms"] > 0
+
+    def test_brownout_stretches_service(self):
+        base = ServeConfig(
+            workload=PoissonWorkload(rate=50.0, requests=30, seed=7),
+            nodes=1, book=FixedBook(service_s=2e-3))
+        slow = ServeConfig(
+            workload=PoissonWorkload(rate=50.0, requests=30, seed=7),
+            nodes=1, fault_plans=[FaultPlan.brownout(0.8)],
+            seed=7, book=FixedBook(service_s=2e-3))
+        healthy = ServeEngine(base).run()
+        drooped = ServeEngine(slow).run()
+        assert drooped.latency_percentiles()["p50"] \
+            > healthy.latency_percentiles()["p50"]
+
+
+class TestBatching:
+    def test_coalescing_amortizes_cold_starts(self):
+        def run(max_batch):
+            # Two kernels: every switch of the resident binary costs a
+            # cold start, so coalescing visibly amortizes it.
+            config = ServeConfig(
+                workload=PoissonWorkload(rate=2000.0, requests=200,
+                                         mix={"matmul": 1.0, "cnn": 1.0},
+                                         seed=13),
+                nodes=1,
+                scheduler=SchedulerConfig(max_batch=max_batch),
+                book=FixedBook(service_s=1e-3, cold_s=5e-3))
+            return ServeEngine(config).run()
+
+        batched = run(8)
+        serial = run(1)
+        assert batched.completed == serial.completed == 200
+        assert sum(batched.node_batches.values()) \
+            < sum(serial.node_batches.values())
+        # Cold start paid per batch, not per request: less busy time.
+        assert sum(batched.node_busy_s.values()) \
+            < sum(serial.node_busy_s.values())
+        assert batched.latency_percentiles()["p95"] \
+            < serial.latency_percentiles()["p95"]
+
+
+class TestPowerCap:
+    def test_peak_power_stays_under_budget(self, book):
+        budget = default_power_budget(book, 4)
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=400.0, requests=300, seed=7),
+            nodes=4,
+            scheduler=SchedulerConfig(policy=Policy.POWER_CAP,
+                                      power_budget_w=budget),
+            seed=7, book=book)
+        report = ServeEngine(config).run()
+        assert report.completed == 300
+        assert report.power_peak_w <= budget * (1.0 + 1e-6)
+        assert report.power_budget_w == budget
+
+    def test_tight_budget_throttles_to_eco(self, book):
+        # Room for one fast dispatch but not two: the second concurrent
+        # dispatch must run at the throttled eco envelope point.
+        fast_w = max(book.active_power(k, "fast")
+                     for k in ("matmul", "svm (RBF)", "cnn"))
+        budget = book.host_power + 2 * book.idle_power \
+            + (fast_w - book.idle_power) * 1.6
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=500.0, requests=200, seed=9),
+            nodes=2,
+            scheduler=SchedulerConfig(policy=Policy.POWER_CAP,
+                                      power_budget_w=budget),
+            seed=9, book=book)
+        report = ServeEngine(config).run()
+        assert report.completed == 200
+        assert report.power_peak_w <= budget * (1.0 + 1e-6)
+        tiers = {record.tier for record in report.records}
+        assert "eco" in tiers
+
+    def test_fifo_with_budget_defers_instead_of_throttling(self, book):
+        fast_w = max(book.active_power(k, "fast")
+                     for k in ("matmul", "svm (RBF)", "cnn"))
+        budget = book.host_power + 2 * book.idle_power \
+            + (fast_w - book.idle_power) * 1.6
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=500.0, requests=100, seed=9),
+            nodes=2,
+            scheduler=SchedulerConfig(policy=Policy.FIFO,
+                                      power_budget_w=budget),
+            seed=9, book=book)
+        report = ServeEngine(config).run()
+        assert report.completed == 100
+        assert report.power_peak_w <= budget * (1.0 + 1e-6)
+        assert {record.tier for record in report.records} == {"fast"}
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        config = ServeConfig(
+            workload=MmppWorkload(requests=150, seed=seed),
+            nodes=3,
+            scheduler=SchedulerConfig(policy=Policy.SJF),
+            fault_plans=[FaultPlan.kernel_hang(1), FaultPlan.clean(),
+                         FaultPlan.brownout(0.9)],
+            seed=seed, book=FixedBook(service_s=1.5e-3, cold_s=1e-3))
+        return ServeEngine(config).run()
+
+    def test_same_seed_bit_identical_report(self):
+        assert self._run(21).to_json() == self._run(21).to_json()
+
+    def test_different_seed_differs(self):
+        assert self._run(21).to_json() != self._run(22).to_json()
+
+
+class TestServeCli:
+    def test_acceptance_run_is_deterministic(self, capsys):
+        argv = ["serve", "--nodes", "4", "--policy", "power-cap",
+                "--faults", "on", "--seed", "7", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["completed"] >= 500
+        assert payload["completed"] + payload["dropped"] \
+            == payload["arrivals"]
+        assert payload["power_peak_mw"] <= payload["power_budget_mw"] \
+            * (1.0 + 1e-6)
+
+    def test_miss_threshold_exit_code(self, capsys):
+        # One node, heavy overload, tight deadlines: misses guaranteed.
+        argv = ["serve", "--nodes", "1", "--arrival-rate", "2000",
+                "--requests", "120", "--deadline-factor", "2",
+                "--seed", "3", "--miss-threshold", "0.01"]
+        assert main(argv) == 3
+        payload_text = capsys.readouterr().out
+        assert "missed" in payload_text
+
+    def test_replay_trace(self, tmp_path, capsys):
+        rows = PoissonWorkload(rate=200.0, requests=30, seed=2) \
+            .arrivals(_flat_estimate)
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([r.to_dict() for r in rows]))
+        argv = ["serve", "--replay", str(path), "--nodes", "2", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 30
+
+
+class TestRegressions:
+    def test_timeout_error_is_builtin_timeout(self):
+        # The driver-facing TimeoutError must be catchable both as a
+        # repro error and as the builtin.
+        assert issubclass(errors.TimeoutError, builtins.TimeoutError)
+        assert issubclass(errors.TimeoutError, errors.ReproError)
+        try:
+            raise errors.TimeoutError("watchdog tripped")
+        except builtins.TimeoutError:
+            pass
+
+    def test_offload_result_metrics_degraded_fields(self):
+        system = HeterogeneousSystem()
+        from repro.kernels import kernel_by_name
+
+        result = system.offload(kernel_by_name("matmul"))
+        summary = result.metrics()
+        for key in ("degraded", "fault_attempts", "wasted_time_s",
+                    "wasted_energy_j"):
+            assert key in summary
+        assert summary["degraded"] is False
+        assert summary["fault_attempts"] == 0
