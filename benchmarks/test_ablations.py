@@ -25,7 +25,7 @@ from repro.kernels.registry import all_kernels
 from repro.link.spi import SpiLink, SpiMode
 from repro.pulp.binary import KernelBinary
 from repro.pulp.cluster import Cluster
-from repro.pulp.timing import ContentionModel, chunk_trips, op_stream_from_report
+from repro.pulp.timing import ContentionModel, op_stream_from_report
 from repro.power.activity import ActivityProfile
 from repro.runtime.omp import DeviceOpenMp
 from repro.runtime.overheads import OmpOverheads

@@ -2,7 +2,6 @@
 overhead, DVFS policies, and the ISS-vs-model bridge."""
 
 import numpy as np
-import pytest
 
 from repro.core.dvfs import DvfsController, DvfsPolicy
 from repro.isa.or10n import Or10nTarget

@@ -1,6 +1,5 @@
 """Benchmark: regenerate Figure 4 (architectural + parallel speedups)."""
 
-import pytest
 
 from repro.experiments import figure4
 

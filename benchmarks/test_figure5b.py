@@ -1,6 +1,5 @@
 """Benchmark: regenerate Figure 5b (efficiency vs iterations/offload)."""
 
-import pytest
 
 from repro.experiments import figure5
 from repro.kernels.matmul import MatmulKernel

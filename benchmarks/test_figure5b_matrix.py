@@ -6,7 +6,6 @@ compute-dense kernels (cnn, hog, svm — high plateaus) from the
 transfer-bound linear-algebra ones.
 """
 
-import pytest
 
 from repro.experiments import figure5
 from repro.kernels.registry import all_kernels

@@ -89,11 +89,11 @@ def iss_vs_model() -> None:
     _, result = run_dot_product_i8(a, a)
     per_element = result.cycles / 256
     print(f"   ISS: {per_element:.2f} cycles/element "
-          f"(lb+lb+mac+2 explicit pointer adds)")
-    print(f"   model: 5.00 cycles/element (address updates folded into "
-          f"post-increment loads)")
-    print(f"   difference = the 2 addressing instructions the mini-ISA "
-          f"spends explicitly")
+          "(lb+lb+mac+2 explicit pointer adds)")
+    print("   model: 5.00 cycles/element (address updates folded into "
+          "post-increment loads)")
+    print("   difference = the 2 addressing instructions the mini-ISA "
+          "spends explicitly")
 
 
 def main() -> None:

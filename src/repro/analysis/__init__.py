@@ -4,10 +4,17 @@ The correctness gate between the assembler and everything that trusts
 its cycle counts: a CFG builder (:mod:`~repro.analysis.cfg`), reaching
 definitions and liveness (:mod:`~repro.analysis.dataflow`), a static
 load-use stall model cross-validated against the interpreter
-(:mod:`~repro.analysis.stalls`), and a coded rule engine
+(:mod:`~repro.analysis.stalls`), a coded rule engine
 (:mod:`~repro.analysis.rules`, ``OR001``..``OR010``) sharing the
 :class:`~repro.isa.validate.Finding` vocabulary with the loop-nest IR
-validator.  ``python -m repro lint`` is the CLI surface.
+validator, a value-range/congruence domain
+(:mod:`~repro.analysis.ranges`), and an SPMD concurrency analyzer
+(:mod:`~repro.analysis.concurrency`, ``OR011``..``OR014``) whose
+verdicts are cross-validated against the cluster DES by a dynamic
+happens-before checker (:mod:`repro.pulp.hbcheck`).  Findings export to
+SARIF 2.1.0 (:mod:`~repro.analysis.sarif`); the schema-stable
+:func:`~repro.analysis.features.features` dict feeds cost models.
+``python -m repro lint`` is the CLI surface.
 """
 
 # The machine package's import-time strict gating re-enters this
@@ -18,6 +25,12 @@ validator.  ``python -m repro lint`` is the CLI surface.
 import repro.machine  # noqa: F401  (import order, see above)
 
 from repro.analysis.cfg import CFG, EXIT, BasicBlock, HwLoopSpan, build_cfg
+from repro.analysis.concurrency import (
+    AccessSite,
+    ConcurrencyReport,
+    analyze_spmd,
+    barrier_phases,
+)
 from repro.analysis.dataflow import (
     ALL_REGISTERS,
     dead_stores,
@@ -31,7 +44,20 @@ from repro.analysis.linter import (
     lint_source,
     lint_unit,
 )
+from repro.analysis.features import FeatureDict, features, lint_features
+from repro.analysis.ranges import (
+    RangeAnalysis,
+    ValueRange,
+    analyze_ranges,
+    transfer,
+)
 from repro.analysis.rules import analyze_program, check_targets, run_rules
+from repro.analysis.sarif import (
+    RULE_DESCRIPTIONS,
+    findings_from_sarif,
+    render_sarif,
+    to_sarif,
+)
 from repro.analysis.stalls import (
     StallSite,
     predicted_stalls,
@@ -61,4 +87,19 @@ __all__ = [
     "stall_sites",
     "stalls_by_block",
     "predicted_stalls",
+    "AccessSite",
+    "ConcurrencyReport",
+    "analyze_spmd",
+    "barrier_phases",
+    "ValueRange",
+    "RangeAnalysis",
+    "analyze_ranges",
+    "transfer",
+    "FeatureDict",
+    "features",
+    "lint_features",
+    "RULE_DESCRIPTIONS",
+    "to_sarif",
+    "render_sarif",
+    "findings_from_sarif",
 ]

@@ -19,7 +19,7 @@ control transfer to ``len(program)`` (falling off the end).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set
 
 from repro.errors import IsaError
 from repro.machine.encoding import BRANCHES, Instruction, Opcode

@@ -1,0 +1,652 @@
+"""SPMD concurrency analysis: races, barriers, bank conflicts.
+
+The cluster runs the *same* program on every core with per-core
+register presets (the SPMD model of the OpenMP runtime): core ``c``
+gets its row range, its slice base, its chunk bound.  This module
+answers, statically, the three questions that decide whether such a
+program is correct and fast on the shared L1:
+
+* **OR011 — data races.**  Per core, the value-range analysis
+  (:mod:`repro.analysis.ranges`) bounds every load/store to an
+  arithmetic progression of byte addresses; a *barrier-phase* dataflow
+  bounds how many barriers the core has crossed when the access runs.
+  Two accesses on different cores race when their phase intervals
+  intersect (no barrier provably separates them), at least one is a
+  store, and their address progressions can touch a common byte.
+* **OR012 — barrier divergence.**  Each core's barrier count at exit
+  must be a statically-constant number, equal across cores; a barrier
+  under a data-dependent branch or in a loop with an unprovable trip
+  count makes the interval non-singleton and is flagged (the dynamic
+  twin deadlocks — see ``SharedMemoryCluster.run``).
+* **OR013 — missing barrier before DMA handoff.**  A store into the
+  DMA-out region with no barrier on some path to exit means the DMA
+  can ship stale bytes.
+* **OR014 — bank-conflict hotspots.**  Sampling each access
+  progression over the word-interleaved bank map and weighting by
+  estimated execution count predicts per-bank contention; banks where
+  several cores pile up are reported with estimated lost cycles.
+
+Everything is conservative in the sound direction for OR011..OR013:
+*may*-overlap, *may*-be-concurrent.  OR014 is a performance estimate
+and reports at INFO severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.isa.validate import Finding, Severity
+from repro.machine.encoding import (
+    BRANCHES,
+    LOADS,
+    STORES,
+    Instruction,
+    Opcode,
+)
+
+from repro.analysis.cfg import CFG, EXIT, HwLoopSpan, build_cfg
+from repro.analysis.ranges import (
+    RangeAnalysis,
+    ValueRange,
+    analyze_ranges,
+    get,
+    may_overlap,
+    refine_branch,
+    transfer,
+)
+
+#: "Unboundedly many barriers" in phase intervals.
+INF = 1 << 30
+#: Assumed iteration count of software loops with unknown trip counts.
+_SOFT_LOOP_DEFAULT = 8
+#: Trip-count clamp for execution-count estimates.
+_TRIP_CLAMP = 4096
+#: Maximum addresses sampled per access progression for bank mapping.
+_BANK_SAMPLES = 512
+#: OR014 reports at most this many hotspot banks.
+_MAX_HOTSPOTS = 4
+
+Phase = Tuple[int, int]
+
+
+def _location(pc: int) -> str:
+    return f"pc {pc}"
+
+
+def _line(lines: Optional[Sequence[int]], pc: int) -> Optional[int]:
+    if lines is None or pc >= len(lines):
+        return None
+    return lines[pc]
+
+
+# ---------------------------------------------------------------------------
+# Per-core structural facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static memory access of one core's execution."""
+
+    core: int
+    pc: int
+    address: ValueRange
+    width: int
+    is_store: bool
+    #: Inclusive interval of barrier counts possible when this runs.
+    phase: Phase
+    #: Estimated dynamic executions (hwloop trips x software loops).
+    count: int
+
+
+def _edge_feasible(cfg: CFG, ranges: RangeAnalysis) -> Dict[Tuple[int, int],
+                                                            bool]:
+    """Which (block, successor) conditional edges this core can take.
+
+    The per-core register presets often decide branches outright (a
+    core-id compare, a chunk-bound check); an edge whose branch
+    refinement yields the empty state is dropped from every dataflow
+    below, which is what makes per-core barrier counts differ honestly
+    between cores of one SPMD program.
+    """
+    feasible: Dict[Tuple[int, int], bool] = {}
+    for block in cfg.blocks:
+        state = ranges.block_in[block.index]
+        if state is None:
+            continue
+        last_pc = block.end - 1
+        last = cfg.program[last_pc]
+        if last.opcode not in BRANCHES or last.opcode is Opcode.JUMP:
+            continue
+        out = dict(state)
+        for pc in block.pcs():
+            out = transfer(out, cfg.program[pc])
+        taken_target = last_pc + 1 + last.imm
+        taken_ok = refine_branch(out, last, taken=True) is not None
+        fall_ok = refine_branch(out, last, taken=False) is not None
+        for successor in block.successors:
+            if successor == EXIT:
+                continue
+            succ_start = cfg.blocks[successor].start
+            hits_taken = succ_start == taken_target \
+                or any(span.contains(last_pc) and taken_target == span.end
+                       and succ_start == span.start
+                       for span in cfg.hwloops)
+            hits_fall = succ_start == last_pc + 1 \
+                or any(span.contains(last_pc) and last_pc + 1 == span.end
+                       and succ_start == span.start
+                       for span in cfg.hwloops)
+            ok = (hits_taken and taken_ok) or (hits_fall and fall_ok)
+            feasible[(block.index, successor)] = ok
+    return feasible
+
+
+def _trip_count(ranges: RangeAnalysis, span: HwLoopSpan) -> Optional[int]:
+    """The span's trip count when statically constant for this core."""
+    state = ranges.state_before(span.setup_pc)
+    trips = get(state, span.trip_register)
+    if trips.is_singleton:
+        return max(0, trips.lo)
+    return None
+
+
+def _span_barriers(cfg: CFG, span: HwLoopSpan,
+                   trips: Dict[HwLoopSpan, Optional[int]]) -> Optional[int]:
+    """Barriers one iteration of *span* crosses, when constant.
+
+    Zero-barrier bodies are constant regardless of internal control
+    flow (the common compute loop).  Bodies with barriers must be
+    branch-free; nested loops contribute ``trip x per-iteration`` when
+    both are constant.
+    """
+    direct = [pc for pc in range(span.start, min(span.end, len(cfg.program)))
+              if cfg.program[pc].opcode is Opcode.BARRIER]
+    if not direct and not any(
+            other.setup_pc != span.setup_pc and span.contains(other.setup_pc)
+            and _span_barriers(cfg, other, trips)
+            for other in cfg.hwloops):
+        return 0
+    nested = [other for other in cfg.hwloops
+              if other.setup_pc != span.setup_pc
+              and span.contains(other.setup_pc)]
+    own = [pc for pc in direct
+           if not any(other.contains(pc) for other in nested)]
+    for pc in range(span.start, min(span.end, len(cfg.program))):
+        if cfg.program[pc].opcode in BRANCHES \
+                and not any(other.contains(pc) for other in nested):
+            return None
+    total = len(own)
+    for other in nested:
+        per_iteration = _span_barriers(cfg, other, trips)
+        if per_iteration is None:
+            return None
+        if per_iteration == 0:
+            continue
+        t = trips.get(other)
+        if t is None:
+            return None
+        total += t * per_iteration
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Barrier-phase dataflow
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhaseAnalysis:
+    """Barrier-count intervals for one core's run of the program."""
+
+    cfg: CFG
+    block_in: List[Optional[Phase]]
+    exit_phase: Optional[Phase]
+
+    def phase_at(self, pc: int) -> Optional[Phase]:
+        """Barrier-count interval just before executing *pc*."""
+        block = self.cfg.block_at(pc)
+        interval = self.block_in[block.index]
+        if interval is None:
+            return None
+        crossed = sum(1 for walk in range(block.start, pc)
+                      if self.cfg.program[walk].opcode is Opcode.BARRIER)
+        return (interval[0] + crossed, min(INF, interval[1] + crossed))
+
+
+def _phase_join(a: Optional[Phase], b: Phase) -> Phase:
+    if a is None:
+        return b
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def barrier_phases(cfg: CFG, ranges: RangeAnalysis) -> PhaseAnalysis:
+    """Solve the barrier-phase intervals for one core.
+
+    Mirrors the range fixpoint: hardware loops with a constant trip
+    count and a constant per-iteration barrier count are summarized in
+    closed form (body phases ``[in, in + (T-1)B]``, exit exactly
+    ``in + TB``); anything less regular widens to :data:`INF`, which
+    downstream rules read as "not statically constant".
+    """
+    blocks = cfg.blocks
+    block_in: List[Optional[Phase]] = [None] * len(blocks)
+    if not blocks:
+        return PhaseAnalysis(cfg=cfg, block_in=block_in, exit_phase=(0, 0))
+    block_in[0] = (0, 0)
+
+    trips = {span: _trip_count(ranges, span) for span in cfg.hwloops}
+    per_iteration = {span: _span_barriers(cfg, span, trips)
+                     for span in cfg.hwloops}
+    feasible = _edge_feasible(cfg, ranges)
+    block_barriers = [sum(1 for pc in block.pcs()
+                          if cfg.program[pc].opcode is Opcode.BARRIER)
+                      for block in blocks]
+    head_block = {span: cfg.block_of[span.start]
+                  for span in cfg.hwloops if span.start < len(cfg.program)}
+    end_block = {span: cfg.block_of[span.end]
+                 for span in cfg.hwloops if span.end < len(cfg.program)}
+    span_entry: Dict[HwLoopSpan, Phase] = {}
+
+    def summarized(span: HwLoopSpan) -> bool:
+        return trips[span] is not None and per_iteration[span] is not None
+
+    exit_phase: Optional[Phase] = None
+    visits = [0] * len(blocks)
+    worklist = [0]
+    while worklist:
+        index = worklist.pop(0)
+        interval = block_in[index]
+        if interval is None:
+            continue
+        visits[index] += 1
+        block = blocks[index]
+        out = (interval[0] + block_barriers[index],
+               min(INF, interval[1] + block_barriers[index]))
+        last_pc = block.end - 1
+        last = cfg.program[last_pc]
+        if last.opcode is Opcode.HWLOOP:
+            for span in cfg.hwloops:
+                if span.setup_pc == last_pc:
+                    span_entry[span] = out
+        if EXIT in block.successors:
+            exit_phase = _phase_join(exit_phase, out)
+        for successor in block.successors:
+            if successor == EXIT:
+                continue
+            if not feasible.get((index, successor), True):
+                continue
+            edge: Phase = out
+            for span in cfg.hwloops:
+                if not summarized(span):
+                    continue
+                t = trips[span]
+                b = per_iteration[span]
+                if head_block.get(span) == successor:
+                    if last_pc == span.setup_pc or span.contains(last_pc):
+                        # Setup entry and hardware back-edge both carry
+                        # the closed-form body interval.
+                        base = span_entry.get(span, edge)
+                        edge = (base[0],
+                                min(INF, base[1] + max(0, t - 1) * b))
+                elif end_block.get(span) == successor:
+                    if last_pc == span.setup_pc and t > 0:
+                        # Zero-trip skip edge is infeasible: T > 0.
+                        edge = None  # type: ignore[assignment]
+                    elif span.contains(last_pc):
+                        base = span_entry.get(span, edge)
+                        edge = (min(INF, base[0] + t * b),
+                                min(INF, base[1] + t * b))
+            if edge is None:
+                continue
+            previous = block_in[successor]
+            merged = _phase_join(previous, edge)
+            if previous is not None and visits[successor] > 8 \
+                    and merged != previous:
+                merged = (merged[0], INF)
+            if merged != previous:
+                block_in[successor] = merged
+                if successor not in worklist:
+                    worklist.append(successor)
+    return PhaseAnalysis(cfg=cfg, block_in=block_in, exit_phase=exit_phase)
+
+
+def _phases_intersect(a: Phase, b: Phase) -> bool:
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+# ---------------------------------------------------------------------------
+# Execution-count estimation (for OR014 weights)
+# ---------------------------------------------------------------------------
+
+
+def _cycle_blocks(cfg: CFG) -> Set[int]:
+    """Blocks on a non-hwloop CFG cycle (software loops)."""
+    spans = cfg.hwloops
+    in_cycle: Set[int] = set()
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        # DFS: can this block reach itself without a hardware back-edge?
+        stack = list(block.successors)
+        seen: Set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == EXIT or current in seen:
+                continue
+            if current == block.index:
+                in_cycle.add(block.index)
+                break
+            seen.add(current)
+            source = cfg.blocks[current]
+            last_pc = source.end - 1
+            for successor in source.successors:
+                if successor == EXIT:
+                    continue
+                is_back = any(
+                    span.contains(last_pc)
+                    and cfg.blocks[successor].start == span.start
+                    and span.contains(source.start)
+                    for span in spans)
+                if not is_back:
+                    stack.append(successor)
+    return in_cycle
+
+
+def _site_count(cfg: CFG, pc: int,
+                trips: Dict[HwLoopSpan, Optional[int]],
+                cycles: Set[int]) -> int:
+    count = 1
+    for span in cfg.loops_containing(pc):
+        t = trips.get(span)
+        count *= min(_TRIP_CLAMP, max(1, t)) if t is not None \
+            else _SOFT_LOOP_DEFAULT
+    if cfg.block_of[pc] in cycles:
+        count *= _SOFT_LOOP_DEFAULT
+    return min(count, _TRIP_CLAMP * _TRIP_CLAMP)
+
+
+def _sample_addresses(address: ValueRange) -> List[int]:
+    if address.is_singleton:
+        return [address.lo]
+    stride = max(1, address.stride)
+    total = (address.hi - address.lo) // stride + 1
+    if total <= _BANK_SAMPLES:
+        return list(range(address.lo, address.hi + 1, stride))
+    step = total // _BANK_SAMPLES
+    return [address.lo + i * step * stride for i in range(_BANK_SAMPLES)]
+
+
+# ---------------------------------------------------------------------------
+# The combined report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConcurrencyReport:
+    """Everything one SPMD analysis produced."""
+
+    cores: int
+    banks: int
+    findings: List[Finding]
+    sites: List[AccessSite]
+    #: Per-core barrier-count interval at program exit.
+    exit_phases: List[Optional[Phase]]
+    #: Racing site pairs behind the OR011 findings (deduplicated).
+    races: List[Tuple[AccessSite, AccessSite]] = field(default_factory=list)
+    #: Estimated accesses per bank, per core: ``bank_load[core][bank]``.
+    bank_load: List[List[float]] = field(default_factory=list)
+    #: Estimated lost cycles per bank (requests losing arbitration).
+    bank_conflict_estimate: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR finding exists."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def features(self) -> Dict[str, float]:
+        """Stable feature dict for model training / regression tracking."""
+        loads = [sum(core) for core in zip(*self.bank_load)] \
+            if self.bank_load else [0.0] * self.banks
+        total_load = sum(loads)
+        mean_load = total_load / self.banks if self.banks else 0.0
+        exit_lo = min((p[0] for p in self.exit_phases if p), default=0)
+        exit_hi = max((p[1] for p in self.exit_phases if p), default=0)
+        return {
+            "concurrency.cores": float(self.cores),
+            "concurrency.banks": float(self.banks),
+            "concurrency.access_sites": float(len(self.sites)),
+            "concurrency.shared_store_sites": float(
+                len({(s.core, s.pc) for a, b in self.races
+                     for s in (a, b) if s.is_store})),
+            "concurrency.races": float(len(self.races)),
+            "concurrency.barrier_phase_min": float(min(exit_lo, INF)),
+            "concurrency.barrier_phase_max": float(min(exit_hi, INF)),
+            "concurrency.bank_load_total": float(total_load),
+            "concurrency.bank_load_max": float(max(loads, default=0.0)),
+            "concurrency.bank_load_imbalance": float(
+                max(loads, default=0.0) / mean_load) if mean_load else 0.0,
+            "concurrency.predicted_conflict_cycles": float(
+                sum(self.bank_conflict_estimate)),
+        }
+
+
+def analyze_spmd(program: Sequence[Instruction],
+                 cores: int = 4,
+                 presets: Optional[Sequence[Mapping[int, int]]] = None,
+                 lines: Optional[Sequence[int]] = None,
+                 dma_out: Optional[Tuple[int, int]] = None,
+                 banks: int = 8) -> ConcurrencyReport:
+    """Analyze *program* run SPMD on *cores* cores.
+
+    ``presets[c]`` maps register -> entry value for core ``c`` (the
+    runtime's per-core arguments); ``dma_out`` is the half-open byte
+    region a DMA transfer ships out after the program ends.
+    """
+    if presets is None:
+        presets = [{} for _ in range(cores)]
+    if len(presets) != cores:
+        raise ValueError(f"need {cores} preset dict(s), got {len(presets)}")
+    cfg = build_cfg(program)
+    per_core_ranges = [analyze_ranges(cfg, entry=dict(p)) for p in presets]
+    per_core_phases = [barrier_phases(cfg, r) for r in per_core_ranges]
+    findings: List[Finding] = []
+
+    # -- access sites --------------------------------------------------------
+    trips_by_core = [{span: _trip_count(r, span) for span in cfg.hwloops}
+                     for r in per_core_ranges]
+    cycles = _cycle_blocks(cfg)
+    sites: List[AccessSite] = []
+    reachable_pcs = sorted(cfg.reachable_pcs())
+    for core in range(cores):
+        ranges = per_core_ranges[core]
+        phases = per_core_phases[core]
+        for pc in reachable_pcs:
+            instruction = program[pc]
+            opcode = instruction.opcode
+            if opcode not in LOADS and opcode not in STORES:
+                continue
+            phase = phases.phase_at(pc)
+            if phase is None:  # unreachable for this core's presets
+                continue
+            sites.append(AccessSite(
+                core=core,
+                pc=pc,
+                address=ranges.address_range(pc),
+                width=LOADS.get(opcode) or STORES[opcode],
+                is_store=opcode in STORES,
+                phase=phase,
+                count=_site_count(cfg, pc, trips_by_core[core], cycles)))
+
+    # -- OR011: races --------------------------------------------------------
+    races: List[Tuple[AccessSite, AccessSite]] = []
+    reported: Set[Tuple[int, int]] = set()
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            if a.core == b.core:
+                continue
+            if not (a.is_store or b.is_store):
+                continue
+            if not _phases_intersect(a.phase, b.phase):
+                continue
+            if not may_overlap(a.address, a.width, b.address, b.width):
+                continue
+            races.append((a, b))
+            key = (min(a.pc, b.pc), max(a.pc, b.pc))
+            if key in reported:
+                continue
+            reported.add(key)
+            store = a if a.is_store else b
+            other = b if store is a else a
+            kind = "store/store" if a.is_store and b.is_store \
+                else "store/load"
+            findings.append(Finding(
+                Severity.ERROR, _location(store.pc),
+                f"data race ({kind}): cores {store.core} and {other.core} "
+                f"can touch overlapping bytes ({store.address} vs "
+                f"{other.address}) with no barrier between them "
+                f"(peer access at pc {other.pc})",
+                code="OR011", line=_line(lines, store.pc)))
+
+    # -- OR012: barrier divergence ------------------------------------------
+    exit_phases = [p.exit_phase for p in per_core_phases]
+    divergent = False
+    for core, phase in enumerate(exit_phases):
+        if phase is None:
+            continue
+        if phase[0] != phase[1]:
+            divergent = True
+            hi = "unbounded" if phase[1] >= INF else str(phase[1])
+            findings.append(Finding(
+                Severity.ERROR, "program",
+                f"barrier divergence: core {core} crosses between "
+                f"{phase[0]} and {hi} barriers depending on control flow "
+                f"(every core must cross the same constant number)",
+                code="OR012", line=None))
+    if not divergent:
+        constants = {phase[0] for phase in exit_phases if phase is not None}
+        if len(constants) > 1:
+            counts = ", ".join(
+                f"core {core}: {phase[0]}"
+                for core, phase in enumerate(exit_phases) if phase is not None)
+            findings.append(Finding(
+                Severity.ERROR, "program",
+                f"barrier divergence: cores cross different numbers of "
+                f"barriers ({counts}); the cluster barrier never completes",
+                code="OR012", line=None))
+
+    # -- OR013: missing barrier before DMA handoff ---------------------------
+    if dma_out is not None:
+        dma_lo, dma_hi = dma_out
+        dma_range = ValueRange(dma_lo, max(dma_lo, dma_hi - 1),
+                               1 if dma_hi - 1 > dma_lo else 0)
+        flagged: Set[int] = set()
+        for core in range(cores):
+            after = _min_barriers_to_exit(
+                cfg, _edge_feasible(cfg, per_core_ranges[core]))
+            for site in sites:
+                if site.core != core or not site.is_store:
+                    continue
+                if site.pc in flagged:
+                    continue
+                if not may_overlap(site.address, site.width, dma_range, 1):
+                    continue
+                if after.get(site.pc, 0) == 0:
+                    flagged.add(site.pc)
+                    findings.append(Finding(
+                        Severity.ERROR, _location(site.pc),
+                        f"store into the DMA-out region "
+                        f"[{dma_lo:#x}, {dma_hi:#x}) can reach the handoff "
+                        f"with no barrier after it; the DMA may ship stale "
+                        f"data",
+                        code="OR013", line=_line(lines, site.pc)))
+
+    # -- OR014: bank-conflict hotspots --------------------------------------
+    bank_load = [[0.0] * banks for _ in range(cores)]
+    for site in sites:
+        samples = _sample_addresses(site.address)
+        weight = site.count / len(samples)
+        for address in samples:
+            bank_load[site.core][(address // 4) % banks] += weight
+    conflict_estimate = []
+    for bank in range(banks):
+        loads = [bank_load[core][bank] for core in range(cores)]
+        total = sum(loads)
+        conflict_estimate.append(total - max(loads, default=0.0))
+    hotspots = sorted(
+        (bank for bank in range(banks) if conflict_estimate[bank] >= 1.0),
+        key=lambda bank: -conflict_estimate[bank])[:_MAX_HOTSPOTS]
+    for bank in hotspots:
+        sharers = sum(1 for core in range(cores) if bank_load[core][bank] > 0)
+        findings.append(Finding(
+            Severity.INFO, f"bank {bank}",
+            f"predicted TCDM hotspot: {sharers} core(s) direct "
+            f"~{sum(bank_load[core][bank] for core in range(cores)):.0f} "
+            f"accesses at bank {bank}; estimated "
+            f"{conflict_estimate[bank]:.0f} contention cycle(s) lost to "
+            f"arbitration",
+            code="OR014", line=None))
+
+    return ConcurrencyReport(
+        cores=cores,
+        banks=banks,
+        findings=findings,
+        sites=sites,
+        exit_phases=exit_phases,
+        races=races,
+        bank_load=bank_load,
+        bank_conflict_estimate=conflict_estimate,
+    )
+
+
+def _min_barriers_to_exit(cfg: CFG,
+                          feasible: Dict[Tuple[int, int], bool]
+                          ) -> Dict[int, int]:
+    """Minimum barriers crossed from just after each pc to program exit.
+
+    A store with value 0 here can be the last shared-memory write a
+    core performs — nothing orders it before whatever consumes the
+    data after the program (rule OR013's premise).
+    """
+    blocks = cfg.blocks
+    # min barriers from block entry to exit
+    entry_min: List[int] = [INF] * len(blocks)
+    block_barriers = [sum(1 for pc in block.pcs()
+                          if cfg.program[pc].opcode is Opcode.BARRIER)
+                      for block in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            best = INF
+            if EXIT in block.successors:
+                best = 0
+            for successor in block.successors:
+                if successor == EXIT:
+                    continue
+                if not feasible.get((block.index, successor), True):
+                    continue
+                best = min(best, entry_min[successor])
+            value = min(INF, best + block_barriers[block.index])
+            if value < entry_min[block.index]:
+                entry_min[block.index] = value
+                changed = True
+    result: Dict[int, int] = {}
+    for block in blocks:
+        if block.index not in cfg.reachable:
+            continue
+        for pc in block.pcs():
+            after_in_block = sum(
+                1 for walk in range(pc + 1, block.end)
+                if cfg.program[walk].opcode is Opcode.BARRIER)
+            best = INF
+            if EXIT in block.successors:
+                best = 0
+            for successor in block.successors:
+                if successor == EXIT:
+                    continue
+                if not feasible.get((block.index, successor), True):
+                    continue
+                best = min(best, entry_min[successor])
+            result[pc] = min(INF, after_in_block + best)
+    return result

@@ -20,7 +20,7 @@ bounded and fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import FrozenSet, List, Optional, Sequence, Set
 
 from repro.machine.encoding import (
     REGISTERS,

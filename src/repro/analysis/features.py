@@ -1,0 +1,105 @@
+"""A stable feature vector over one machine program.
+
+``features()`` is the public, schema-stable summary the DSE cost models
+and external tooling consume: structural CFG counts, the static
+load-use stall model, per-rule lint counts, and (for SPMD programs
+analyzed with ``cores >= 2``) the concurrency features of
+:func:`repro.analysis.concurrency.analyze_spmd`.
+
+Keys are flat dotted strings and every value is an ``int`` or
+``float`` so the dict serializes losslessly to JSON and tabulates into
+a dataframe without coercion.  The key set is fixed for a given
+``cores`` mode — absent phenomena report ``0``, they do not drop keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Union
+
+from repro.machine.assembler import AssemblyUnit, assemble_unit
+from repro.machine.encoding import Instruction
+
+from repro.analysis.concurrency import analyze_spmd
+from repro.analysis.linter import AnalysisReport, lint_instructions
+from repro.analysis.sarif import RULE_DESCRIPTIONS
+
+FeatureDict = Dict[str, Union[int, float]]
+
+#: Every rule code with a reserved ``lint.count.*`` slot, in order.
+LINT_CODES = tuple(sorted(RULE_DESCRIPTIONS))
+
+ProgramLike = Union[str, AssemblyUnit, Sequence[Instruction]]
+
+
+def _as_unit(program: ProgramLike) -> AssemblyUnit:
+    if isinstance(program, AssemblyUnit):
+        return program
+    if isinstance(program, str):
+        return assemble_unit(program)
+    instructions = list(program)
+    return AssemblyUnit(instructions=instructions,
+                        lines=[0] * len(instructions))
+
+
+def lint_features(report: AnalysisReport) -> FeatureDict:
+    """Lint + stall features of one :class:`AnalysisReport`."""
+    out: FeatureDict = {
+        "lint.findings": len(report.findings),
+        "lint.errors": len(report.errors),
+        "lint.ok": int(report.ok),
+    }
+    for code in LINT_CODES:
+        out[f"lint.count.{code}"] = 0
+    for finding in report.findings:
+        key = f"lint.count.{finding.code}"
+        if key in out:
+            out[key] += 1
+    blocks = len(report.cfg.blocks) if report.cfg is not None else 0
+    hwloops = len(report.cfg.hwloops) if report.cfg is not None else 0
+    out["cfg.blocks"] = blocks
+    out["cfg.hwloops"] = hwloops
+    out["stalls.sites"] = sum(report.stalls.values())
+    out["stalls.max_per_block"] = max(report.stalls.values(), default=0)
+    out["stalls.blocks_affected"] = sum(
+        1 for count in report.stalls.values() if count)
+    return out
+
+
+def features(program: ProgramLike,
+             name: str = "program",
+             entry_regs: FrozenSet[int] = frozenset(),
+             cores: int = 1,
+             presets: Optional[Sequence[Dict[int, int]]] = None,
+             dma_out: Optional[Sequence[int]] = None,
+             banks: int = 8) -> FeatureDict:
+    """Compute the full feature dict for *program*.
+
+    *program* is assembly text, an :class:`AssemblyUnit`, or a bare
+    instruction list.  With ``cores >= 2`` the program is additionally
+    analyzed as an SPMD kernel (one logical copy per core, per-core
+    register *presets*) and the ``concurrency.*`` features of
+    :meth:`~repro.analysis.concurrency.ConcurrencyReport.features` are
+    merged in; ``instructions`` counts the single program image either
+    way.
+    """
+    unit = _as_unit(program)
+    report = lint_instructions(unit.instructions, name=name,
+                               lines=unit.lines, entry_regs=entry_regs)
+    out: FeatureDict = {"instructions": len(unit.instructions)}
+    out.update(lint_features(report))
+    if cores >= 2:
+        spmd = analyze_spmd(unit.instructions, cores=cores,
+                            presets=presets, lines=unit.lines,
+                            dma_out=tuple(dma_out) if dma_out else None,
+                            banks=banks)
+        out.update(spmd.features())
+        out["lint.findings"] += len(spmd.findings)
+        errors = sum(1 for f in spmd.findings
+                     if f.severity.value == "error")
+        out["lint.errors"] += errors
+        out["lint.ok"] = int(out["lint.errors"] == 0)
+        for finding in spmd.findings:
+            key = f"lint.count.{finding.code}"
+            if key in out:
+                out[key] += 1
+    return out

@@ -1,0 +1,624 @@
+"""Value-range / congruence analysis of OR10N-mini register contents.
+
+The abstract domain is a bounded arithmetic progression: a register
+holds some value in ``{lo, lo + stride, ..., hi}``.  That is exactly
+the shape address computations take in strided kernels — a base plus a
+loop index scaled by an element size — so the domain proves the two
+facts the concurrency analysis needs about a memory access:
+
+* an **interval** bound on the byte addresses it can touch, and
+* a **congruence** (stride) that separates interleaved access streams
+  whose intervals overlap (core 0 touching even words, core 1 odd).
+
+Three pieces of machinery keep loops precise without giving up
+soundness:
+
+* **branch-edge refinement** — flowing along the taken edge of
+  ``blt r5, r16`` clamps ``r5`` below ``r16``; this recovers bounds
+  for induction variables of software loops;
+* **hardware-loop summarization** — a register whose only writes in a
+  straight-line ``hwloop`` body are self-increments with a statically
+  constant delta is seeded at the body head with its closed-form range
+  over all iterations, and the hardware back-edge is neutralized for
+  it (otherwise the fixpoint would widen it to TOP);
+* **widening** — any register still changing after several visits of a
+  block is widened to the 32-bit clamp, bounding the iteration count.
+
+Soundness caveat, by construction: a computation that would exceed the
+32-bit two's-complement range goes straight to TOP (which covers every
+representable value), so wrap-around never produces a value outside
+the reported range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.encoding import (
+    BRANCHES,
+    LOADS,
+    STORES,
+    Instruction,
+    Opcode,
+)
+
+from repro.analysis.cfg import CFG, EXIT, HwLoopSpan
+
+CLAMP_LO = -(1 << 31)
+CLAMP_HI = (1 << 31) - 1
+
+#: Times one register may change at one block before joins widen it.
+#: Counted per (block, register) — a register that converges in two
+#: joins must not be widened just because an inner loop churns the
+#: block many times.
+_WIDEN_AFTER = 8
+#: Hard cap on fixpoint propagations (safety net; sound fallback TOP).
+_MAX_STEPS = 20_000
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """A bounded arithmetic progression ``{lo, lo+stride, ..., hi}``.
+
+    ``stride == 0`` means the singleton ``{lo}`` (then ``hi == lo``).
+    """
+
+    lo: int
+    hi: int
+    stride: int = 1
+
+    @property
+    def is_singleton(self) -> bool:
+        """Whether exactly one value is possible."""
+        return self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        """Whether this is the full 32-bit range."""
+        return self.lo <= CLAMP_LO and self.hi >= CLAMP_HI
+
+    def count(self) -> int:
+        """Number of values in the progression."""
+        if self.is_singleton:
+            return 1
+        return (self.hi - self.lo) // max(1, self.stride) + 1
+
+    def __str__(self) -> str:
+        if self.is_singleton:
+            return f"{{{self.lo}}}"
+        return f"[{self.lo}, {self.hi}] step {self.stride}"
+
+
+TOP = ValueRange(CLAMP_LO, CLAMP_HI, 1)
+ZERO = ValueRange(0, 0, 0)
+
+
+def make(lo: int, hi: int, stride: int = 1) -> ValueRange:
+    """Normalized constructor; overflow beyond 32 bits becomes TOP."""
+    if lo > hi:
+        lo, hi = hi, lo
+    if lo < CLAMP_LO or hi > CLAMP_HI:
+        # The concrete machine wraps; TOP is the only sound answer.
+        return TOP
+    if lo == hi:
+        return ValueRange(lo, hi, 0)
+    stride = max(1, abs(stride))
+    hi = lo + ((hi - lo) // stride) * stride
+    if lo == hi:
+        return ValueRange(lo, hi, 0)
+    return ValueRange(lo, hi, stride)
+
+
+def const(value: int) -> ValueRange:
+    """The singleton range {value}."""
+    return make(value, value, 0)
+
+
+def add(a: ValueRange, b: ValueRange) -> ValueRange:
+    """Abstract addition."""
+    return make(a.lo + b.lo, a.hi + b.hi, gcd(a.stride, b.stride))
+
+
+def negate(a: ValueRange) -> ValueRange:
+    """Abstract negation."""
+    return make(-a.hi, -a.lo, a.stride)
+
+
+def sub(a: ValueRange, b: ValueRange) -> ValueRange:
+    """Abstract subtraction."""
+    return add(a, negate(b))
+
+
+def mul_const(a: ValueRange, c: int) -> ValueRange:
+    """Abstract multiplication by a constant."""
+    if c == 0:
+        return ZERO
+    if c > 0:
+        return make(a.lo * c, a.hi * c, a.stride * c)
+    return make(a.hi * c, a.lo * c, a.stride * c)
+
+
+def mul(a: ValueRange, b: ValueRange) -> ValueRange:
+    """Abstract multiplication."""
+    if a.is_singleton:
+        return mul_const(b, a.lo)
+    if b.is_singleton:
+        return mul_const(a, b.lo)
+    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return make(min(products), max(products), 1)
+
+
+def join(a: ValueRange, b: ValueRange) -> ValueRange:
+    """Least upper bound of two progressions."""
+    g = gcd(gcd(a.stride, b.stride), abs(a.lo - b.lo))
+    return make(min(a.lo, b.lo), max(a.hi, b.hi), g if g else 0)
+
+
+#: Staged widening threshold.  A moving bound first jumps here; only a
+#: bound that keeps growing past it jumps to the 32-bit clamp.  Staying
+#: clear of the clamp keeps small post-widening arithmetic (the +4 of
+#: an induction step) from overflowing to TOP, so narrowing can recover
+#: the refined bound.  Sound: the fixpoint keeps iterating, so values
+#: beyond the threshold force one more widening step.
+_WIDEN_THRESHOLD = 1 << 28
+
+
+def widen(old: ValueRange, new: ValueRange) -> ValueRange:
+    """Widen *new* against *old*: moving bounds jump outward in stages."""
+    if new.lo >= old.lo:
+        lo = new.lo
+    elif new.lo >= -_WIDEN_THRESHOLD and old.lo > -_WIDEN_THRESHOLD:
+        lo = -_WIDEN_THRESHOLD
+    else:
+        lo = CLAMP_LO
+    if new.hi <= old.hi:
+        hi = new.hi
+    elif new.hi <= _WIDEN_THRESHOLD and old.hi < _WIDEN_THRESHOLD:
+        hi = _WIDEN_THRESHOLD
+    else:
+        hi = CLAMP_HI
+    return make(lo, hi, 1 if lo != hi else 0)
+
+
+def clamp_upper(a: ValueRange, upper: int) -> Optional[ValueRange]:
+    """Restrict to values <= *upper* (None when empty)."""
+    if a.lo > upper:
+        return None
+    if a.hi <= upper:
+        return a
+    stride = max(1, a.stride)
+    hi = a.lo + ((upper - a.lo) // stride) * stride
+    return make(a.lo, hi, a.stride)
+
+
+def clamp_lower(a: ValueRange, lower: int) -> Optional[ValueRange]:
+    """Restrict to values >= *lower* (None when empty)."""
+    if a.hi < lower:
+        return None
+    if a.lo >= lower:
+        return a
+    stride = max(1, a.stride)
+    lo = a.lo + -(-(lower - a.lo) // stride) * stride
+    if lo > a.hi:
+        return None
+    return make(lo, a.hi, a.stride)
+
+
+def intersect(a: ValueRange, b: ValueRange) -> Optional[ValueRange]:
+    """Interval intersection (congruence dropped — over-approximate)."""
+    lo = max(a.lo, b.lo)
+    hi = min(a.hi, b.hi)
+    if lo > hi:
+        return None
+    return make(lo, hi, 1 if lo != hi else 0)
+
+
+def may_overlap(a: ValueRange, width_a: int,
+                b: ValueRange, width_b: int) -> bool:
+    """Whether byte accesses of *width* at addresses in *a*/*b* can
+    touch a common byte.
+
+    Interval proximity first, then the congruence test: with strides
+    ``sa``/``sb`` any pair of addresses differs by a multiple of
+    ``gcd(sa, sb)`` from ``a.lo - b.lo``, so overlap needs a byte
+    distance in ``(-width_b, width_a)`` compatible with that residue.
+    Returns True whenever overlap cannot be *excluded* — the sound
+    direction for race detection.
+    """
+    if a.lo > b.hi + width_b - 1 or b.lo > a.hi + width_a - 1:
+        return False
+    g = gcd(a.stride, b.stride)
+    if g == 0:  # both singletons
+        return -(width_b - 1) <= a.lo - b.lo <= width_a - 1
+    if g == 1:
+        return True
+    base = a.lo - b.lo
+    return any((d - base) % g == 0
+               for d in range(-(width_b - 1), width_a))
+
+
+# ---------------------------------------------------------------------------
+# Transfer function
+# ---------------------------------------------------------------------------
+
+#: A register state: register index -> range; missing means TOP.
+RegState = Dict[int, ValueRange]
+
+#: Value ranges implied by load widths (sign-extended sub-word loads).
+_LOAD_RANGES = {
+    Opcode.LB: make(-128, 127, 1),
+    Opcode.LH: make(-32768, 32767, 1),
+    Opcode.LW: TOP,
+}
+
+
+def get(state: RegState, register: int) -> ValueRange:
+    """The range of *register* in *state* (r0 is always zero)."""
+    if register == 0:
+        return ZERO
+    return state.get(register, TOP)
+
+
+def _set(state: RegState, register: int, value: ValueRange) -> None:
+    if register == 0:
+        return
+    if value.is_top:
+        state.pop(register, None)
+    else:
+        state[register] = value
+
+
+def transfer(state: RegState, instruction: Instruction) -> RegState:
+    """Apply one instruction to a copy of *state*."""
+    state = dict(state)
+    opcode = instruction.opcode
+    rd, ra, rb, imm = (instruction.rd, instruction.ra,
+                       instruction.rb, instruction.imm)
+    if opcode in STORES or opcode in BRANCHES \
+            or opcode in (Opcode.HALT, Opcode.HWLOOP, Opcode.BARRIER):
+        return state
+    if opcode in LOADS:
+        _set(state, rd, _LOAD_RANGES[opcode])
+        return state
+    a = get(state, ra)
+    b = get(state, rb)
+    if opcode is Opcode.ADDI:
+        value = add(a, const(imm))
+    elif opcode is Opcode.ADD:
+        value = add(a, b)
+    elif opcode is Opcode.SUB:
+        value = sub(a, b)
+    elif opcode is Opcode.MULI:
+        value = mul_const(a, imm)
+    elif opcode is Opcode.MUL:
+        value = mul(a, b)
+    elif opcode is Opcode.SLLI:
+        value = mul_const(a, 1 << (imm & 31))
+    elif opcode is Opcode.SLL:
+        value = mul_const(a, 1 << (b.lo & 31)) if b.is_singleton else TOP
+    elif opcode is Opcode.SRAI:
+        value = make(a.lo >> (imm & 31), a.hi >> (imm & 31), 1) \
+            if not a.is_top else TOP
+    elif opcode is Opcode.ANDI:
+        value = make(0, imm, 1) if imm >= 0 else TOP
+    elif opcode is Opcode.MIN:
+        value = make(min(a.lo, b.lo), min(a.hi, b.hi), 1)
+    elif opcode is Opcode.MAX:
+        value = make(max(a.lo, b.lo), max(a.hi, b.hi), 1)
+    elif opcode is Opcode.MAC:
+        value = add(get(state, rd), mul(a, b))
+    else:
+        # AND/OR/XOR/SRA/ADD4/SUB4: no useful transfer.
+        value = TOP
+    _set(state, rd, value)
+    return state
+
+
+def refine_branch(state: RegState, instruction: Instruction,
+                  taken: bool) -> Optional[RegState]:
+    """Restrict *state* by a conditional branch outcome.
+
+    Returns ``None`` when the outcome is statically infeasible (the
+    edge then carries no state at all).
+    """
+    opcode = instruction.opcode
+    if opcode is Opcode.JUMP or opcode not in BRANCHES:
+        return state
+    ra, rb = instruction.ra, instruction.rb
+    a = get(state, ra)
+    b = get(state, rb)
+    equal = (opcode is Opcode.BEQ and taken) \
+        or (opcode is Opcode.BNE and not taken)
+    unequal = (opcode is Opcode.BNE and taken) \
+        or (opcode is Opcode.BEQ and not taken)
+    state = dict(state)
+    if opcode is Opcode.BLT:
+        if taken:  # a < b
+            new_a = clamp_upper(a, b.hi - 1)
+            new_b = clamp_lower(b, a.lo + 1)
+        else:      # a >= b
+            new_a = clamp_lower(a, b.lo)
+            new_b = clamp_upper(b, a.hi)
+        if new_a is None or new_b is None:
+            return None
+        _set(state, ra, new_a)
+        _set(state, rb, new_b)
+        return state
+    if equal:
+        both = intersect(a, b)
+        if both is None:
+            return None
+        _set(state, ra, both)
+        _set(state, rb, both)
+        return state
+    if unequal and a.is_singleton and b.is_singleton and a.lo == b.lo:
+        return None
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Hardware-loop summarization
+# ---------------------------------------------------------------------------
+
+#: A per-iteration delta: list of (sign, register-or-None, immediate).
+_DeltaTerms = List[Tuple[int, Optional[int], int]]
+
+
+def _loop_delta_terms(program: Sequence[Instruction],
+                      span: HwLoopSpan) -> Dict[int, _DeltaTerms]:
+    """Symbolic per-iteration deltas of registers in a hwloop body.
+
+    A register is summarizable when the body is straight-line (no
+    branch, no nested hwloop) and all its writes are self-increments:
+    ``addi r, r, c`` / ``add r, r, rX`` / ``sub r, r, rX`` where
+    ``rX`` is not itself written in the body.  Returns an empty dict
+    for unsummarizable bodies.
+    """
+    body = [program[pc] for pc in range(span.start, span.end)]
+    if any(i.opcode in BRANCHES or i.opcode is Opcode.HWLOOP for i in body):
+        return {}
+    written = set()
+    for instruction in body:
+        opcode = instruction.opcode
+        if opcode in STORES or opcode in (Opcode.HALT, Opcode.BARRIER):
+            continue
+        written.add(instruction.rd)
+    terms: Dict[int, _DeltaTerms] = {}
+    bad = set()
+    for instruction in body:
+        opcode = instruction.opcode
+        if opcode in STORES or opcode in (Opcode.HALT, Opcode.BARRIER):
+            continue
+        rd = instruction.rd
+        if rd == 0:
+            continue
+        if opcode is Opcode.ADDI and instruction.ra == rd:
+            terms.setdefault(rd, []).append((1, None, instruction.imm))
+        elif opcode is Opcode.ADD and instruction.ra == rd \
+                and instruction.rb not in written:
+            terms.setdefault(rd, []).append((1, instruction.rb, 0))
+        elif opcode is Opcode.SUB and instruction.ra == rd \
+                and instruction.rb not in written:
+            terms.setdefault(rd, []).append((-1, instruction.rb, 0))
+        else:
+            bad.add(rd)
+    return {reg: t for reg, t in terms.items() if reg not in bad}
+
+
+def _evaluate_delta(terms: _DeltaTerms, state: RegState) -> Optional[int]:
+    """Resolve delta terms to a constant under *state* (None if not)."""
+    total = 0
+    for sign, register, imm in terms:
+        if register is None:
+            total += sign * imm
+        else:
+            value = get(state, register)
+            if not value.is_singleton:
+                return None
+            total += sign * value.lo
+    return total
+
+
+def _seed_span(state: RegState, span: HwLoopSpan,
+               deltas: Dict[int, _DeltaTerms]) -> RegState:
+    """Body-head state of *span* given the setup-exit state *state*.
+
+    Summarizable registers get their closed-form range over all
+    iterations; other body-written registers go to TOP (the back-edge
+    is cut for seeded registers, so nothing else would account for
+    their growth).
+    """
+    trips = get(state, span.trip_register)
+    seeded = dict(state)
+    for register, terms in deltas.items():
+        v0 = get(state, register)
+        delta = _evaluate_delta(terms, state)
+        if delta is None or trips.hi >= (1 << 24):
+            _set(seeded, register, TOP)
+            continue
+        last = max(trips.hi, 1) - 1
+        lo = v0.lo + min(0, last * delta)
+        hi = v0.hi + max(0, last * delta)
+        _set(seeded, register, make(lo, hi, gcd(v0.stride, abs(delta))
+                                    or abs(delta)))
+    return seeded
+
+
+# ---------------------------------------------------------------------------
+# The fixpoint
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RangeAnalysis:
+    """Solved value ranges for one program + entry assignment."""
+
+    cfg: CFG
+    block_in: List[Optional[RegState]]
+
+    def state_before(self, pc: int) -> RegState:
+        """The register state just before executing *pc*."""
+        block = self.cfg.block_at(pc)
+        state = self.block_in[block.index]
+        if state is None:
+            return {}
+        for walk_pc in range(block.start, pc):
+            state = transfer(state, self.cfg.program[walk_pc])
+        return state
+
+    def address_range(self, pc: int) -> ValueRange:
+        """Byte-address range of the memory access at *pc*."""
+        instruction = self.cfg.program[pc]
+        if instruction.opcode not in LOADS and instruction.opcode not in STORES:
+            raise ValueError(f"pc {pc} is not a memory access")
+        state = self.state_before(pc)
+        return add(get(state, instruction.ra), const(instruction.imm))
+
+
+def _join_states(a: Optional[RegState], b: RegState) -> RegState:
+    if a is None:
+        return dict(b)
+    return {register: join(a[register], b[register])
+            for register in a.keys() & b.keys()
+            if not join(a[register], b[register]).is_top}
+
+
+#: Cap on decreasing iterations applied after the widened fixpoint;
+#: branch refinement recovers bounds that widening threw away
+#: (narrowing).  Each round propagates recovered bounds one block
+#: further, so nested loops need several; convergence usually stops
+#: the loop well before the cap.
+
+
+def analyze_ranges(cfg: CFG,
+                   entry: Optional[Dict[int, int]] = None) -> RangeAnalysis:
+    """Solve the range analysis with *entry* register presets.
+
+    Registers without a preset start at TOP; ``r0`` is the constant 0.
+    """
+    blocks = cfg.blocks
+    block_in: List[Optional[RegState]] = [None] * len(blocks)
+    if not blocks:
+        return RangeAnalysis(cfg=cfg, block_in=block_in)
+    entry_state: RegState = {}
+    for register, value in (entry or {}).items():
+        _set(entry_state, register, const(value))
+    block_in[0] = entry_state
+
+    spans = cfg.hwloops
+    deltas = {span: _loop_delta_terms(cfg.program, span) for span in spans}
+    setup_block = {span: cfg.block_of[span.setup_pc] for span in spans}
+    head_block = {span: cfg.block_of[span.start]
+                  for span in spans if span.start < len(cfg.program)}
+    span_entry: Dict[HwLoopSpan, RegState] = {}
+
+    def flow(index: int, state: RegState) -> List[Tuple[int, RegState]]:
+        """Edge states leaving block *index* given its entry *state*."""
+        block = blocks[index]
+        out = dict(state)
+        for pc in block.pcs():
+            out = transfer(out, cfg.program[pc])
+        last_pc = block.end - 1
+        last = cfg.program[last_pc]
+        if last.opcode is Opcode.HWLOOP:
+            for span in spans:
+                if span.setup_pc == last_pc:
+                    span_entry[span] = out
+        # Classify successor edges for refinement / loop seeding.
+        taken_blocks = set()
+        fall_blocks = set()
+        if last.opcode in BRANCHES and last.opcode is not Opcode.JUMP:
+            for target, bucket in ((last_pc + 1 + last.imm, taken_blocks),
+                                   (last_pc + 1, fall_blocks)):
+                resolved = [target]
+                for span in spans:
+                    if span.contains(last_pc) and target == span.end:
+                        resolved.append(span.start)
+                for t in resolved:
+                    if 0 <= t < len(cfg.program):
+                        bucket.add(cfg.block_of[t])
+        edges: List[Tuple[int, RegState]] = []
+        for successor in block.successors:
+            if successor == EXIT:
+                continue
+            edge_state: Optional[RegState] = out
+            if last.opcode in BRANCHES and last.opcode is not Opcode.JUMP:
+                in_taken = successor in taken_blocks
+                in_fall = successor in fall_blocks
+                if in_taken and not in_fall:
+                    edge_state = refine_branch(out, last, taken=True)
+                elif in_fall and not in_taken:
+                    edge_state = refine_branch(out, last, taken=False)
+            if edge_state is None:
+                continue
+            for span in spans:
+                if head_block.get(span) != successor:
+                    continue
+                if index == setup_block[span] and last_pc == span.setup_pc:
+                    edge_state = _seed_span(edge_state, span, deltas[span])
+                elif span.contains(last_pc):
+                    # Hardware back-edge: re-seed from the remembered
+                    # setup state so summarized registers stay closed.
+                    base = span_entry.get(span, edge_state)
+                    reseed = _seed_span(base, span, deltas[span])
+                    edge_state = dict(edge_state)
+                    for register in deltas[span]:
+                        _set(edge_state, register,
+                             get(reseed, register))
+            edges.append((successor, edge_state))
+        return edges
+
+    changes: Dict[Tuple[int, int], int] = {}
+    worklist = [0]
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > _MAX_STEPS:
+            # Sound fallback: every remaining fact becomes TOP.
+            for index in range(len(blocks)):
+                if index in cfg.reachable:
+                    block_in[index] = {}
+            break
+        index = worklist.pop(0)
+        state = block_in[index]
+        if state is None:
+            continue
+        for successor, edge_state in flow(index, state):
+            previous = block_in[successor]
+            merged = _join_states(previous, edge_state)
+            if previous is not None:
+                stabilized: RegState = {}
+                for register, value in merged.items():
+                    old = previous.get(register, TOP)
+                    if value != old:
+                        key = (successor, register)
+                        changes[key] = changes.get(key, 0) + 1
+                        if changes[key] > _WIDEN_AFTER:
+                            value = widen(old, value)
+                    if not value.is_top:
+                        stabilized[register] = value
+                merged = stabilized
+            if merged != previous:
+                block_in[successor] = merged
+                if successor not in worklist:
+                    worklist.append(successor)
+
+    # Narrowing: re-apply the (monotone) flow to the widened solution a
+    # few times, taking the fresh edge joins as-is.  Starting above the
+    # least fixpoint keeps every round a sound over-approximation while
+    # branch refinement pulls widened bounds back in.
+    for _ in range(max(8, 2 * len(blocks))):
+        fresh: List[Optional[RegState]] = [None] * len(blocks)
+        fresh[0] = entry_state
+        for index in range(len(blocks)):
+            state = block_in[index]
+            if state is None:
+                continue
+            for successor, edge_state in flow(index, state):
+                fresh[successor] = _join_states(fresh[successor], edge_state)
+        if fresh == block_in:
+            break
+        block_in = fresh
+    return RangeAnalysis(cfg=cfg, block_in=block_in)

@@ -1,0 +1,176 @@
+"""SARIF 2.1.0 export of analyzer findings.
+
+The Static Analysis Results Interchange Format is the lingua franca of
+code-scanning UIs (GitHub code scanning, VS Code SARIF viewer).  This
+module serializes any list of :class:`~repro.isa.validate.Finding`
+objects — the shared vocabulary of the loop-nest validator (``VPnnn``),
+the machine-code linter (``OR001``..``OR010``) and the SPMD concurrency
+analyzer (``OR011``..``OR014``) — into a single-run SARIF log, and can
+read one back for round-trip testing.
+
+``python -m repro lint --format sarif`` is the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.validate import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-lint"
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_SEVERITIES = {level: severity for severity, level in _LEVELS.items()}
+
+#: One-line rule descriptions, surfaced as ``shortDescription`` in the
+#: tool.driver.rules table.  Codes missing here still export (SARIF
+#: requires only the id); the table covers every rule the repo emits.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "OR001": "Register read before any write on some path",
+    "OR002": "Dead store: value overwritten before any read",
+    "OR003": "Write to r0 (architecturally discarded)",
+    "OR004": "Unreachable instructions",
+    "OR005": "Control can fall off the end without a HALT",
+    "OR006": "Branch/jump/hwloop target outside the program",
+    "OR007": "Hardware-loop nesting deeper than the two loop registers",
+    "OR008": "Branch crossing a hardware-loop body boundary",
+    "OR009": "Trip-count register written inside the loop body",
+    "OR010": "Load-use stall site",
+    "OR011": "Data race: conflicting same-phase TCDM accesses from "
+             "different cores",
+    "OR012": "Barrier divergence: cores may reach different barrier counts",
+    "OR013": "Missing barrier between a shared store and the DMA handoff",
+    "OR014": "Predicted TCDM bank-conflict hotspot",
+}
+
+
+def _rule_object(code: str) -> Dict[str, Any]:
+    rule: Dict[str, Any] = {"id": code}
+    description = RULE_DESCRIPTIONS.get(code)
+    if description is not None:
+        rule["shortDescription"] = {"text": description}
+    return rule
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            uri: Optional[str]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code or "UNKNOWN",
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    physical: Dict[str, Any] = {}
+    if uri is not None:
+        physical["artifactLocation"] = {"uri": uri}
+    if finding.line is not None:
+        physical["region"] = {"startLine": finding.line}
+    location: Dict[str, Any] = {}
+    if physical:
+        location["physicalLocation"] = physical
+    # SARIF has no slot for our symbolic "pc N" locations other than a
+    # logicalLocation; keep it so nothing is lost in the round trip.
+    if finding.location:
+        location["logicalLocations"] = [{"name": finding.location}]
+    if location:
+        result["locations"] = [location]
+    return result
+
+
+def to_sarif(findings: Iterable[Finding],
+             uri: Optional[str] = None,
+             tool_version: Optional[str] = None) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 log dict from *findings*.
+
+    *uri* names the analyzed artifact (source path or program name) and
+    becomes every result's ``artifactLocation``.
+    """
+    findings = list(findings)
+    codes: List[str] = []
+    for finding in findings:
+        code = finding.code or "UNKNOWN"
+        if code not in codes:
+            codes.append(code)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    driver: Dict[str, Any] = {
+        "name": TOOL_NAME,
+        "rules": [_rule_object(code) for code in codes],
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": [_result(f, rule_index, uri) for f in findings],
+        }],
+    }
+
+
+def render_sarif(findings: Iterable[Finding],
+                 uri: Optional[str] = None,
+                 tool_version: Optional[str] = None) -> str:
+    """JSON text of :func:`to_sarif`."""
+    return json.dumps(to_sarif(findings, uri=uri, tool_version=tool_version),
+                      indent=2)
+
+
+def findings_from_sarif(document: Any) -> List[Finding]:
+    """Reconstruct :class:`Finding` objects from a SARIF log.
+
+    Accepts the dict from :func:`to_sarif` or its JSON text.  Inverse of
+    the export for the fields a :class:`Finding` carries; used by the
+    round-trip tests and handy for diffing two lint runs.
+    """
+    if isinstance(document, str):
+        document = json.loads(document)
+    findings: List[Finding] = []
+    for run in document.get("runs", []):
+        for result in run.get("results", []):
+            level = result.get("level", "warning")
+            message = result.get("message", {}).get("text", "")
+            line: Optional[int] = None
+            location = ""
+            for loc in result.get("locations", []):
+                region = loc.get("physicalLocation", {}).get("region", {})
+                if "startLine" in region:
+                    line = int(region["startLine"])
+                logical = loc.get("logicalLocations", [])
+                if logical and "name" in logical[0]:
+                    location = logical[0]["name"]
+            findings.append(Finding(
+                severity=_SEVERITIES.get(level, Severity.WARNING),
+                location=location,
+                message=message,
+                code=result.get("ruleId", ""),
+                line=line,
+            ))
+    return findings
+
+
+def sarif_round_trip_equal(findings: Sequence[Finding],
+                           document: Any) -> Tuple[bool, str]:
+    """Check that *document* decodes to exactly *findings*.
+
+    Returns ``(ok, detail)`` where *detail* names the first mismatch.
+    """
+    decoded = findings_from_sarif(document)
+    if len(decoded) != len(findings):
+        return False, f"count mismatch: {len(findings)} != {len(decoded)}"
+    for i, (a, b) in enumerate(zip(findings, decoded)):
+        if (a.code, a.severity, a.message, a.line, a.location) != \
+                (b.code, b.severity, b.message, b.line, b.location):
+            return False, f"finding {i} mismatch: {a} != {b}"
+    return True, ""

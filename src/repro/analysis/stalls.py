@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.machine.encoding import LOADS, Instruction, source_registers
+from repro.machine.encoding import LOADS, source_registers
 
 from repro.analysis.cfg import CFG
 

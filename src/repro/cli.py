@@ -10,7 +10,8 @@ Usage::
     python -m repro offload --kernel "svm (RBF)" --host-mhz 8 --iterations 32
     python -m repro trace matmul --out trace.json [--flame flame.txt]
     python -m repro metrics [--kernel matmul] [--json]
-    python -m repro lint kernel.s [--format json] [--entry-regs r1,r2]
+    python -m repro lint kernel.s [--format json|sarif] [--entry-regs r1,r2]
+    python -m repro lint kernel.s --cores 4 --preset r5=0@8 [--dma-out 0x700:0x780]
     python -m repro lint --all-builtin
     python -m repro faults --scenarios 11 --seed 1 [--json] [--trace t.json]
     python -m repro dse --host-mhz 2,4,8 --budget-mw 5,10 --jobs 4 \
@@ -241,13 +242,66 @@ def _parse_entry_regs(text: str):
     return frozenset(registers)
 
 
+def _parse_presets(tokens, cores: int):
+    """``--preset rN=base[@step]`` -> per-core register preset dicts.
+
+    Core *c* gets ``base + c * step`` (the SPMD static-schedule idiom:
+    one register carries the core's chunk start).
+    """
+    presets = [dict() for _ in range(cores)]
+    for token in tokens or ():
+        try:
+            register_text, value_text = token.split("=", 1)
+            step = 0
+            if "@" in value_text:
+                value_text, step_text = value_text.split("@", 1)
+                step = int(step_text, 0)
+            base = int(value_text, 0)
+            register = int(register_text.lower().lstrip("r"))
+            if not 0 <= register < 32:
+                raise ValueError(token)
+        except ValueError:
+            raise SystemExit(f"lint: bad --preset {token!r} "
+                             "(expected rN=base[@step])")
+        for core in range(cores):
+            presets[core][register] = base + core * step
+    return presets
+
+
+def _parse_dma_out(text):
+    if not text:
+        return None
+    try:
+        lo_text, hi_text = text.split(":", 1)
+        region = (int(lo_text, 0), int(hi_text, 0))
+    except ValueError:
+        raise SystemExit(f"lint: bad --dma-out {text!r} (expected lo:hi)")
+    if region[0] >= region[1]:
+        raise SystemExit(f"lint: empty --dma-out region {text!r}")
+    return region
+
+
+def _spmd_findings(instructions, lines, args):
+    from repro.analysis.concurrency import analyze_spmd
+
+    report = analyze_spmd(
+        instructions, cores=args.cores,
+        presets=_parse_presets(args.preset, args.cores), lines=lines,
+        dma_out=_parse_dma_out(args.dma_out), banks=args.banks)
+    return report.findings
+
+
 def _cmd_lint(args) -> str:
+    from repro.analysis.concurrency import analyze_spmd
     from repro.analysis.dataflow import ALL_REGISTERS
-    from repro.analysis.linter import lint_source
+    from repro.analysis.linter import lint_instructions, lint_source
     from repro.errors import IsaError
     from repro.isa.validate import Severity
+    from repro.machine.parallel import PARALLEL_PROGRAMS
     from repro.machine.programs import BUILTIN_PROGRAMS
 
+    if args.cores < 0:
+        raise SystemExit("lint: --cores must be >= 0")
     entry_regs = _parse_entry_regs(args.entry_regs or "")
     reports = []
     if args.all_builtin:
@@ -257,6 +311,17 @@ def _cmd_lint(args) -> str:
                 entry_regs=program.entry_regs,
                 exit_live=program.exit_live if program.exit_live is not None
                 else ALL_REGISTERS))
+        for parallel in PARALLEL_PROGRAMS.values():
+            cores = args.cores if args.cores >= 2 else 4
+            report = lint_instructions(
+                parallel.unit.instructions, name=parallel.name,
+                lines=parallel.unit.lines, entry_regs=parallel.entry_regs)
+            spmd = analyze_spmd(
+                parallel.unit.instructions, cores=cores,
+                presets=parallel.presets(cores), lines=parallel.unit.lines,
+                dma_out=parallel.dma_out)
+            report.findings.extend(spmd.findings)
+            reports.append(report)
     if not args.all_builtin and not args.files:
         raise SystemExit("lint: give one or more .s files or --all-builtin")
     for path in args.files:
@@ -266,13 +331,20 @@ def _cmd_lint(args) -> str:
         except OSError as exc:
             raise SystemExit(f"lint: cannot read {path}: {exc}")
         try:
-            reports.append(lint_source(source, name=path,
-                                       entry_regs=entry_regs))
+            report = lint_source(source, name=path, entry_regs=entry_regs)
         except IsaError as exc:
             # Assembly itself failed; surface it like a finding and fail.
             args._exit_code = 1
             reports.append(None)
             print(f"{path}: assembly error: {exc}", file=sys.stderr)
+            continue
+        if args.cores >= 2 and report.cfg is not None:
+            from repro.machine.assembler import assemble_unit
+
+            unit = assemble_unit(source)
+            report.findings.extend(
+                _spmd_findings(unit.instructions, unit.lines, args))
+        reports.append(report)
 
     failed = any(report is None or not report.ok for report in reports)
     if args.strict:
@@ -285,6 +357,14 @@ def _cmd_lint(args) -> str:
     good = [report for report in reports if report is not None]
     if args.format == "json":
         return "[" + ",\n".join(r.to_json() for r in good) + "]"
+    if args.format == "sarif":
+        from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
+
+        runs = []
+        for report in good:
+            runs.extend(to_sarif(report.findings, uri=report.name)["runs"])
+        return _json_dump({"$schema": SARIF_SCHEMA,
+                           "version": SARIF_VERSION, "runs": runs})
     return "\n\n".join(r.render() for r in good)
 
 
@@ -566,11 +646,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assembly source files to analyze")
     lint.add_argument("--all-builtin", action="store_true",
                       help="lint every built-in machine program")
-    lint.add_argument("--format", choices=("pretty", "json"),
+    lint.add_argument("--format", choices=("pretty", "json", "sarif"),
                       default="pretty", help="output format")
     lint.add_argument("--entry-regs", default="",
                       help="comma-separated registers preset at entry, "
                            "e.g. r1,r2,r4")
+    lint.add_argument("--cores", type=int, default=0,
+                      help="also run the SPMD concurrency analysis "
+                           "(OR011..OR014) with this many cores")
+    lint.add_argument("--preset", action="append", default=[],
+                      metavar="rN=BASE[@STEP]",
+                      help="per-core entry value: core c gets BASE + "
+                           "c*STEP (repeatable; needs --cores)")
+    lint.add_argument("--dma-out", default=None, metavar="LO:HI",
+                      help="byte region a DMA ships out after the "
+                           "program ends (enables OR013; needs --cores)")
+    lint.add_argument("--banks", type=int, default=8,
+                      help="TCDM banks for the OR014 conflict model")
     lint.add_argument("--strict", action="store_true",
                       help="fail on warnings too, not only errors")
     faults = sub.add_parser(

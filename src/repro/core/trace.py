@@ -50,7 +50,7 @@ def trace_offload(timing: OffloadTiming,
     shows the steady-state period structure instead.
     """
     if max_iterations < 1:
-        raise ConfigurationError(f"max_iterations must be >= 1")
+        raise ConfigurationError("max_iterations must be >= 1")
     hub = Telemetry(enabled=True)
     emit_offload_spans(hub, timing)
     phases: List[TracePhase] = []

@@ -17,7 +17,17 @@ and sub-word SIMD adds — with
 from repro.machine.assembler import assemble
 from repro.machine.encoding import Instruction, Opcode, decode, encode
 from repro.machine.interpreter import ExecutionResult, Machine
-from repro.machine.multicore import MulticoreResult, SharedMemoryCluster
+from repro.machine.multicore import (
+    MemoryAccess,
+    MulticoreResult,
+    SharedMemoryCluster,
+)
+from repro.machine.parallel import (
+    PARALLEL_PROGRAMS,
+    ParallelProgram,
+    parallel_program,
+    run_parallel_builtin,
+)
 from repro.machine.programs import (
     DOT_PRODUCT_I8,
     MATMUL_I8,
@@ -36,6 +46,11 @@ __all__ = [
     "ExecutionResult",
     "SharedMemoryCluster",
     "MulticoreResult",
+    "MemoryAccess",
+    "PARALLEL_PROGRAMS",
+    "ParallelProgram",
+    "parallel_program",
+    "run_parallel_builtin",
     "MATMUL_I8",
     "MATMUL_ROWS_I8",
     "DOT_PRODUCT_I8",

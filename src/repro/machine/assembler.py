@@ -173,7 +173,7 @@ def _check_targets(instructions: List[Instruction],
 
 def _build(opcode: Opcode, operands: List[str], labels: Dict[str, int],
            position: int) -> Instruction:
-    if opcode is Opcode.HALT:
+    if opcode is Opcode.HALT or opcode is Opcode.BARRIER:
         _expect(operands, 0, opcode)
         return Instruction(opcode)
     if opcode is Opcode.JUMP:
@@ -186,8 +186,8 @@ def _build(opcode: Opcode, operands: List[str], labels: Dict[str, int],
         end = _parse_value(operands[1], labels, position, relative=False)
         body = end - (position + 1)
         if body < 1:
-            raise IsaError(f"hwloop body must contain instructions "
-                           f"(end label before the loop?)")
+            raise IsaError("hwloop body must contain instructions "
+                           "(end label before the loop?)")
         return Instruction(opcode, ra=trips, imm=body)
     if opcode in BRANCHES:
         _expect(operands, 3, opcode)

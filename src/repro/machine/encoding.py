@@ -67,6 +67,8 @@ class Opcode(enum.IntEnum):
     JUMP = 0x33
     # hardware loop: ra = trip count register, rb slot = body length
     HWLOOP = 0x38
+    # cluster-wide hardware barrier (no operands)
+    BARRIER = 0x39
     # misc
     HALT = 0x3F
 
@@ -104,7 +106,7 @@ class Instruction:
 
     def __str__(self) -> str:
         name = self.opcode.name.lower()
-        if self.opcode is Opcode.HALT:
+        if self.opcode is Opcode.HALT or self.opcode is Opcode.BARRIER:
             return name
         if self.opcode is Opcode.JUMP:
             return f"{name} {self.imm}"
@@ -128,7 +130,8 @@ def source_registers(instruction: Instruction) -> Tuple[int, ...]:
     static dataflow analyses in :mod:`repro.analysis`.
     """
     opcode = instruction.opcode
-    if opcode is Opcode.HALT or opcode is Opcode.JUMP:
+    if opcode is Opcode.HALT or opcode is Opcode.JUMP \
+            or opcode is Opcode.BARRIER:
         return ()
     if opcode is Opcode.HWLOOP:
         return (instruction.ra,)
@@ -154,6 +157,7 @@ def dest_register(instruction: Instruction) -> Optional[int]:
     """
     opcode = instruction.opcode
     if (opcode is Opcode.HALT or opcode is Opcode.HWLOOP
+            or opcode is Opcode.BARRIER
             or opcode in STORES or opcode in BRANCHES):
         return None
     return instruction.rd

@@ -48,6 +48,10 @@ class ExecutionResult:
     #: Loads whose destination is read by the very next instruction —
     #: the dynamic twin of :func:`repro.analysis.stalls.stall_sites`.
     load_use_stalls: int = 0
+    #: BARRIER instructions crossed.  On a single core the barrier is a
+    #: one-cycle no-op (there is nobody to wait for); the count lets the
+    #: concurrency analysis cross-check per-core barrier sequences.
+    barriers: int = 0
 
     @property
     def memory_accesses(self) -> int:
@@ -117,6 +121,7 @@ class Machine:
         hw_loops: List[_HwLoop] = []
         halted = False
         load_use_stalls = 0
+        barriers = 0
         pending_load_rd: Optional[int] = None
 
         while 0 <= pc < len(program):
@@ -137,6 +142,9 @@ class Machine:
                 cycles += 1
                 halted = True
                 break
+            elif opcode is Opcode.BARRIER:
+                cycles += 1  # alone, a core crosses immediately
+                barriers += 1
             elif opcode is Opcode.HWLOOP:
                 if len(hw_loops) >= self.HW_LOOPS:
                     raise SimulationError("hardware loop nesting exceeded")
@@ -201,6 +209,7 @@ class Machine:
             registers=list(registers),
             halted=halted,
             load_use_stalls=load_use_stalls,
+            barriers=barriers,
         )
 
     @staticmethod

@@ -25,6 +25,23 @@ from repro.machine.encoding import (
 from repro.machine.interpreter import Machine
 
 
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One granted data-memory access of a lockstep run.
+
+    ``epoch`` counts the barriers the core had crossed when the access
+    happened; the happens-before race checker orders accesses by it.
+    """
+
+    cycle: int
+    core: int
+    pc: int
+    epoch: int
+    address: int
+    width: int
+    is_store: bool
+
+
 @dataclass
 class CoreState:
     """Architectural + pipeline state of one lockstep core."""
@@ -37,9 +54,12 @@ class CoreState:
     #: Remaining busy cycles of the current instruction (multi-cycle ops).
     busy: int = 0
     hw_loops: List = field(default_factory=list)
+    #: Barriers crossed so far (the core's happens-before epoch).
+    epoch: int = 0
     # statistics
     cycles_active: int = 0
     cycles_stalled: int = 0
+    barrier_cycles: int = 0
     instructions: int = 0
     loads: int = 0
     stores: int = 0
@@ -60,6 +80,13 @@ class MulticoreResult:
     cores: List[CoreState]
     bank_conflicts: int
     bank_accesses: int
+    #: Per-bank stalled-request / attempted-request counts.
+    conflicts_by_bank: List[int] = field(default_factory=list)
+    accesses_by_bank: List[int] = field(default_factory=list)
+    #: Cluster-wide barriers completed.
+    barriers: int = 0
+    #: Byte-accurate access trace, populated with ``record_trace=True``.
+    trace: List[MemoryAccess] = field(default_factory=list)
 
     @property
     def conflict_rate(self) -> float:
@@ -82,6 +109,8 @@ class SharedMemoryCluster:
         self.banks = banks
         self.memory = Machine(memory_size)  # reuse its checked memory
         self._priority = 0
+        self._trace: Optional[List[MemoryAccess]] = None
+        self._cycle = 0
 
     # -- memory facade ----------------------------------------------------------
 
@@ -97,8 +126,19 @@ class SharedMemoryCluster:
 
     def run(self, programs: Sequence[Sequence[Instruction]],
             register_presets: Optional[Sequence[dict]] = None,
-            max_cycles: int = 2_000_000) -> MulticoreResult:
-        """Run one program per core to completion, lockstep."""
+            max_cycles: int = 2_000_000,
+            record_trace: bool = False) -> MulticoreResult:
+        """Run one program per core to completion, lockstep.
+
+        ``BARRIER`` instructions synchronize *all* cores of the run: a
+        core reaching one sleeps until every other core arrives, then
+        everyone crosses in the same cycle and bumps its barrier epoch.
+        A core halting while others wait at a barrier can never be
+        joined — that divergence raises :class:`SimulationError` (the
+        dynamic twin of lint rule OR012).  ``record_trace=True``
+        additionally records every granted access with its core, pc,
+        epoch, byte address and width.
+        """
         if not 1 <= len(programs) <= self.num_cores:
             raise SimulationError(
                 f"need 1..{self.num_cores} programs, got {len(programs)}")
@@ -110,10 +150,29 @@ class SharedMemoryCluster:
                     state.registers[register] = value
         conflicts = 0
         accesses = 0
+        conflicts_by_bank = [0] * self.banks
+        accesses_by_bank = [0] * self.banks
+        barriers_completed = 0
+        trace: List[MemoryAccess] = []
+        self._trace = trace if record_trace else None
         cycle = 0
         while any(not s.halted for s in states):
             if cycle >= max_cycles:
                 raise SimulationError(f"cluster exceeded {max_cycles} cycles")
+            self._cycle = cycle
+            # Barrier resolution: who is waiting at a BARRIER this cycle?
+            active = [s for s in states if not s.halted]
+            waiting = [s for s in active if s.busy == 0
+                       and s.program[s.pc].opcode is Opcode.BARRIER]
+            crossing = bool(waiting) and len(waiting) == len(states)
+            if waiting and not crossing and len(waiting) == len(active):
+                halted_ids = [s.core_id for s in states if s.halted]
+                waiting_ids = [s.core_id for s in waiting]
+                raise SimulationError(
+                    f"barrier divergence: core(s) {halted_ids} halted while "
+                    f"core(s) {waiting_ids} wait at a barrier")
+            if crossing:
+                barriers_completed += 1
             # Arbitrate: collect this cycle's memory requests.
             requests = {}
             for state in states:
@@ -145,22 +204,32 @@ class SharedMemoryCluster:
                     state.cycles_active += 1
                     continue
                 instruction = state.program[state.pc]
+                if instruction.opcode is Opcode.BARRIER and not crossing:
+                    state.barrier_cycles += 1
+                    continue
                 is_memory = instruction.opcode in LOADS \
                     or instruction.opcode in STORES
                 if is_memory:
                     accesses += 1
+                    accesses_by_bank[requests[state.core_id]] += 1
                     if state.core_id not in granted:
                         state.cycles_stalled += 1
                         conflicts += 1
+                        conflicts_by_bank[requests[state.core_id]] += 1
                         continue
                 self._execute(state, instruction)
                 state.cycles_active += 1
             cycle += 1
+        self._trace = None
         return MulticoreResult(
             wall_cycles=cycle,
             cores=states,
             bank_conflicts=conflicts,
             bank_accesses=accesses,
+            conflicts_by_bank=conflicts_by_bank,
+            accesses_by_bank=accesses_by_bank,
+            barriers=barriers_completed,
+            trace=trace,
         )
 
     # -- single-instruction semantics --------------------------------------------
@@ -173,7 +242,11 @@ class SharedMemoryCluster:
         if opcode is Opcode.HALT:
             state.halted = True
             return
-        if opcode is Opcode.HWLOOP:
+        if opcode is Opcode.BARRIER:
+            # Only ever executed in the cycle all cores cross together
+            # (run() gates the call); the core just bumps its epoch.
+            state.epoch += 1
+        elif opcode is Opcode.HWLOOP:
             if len(state.hw_loops) >= Machine.HW_LOOPS:
                 raise SimulationError("hardware loop nesting exceeded")
             trips = registers[instruction.ra]
@@ -204,11 +277,21 @@ class SharedMemoryCluster:
                 registers[instruction.rd] = value
             state.loads += 1
             state.busy = 1  # load-use stall, as in the 1-core ISS
+            if self._trace is not None:
+                self._trace.append(MemoryAccess(
+                    cycle=self._cycle, core=state.core_id, pc=state.pc,
+                    epoch=state.epoch, address=address, width=width,
+                    is_store=False))
         elif opcode in STORES:
             width = STORES[opcode]
             address = registers[instruction.ra] + instruction.imm
             self.memory._store(address, width, registers[instruction.rd])
             state.stores += 1
+            if self._trace is not None:
+                self._trace.append(MemoryAccess(
+                    cycle=self._cycle, core=state.core_id, pc=state.pc,
+                    epoch=state.epoch, address=address, width=width,
+                    is_store=True))
         else:
             Machine._alu(instruction, registers)
         # Hardware loop back edges.

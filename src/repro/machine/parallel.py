@@ -1,0 +1,327 @@
+"""Barrier-synchronized SPMD kernels for the lockstep cluster.
+
+Each registered program is the parallel twin of a built-in kernel: the
+same instruction stream runs on every core with per-core register
+presets carving up the data (the OpenMP static schedule written out in
+assembly), ending in a cluster-wide ``barrier`` before the DMA hands
+the results back.
+
+Like :mod:`repro.machine.programs`, registration is an import-time
+correctness gate — but a two-level one.  Every program must pass the
+single-core analyzer (strict, rules OR001..OR010) **and** the SPMD
+concurrency analyzer (:func:`repro.analysis.concurrency.analyze_spmd`)
+with its canonical presets: a data race (OR011), a divergent barrier
+(OR012) or an unsynchronized DMA handoff (OR013) in any kernel below
+aborts the import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.machine.assembler import AssemblyUnit, assemble_unit
+
+#: Canonical geometry of the conv-cols kernel: H rows of W words.
+CONV_ROWS = 16
+CONV_COLS_WORDS = 16
+#: Column worked by each core (chosen to collide pairwise on banks 0/1).
+CONV_COLUMNS = (0, 8, 1, 9)
+
+#: Canonical element counts.
+_VECTOR_WORDS = 32
+_MATMUL_N = 8
+
+
+@dataclass(frozen=True)
+class ParallelProgram:
+    """One registered SPMD kernel plus its canonical launch recipe."""
+
+    name: str
+    unit: AssemblyUnit
+    #: Registers every core's preset dict must provide.
+    entry_regs: FrozenSet[int]
+    #: cores -> per-core register presets (the canonical schedule).
+    presets: Callable[[int], List[Dict[int, int]]]
+    #: Canonical memory preload blocks: (address, bytes).
+    setup: Callable[[], List[Tuple[int, bytes]]]
+    #: Half-open byte region a DMA ships out after the run, if any.
+    dma_out: Optional[Tuple[int, int]] = None
+
+    @property
+    def source(self) -> str:
+        """The assembly source text."""
+        return self.unit.source
+
+    @property
+    def instructions(self) -> Tuple:
+        """The assembled instruction tuple."""
+        return self.unit.instructions
+
+
+#: Registry of SPMD programs by name, filled by :func:`_parallel`.
+PARALLEL_PROGRAMS: Dict[str, ParallelProgram] = {}
+
+
+def _parallel(name: str, source: str, entry_regs: FrozenSet[int],
+              presets: Callable[[int], List[Dict[int, int]]],
+              setup: Callable[[], List[Tuple[int, bytes]]],
+              dma_out: Optional[Tuple[int, int]] = None,
+              cores: int = 4) -> ParallelProgram:
+    """Assemble, verify (single-core + SPMD), and register a kernel."""
+    from repro.analysis.concurrency import analyze_spmd
+    from repro.analysis.linter import lint_unit
+    from repro.isa.validate import Severity
+
+    unit = assemble_unit(source)
+    lint_unit(unit, name=name, entry_regs=entry_regs).raise_on_error()
+    report = analyze_spmd(unit.instructions, cores=cores,
+                          presets=presets(cores), lines=unit.lines,
+                          dma_out=dma_out)
+    errors = [f for f in report.findings if f.severity is Severity.ERROR]
+    if errors:
+        raise KernelError(
+            f"SPMD program {name!r} failed concurrency analysis: "
+            + "; ".join(str(f) for f in errors))
+    program = ParallelProgram(name=name, unit=unit, entry_regs=entry_regs,
+                              presets=presets, setup=setup, dma_out=dma_out)
+    PARALLEL_PROGRAMS[name] = program
+    return program
+
+
+def _chunks(total: int, cores: int) -> List[Tuple[int, int]]:
+    """Static schedule: contiguous [lo, hi) chunk per core."""
+    base = total // cores
+    extra = total % cores
+    bounds = []
+    lo = 0
+    for core in range(cores):
+        hi = lo + base + (1 if core < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# vector_add_sync_i8
+# ---------------------------------------------------------------------------
+
+_VEC_A, _VEC_B, _VEC_C = 0x100, 0x400, 0x700
+
+
+def _vector_presets(cores: int) -> List[Dict[int, int]]:
+    return [{1: _VEC_A, 2: _VEC_B, 3: _VEC_C, 5: lo, 16: hi}
+            for lo, hi in _chunks(_VECTOR_WORDS, cores)]
+
+
+def _vector_setup() -> List[Tuple[int, bytes]]:
+    a = (np.arange(_VECTOR_WORDS * 4, dtype=np.int32) % 23 - 11).astype(np.int8)
+    b = (np.arange(_VECTOR_WORDS * 4, dtype=np.int32) % 17 - 8).astype(np.int8)
+    return [(_VEC_A, a.tobytes()), (_VEC_B, b.tobytes())]
+
+
+#: Chunked lane-wise int8 vector add with a closing barrier: core c
+#: adds words [r5, r16) of [r1] + [r2] into [r3].
+VECTOR_ADD_SYNC_I8 = _parallel("vector_add_sync_i8", """
+        sub   r6, r16, r5         ; words this core owns
+        slli  r7, r5, 2           ; byte offset of the chunk
+        add   r8, r1, r7
+        add   r9, r2, r7
+        add   r10, r3, r7
+        hwloop r6, add_end
+        lw    r11, 0(r8)
+        lw    r12, 0(r9)
+        add4  r13, r11, r12
+        sw    r13, 0(r10)
+        addi  r8, r8, 4
+        addi  r9, r9, 4
+        addi  r10, r10, 4
+add_end:
+        barrier                   ; results visible before DMA-out
+        halt
+""", entry_regs=frozenset({1, 2, 3, 5, 16}),
+    presets=_vector_presets, setup=_vector_setup,
+    dma_out=(_VEC_C, _VEC_C + _VECTOR_WORDS * 4))
+
+
+# ---------------------------------------------------------------------------
+# matmul_rows_sync_i8
+# ---------------------------------------------------------------------------
+
+_MM_A = 0x100
+_MM_B = _MM_A + _MATMUL_N * _MATMUL_N + 64
+_MM_C = _MM_A + 2 * (_MATMUL_N * _MATMUL_N + 64)
+
+
+def _matmul_presets(cores: int) -> List[Dict[int, int]]:
+    return [{1: _MM_A, 2: _MM_B, 3: _MM_C, 4: _MATMUL_N, 5: lo, 16: hi}
+            for lo, hi in _chunks(_MATMUL_N, cores)]
+
+
+def _matmul_setup() -> List[Tuple[int, bytes]]:
+    n = _MATMUL_N
+    a = (np.arange(n * n, dtype=np.int32) % 13 - 6).astype(np.int8)
+    b = (np.arange(n * n, dtype=np.int32) % 11 - 5).astype(np.int8)
+    return [(_MM_A, a.tobytes()), (_MM_B, b.tobytes())]
+
+
+#: Row-partitioned char matmul with a closing barrier: as
+#: ``matmul_rows_i8`` (rows [r5, r16) of C = sat8((A@B + 64) >> 7)),
+#: plus the synchronization the DMA handoff of C needs.
+MATMUL_ROWS_SYNC_I8 = _parallel("matmul_rows_sync_i8", """
+i_loop:
+        addi r6, r0, 0            ; j = 0
+j_loop:
+        addi r8, r0, 0            ; acc = 0
+        mul  r9, r5, r4
+        add  r9, r9, r1           ; &A[i*n]
+        add  r11, r2, r6          ; &B[0*n + j]
+        hwloop r4, k_end
+        lb   r12, 0(r9)
+        lb   r13, 0(r11)
+        mac  r8, r12, r13
+        addi r9, r9, 1
+        add  r11, r11, r4
+k_end:
+        addi r8, r8, 64           ; round-half-up
+        srai r8, r8, 7
+        addi r14, r0, 127
+        min  r8, r8, r14
+        addi r14, r0, -128
+        max  r8, r8, r14
+        mul  r15, r5, r4
+        add  r15, r15, r6
+        add  r15, r15, r3
+        sb   r8, 0(r15)
+        addi r6, r6, 1
+        blt  r6, r4, j_loop
+        addi r5, r5, 1
+        blt  r5, r16, i_loop
+        barrier                   ; C complete before DMA-out
+        halt
+""", entry_regs=frozenset({1, 2, 3, 4, 5, 16}),
+    presets=_matmul_presets, setup=_matmul_setup,
+    dma_out=(_MM_C, _MM_C + _MATMUL_N * _MATMUL_N))
+
+
+# ---------------------------------------------------------------------------
+# conv_cols_i32
+# ---------------------------------------------------------------------------
+
+_CONV_IN = 0x400
+_CONV_OUT = _CONV_IN + CONV_ROWS * CONV_COLS_WORDS * 4
+
+
+def _conv_presets(cores: int) -> List[Dict[int, int]]:
+    if cores > len(CONV_COLUMNS):
+        raise KernelError(
+            f"conv_cols_i32 defines {len(CONV_COLUMNS)} columns, "
+            f"cannot launch {cores} cores")
+    return [{1: _CONV_IN, 3: _CONV_OUT, 4: CONV_ROWS,
+             5: CONV_COLUMNS[core]} for core in range(cores)]
+
+
+def _conv_setup() -> List[Tuple[int, bytes]]:
+    data = (np.arange(CONV_ROWS * CONV_COLS_WORDS, dtype=np.int32)
+            % 19 - 9).astype(np.int32)
+    return [(_CONV_IN, data.tobytes())]
+
+
+#: Column-sum kernel with a deliberately skewed bank footprint: core c
+#: sums column r5 of an H x W int32 image (row stride W*4 = 64 bytes,
+#: a multiple of the 8-bank line, so a column lives entirely in bank
+#: ``column % 8``).  The canonical columns (0, 8, 1, 9) collide core
+#: pairs on banks 0 and 1 while banks 2..7 stay cold — the fixture the
+#: OR014-vs-simulation ranking test is built on.
+CONV_COLS_I32 = _parallel("conv_cols_i32", """
+        slli r7, r5, 2            ; byte offset of the column
+        add  r8, r1, r7           ; &in[0][col]
+        addi r9, r0, 0            ; acc = 0
+        hwloop r4, col_end
+        lw   r10, 0(r8)
+        add  r9, r9, r10
+        addi r8, r8, 64           ; next row, same column
+col_end:
+        add  r11, r3, r7
+        sw   r9, 0(r11)           ; out[col]
+        barrier                   ; column sums visible before DMA-out
+        halt
+""", entry_regs=frozenset({1, 3, 4, 5}),
+    presets=_conv_presets, setup=_conv_setup,
+    dma_out=(_CONV_OUT, _CONV_OUT + CONV_COLS_WORDS * 4))
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+def run_parallel_builtin(name: str, cores: int = 4, banks: int = 8,
+                         record_trace: bool = False):
+    """Run a registered SPMD kernel on the lockstep cluster.
+
+    Returns ``(cluster, result)`` — the cluster for memory readback,
+    the :class:`~repro.machine.multicore.MulticoreResult` with per-bank
+    counters (and the byte-accurate trace when *record_trace*).
+    """
+    from repro.machine.multicore import SharedMemoryCluster
+
+    program = parallel_program(name)
+    cluster = SharedMemoryCluster(cores=cores, banks=banks)
+    for address, data in program.setup():
+        cluster.write_block(address, data)
+    result = cluster.run([list(program.instructions)] * cores,
+                         register_presets=program.presets(cores),
+                         record_trace=record_trace)
+    return cluster, result
+
+
+def parallel_program(name: str) -> ParallelProgram:
+    """Look up a registered SPMD kernel by name."""
+    if name not in PARALLEL_PROGRAMS:
+        raise KernelError(
+            f"unknown parallel builtin {name!r}; "
+            f"have {sorted(PARALLEL_PROGRAMS)}")
+    return PARALLEL_PROGRAMS[name]
+
+
+def expected_output(name: str) -> np.ndarray:
+    """The numpy reference result of a kernel's canonical run."""
+    if name == "vector_add_sync_i8":
+        blocks = dict(_vector_setup())
+        a = np.frombuffer(blocks[_VEC_A], dtype=np.int8)
+        b = np.frombuffer(blocks[_VEC_B], dtype=np.int8)
+        return (a.astype(np.int16) + b).astype(np.int8)
+    if name == "matmul_rows_sync_i8":
+        n = _MATMUL_N
+        blocks = dict(_matmul_setup())
+        a = np.frombuffer(blocks[_MM_A], dtype=np.int8).reshape(n, n)
+        b = np.frombuffer(blocks[_MM_B], dtype=np.int8).reshape(n, n)
+        wide = a.astype(np.int32) @ b.astype(np.int32)
+        return np.clip((wide + 64) >> 7, -128, 127).astype(np.int8)
+    if name == "conv_cols_i32":
+        blocks = dict(_conv_setup())
+        image = np.frombuffer(blocks[_CONV_IN], dtype=np.int32).reshape(
+            CONV_ROWS, CONV_COLS_WORDS)
+        return image.sum(axis=0, dtype=np.int32)
+    raise KernelError(f"no reference output for {name!r}")
+
+
+def read_output(name: str, cluster) -> np.ndarray:
+    """Read a kernel's canonical output region back from *cluster*."""
+    if name == "vector_add_sync_i8":
+        return np.frombuffer(
+            cluster.read_block(_VEC_C, _VECTOR_WORDS * 4), dtype=np.int8)
+    if name == "matmul_rows_sync_i8":
+        n = _MATMUL_N
+        return np.frombuffer(
+            cluster.read_block(_MM_C, n * n), dtype=np.int8).reshape(n, n)
+    if name == "conv_cols_i32":
+        out = np.frombuffer(
+            cluster.read_block(_CONV_OUT, CONV_COLS_WORDS * 4),
+            dtype=np.int32).copy()
+        return out
+    raise KernelError(f"no output region for {name!r}")

@@ -214,7 +214,7 @@ def render_metrics(snapshot: dict) -> str:
         lines.append("-" * len(title))
 
     section("lanes")
-    lane_width = max([len(l) for l in snapshot["lanes"]] + [4])
+    lane_width = max([len(name) for name in snapshot["lanes"]] + [4])
     lines.append(f"{'lane':<{lane_width}} {'domain':>7s} {'spans':>6s} "
                  f"{'busy':>12s} {'util':>7s} {'energy':>12s}")
     for lane, stats in snapshot["lanes"].items():

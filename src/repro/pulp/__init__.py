@@ -15,7 +15,8 @@ Tests cross-validate them.
 
 from repro.pulp.binary import KernelBinary
 from repro.pulp.cluster import Cluster, ClusterRun
-from repro.pulp.core import CoreStats, MemOp, ComputeOp, OpStream
+from repro.pulp.core import BarrierOp, CoreStats, MemOp, ComputeOp, OpStream
+from repro.pulp.hbcheck import DynamicRace, RaceChecker, check_lockstep_trace
 from repro.pulp.dma import DmaController
 from repro.pulp.fll import FrequencyLockedLoop, ClockDivider
 from repro.pulp.icache import SharedICache
@@ -29,10 +30,14 @@ __all__ = [
     "KernelBinary",
     "Cluster",
     "ClusterRun",
+    "BarrierOp",
     "CoreStats",
     "MemOp",
     "ComputeOp",
     "OpStream",
+    "DynamicRace",
+    "RaceChecker",
+    "check_lockstep_trace",
     "DmaController",
     "FrequencyLockedLoop",
     "ClockDivider",

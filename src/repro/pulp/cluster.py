@@ -9,7 +9,7 @@ activity factors are derived from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -36,6 +36,10 @@ class ClusterRun:
     dma_stats: DmaStats
     conflict_rate: float
     barrier_count: int
+    #: Queued-access count per TCDM bank (empty for legacy callers).
+    conflicts_by_bank: List[int] = field(default_factory=list)
+    #: Granted-access count per TCDM bank.
+    grants_by_bank: List[int] = field(default_factory=list)
 
     @property
     def busiest_core_cycles(self) -> float:
@@ -74,7 +78,8 @@ class Cluster:
 
     def run(self, streams: Sequence[OpStream],
             dma_jobs: Sequence[DmaJob] = (),
-            recorder: Optional[TraceRecorder] = None) -> ClusterRun:
+            recorder: Optional[TraceRecorder] = None,
+            race_checker=None) -> ClusterRun:
         """Execute one op stream per core plus optional DMA traffic.
 
         Fewer than four streams leaves the remaining cores clock-gated
@@ -87,6 +92,10 @@ class Cluster:
         DMA channels report transfers and barrier crossings are marked —
         the feed for :func:`repro.sim.tracing.render_timeline` and the
         telemetry bridge.
+
+        An optional *race_checker* (:mod:`repro.pulp.hbcheck`) receives
+        every granted core access and every barrier completion — the
+        dynamic cross-validation hook of the static OR011 rule.
         """
         if not 1 <= len(streams) <= self.CORES:
             raise ConfigurationError(
@@ -95,8 +104,12 @@ class Cluster:
         tcdm = Tcdm(simulator, self.tcdm_size, self.banks,
                     recorder=recorder)
         synchronizer = HardwareSynchronizer(simulator, participants=len(streams))
+        if race_checker is not None:
+            synchronizer.observers.append(race_checker.on_barrier)
         dma = DmaController(simulator, self.l2, tcdm, recorder=recorder)
-        cores = [Or10nCore(simulator, tcdm, i, recorder=recorder)
+        cores = [Or10nCore(simulator, tcdm, i, recorder=recorder,
+                           synchronizer=synchronizer,
+                           race_checker=race_checker)
                  for i in range(len(streams))]
 
         def core_process(core: Or10nCore, stream: OpStream):
@@ -123,6 +136,8 @@ class Cluster:
             dma_stats=dma.stats,
             conflict_rate=tcdm.conflict_rate(),
             barrier_count=synchronizer.barriers_completed,
+            conflicts_by_bank=tcdm.conflicts_by_bank(),
+            grants_by_bank=tcdm.grants_by_bank(),
         )
         self.last_run = run
         return run

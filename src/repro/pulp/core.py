@@ -32,13 +32,25 @@ class ComputeOp:
 
 @dataclass(frozen=True)
 class MemOp:
-    """One TCDM word access."""
+    """One TCDM access (a word unless *width* narrows it).
+
+    ``tag`` carries the originating site identity — the machine-level
+    pc when the stream was compiled from a kernel program — so dynamic
+    race witnesses can be matched against static analysis sites.
+    """
 
     address: int
     is_store: bool = False
+    width: int = 4
+    tag: Optional[int] = None
 
 
-OpStream = List[Union[ComputeOp, MemOp]]
+@dataclass(frozen=True)
+class BarrierOp:
+    """Join the cluster barrier before continuing the stream."""
+
+
+OpStream = List[Union[ComputeOp, MemOp, BarrierOp]]
 
 
 @dataclass
@@ -73,11 +85,18 @@ class Or10nCore:
     """
 
     def __init__(self, simulator: Simulator, tcdm: Tcdm, core_id: int,
-                 recorder: Optional[TraceRecorder] = None):
+                 recorder: Optional[TraceRecorder] = None,
+                 synchronizer=None, race_checker=None):
         self.simulator = simulator
         self.tcdm = tcdm
         self.core_id = core_id
         self.recorder = recorder
+        #: Serves in-stream :class:`BarrierOp`s (optional; the cluster
+        #: wires its :class:`~repro.pulp.synchronizer.HardwareSynchronizer`).
+        self.synchronizer = synchronizer
+        #: When attached, every granted access is reported to the
+        #: happens-before checker (:mod:`repro.pulp.hbcheck`).
+        self.race_checker = race_checker
         self.stats = CoreStats()
 
     @property
@@ -99,6 +118,17 @@ class Or10nCore:
                 self.stats.compute_cycles += op.cycles
             elif isinstance(op, MemOp):
                 yield from self._access(op)
+            elif isinstance(op, BarrierOp):
+                if self.synchronizer is None:
+                    raise SimulationError(
+                        f"core {self.core_id}: BarrierOp in stream but no "
+                        f"synchronizer attached")
+                if self.recorder is not None:
+                    self.recorder.record(self.simulator.now, self.actor,
+                                         "barrier")
+                before = self.simulator.now
+                yield from self.synchronizer.barrier()
+                self.stats.barrier_cycles += self.simulator.now - before
             else:
                 raise SimulationError(f"core {self.core_id}: bad op {op!r}")
 
@@ -114,6 +144,9 @@ class Or10nCore:
             self.recorder.record(self.simulator.now, self.actor, "memory",
                                  f"@{op.address:#x}", duration=1.0)
         self.tcdm.note_access(self.simulator.now, op.address)
+        if self.race_checker is not None:
+            self.race_checker.on_access(self.core_id, op.address, op.width,
+                                        op.is_store, tag=op.tag)
         self.stats.stall_cycles += waited
         yield Timeout(1.0)  # single-cycle TCDM service
         resource.release()

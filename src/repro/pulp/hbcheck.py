@@ -1,0 +1,168 @@
+"""Happens-before race checking over cluster memory traffic.
+
+The dynamic cross-validator of the static OR011 rule
+(:mod:`repro.analysis.concurrency`): every granted TCDM access feeds a
+vector-clock checker; barrier completions join the clocks.  A pair of
+accesses to a common byte from different cores, at least one a store,
+with neither ordered before the other, is a *witnessed* race — ground
+truth the static analysis must never miss (dynamic races must be a
+subset of the statically reported ones; the reverse can over-report).
+
+Clock discipline: core ``c`` starts with ``VC[c][c] = 1``.  A cluster
+barrier is a release-acquire by every participant — all clocks join to
+their elementwise maximum, then each core increments its own
+component.  Access A on core ``i`` happened-before access B elsewhere
+iff ``VC_B[i] >= VC_A[i]`` at the respective access times; with
+all-core barriers that reduces to "a barrier completed in between",
+which is exactly the ordering the hardware provides.
+
+Shadow state is byte-granular: the last write (with its writer's
+epoch) and the last read per core since that write.  That is enough
+for detection — any race has a witness against the most recent
+conflicting access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+
+#: (core, tag) identity of one access; tag is the site pc when known.
+AccessId = Tuple[int, Optional[int]]
+
+
+@dataclass(frozen=True)
+class DynamicRace:
+    """One witnessed unordered conflicting pair."""
+
+    address: int
+    first: AccessId
+    second: AccessId
+    first_is_store: bool
+    second_is_store: bool
+
+    @property
+    def pc_pair(self) -> Optional[Tuple[int, int]]:
+        """Sorted (pc, pc) of the two sites, when both are tagged."""
+        if self.first[1] is None or self.second[1] is None:
+            return None
+        return (min(self.first[1], self.second[1]),
+                max(self.first[1], self.second[1]))
+
+
+@dataclass
+class _ByteState:
+    """Shadow cell for one byte of shared memory."""
+
+    write: Optional[Tuple[int, Optional[int], int]] = None  # core, tag, epoch
+    #: Last read per core since the last write: core -> (tag, epoch).
+    reads: Dict[int, Tuple[Optional[int], int]] = field(default_factory=dict)
+
+
+class RaceChecker:
+    """Vector-clock happens-before checker for one cluster run."""
+
+    def __init__(self, cores: int):
+        if cores < 1:
+            raise SimulationError(f"need >= 1 core, got {cores}")
+        self.cores = cores
+        self.clocks = [[1 if i == c else 0 for i in range(cores)]
+                       for c in range(cores)]
+        self.races: List[DynamicRace] = []
+        self.accesses = 0
+        self.barriers = 0
+        self._shadow: Dict[int, _ByteState] = {}
+        self._seen: Set[frozenset] = set()
+
+    # -- synchronization -------------------------------------------------------
+
+    def on_barrier(self, barriers_completed: Optional[int] = None) -> None:
+        """All cores release-acquire through a completed barrier.
+
+        Signature matches the :class:`HardwareSynchronizer` observer
+        protocol (the argument is informational only).
+        """
+        joined = [max(clock[i] for clock in self.clocks)
+                  for i in range(self.cores)]
+        for core in range(self.cores):
+            self.clocks[core] = list(joined)
+            self.clocks[core][core] += 1
+        self.barriers += 1
+
+    # -- accesses ----------------------------------------------------------------
+
+    def on_access(self, core: int, address: int, width: int, is_store: bool,
+                  tag: Optional[int] = None) -> Optional[DynamicRace]:
+        """Check one granted access; returns the race it witnessed, if
+        any (also appended to :attr:`races`)."""
+        if not 0 <= core < self.cores:
+            raise SimulationError(f"core {core} out of range")
+        self.accesses += 1
+        clock = self.clocks[core]
+        epoch = clock[core]
+        found: Optional[DynamicRace] = None
+        for byte in range(address, address + width):
+            cell = self._shadow.setdefault(byte, _ByteState())
+            if cell.write is not None:
+                w_core, w_tag, w_epoch = cell.write
+                if w_core != core and clock[w_core] < w_epoch:
+                    found = self._record(byte, (w_core, w_tag), True,
+                                         (core, tag), is_store) or found
+            if is_store:
+                for r_core, (r_tag, r_epoch) in cell.reads.items():
+                    if r_core != core and clock[r_core] < r_epoch:
+                        found = self._record(byte, (r_core, r_tag), False,
+                                             (core, tag), True) or found
+                cell.write = (core, tag, epoch)
+                cell.reads = {}
+            else:
+                cell.reads[core] = (tag, epoch)
+        return found
+
+    def _record(self, address: int, first: AccessId, first_is_store: bool,
+                second: AccessId, second_is_store: bool
+                ) -> Optional[DynamicRace]:
+        key = frozenset((first, second))
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        race = DynamicRace(address=address, first=first, second=second,
+                           first_is_store=first_is_store,
+                           second_is_store=second_is_store)
+        self.races.append(race)
+        return race
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def race_free(self) -> bool:
+        """True when no race was witnessed."""
+        return not self.races
+
+    def race_pc_pairs(self) -> Set[Tuple[int, int]]:
+        """All distinct (pc, pc) site pairs that raced (tagged only)."""
+        return {race.pc_pair for race in self.races
+                if race.pc_pair is not None}
+
+
+def check_lockstep_trace(trace: Iterable, cores: int) -> RaceChecker:
+    """Replay a :class:`~repro.machine.multicore.MemoryAccess` trace.
+
+    The lockstep cluster stamps each access with the core's barrier
+    epoch; since all cores cross each barrier in the same cycle, an
+    epoch increase anywhere in the (cycle-ordered) trace marks a
+    cluster-wide barrier.  The access pc becomes the checker tag, so
+    :meth:`RaceChecker.race_pc_pairs` compares 1:1 against static
+    OR011 sites.
+    """
+    checker = RaceChecker(cores)
+    current_epoch = 0
+    for access in trace:
+        while access.epoch > current_epoch:
+            checker.on_barrier()
+            current_epoch += 1
+        checker.on_access(access.core, access.address, access.width,
+                          access.is_store, tag=access.pc)
+    return checker

@@ -10,14 +10,20 @@ active power) and the last arrival wakes everyone within
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import Interrupt, SimulationError
 from repro.sim.engine import Event, Simulator, Timeout
 
 
 class HardwareSynchronizer:
-    """Few-cycle hardware barrier across the cluster cores."""
+    """Few-cycle hardware barrier across the cluster cores.
+
+    ``observers`` are called with the completed-barrier count each time
+    a generation completes (before the sleepers wake); the
+    happens-before race checker registers itself here to join its
+    vector clocks at exactly the synchronization point.
+    """
 
     def __init__(self, simulator: Simulator, participants: int,
                  wakeup_cycles: float = 2.0):
@@ -30,10 +36,18 @@ class HardwareSynchronizer:
         self._generation_event: Optional[Event] = None
         self.barriers_completed = 0
         self.sleep_cycles: List[float] = []
+        self.observers: List[Callable[[int], None]] = []
 
     def barrier(self):
         """Generator: join the current barrier; resumes once all
-        participants arrived plus the wakeup latency."""
+        participants arrived plus the wakeup latency.
+
+        An :meth:`~repro.sim.engine.Process.interrupt` delivered while
+        waiting withdraws the arrival before re-raising — without the
+        withdrawal a killed waiter would stay counted in the current
+        generation and a later barrier could complete with fewer live
+        participants than arrived.
+        """
         if self._generation_event is None:
             self._generation_event = self.simulator.event(name="hw-barrier")
         event = self._generation_event
@@ -43,8 +57,15 @@ class HardwareSynchronizer:
             self._arrived = 0
             self._generation_event = None
             self.barriers_completed += 1
+            for observer in list(self.observers):
+                observer(self.barriers_completed)
             event.trigger(self.simulator.now)
-        yield event
+        try:
+            yield event
+        except Interrupt:
+            if self._generation_event is event and not event.triggered:
+                self._arrived -= 1
+            raise
         self.sleep_cycles.append(self.simulator.now - arrival_time)
         yield Timeout(self.wakeup_cycles)
 

@@ -84,6 +84,14 @@ class Tcdm:
 
     # -- statistics ----------------------------------------------------------------
 
+    def conflicts_by_bank(self) -> List[int]:
+        """Queued (stalled) accesses per bank, in bank order."""
+        return [r.waits for r in self._bank_resources]
+
+    def grants_by_bank(self) -> List[int]:
+        """Granted accesses per bank, in bank order."""
+        return [r.grants for r in self._bank_resources]
+
     @property
     def total_conflicts(self) -> int:
         """Accesses that had to queue behind a busy bank."""

@@ -15,13 +15,15 @@ the host.  Correspondingly:
 """
 
 from repro.runtime.host import MapClause, MapDirection, TargetRegion
-from repro.runtime.omp import DeviceOpenMp, ParallelExecution, Schedule
+from repro.runtime.omp import (BarrierSite, DeviceOpenMp,
+                               ParallelExecution, Schedule)
 from repro.runtime.overheads import OmpOverheads
 
 __all__ = [
     "OmpOverheads",
     "Schedule",
     "ParallelExecution",
+    "BarrierSite",
     "DeviceOpenMp",
     "MapDirection",
     "MapClause",

@@ -10,8 +10,8 @@ core, and the runtime overhead fraction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.errors import RuntimeModelError
 from repro.isa.program import Loop, Program
@@ -28,6 +28,17 @@ class Schedule(enum.Enum):
     DYNAMIC = "dynamic"
 
 
+@dataclass(frozen=True)
+class BarrierSite:
+    """One implicit join barrier: the team-wide synchronization ending a
+    parallel region.  The static concurrency analyzer's barrier-phase
+    intervals (``OR012``) are checked against this sequence."""
+
+    region: int          #: parallel-region index, in program order
+    cycle: float         #: wall cycle at which the team crosses the join
+    threads: int         #: team size synchronizing at the barrier
+
+
 @dataclass
 class ParallelExecution:
     """Result of executing one kernel program on the cluster."""
@@ -39,6 +50,13 @@ class ParallelExecution:
     overhead_cycles: float      #: OpenMP runtime cycles
     memory_accesses: float
     parallel_regions: int
+    #: Implicit join barriers crossed, one per parallel region.
+    barrier_sites: List[BarrierSite] = field(default_factory=list)
+
+    @property
+    def barriers(self) -> int:
+        """Team-wide barriers crossed during the execution."""
+        return len(self.barrier_sites)
 
     @property
     def overhead_fraction(self) -> float:
@@ -80,6 +98,7 @@ class DeviceOpenMp:
         overhead = 0.0
         accesses = 0.0
         regions = 0
+        barrier_sites: List[BarrierSite] = []
         for index, node in enumerate(program.body):
             if isinstance(node, Loop) and node.parallelizable and self.threads > 1:
                 region = self._parallel_region(node)
@@ -94,6 +113,8 @@ class DeviceOpenMp:
                 work += region.work
                 overhead += region.overhead
                 accesses += region.accesses
+                barrier_sites.append(BarrierSite(
+                    region=regions, cycle=wall, threads=self.threads))
                 regions += 1
             else:
                 report = self.target.lower_nodes([node])
@@ -113,6 +134,7 @@ class DeviceOpenMp:
             overhead_cycles=overhead,
             memory_accesses=accesses,
             parallel_regions=regions,
+            barrier_sites=barrier_sites,
         )
 
     def speedup_vs_single(self, program: Program) -> float:

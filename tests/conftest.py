@@ -9,7 +9,7 @@ from repro.isa.baseline import BaselineRiscTarget
 from repro.isa.cortexm import CortexM3Target, CortexM4Target
 from repro.isa.or10n import Or10nTarget
 from repro.isa.program import Block, Loop, Program
-from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.isa.vop import DType, addr, load, mac, store
 from repro.kernels.matmul import MatmulKernel
 
 

@@ -29,7 +29,6 @@ from repro.machine import (
     Opcode,
     assemble,
 )
-from repro.machine.assembler import assemble_unit
 from repro.machine.encoding import Instruction
 from repro.machine.profiler import ProfilingMachine
 

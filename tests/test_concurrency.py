@@ -1,0 +1,481 @@
+"""SPMD concurrency analysis, cross-validated against the lockstep cluster.
+
+The contract under test (ISSUE acceptance criteria):
+
+* the static pass never misses a race the dynamic happens-before
+  checker observes (zero false negatives) — on the builtin parallel
+  programs, a known-racy fixture, and a seeded fuzz corpus;
+* static bank-conflict estimates rank hotspots in the same order as
+  simulated per-bank contention on the matmul and conv kernels.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_spmd, build_cfg, features
+from repro.analysis.concurrency import INF, barrier_phases
+from repro.analysis.ranges import (
+    ValueRange,
+    add,
+    analyze_ranges,
+    const,
+    intersect,
+    join,
+    make,
+    may_overlap,
+    mul_const,
+)
+from repro.errors import SimulationError
+from repro.isa.validate import Severity
+from repro.machine import SharedMemoryCluster, assemble
+from repro.machine.parallel import (
+    CONV_COLUMNS,
+    PARALLEL_PROGRAMS,
+    expected_output,
+    parallel_program,
+    read_output,
+    run_parallel_builtin,
+)
+from repro.pulp.hbcheck import check_lockstep_trace
+
+
+def _codes(findings):
+    return {f.code for f in findings}
+
+
+def _static_pairs(report):
+    return {tuple(sorted((a.pc, b.pc))) for a, b in report.races}
+
+
+def _dynamic_pairs(checker):
+    return {tuple(sorted(pair)) for pair in checker.race_pc_pairs()}
+
+
+# ---------------------------------------------------------------------------
+# Value ranges
+# ---------------------------------------------------------------------------
+
+
+class TestValueRange:
+    def test_singleton_arithmetic(self):
+        assert add(const(3), const(4)) == const(7)
+        assert mul_const(const(5), 3) == const(15)
+
+    def test_strided_progression(self):
+        lane = make(0x100, 0x1F0, 16)
+        assert lane.count() == 16
+        shifted = add(lane, const(4))
+        assert (shifted.lo, shifted.hi, shifted.stride) == (0x104, 0x1F4, 16)
+
+    def test_join_keeps_congruence(self):
+        merged = join(make(0, 8, 4), make(16, 24, 4))
+        assert merged.stride == 4 and (merged.lo, merged.hi) == (0, 24)
+
+    def test_intersect_disjoint_is_none(self):
+        assert intersect(make(0, 8, 4), make(9, 11, 1)) is None
+
+    def test_overlap_interval_disjoint(self):
+        assert not may_overlap(make(0x100, 0x13C, 4), 4,
+                               make(0x200, 0x23C, 4), 4)
+
+    def test_overlap_congruence_disjoint(self):
+        # Two word-strided lanes offset by one word never touch the
+        # same bytes even though their intervals interleave.
+        a = make(0x100, 0x1F8, 8)
+        b = make(0x104, 0x1FC, 8)
+        assert not may_overlap(a, 4, b, 4)
+        # Byte-width accesses on the same lanes stay disjoint too ...
+        assert not may_overlap(a, 1, b, 1)
+        # ... but word-wide accesses from a byte-offset lane collide.
+        assert may_overlap(a, 4, add(a, const(2)), 4)
+
+    def test_top_overlaps_everything(self):
+        assert may_overlap(ValueRange(-(1 << 31), (1 << 31) - 1, 1), 1,
+                           const(0x44), 1)
+
+
+class TestRangeAnalysis:
+    def test_hwloop_pointer_walk(self):
+        program = assemble("""
+            addi r2, r0, 16
+            hwloop r2, end
+            lw r4, 0(r1)
+            addi r1, r1, 4
+        end:
+            halt
+        """)
+        cfg = build_cfg(program)
+        ranges = analyze_ranges(cfg, entry={1: 0x100})
+        span = ranges.address_range(2)
+        assert (span.lo, span.hi, span.stride) == (0x100, 0x13C, 4)
+
+    def test_per_core_presets_shift_the_window(self):
+        program = assemble("""
+            addi r2, r0, 8
+            hwloop r2, end
+            sw r4, 0(r1)
+            addi r1, r1, 4
+        end:
+            halt
+        """)
+        cfg = build_cfg(program)
+        windows = []
+        for core in range(4):
+            ranges = analyze_ranges(cfg, entry={1: 0x100 + 32 * core})
+            windows.append(ranges.address_range(2))
+        for a, b in zip(windows, windows[1:]):
+            assert b.lo - a.lo == 32
+            assert not may_overlap(a, 4, b, 4)
+
+
+class TestBarrierPhases:
+    def test_barrier_splits_phases(self):
+        program = assemble("""
+            sw r4, 0(r1)
+            barrier
+            sw r4, 4(r1)
+            halt
+        """)
+        cfg = build_cfg(program)
+        phases = barrier_phases(cfg, analyze_ranges(cfg, entry={}))
+        assert phases.phase_at(0) == (0, 0)
+        assert phases.phase_at(2) == (1, 1)
+        assert phases.exit_phase == (1, 1)
+
+    def test_barrier_in_constant_hwloop(self):
+        program = assemble("""
+            addi r2, r0, 5
+            hwloop r2, end
+            sw r4, 0(r1)
+            barrier
+        end:
+            halt
+        """)
+        cfg = build_cfg(program)
+        phases = barrier_phases(cfg, analyze_ranges(cfg, entry={}))
+        assert phases.exit_phase == (5, 5)
+
+
+# ---------------------------------------------------------------------------
+# The static rules
+# ---------------------------------------------------------------------------
+
+RACY = """
+    lw r2, 0(r1)
+    sw r2, 0(r3)
+    halt
+"""
+
+DISJOINT = """
+    addi r2, r0, 8
+    hwloop r2, end
+    lw r4, 0(r1)
+    sw r4, 0(r3)
+    addi r1, r1, 4
+    addi r3, r3, 4
+end:
+    barrier
+    halt
+"""
+
+
+def _presets(cores, regs):
+    """regs: register -> (base, per_core_step)."""
+    return [{reg: base + core * step
+             for reg, (base, step) in regs.items()}
+            for core in range(cores)]
+
+
+class TestStaticRules:
+    def test_or011_same_address_store(self):
+        report = analyze_spmd(assemble(RACY), cores=2,
+                              presets=_presets(2, {1: (0x100, 0),
+                                                     3: (0x200, 0)}))
+        assert "OR011" in _codes(report.findings)
+        assert not report.ok
+
+    def test_disjoint_chunks_clean(self):
+        report = analyze_spmd(
+            assemble(DISJOINT), cores=4,
+            presets=_presets(4, {1: (0x100, 32), 3: (0x300, 32)}))
+        errors = [f for f in report.findings
+                  if f.severity is Severity.ERROR]
+        assert errors == []
+        assert not report.races
+
+    def test_or012_divergent_barrier(self):
+        program = assemble("""
+            beq r5, r0, skip
+            barrier
+        skip:
+            halt
+        """)
+        report = analyze_spmd(program, cores=2,
+                              presets=_presets(2, {5: (0, 1)}))
+        assert "OR012" in _codes(report.findings)
+
+    def test_or013_missing_barrier_before_dma(self):
+        program = assemble("""
+            sw r4, 0(r1)
+            halt
+        """)
+        report = analyze_spmd(program, cores=2,
+                              presets=_presets(2, {1: (0x100, 4)}),
+                              dma_out=(0x100, 0x110))
+        assert "OR013" in _codes(report.findings)
+        # Adding the barrier clears it.
+        fixed = analyze_spmd(assemble("sw r4, 0(r1)\nbarrier\nhalt"),
+                             cores=2,
+                             presets=_presets(2, {1: (0x100, 4)}),
+                             dma_out=(0x100, 0x110))
+        assert "OR013" not in _codes(fixed.findings)
+
+    def test_or014_skewed_banks(self):
+        # All cores hammer bank 0 (64-byte row stride, 8 banks).
+        program = assemble("""
+            addi r2, r0, 8
+            hwloop r2, end
+            lw r4, 0(r1)
+            addi r1, r1, 64
+        end:
+            barrier
+            halt
+        """)
+        report = analyze_spmd(program, cores=4,
+                              presets=_presets(4, {1: (0x100, 0)}))
+        hotspots = [f for f in report.findings if f.code == "OR014"]
+        assert hotspots and "bank 0" in hotspots[0].location
+        assert report.bank_conflict_estimate[0] > 0
+        assert sum(report.bank_conflict_estimate[1:]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Lockstep barrier semantics (the dynamic twin)
+# ---------------------------------------------------------------------------
+
+
+class TestLockstepBarriers:
+    def test_all_cores_cross_and_epoch_bumps(self):
+        program = assemble("sw r4, 0(r1)\nbarrier\nlw r5, 0(r1)\nhalt")
+        cluster = SharedMemoryCluster(cores=4)
+        result = cluster.run([program] * 4,
+                             register_presets=_presets(4, {1: (0x100, 4)}),
+                             record_trace=True)
+        assert result.barriers == 1
+        epochs = {access.epoch for access in result.trace}
+        assert epochs == {0, 1}
+
+    def test_divergence_raises(self):
+        program = assemble("""
+            beq r5, r0, skip
+            barrier
+        skip:
+            halt
+        """)
+        cluster = SharedMemoryCluster(cores=2)
+        with pytest.raises(SimulationError):
+            cluster.run([program] * 2,
+                        register_presets=_presets(2, {5: (0, 1)}))
+
+
+# ---------------------------------------------------------------------------
+# Builtin parallel programs: static-clean, correct, dynamically race-free
+# ---------------------------------------------------------------------------
+
+
+class TestBuiltinParallel:
+    @pytest.fixture(params=sorted(PARALLEL_PROGRAMS))
+    def name(self, request):
+        return request.param
+
+    def test_static_gate_is_clean(self, name):
+        parallel = parallel_program(name)
+        report = analyze_spmd(list(parallel.instructions), cores=4,
+                              presets=parallel.presets(4),
+                              dma_out=parallel.dma_out)
+        assert report.ok
+        assert not report.races
+
+    def test_runs_correctly_with_one_barrier(self, name):
+        cluster, result = run_parallel_builtin(name)
+        got, want = read_output(name, cluster), expected_output(name)
+        if name == "conv_cols_i32":
+            # The canonical 4-core launch covers 4 of the 16 columns.
+            cols = list(CONV_COLUMNS)
+            got, want = got[cols], want[cols]
+        np.testing.assert_array_equal(got, want)
+        assert result.barriers == 1
+
+    def test_dynamically_race_free(self, name):
+        _, result = run_parallel_builtin(name, record_trace=True)
+        checker = check_lockstep_trace(result.trace, cores=4)
+        assert checker.race_free, checker.races
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation: dynamic races are a subset of static races
+# ---------------------------------------------------------------------------
+
+
+class TestCrossValidation:
+    def test_racy_fixture_flagged_by_both(self):
+        program = assemble(RACY)
+        presets = _presets(2, {1: (0x100, 0), 3: (0x200, 0)})
+        static = analyze_spmd(program, cores=2, presets=presets)
+        cluster = SharedMemoryCluster(cores=2)
+        result = cluster.run([program] * 2, register_presets=presets,
+                             record_trace=True)
+        dynamic = check_lockstep_trace(result.trace, cores=2)
+        assert not dynamic.race_free
+        assert _dynamic_pairs(dynamic) <= _static_pairs(static)
+
+    def test_fuzz_corpus_zero_false_negatives(self):
+        rng = random.Random(20160314)
+        cases = 220
+        racy = clean = 0
+        for case in range(cases):
+            source, presets, cores = _fuzz_program(rng)
+            program = assemble(source)
+            static = analyze_spmd(program, cores=cores, presets=presets)
+            cluster = SharedMemoryCluster(cores=cores)
+            result = cluster.run([program] * cores,
+                                 register_presets=presets,
+                                 record_trace=True)
+            dynamic = check_lockstep_trace(result.trace, cores=cores)
+            observed = _dynamic_pairs(dynamic)
+            predicted = _static_pairs(static)
+            assert observed <= predicted, (
+                f"case {case}: dynamic race(s) {observed - predicted} "
+                f"missed by the static pass\n{source}\npresets={presets}")
+            if observed:
+                racy += 1
+            if not predicted:
+                clean += 1
+        # The corpus must exercise both sides of the contract.
+        assert racy >= 20, f"only {racy} racy cases of {cases}"
+        assert clean >= 20, f"only {clean} statically-clean cases of {cases}"
+
+    @pytest.mark.parametrize("name", ["matmul_rows_sync_i8",
+                                      "conv_cols_i32"])
+    def test_or014_ranking_matches_simulation(self, name):
+        parallel = parallel_program(name)
+        static = analyze_spmd(list(parallel.instructions), cores=4,
+                              presets=parallel.presets(4),
+                              dma_out=parallel.dma_out)
+        _, result = run_parallel_builtin(name)
+        estimate = static.bank_conflict_estimate
+        simulated = result.conflicts_by_bank
+        assert len(estimate) == len(simulated) == 8
+        hot = {b for b, cycles in enumerate(estimate) if cycles > 0}
+        cold = set(range(8)) - hot
+        assert hot, "static model predicts no contention at all"
+        mean = lambda banks: (sum(simulated[b] for b in banks)
+                              / max(1, len(banks)))
+        if cold:
+            # Predicted-hot banks see at least as much simulated
+            # contention as predicted-cold banks (rank concordance).
+            assert mean(hot) >= mean(cold), (estimate, simulated)
+            assert max(simulated[b] for b in hot) >= \
+                max((simulated[b] for b in cold), default=0)
+
+    def test_conv_hot_banks_are_exactly_the_contended_ones(self):
+        parallel = parallel_program("conv_cols_i32")
+        static = analyze_spmd(list(parallel.instructions), cores=4,
+                              presets=parallel.presets(4),
+                              dma_out=parallel.dma_out)
+        _, result = run_parallel_builtin("conv_cols_i32")
+        hot = {b for b, cycles in enumerate(static.bank_conflict_estimate)
+               if cycles > 0}
+        contended = {b for b, waits in enumerate(result.conflicts_by_bank)
+                     if waits > 0}
+        assert hot == contended == {0, 1}
+
+
+def _fuzz_program(rng):
+    """One seeded SPMD case: a strided load/store loop, optionally a
+    barrier, optionally a post-barrier store.  Strides are chosen so
+    some cases partition cleanly and some collide."""
+    cores = rng.choice([2, 3, 4])
+    trips = rng.randint(1, 6)
+    step = rng.choice([1, 2, 4])
+    load, store = rng.choice([("lw", "sw"), ("lh", "sh"), ("lb", "sb")])
+    span = trips * step
+    stride_a = rng.choice([0, span, 4, 64])
+    stride_b = rng.choice([0, span, span, 4, 64])
+    read_shared = rng.random() < 0.3
+    barrier = rng.random() < 0.4
+    tail_store = rng.random() < 0.3
+    lines = [f"    addi r2, r0, {trips}",
+             "    hwloop r2, loop_end"]
+    if read_shared:
+        lines.append(f"    {load} r6, 0(r3)")
+    lines += [f"    {load} r4, 0(r1)",
+              f"    {store} r4, 0(r3)",
+              f"    addi r1, r1, {step}",
+              f"    addi r3, r3, {step}",
+              "loop_end:"]
+    if barrier:
+        lines.append("    barrier")
+    if tail_store:
+        lines.append(f"    {store} r4, 0(r3)")
+    lines.append("    halt")
+    presets = _presets(cores, {1: (0x100, stride_a),
+                                 3: (0x300, stride_b)})
+    return "\n".join(lines), presets, cores
+
+
+# ---------------------------------------------------------------------------
+# Feature export
+# ---------------------------------------------------------------------------
+
+
+class TestFeatures:
+    def test_schema_is_stable_across_programs(self):
+        keys = None
+        for name in sorted(PARALLEL_PROGRAMS):
+            parallel = parallel_program(name)
+            out = features(parallel.unit, name=name,
+                           entry_regs=parallel.entry_regs, cores=4,
+                           presets=parallel.presets(4),
+                           dma_out=parallel.dma_out)
+            assert all(isinstance(v, (int, float)) for v in out.values())
+            if keys is None:
+                keys = set(out)
+            assert set(out) == keys
+
+    def test_concurrency_features_populated(self):
+        parallel = parallel_program("vector_add_sync_i8")
+        out = features(parallel.unit, name=parallel.name,
+                       entry_regs=parallel.entry_regs, cores=4,
+                       presets=parallel.presets(4),
+                       dma_out=parallel.dma_out)
+        assert out["concurrency.cores"] == 4
+        assert out["concurrency.races"] == 0
+        assert out["concurrency.barrier_phase_min"] == 1
+        assert out["concurrency.barrier_phase_max"] == 1
+        assert out["concurrency.bank_load_total"] > 0
+        assert out["lint.ok"] == 1
+
+    def test_race_shows_up_in_features(self):
+        out = features(RACY, cores=2,
+                       presets=_presets(2, {1: (0x100, 0),
+                                              3: (0x200, 0)}))
+        assert out["concurrency.races"] >= 1
+        assert out["lint.count.OR011"] >= 1
+        assert out["lint.ok"] == 0
+
+    def test_phase_interval_bounded_by_inf(self):
+        # A barrier in a data-dependent loop has an unbounded phase.
+        out = features(
+            """
+                lw r2, 0(r1)
+            loop:
+                barrier
+                addi r2, r2, -1
+                bne r2, r0, loop
+                halt
+            """,
+            cores=2, presets=_presets(2, {1: (0x100, 0)}))
+        assert out["concurrency.barrier_phase_max"] == INF

@@ -13,9 +13,7 @@ from repro.dse import (
     config_hash,
     evaluate_config,
     pareto_frontier,
-    render,
     sensitivity,
-    to_json_dict,
 )
 from repro.dse import evaluate as dse_evaluate
 from repro.errors import ConfigurationError

@@ -6,9 +6,7 @@ main() is executed in-process and its stdout sanity-checked.
 
 import importlib.util
 import pathlib
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

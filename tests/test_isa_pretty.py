@@ -1,6 +1,5 @@
 """Tests for the program pretty-printer."""
 
-import pytest
 
 from repro.isa.or10n import Or10nTarget
 from repro.isa.pretty import format_loop_header, format_op, render_program

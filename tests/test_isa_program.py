@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import IsaError
 from repro.isa.program import Block, Loop, Program
-from repro.isa.vop import DType, OpKind, VOp, addr, alu, load, mac, store
+from repro.isa.vop import DType, OpKind, VOp, alu, load, mac, store
 
 
 class TestVOp:

@@ -11,12 +11,8 @@ from repro.isa.costs import (
     cortex_m4_costs,
     or10n_costs,
 )
-from repro.isa.baseline import BaselineRiscTarget
-from repro.isa.cortexm import CortexM3Target, CortexM4Target
-from repro.isa.or10n import Or10nTarget
 from repro.isa.program import Block, Loop, Program
-from repro.isa.target import Target
-from repro.isa.vop import DType, OpKind, VOp, addr, alu, load, mac, store
+from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
 
 
 class TestCostTables:

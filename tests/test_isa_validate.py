@@ -6,7 +6,7 @@ from repro.errors import IsaError
 from repro.experiments.cycle_breakdown import CATEGORIES, render, run
 from repro.isa.program import Block, Loop, Program
 from repro.isa.validate import Severity, validate_program
-from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.isa.vop import DType, OpKind, addr, alu, load, store
 from repro.kernels.registry import all_kernels
 
 

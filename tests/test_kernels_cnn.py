@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.isa.baseline import BaselineRiscTarget
 from repro.kernels.cnn import (
     CnnKernel,
     CONV1_MAPS,

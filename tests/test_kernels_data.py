@@ -10,7 +10,7 @@ from repro.kernels.data import (
     prototype_svm_problem,
     synthetic_image,
 )
-from repro.kernels.hog import CELLS, HogKernel
+from repro.kernels.hog import HogKernel
 from repro.kernels.svm import SvmKernel
 
 

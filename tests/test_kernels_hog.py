@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import KernelError
-from repro.isa.baseline import BaselineRiscTarget
 from repro.isa.cortexm import CortexM3Target, CortexM4Target
 from repro.isa.or10n import Or10nTarget
 from repro.isa.vop import OpKind
@@ -127,5 +126,6 @@ class TestProgram:
 
     def test_blocks_phase_squares(self):
         program = HogKernel().build_program()
-        blocks = [l for l in program.parallel_loops() if l.name == "blocks"]
+        blocks = [loop for loop in program.parallel_loops()
+                  if loop.name == "blocks"]
         assert blocks[0].trips == BLOCKS

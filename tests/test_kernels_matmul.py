@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import KernelError
-from repro.isa.baseline import BaselineRiscTarget
 from repro.kernels.matmul import MatmulKernel
 from repro.kernels.strassen import StrassenKernel, strassen_multiply
 

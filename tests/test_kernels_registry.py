@@ -1,10 +1,8 @@
 """Tests for the kernel registry and cross-kernel invariants."""
 
-import numpy as np
 import pytest
 
 from repro.errors import KernelError
-from repro.isa.baseline import BaselineRiscTarget
 from repro.kernels import BENCHMARK_NAMES, all_kernels, kernel_by_name
 from repro.kernels.registry import PAPER_TABLE1
 from repro.pulp.binary import KernelBinary

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import KernelError
-from repro.isa.baseline import BaselineRiscTarget
 from repro.kernels.fixmath import Q15_ONE
 from repro.kernels.svm import SvmKernel
 

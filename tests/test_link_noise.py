@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import LinkError
 from repro.link.noise import NoisyChannel, RetransmittingSender
-from repro.link.protocol import Command, Frame, decode_frames, encode_frame
+from repro.link.protocol import Command, Frame
 
 
 class TestNoisyChannel:

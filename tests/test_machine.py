@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import IsaError, KernelError, SimulationError
 from repro.machine import Machine, Opcode, assemble, decode, encode
 from repro.machine.assembler import disassemble
-from repro.machine.encoding import BRANCHES, I_TYPE, Instruction
+from repro.machine.encoding import I_TYPE, Instruction
 from repro.machine.programs import (
     run_dot_product_i8,
     run_matmul_i8,

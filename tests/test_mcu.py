@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.kernels.matmul import MatmulKernel
 from repro.mcu import MCU_CATALOG, Stm32L476, mcu_by_name
 from repro.units import mhz, mw
 

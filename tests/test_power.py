@@ -5,11 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import (
-    ConfigurationError,
-    OperatingPointError,
-    PowerModelError,
-)
+from repro.errors import OperatingPointError, PowerModelError
 from repro.power import (
     ActivityProfile,
     EnergyAccount,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.mcu_grid import GridRow, render, run
+from repro.experiments.mcu_grid import render, run
 from repro.machine.profiler import ProfilingMachine
 from repro.machine.programs import DOT_PRODUCT_I8, MATMUL_I8
 

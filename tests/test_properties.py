@@ -6,7 +6,6 @@ linearity of the lowering in trip counts, and conservation properties
 of the offload schedules.
 """
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings
@@ -17,7 +16,7 @@ from repro.isa.baseline import BaselineRiscTarget
 from repro.isa.cortexm import CortexM4Target
 from repro.isa.or10n import Or10nTarget
 from repro.isa.program import Block, Loop, Program
-from repro.isa.vop import DType, OpKind, addr, alu, load, mac, store
+from repro.isa.vop import DType, addr, load, mac, store
 from repro.power.activity import ActivityProfile
 from repro.power.pulp_model import PulpPowerModel
 from repro.pulp.timing import chunk_trips

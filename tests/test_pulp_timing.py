@@ -3,10 +3,9 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.isa.or10n import Or10nTarget
 from repro.isa.program import Block, Loop, Program
 from repro.isa.report import LoweredReport
-from repro.isa.vop import DType, OpKind, alu, load, mac
+from repro.isa.vop import OpKind, alu
 from repro.pulp.cluster import Cluster
 from repro.pulp.timing import (
     ContentionModel,

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.errors import OffloadError, RuntimeModelError
-from repro.isa.or10n import Or10nTarget
 from repro.isa.program import Block, Loop, Program
-from repro.isa.vop import OpKind, alu, load, store
+from repro.isa.vop import OpKind, alu
 from repro.pulp.binary import KernelBinary
 from repro.pulp.l2 import L2Memory
 from repro.link.protocol import Command

@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 export: structure, levels, and lossless round trips."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_spmd, lint_instructions
+from repro.analysis.sarif import (
+    RULE_DESCRIPTIONS,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_NAME,
+    findings_from_sarif,
+    render_sarif,
+    sarif_round_trip_equal,
+    to_sarif,
+)
+from repro.isa.validate import Finding, Severity
+from repro.machine import assemble
+
+#: Reads r1 before any write: the canonical OR001 fixture.
+_UNINITIALIZED = """
+    add r2, r1, r1
+    halt
+"""
+
+#: Two cores load/store the same fixed addresses: OR011 (and OR010).
+_RACY = """
+    lw r2, 0(r1)
+    sw r2, 0(r3)
+    halt
+"""
+
+
+def _or001_findings():
+    report = lint_instructions(assemble(_UNINITIALIZED), name="uninit")
+    findings = [f for f in report.findings if f.code == "OR001"]
+    assert findings, report.render()
+    return report.findings
+
+
+def _or011_findings():
+    presets = [{1: 0x100, 3: 0x200}, {1: 0x100, 3: 0x200}]
+    report = analyze_spmd(assemble(_RACY), cores=2, presets=presets)
+    assert any(f.code == "OR011" for f in report.findings)
+    return report.findings
+
+
+class TestStructure:
+    def test_envelope(self):
+        doc = to_sarif(_or001_findings(), uri="uninit.s", tool_version="1.0")
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert driver["version"] == "1.0"
+
+    def test_rules_table_first_seen_order_and_index(self):
+        findings = _or011_findings()
+        doc = to_sarif(findings)
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert len(ids) == len(set(ids))  # one entry per rule
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+        for rule in rules:
+            assert rule["shortDescription"]["text"] \
+                == RULE_DESCRIPTIONS[rule["id"]]
+
+    def test_severity_levels_map_to_sarif(self):
+        findings = [
+            Finding(Severity.ERROR, "pc 0", "boom", code="OR011"),
+            Finding(Severity.WARNING, "pc 1", "careful", code="OR002"),
+            Finding(Severity.INFO, "pc 2", "fyi", code="OR010"),
+        ]
+        (run,) = to_sarif(findings)["runs"]
+        assert [r["level"] for r in run["results"]] \
+            == ["error", "warning", "note"]
+
+    def test_uri_and_line_become_physical_location(self):
+        finding = Finding(Severity.ERROR, "pc 3", "msg", code="OR001", line=7)
+        (run,) = to_sarif([finding], uri="kernel.s")["runs"]
+        (location,) = run["results"][0]["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "kernel.s"
+        assert physical["region"]["startLine"] == 7
+        assert location["logicalLocations"][0]["name"] == "pc 3"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("maker", [_or001_findings, _or011_findings],
+                             ids=["or001", "or011"])
+    def test_lossless(self, maker):
+        findings = maker()
+        document = to_sarif(findings, uri="fixture.s")
+        ok, detail = sarif_round_trip_equal(findings, document)
+        assert ok, detail
+
+    def test_round_trip_through_json_text(self):
+        findings = _or011_findings()
+        text = render_sarif(findings, uri="racy.s")
+        decoded = findings_from_sarif(text)
+        assert [(f.code, f.severity, f.message, f.line, f.location)
+                for f in decoded] \
+            == [(f.code, f.severity, f.message, f.line, f.location)
+                for f in findings]
+
+    def test_mismatch_is_reported(self):
+        findings = _or001_findings()
+        document = to_sarif(findings)
+        ok, detail = sarif_round_trip_equal(findings[:-1], document)
+        assert not ok and "count mismatch" in detail
+
+    def test_empty_findings(self):
+        document = to_sarif([])
+        assert document["runs"][0]["results"] == []
+        assert findings_from_sarif(document) == []
+
+
+class TestCli:
+    def test_lint_format_sarif(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "racy.s"
+        source.write_text(_RACY)
+        code = main(["lint", str(source), "--cores", "2",
+                     "--preset", "r1=0x100", "--preset", "r3=0x200",
+                     "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1  # OR011 is an error
+        assert doc["version"] == SARIF_VERSION
+        codes = {r["ruleId"] for run in doc["runs"] for r in run["results"]}
+        assert "OR011" in codes

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, Interrupt, SimulationError
-from repro.sim import Event, Resource, Simulator, Timeout
+from repro.sim import Resource, Simulator, Timeout
 
 
 class TestSimulatorBasics:

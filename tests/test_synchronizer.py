@@ -1,0 +1,195 @@
+"""Edge cases of the hardware synchronizer.
+
+Complements ``test_pulp_cluster.py``'s happy-path barrier tests with
+the corners the concurrency work leans on: single-participant
+barriers, back-to-back re-entry as in a barrier inside a hardware
+loop, and :meth:`~repro.sim.engine.Process.interrupt` delivered while
+a core sleeps at the barrier (the arrival must be withdrawn so later
+generations still need the full complement of live participants).
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.pulp.synchronizer import HardwareSynchronizer
+from repro.sim.engine import Simulator, Timeout
+
+
+class TestSingleParticipant:
+    def test_completes_immediately(self):
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=1, wakeup_cycles=2.0)
+        release = []
+
+        def worker():
+            yield Timeout(3.0)
+            yield from sync.barrier()
+            release.append(sim.now)
+
+        sim.add_process(worker())
+        sim.run_all()
+        assert release == [5.0]  # no sleeping, just the wakeup latency
+        assert sync.barriers_completed == 1
+        assert sync.sleep_cycles == [0.0]
+
+    def test_observer_sees_each_generation(self):
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=1)
+        seen = []
+        sync.observers.append(seen.append)
+
+        def worker():
+            for _ in range(4):
+                yield from sync.barrier()
+
+        sim.add_process(worker())
+        sim.run_all()
+        assert seen == [1, 2, 3, 4]
+
+
+class TestHwLoopReentry:
+    def test_consecutive_iterations_each_synchronize(self):
+        # A barrier in a hardware-loop body: every core re-enters the
+        # barrier immediately after leaving it, trip after trip.  Each
+        # iteration must form its own generation.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=4, wakeup_cycles=2.0)
+        trips = 5
+        crossings = [0] * 4
+
+        def worker(core):
+            for _ in range(trips):
+                yield Timeout(1.0 + core)  # skewed per-trip work
+                yield from sync.barrier()
+                crossings[core] += 1
+
+        for core in range(4):
+            sim.add_process(worker(core))
+        sim.run_all()
+        assert sync.barriers_completed == trips
+        assert crossings == [trips] * 4
+        # Each trip the slowest core (3) arrives last; everyone else sleeps.
+        assert len(sync.sleep_cycles) == 4 * trips
+
+    def test_generation_isolation(self):
+        # A core racing ahead into the next generation must not release
+        # the cores still sleeping in the previous one early.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=2, wakeup_cycles=0.0)
+        release = {"fast": [], "slow": []}
+
+        def fast():
+            for _ in range(2):
+                yield from sync.barrier()
+                release["fast"].append(sim.now)
+
+        def slow():
+            yield Timeout(4.0)
+            yield from sync.barrier()
+            release["slow"].append(sim.now)
+            yield Timeout(4.0)
+            yield from sync.barrier()
+            release["slow"].append(sim.now)
+
+        sim.add_process(fast())
+        sim.add_process(slow())
+        sim.run_all()
+        assert release["fast"] == release["slow"] == [4.0, 8.0]
+
+
+class TestInterruptEpochSafety:
+    def test_interrupted_waiter_is_withdrawn(self):
+        # Three participants; one arrives and is interrupted while
+        # sleeping.  The two survivors alone must NOT complete the
+        # barrier (the dead arrival was withdrawn) — a third fresh
+        # arrival is required.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=3)
+        release = []
+
+        def victim():
+            yield from sync.barrier()
+            release.append("victim")
+
+        def survivor(delay):
+            yield Timeout(delay)
+            yield from sync.barrier()
+            release.append(sim.now)
+
+        doomed = sim.add_process(victim())
+        sim.schedule(1.0, doomed.interrupt, "power-gated")
+        sim.add_process(survivor(2.0))
+        sim.add_process(survivor(3.0))
+        sim.add_process(survivor(5.0))  # the replacement third arrival
+        sim.run_all()
+        assert doomed.interrupted and "victim" not in release
+        assert sync.barriers_completed == 1
+        assert release == [7.0, 7.0, 7.0]  # last arrival + wakeup
+
+    def test_without_replacement_barrier_hangs(self):
+        # Same scenario minus the replacement: the generation must stay
+        # open, which run_all reports as a deadlock of the survivors.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=3)
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from sync.barrier()
+
+        doomed = sim.add_process(worker(0.0))
+        sim.schedule(1.0, doomed.interrupt)
+        sim.add_process(worker(2.0))
+        sim.add_process(worker(3.0))
+        with pytest.raises(DeadlockError):
+            sim.run_all()
+        assert sync.barriers_completed == 0
+
+    def test_interrupt_after_completion_is_not_withdrawn(self):
+        # Interrupt delivered at the same instant the barrier completes:
+        # the generation already triggered, so the count must not be
+        # decremented into the next generation.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=2, wakeup_cycles=5.0)
+
+        def worker():
+            yield from sync.barrier()
+
+        first = sim.add_process(worker())
+        sim.add_process(worker())
+        # Both arrive at t=0; the generation triggers immediately.  The
+        # interrupt lands during the wakeup timeout of a *completed*
+        # generation and simply kills the process.
+        sim.schedule(1.0, first.interrupt)
+        sim.add_process(worker())
+        sim.add_process(worker())
+        sim.run_all()
+        assert sync.barriers_completed == 2
+        assert sync._arrived == 0
+
+    def test_interrupted_core_can_rejoin_later(self):
+        # A core interrupted out of one generation re-enters through a
+        # fresh generator: epochs in Process drop the stale wakeup, and
+        # the synchronizer counts the re-arrival exactly once.
+        sim = Simulator()
+        sync = HardwareSynchronizer(sim, participants=2)
+        release = []
+
+        def flaky():
+            try:
+                yield from sync.barrier()
+            except SimulationError:
+                yield Timeout(2.0)  # handle the fault, then retry
+                yield from sync.barrier()
+            release.append(("flaky", sim.now))
+
+        def steady():
+            yield Timeout(5.0)
+            yield from sync.barrier()
+            release.append(("steady", sim.now))
+
+        fragile = sim.add_process(flaky())
+        sim.schedule(1.0, fragile.interrupt, "spurious wake")
+        sim.add_process(steady())
+        sim.run_all()
+        assert sync.barriers_completed == 1
+        assert [t for _, t in release] == [7.0, 7.0]

@@ -1,6 +1,5 @@
 """Tests for repro.units."""
 
-import math
 
 import pytest
 
