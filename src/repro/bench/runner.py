@@ -1,0 +1,171 @@
+"""The benchmark runner: timed repeats, determinism guard, profiling.
+
+For every selected suite the runner:
+
+1. runs ``repeats`` timed passes — each is ``prepare`` (off the clock),
+   then ``execute`` between two reads of the shared monotonic clock —
+   under a *disabled* telemetry hub, so the numbers measure the engine,
+   not the instrumentation;
+2. asserts the suite's deterministic fingerprint and unit count are
+   bit-identical across repeats (a drift is a :class:`BenchmarkError`:
+   the workload was not pinned);
+3. runs one extra *instrumented* pass under an enabled hub with a
+   :class:`~repro.obs.profile.PhaseProfiler`, collecting the per-phase
+   real-time breakdown, the engine's telemetry counters, and — when
+   asked — a per-suite Chrome trace plus a collapsed-stack flamegraph
+   through :mod:`repro.obs.export`.
+
+The instrumented pass is excluded from the timing statistics but must
+reproduce the timed passes' fingerprint, which doubles as the proof
+that telemetry does not perturb results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import BenchmarkError, ObservabilityError
+from repro.obs import (
+    PhaseProfiler,
+    Telemetry,
+    collapsed_totals,
+    monotonic,
+    use_telemetry,
+    write_chrome_trace,
+)
+
+from repro.bench import report as _report
+from repro.bench.workloads import BenchSuite, SuiteResult, default_suites
+
+#: Default repeat counts: median-of-5, median-of-3 under ``--quick``.
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+
+
+@dataclass
+class BenchOptions:
+    """One runner invocation, fully specified."""
+
+    repeats: int = DEFAULT_REPEATS
+    quick: bool = False
+    #: Suite-name subset (None = every registered suite).
+    suites: Optional[Sequence[str]] = None
+    #: Write one Chrome trace per suite, derived from this path.
+    profile_path: Optional[str] = None
+    #: Write a collapsed-stack flamegraph of all phase totals here.
+    flame_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise BenchmarkError(f"repeats must be >= 1, got {self.repeats}")
+
+
+def _suite_profile_path(base: str, suite: str) -> str:
+    """``bench.json`` -> ``bench.sim.json`` for per-suite traces."""
+    stem, extension = os.path.splitext(base)
+    return f"{stem}.{suite}{extension or '.json'}"
+
+
+def _bench_only(hub: Telemetry, lane: str) -> Telemetry:
+    """A hub holding only the profiler lane's spans plus all counters."""
+    reduced = Telemetry(enabled=True)
+    reduced.spans = [span for span in hub.spans if span.lane == lane]
+    reduced.counters = hub.counters
+    return reduced
+
+
+class BenchRunner:
+    """Times every suite and assembles one trajectory document."""
+
+    def __init__(self, options: Optional[BenchOptions] = None):
+        self.options = options if options is not None else BenchOptions()
+        #: Paths of profile artifacts written by the last run.
+        self.artifacts: List[str] = []
+
+    def run(self, index: int = _report.FIRST_INDEX) -> Dict[str, Any]:
+        """Execute the selected suites; returns the validated document."""
+        options = self.options
+        suites = default_suites(
+            list(options.suites) if options.suites is not None else None)
+        self.artifacts = []
+        suite_docs: Dict[str, Dict[str, Any]] = {}
+        flame_totals: Dict[str, float] = {}
+        for suite in suites:
+            suite_docs[suite.name] = self._run_suite(suite, flame_totals)
+        if options.flame_path:
+            with open(options.flame_path, "w", encoding="utf-8") as handle:
+                text = collapsed_totals(flame_totals, root="bench")
+                handle.write(text + ("\n" if text else ""))
+            self.artifacts.append(options.flame_path)
+        return _report.build_report(suite_docs, repeats=options.repeats,
+                                    quick=options.quick, index=index)
+
+    # -- one suite ---------------------------------------------------------------
+
+    def _run_suite(self, suite: BenchSuite,
+                   flame_totals: Dict[str, float]) -> Dict[str, Any]:
+        wall_s: List[float] = []
+        reference: Optional[SuiteResult] = None
+        # Timed passes: a disabled hub guarantees the engines run their
+        # no-telemetry fast path, whatever hub the caller installed.
+        quiet = Telemetry(enabled=False)
+        off_profiler = PhaseProfiler(quiet)
+        with use_telemetry(quiet):
+            for _ in range(self.options.repeats):
+                state = suite.prepare(off_profiler)
+                try:
+                    started = monotonic()
+                    result = suite.execute(state, off_profiler)
+                    wall_s.append(monotonic() - started)
+                finally:
+                    suite.cleanup(state)
+                reference = self._checked(suite, reference, result)
+        # Instrumented pass: phase breakdown + engine counters.
+        hub = Telemetry(enabled=True)
+        profiler = PhaseProfiler(hub, lane="bench")
+        with use_telemetry(hub):
+            state = suite.prepare(profiler)
+            try:
+                result = suite.execute(state, profiler)
+            finally:
+                suite.cleanup(state)
+        self._checked(suite, reference, result)
+        if self.options.profile_path:
+            self._export_profile(suite.name, hub)
+        for phase, seconds in profiler.totals_s.items():
+            flame_totals[phase] = flame_totals.get(phase, 0.0) + seconds
+        return {
+            "units": suite.units,
+            "spec": dict(suite.spec),
+            "units_per_run": reference.units,
+            "fingerprint": dict(reference.fingerprint),
+            "counters": {name: counter.value for name, counter
+                         in sorted(hub.counters.items())},
+            "timing": _report.suite_timing(
+                wall_s, reference.units, profiler.totals_s, profiler.calls),
+        }
+
+    def _checked(self, suite: BenchSuite, reference: Optional[SuiteResult],
+                 result: SuiteResult) -> SuiteResult:
+        """Enforce the bit-identical-fingerprint contract across passes."""
+        if reference is None:
+            return result
+        if (result.fingerprint != reference.fingerprint
+                or result.units != reference.units):
+            raise BenchmarkError(
+                f"suite {suite.name!r} is not deterministic: repeat "
+                f"produced {result.fingerprint} != {reference.fingerprint}")
+        return reference
+
+    def _export_profile(self, suite_name: str, hub: Telemetry) -> None:
+        path = _suite_profile_path(self.options.profile_path, suite_name)
+        try:
+            write_chrome_trace(hub, path)
+        except ObservabilityError:
+            # Engine spans that overlap on a lane (model-time streams
+            # from repeated sub-runs) cannot serialize as B/E pairs;
+            # fall back to the profiler's own lane plus the counters.
+            write_chrome_trace(_bench_only(hub, "bench"), path)
+        self.artifacts.append(path)

@@ -1,0 +1,335 @@
+"""Pinned benchmark workloads: one fixed spec per engine hot path.
+
+Every suite is a :class:`BenchSuite` with a frozen ``spec`` (workload
+knobs *including seeds*), an untimed :meth:`~BenchSuite.prepare` step
+(building workloads, lowering kernels, seeding caches), and a timed
+:meth:`~BenchSuite.execute` step that returns the work-unit count plus
+a *deterministic fingerprint* of the engine's output.  The runner times
+``execute`` alone, asserts the fingerprint is bit-identical across
+repeats, and attributes time to phases through the
+:class:`~repro.obs.profile.PhaseProfiler` passed into both steps.
+
+The registry covers every engine named by ROADMAP item 1:
+
+========== ============ ====================================================
+suite      units        hot path
+========== ============ ====================================================
+sim        cycles       DES cluster replay of a lowered kernel loop
+serve      requests     ``repro.serve`` Poisson run to drain
+dse_cold   configs      ``repro.dse`` exploration, empty result cache
+dse_cached configs      same exploration served entirely from the cache
+faults     scenarios    ``repro.faults`` campaign on the resilient driver
+analysis   programs     ``repro.analysis`` lint + SPMD pass over builtins
+========== ============ ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BenchmarkError
+from repro.obs.profile import PhaseProfiler
+
+
+def fingerprint_digest(payload: Any) -> str:
+    """Short stable digest of a JSON-serializable payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """What one timed execution produced."""
+
+    units: float                    #: work units processed (for throughput)
+    fingerprint: Dict[str, Any]     #: deterministic engine-output summary
+
+
+class BenchSuite:
+    """One pinned workload: untimed prepare, timed execute."""
+
+    #: Registry key and BENCH_<n>.json suite name.
+    name: str = ""
+    #: What one unit of work is (``throughput`` is units per second).
+    units: str = ""
+    #: Pinned workload knobs, including every seed.
+    spec: Dict[str, Any] = {}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        """Build per-repeat state outside the timed window."""
+        return None
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        """Run the hot path once; everything here is on the clock."""
+        raise NotImplementedError
+
+    def cleanup(self, state: Any) -> None:
+        """Release per-repeat state (temp dirs etc.)."""
+
+
+class SimSuite(BenchSuite):
+    """DES cluster simulation throughput, in simulated cycles/second."""
+
+    name = "sim"
+    units = "cycles"
+    spec = {"kernel": "matmul", "cores": 4, "cycle_cap": 20000.0,
+            "dma_bytes": 1024, "pattern": "strided"}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.core.system import HeterogeneousSystem
+        from repro.kernels import kernel_by_name
+        from repro.pulp.timing import kernel_op_streams
+
+        with profiler.phase("sim;lower"):
+            system = HeterogeneousSystem()
+            kernel = kernel_by_name(self.spec["kernel"])
+            streams = kernel_op_streams(
+                kernel.build_program(), system.target, self.spec["cores"],
+                cycle_cap=self.spec["cycle_cap"])
+        dma_bytes = self.spec["dma_bytes"]
+        return streams, [(0, 0, dma_bytes, True),
+                         (0, 4096, dma_bytes, False)]
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.pulp.cluster import Cluster
+
+        streams, dma_jobs = state
+        with profiler.phase("sim;simulate"):
+            run = Cluster().run(streams, dma_jobs=dma_jobs)
+        fingerprint = {
+            "wall_cycles": run.wall_cycles,
+            "conflict_rate": round(run.conflict_rate, 12),
+            "barrier_count": run.barrier_count,
+        }
+        return SuiteResult(units=run.wall_cycles, fingerprint=fingerprint)
+
+
+class ServeSuite(BenchSuite):
+    """Serving-runtime throughput at drain, in completed requests/second."""
+
+    name = "serve"
+    units = "requests"
+    spec = {"nodes": 4, "policy": "fifo", "arrival_rate": 250.0,
+            "requests": 400, "iterations": 1, "deadline_factor": 25.0,
+            "max_batch": 8, "host_mhz": 8.0, "seed": 7}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.serve import AnalyticServiceBook, PoissonWorkload
+        from repro.serve.engine import ServeConfig
+        from repro.serve.scheduler import Policy, SchedulerConfig
+
+        with profiler.phase("serve;setup"):
+            book = AnalyticServiceBook(host_mhz=self.spec["host_mhz"])
+            workload = PoissonWorkload(
+                rate=self.spec["arrival_rate"],
+                requests=self.spec["requests"],
+                deadline_factor=self.spec["deadline_factor"],
+                iterations=self.spec["iterations"], seed=self.spec["seed"])
+            return ServeConfig(
+                workload=workload, nodes=self.spec["nodes"],
+                scheduler=SchedulerConfig(
+                    policy=Policy(self.spec["policy"]),
+                    max_batch=self.spec["max_batch"]),
+                seed=self.spec["seed"], book=book)
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.serve.engine import ServeEngine
+
+        with profiler.phase("serve;run"):
+            report = ServeEngine(state).run()
+        payload = report.to_json_dict()
+        summary = report.metrics()
+        fingerprint = {
+            "arrivals": summary["arrivals"],
+            "completed": summary["completed"],
+            "dropped": summary["dropped"],
+            "duration_s": summary["duration_s"],
+            "deadline_misses": summary["deadline_misses"],
+            "digest": fingerprint_digest(payload),
+        }
+        return SuiteResult(units=float(summary["completed"]),
+                           fingerprint=fingerprint)
+
+
+#: The pinned exploration grid shared by both DSE suites: 16 configs.
+_DSE_GRID = {"kernel": ["matmul"], "host_mhz": [2.0, 4.0, 8.0, 16.0],
+             "budget_mw": [5.0, 10.0], "spi_mode": ["single", "quad"]}
+
+
+class _DseSuite(BenchSuite):
+    """Shared machinery of the cold and cached exploration suites."""
+
+    units = "configs"
+
+    def _space(self):
+        from repro.dse import ParameterSpace
+
+        return ParameterSpace.from_dict({"grid": self.spec["grid"]})
+
+    def _explore(self, cache):
+        from repro.dse import ExplorationEngine
+
+        return ExplorationEngine(cache=cache,
+                                 jobs=self.spec["jobs"]).run(self._space())
+
+    def _result(self, result, expect_hits: bool) -> SuiteResult:
+        stats = result.stats
+        expected = stats.cache_hits if expect_hits else stats.cache_misses
+        if expected != stats.configurations:
+            raise BenchmarkError(
+                f"{self.name}: expected a fully "
+                f"{'cached' if expect_hits else 'cold'} run, got "
+                f"{stats.cache_hits} hits / {stats.cache_misses} misses "
+                f"over {stats.configurations} configurations")
+        fingerprint = {
+            "configurations": stats.configurations,
+            "infeasible": stats.infeasible,
+            "model_version": result.model_version,
+            "records_digest": fingerprint_digest(result.records),
+        }
+        return SuiteResult(units=float(stats.configurations),
+                           fingerprint=fingerprint)
+
+    def cleanup(self, state: Any) -> None:
+        shutil.rmtree(state, ignore_errors=True)
+
+
+class DseColdSuite(_DseSuite):
+    """Exploration with an empty cache: pure evaluation throughput."""
+
+    name = "dse_cold"
+    spec = {"grid": _DSE_GRID, "jobs": 1}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        return tempfile.mkdtemp(prefix="repro-bench-dse-cold-")
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.dse import ResultCache
+
+        with profiler.phase("dse_cold;explore"):
+            result = self._explore(ResultCache(state))
+        return self._result(result, expect_hits=False)
+
+
+class DseCachedSuite(_DseSuite):
+    """The same exploration served entirely from a warm result cache."""
+
+    name = "dse_cached"
+    spec = {"grid": _DSE_GRID, "jobs": 1}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.dse import ResultCache
+
+        directory = tempfile.mkdtemp(prefix="repro-bench-dse-warm-")
+        with profiler.phase("dse_cached;seed"):
+            self._explore(ResultCache(directory))
+        return directory
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.dse import ResultCache
+
+        with profiler.phase("dse_cached;explore"):
+            result = self._explore(ResultCache(state))
+        return self._result(result, expect_hits=True)
+
+
+class FaultsSuite(BenchSuite):
+    """Fault-campaign throughput on the resilient driver, scenarios/second."""
+
+    name = "faults"
+    units = "scenarios"
+    spec = {"scenarios": 11, "seed": 1, "kernel": "matmul",
+            "host_mhz": 8.0, "iterations": 1, "bit_error_rate": 2e-5}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.faults import build_campaign
+
+        with profiler.phase("faults;build"):
+            return build_campaign(
+                self.spec["scenarios"], seed=self.spec["seed"],
+                kernel=self.spec["kernel"], host_mhz=self.spec["host_mhz"],
+                iterations=self.spec["iterations"],
+                bit_error_rate=self.spec["bit_error_rate"])
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.faults import CampaignRunner
+
+        with profiler.phase("faults;run"):
+            result = CampaignRunner().run(state)
+        payload = result.to_json_dict()
+        fingerprint = {
+            "outcomes": payload["outcomes"],
+            "availability": payload["availability"],
+            "digest": fingerprint_digest(payload),
+        }
+        return SuiteResult(units=float(len(state)), fingerprint=fingerprint)
+
+
+class AnalysisSuite(BenchSuite):
+    """Static-analysis throughput: programs fully linted per second."""
+
+    name = "analysis"
+    units = "programs"
+    spec = {"programs": "builtin+parallel", "cores": 4}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.machine.parallel import PARALLEL_PROGRAMS
+        from repro.machine.programs import BUILTIN_PROGRAMS
+
+        return (list(BUILTIN_PROGRAMS.values()),
+                list(PARALLEL_PROGRAMS.values()))
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.analysis.concurrency import analyze_spmd
+        from repro.analysis.dataflow import ALL_REGISTERS
+        from repro.analysis.linter import lint_instructions, lint_source
+
+        builtins, parallels = state
+        cores = self.spec["cores"]
+        findings: Dict[str, int] = {}
+        with profiler.phase("analysis;lint"):
+            for program in builtins:
+                report = lint_source(
+                    program.source, name=program.name,
+                    entry_regs=program.entry_regs,
+                    exit_live=program.exit_live
+                    if program.exit_live is not None else ALL_REGISTERS)
+                findings[program.name] = len(report.findings)
+        with profiler.phase("analysis;spmd"):
+            for parallel in parallels:
+                report = lint_instructions(
+                    parallel.unit.instructions, name=parallel.name,
+                    lines=parallel.unit.lines,
+                    entry_regs=parallel.entry_regs)
+                spmd = analyze_spmd(
+                    parallel.unit.instructions, cores=cores,
+                    presets=parallel.presets(cores),
+                    lines=parallel.unit.lines, dma_out=parallel.dma_out)
+                findings[parallel.name] = (len(report.findings)
+                                           + len(spmd.findings))
+        total = len(builtins) + len(parallels)
+        fingerprint = {"programs": total, "findings": findings}
+        return SuiteResult(units=float(total), fingerprint=fingerprint)
+
+
+#: Suite classes in report order.
+SUITE_TYPES = (SimSuite, ServeSuite, DseColdSuite, DseCachedSuite,
+               FaultsSuite, AnalysisSuite)
+
+
+def default_suites(names: Optional[List[str]] = None) -> List[BenchSuite]:
+    """Instantiate the registered suites, optionally a named subset."""
+    by_name = {suite_type.name: suite_type for suite_type in SUITE_TYPES}
+    if names is None:
+        return [suite_type() for suite_type in SUITE_TYPES]
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown bench suites {unknown}; "
+            f"available: {', '.join(by_name)}")
+    return [by_name[name]() for name in names]

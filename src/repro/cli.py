@@ -19,6 +19,8 @@ Usage::
     python -m repro dse --spec space.json --jobs 4
     python -m repro serve --nodes 4 --policy power-cap --arrival-rate 250 \
         --faults on --seed 7 [--json] [--trace serve.json]
+    python -m repro bench [--quick] [--check] [--profile bench.json]
+    python -m repro bench --compare BENCH_7.json BENCH_8.json
     python -m repro all
 
 Every experiment subcommand accepts ``--json`` for a machine-readable
@@ -40,6 +42,13 @@ result at all.
 stream (see ``docs/SERVING.md``) and prints queueing statistics.  It
 exits 0 when the run is healthy and 3 when the deadline-miss rate
 (misses plus drops, over arrivals) exceeds ``--miss-threshold``.
+
+``bench`` times every engine's hot path under pinned seeds and writes
+the next ``BENCH_<n>.json`` trajectory entry (see
+``docs/BENCHMARKS.md``).  ``--check`` compares the fresh run against
+the latest committed entry and exits 5 when any suite's median
+throughput regressed by more than ``--threshold`` (default 20%);
+``--compare OLD NEW`` judges two existing files without running.
 """
 
 from __future__ import annotations
@@ -120,34 +129,13 @@ _DES_CYCLE_CAP = 20_000.0
 def _des_cluster_lanes(hub, kernel, target) -> None:
     """Replay the kernel's first parallel loop on the DES cluster and
     route per-core / per-bank / per-DMA-channel lanes into *hub*."""
-    from repro.isa.program import Loop
-    from repro.isa.report import LoweredReport
     from repro.obs.bridge import route_recorder
     from repro.pulp.cluster import Cluster
-    from repro.pulp.core import ComputeOp
-    from repro.pulp.timing import chunk_trips, op_stream_from_report
+    from repro.pulp.timing import kernel_op_streams
     from repro.sim.tracing import TraceRecorder
 
-    program = kernel.build_program()
-    loops = [node for node in program.body
-             if isinstance(node, Loop) and node.parallelizable]
-    streams = []
-    if loops:
-        loop = loops[0]
-        for core, trips in enumerate(chunk_trips(loop.trips, Cluster.CORES)):
-            if trips == 0:
-                continue
-            report = target.lower_nodes([loop.with_trips(trips)])
-            if report.cycles > _DES_CYCLE_CAP:
-                scale = _DES_CYCLE_CAP / report.cycles
-                report = LoweredReport(
-                    target_name=report.target_name,
-                    cycles=report.cycles * scale,
-                    instructions=report.instructions * scale,
-                    memory_accesses=report.memory_accesses * scale)
-            streams.append(op_stream_from_report(report, core_index=core))
-    while len(streams) < Cluster.CORES:
-        streams.append([ComputeOp(1.0)])
+    streams = kernel_op_streams(kernel.build_program(), target,
+                                Cluster.CORES, cycle_cap=_DES_CYCLE_CAP)
     recorder = TraceRecorder()
     cluster = Cluster()
     run = cluster.run(streams,
@@ -576,6 +564,88 @@ def _cmd_dse(args) -> str:
     return render(result)
 
 
+# -- benchmarks ------------------------------------------------------------------
+
+#: ``bench`` exit code when ``--check`` / ``--compare`` find a
+#: beyond-threshold throughput regression.
+BENCH_EXIT_REGRESSION = 5
+
+
+def _cmd_bench(args) -> str:
+    from repro.bench import (
+        BenchOptions,
+        BenchRunner,
+        DEFAULT_REPEATS,
+        QUICK_REPEATS,
+        compare,
+        latest_bench,
+        load_report,
+        next_index,
+        render_comparison,
+        render_report,
+        write_report,
+    )
+    from repro.errors import BenchmarkError
+
+    try:
+        if args.compare:
+            old_path, new_path = args.compare
+            comparison = compare(load_report(old_path),
+                                 load_report(new_path),
+                                 threshold=args.threshold)
+            if not comparison.ok:
+                args._exit_code = BENCH_EXIT_REGRESSION
+            if getattr(args, "json", False):
+                return _json_dump(comparison.to_json_dict())
+            return render_comparison(comparison, old_label=old_path,
+                                     new_label=new_path)
+        repeats = args.repeats if args.repeats is not None else (
+            QUICK_REPEATS if args.quick else DEFAULT_REPEATS)
+        suites = None
+        if args.suites:
+            suites = [name for name in
+                      (token.strip() for token in args.suites.split(","))
+                      if name]
+        # Resolve the baseline before writing, so a fresh entry never
+        # becomes its own baseline.
+        baseline_path = args.baseline or latest_bench(args.out_dir)
+        runner = BenchRunner(BenchOptions(
+            repeats=repeats, quick=args.quick, suites=suites,
+            profile_path=args.profile, flame_path=args.flame))
+        doc = runner.run(index=next_index(args.out_dir))
+        lines = [render_report(doc)]
+        path = None
+        if not args.no_write:
+            path = write_report(doc, args.out_dir)
+            lines.append(f"wrote {path}")
+        lines.extend(f"wrote {artifact}" for artifact in runner.artifacts)
+        comparison = None
+        if args.check:
+            if baseline_path is None:
+                lines.append("check: no baseline BENCH_*.json in "
+                             f"{args.out_dir} — nothing to gate against")
+            else:
+                comparison = compare(load_report(baseline_path), doc,
+                                     threshold=args.threshold)
+                lines.append("")
+                lines.append(render_comparison(
+                    comparison, old_label=baseline_path,
+                    new_label=f"BENCH_{doc['bench_index']}"))
+                if not comparison.ok:
+                    args._exit_code = BENCH_EXIT_REGRESSION
+    except BenchmarkError as exc:
+        raise SystemExit(f"bench: {exc}")
+    if getattr(args, "json", False):
+        payload = {"report": doc, "path": path,
+                   "artifacts": runner.artifacts}
+        if args.check:
+            payload["baseline"] = baseline_path
+            payload["check"] = (comparison.to_json_dict()
+                                if comparison is not None else None)
+        return _json_dump(payload)
+    return "\n".join(lines)
+
+
 def _cmd_all(args) -> str:
     sections = [
         ("Table I", _cmd_table1(args)),
@@ -770,6 +840,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write a Chrome trace of the run")
     serve.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of the summary")
+    bench = sub.add_parser(
+        "bench", help="tracked performance benchmarks: write the next "
+                      "BENCH_<n>.json, gate on regressions")
+    bench.add_argument("--quick", action="store_true",
+                       help="median-of-3 instead of median-of-5 (same "
+                            "pinned workloads, so results stay comparable)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="explicit timed repeats per suite")
+    bench.add_argument("--suites", default=None,
+                       help="comma-separated suite subset (default: all; "
+                            "sim,serve,dse_cold,dse_cached,faults,analysis)")
+    bench.add_argument("--out-dir", default="benchmarks/results",
+                       metavar="DIR",
+                       help="trajectory directory for BENCH_<n>.json")
+    bench.add_argument("--no-write", action="store_true",
+                       help="run and report without writing a trajectory "
+                            "entry")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the latest committed entry "
+                            f"(or --baseline); exit {BENCH_EXIT_REGRESSION} "
+                            "on regression")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="explicit baseline file for --check")
+    bench.add_argument("--threshold", type=float, default=0.20,
+                       help="median-throughput loss treated as a "
+                            "regression (default 0.20)")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       default=None,
+                       help="judge two existing BENCH files; no run")
+    bench.add_argument("--profile", default=None, metavar="PATH",
+                       help="write per-suite Chrome traces of the "
+                            "instrumented pass (PATH gets the suite name "
+                            "inserted)")
+    bench.add_argument("--flame", default=None, metavar="PATH",
+                       help="write a collapsed-stack flamegraph of the "
+                            "per-phase totals")
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of tables")
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -789,6 +897,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "dse": _cmd_dse,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "all": _cmd_all,
     "report": _cmd_report,
 }

@@ -22,13 +22,12 @@ around the miss batch, ``dse.cache.hits`` / ``dse.cache.misses`` /
 from __future__ import annotations
 
 import functools
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError
-from repro.obs import get_telemetry
+from repro.obs import get_telemetry, monotonic
 
 from repro.dse import evaluate as _evaluate
 from repro.dse.cache import ResultCache
@@ -96,7 +95,7 @@ class ExplorationEngine:
         model_version = _evaluate.MODEL_VERSION
         configs = space.expand()
         hub = get_telemetry()
-        started = time.perf_counter()
+        started = monotonic()
         by_hash: Dict[str, Dict[str, Any]] = {}
         misses: List[Configuration] = []
         with hub.timed("dse.run", "dse", total=len(configs),
@@ -123,7 +122,7 @@ class ExplorationEngine:
             evaluated=len(misses),
             infeasible=sum(1 for r in records if not r["feasible"]),
             jobs=self.jobs,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=monotonic() - started,
         )
         return ExplorationResult(spec=space.to_dict(),
                                  model_version=model_version,

@@ -119,3 +119,13 @@ class FixedPointError(ReproError):
 
 class ObservabilityError(ReproError):
     """Errors in the telemetry hub, trace exporters, or analyzers."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark run, report, or baseline is invalid.
+
+    Raised when a ``BENCH_<n>.json`` document fails schema validation,
+    when a suite's deterministic fingerprint drifts between repeats of
+    the same pinned workload, or when a comparison is asked of reports
+    whose suites cannot be matched up.
+    """

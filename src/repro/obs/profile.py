@@ -1,0 +1,83 @@
+"""Per-phase profiling hooks over the telemetry hub.
+
+:class:`PhaseProfiler` is the lightweight instrument behind
+``repro bench``: a named ``with profiler.phase("serve.run"):`` block
+measures real elapsed time on the shared monotonic clock
+(:mod:`repro.obs.clock`), accumulates per-phase totals and call counts,
+and emits a span onto the backing :class:`~repro.obs.telemetry.Telemetry`
+hub so the same data exports as a Chrome trace or flamegraph through
+:mod:`repro.obs.export`.
+
+The profiler inherits the hub's disabled fast path: while the hub is
+disabled, :meth:`PhaseProfiler.phase` returns the shared
+:data:`~repro.obs.telemetry.NOOP_CONTEXT` without reading the clock or
+allocating, so hooks can stay in hot loops permanently.  Phase spans
+land on one lane (default ``bench``) with start times relative to the
+profiler's construction, in the ``wall`` domain; nested ``phase``
+blocks nest properly in the exported trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import clock as _clock
+from repro.obs.telemetry import (
+    NOOP_CONTEXT,
+    Telemetry,
+    WALL,
+    get_telemetry,
+)
+
+
+class _Phase:
+    """Context manager timing one phase block."""
+
+    __slots__ = ("_profiler", "_name", "_attrs", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str, attrs: dict):
+        self._profiler = profiler
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = self._profiler.clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._profiler._finish(self._name, self._start, self._attrs)
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates named real-time phases and mirrors them as spans."""
+
+    def __init__(self, hub: Optional[Telemetry] = None, lane: str = "bench",
+                 clock=None):
+        self.hub = hub if hub is not None else get_telemetry()
+        self.lane = lane
+        self.clock = _clock.monotonic if clock is None else clock
+        #: Accumulated seconds per phase name, insertion-ordered.
+        self.totals_s: Dict[str, float] = {}
+        #: Number of completed blocks per phase name.
+        self.calls: Dict[str, int] = {}
+        self._origin = self.clock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether phases are being recorded (the hub's switch)."""
+        return self.hub.enabled
+
+    def phase(self, name: str, **attrs):
+        """A ``with`` block measuring one phase (no-op when disabled)."""
+        if not self.hub.enabled:
+            return NOOP_CONTEXT
+        return _Phase(self, name, attrs)
+
+    def _finish(self, name: str, start: float, attrs: dict) -> None:
+        duration = self.clock() - start
+        self.totals_s[name] = self.totals_s.get(name, 0.0) + duration
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.hub.span(name, self.lane, start - self._origin, duration,
+                      domain=WALL, **attrs)

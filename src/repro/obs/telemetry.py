@@ -16,22 +16,25 @@ Spans live in one of two time domains:
 - ``cycles`` — cluster clock cycles, used by the DES and OpenMP layers.
 
 The :class:`Telemetry` hub is a no-op when disabled: every emission
-method returns immediately after one attribute check, so instrumented
-code paths cost nothing measurable and produce bit-identical results
-with telemetry off.  A module-level hub (:func:`get_telemetry`) lets
-deep call paths emit without parameter threading; :func:`use_telemetry`
-installs a hub for a scope.
+method returns immediately after one attribute check — no span or
+counter objects are allocated, no dict lookups happen, and
+:meth:`Telemetry.timed` hands back one shared do-nothing context
+manager — so always-on instrumentation (including the
+:mod:`repro.obs.profile` hooks in benchmark hot loops) costs ~nothing
+and produces bit-identical results with telemetry off.  A module-level
+hub (:func:`get_telemetry`) lets deep call paths emit without parameter
+threading; :func:`use_telemetry` installs a hub for a scope.
 """
 
 from __future__ import annotations
 
 import contextlib
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
+from repro.obs import clock as _clock
 
 #: Time domain of the analytic (seconds-based) layers.
 WALL = "wall"
@@ -82,6 +85,51 @@ class Counter:
     domain: str = WALL
     value: float = 0.0
     samples: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class _NoopContext:
+    """The shared do-nothing context manager of every disabled hub."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: One module-wide instance: a disabled hub's ``timed`` (and the
+#: disabled :class:`repro.obs.profile.PhaseProfiler`) return this very
+#: object, so the fast path allocates nothing per call.
+NOOP_CONTEXT = _NoopContext()
+
+
+class _TimedSpan:
+    """Context manager recording a real-elapsed-time span on exit."""
+
+    __slots__ = ("_hub", "_name", "_lane", "_domain", "_clock", "_attrs",
+                 "_start")
+
+    def __init__(self, hub: "Telemetry", name: str, lane: str, domain: str,
+                 clock, attrs: dict):
+        self._hub = hub
+        self._name = name
+        self._lane = lane
+        self._domain = domain
+        self._clock = clock
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimedSpan":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._hub.span(self._name, self._lane, self._start,
+                       self._clock() - self._start, domain=self._domain,
+                       **self._attrs)
+        return False
 
 
 class Telemetry:
@@ -154,21 +202,22 @@ class Telemetry:
                 f"counter {name!r} is {counter.kind}, not {kind}")
         return counter
 
-    @contextlib.contextmanager
     def timed(self, name: str, lane: str, *, domain: str = WALL,
-              clock=time.perf_counter, **attrs) -> Iterator[None]:
-        """Record a span around a ``with`` block, measured with *clock*.
+              clock=None, **attrs):
+        """Record a span around a ``with`` block, measured with *clock*
+        (default: the shared :func:`repro.obs.clock.monotonic`).
 
         Unlike :meth:`span`, which records model time computed by the
         caller, this measures real elapsed time — the tool for pricing
         the framework itself (e.g. the DSE engine's evaluation batches).
+        On a disabled hub this returns the shared :data:`NOOP_CONTEXT`
+        without reading the clock or allocating anything.
         """
-        start = clock()
-        try:
-            yield
-        finally:
-            self.span(name, lane, start, clock() - start, domain=domain,
-                      **attrs)
+        if not self.enabled:
+            return NOOP_CONTEXT
+        return _TimedSpan(self, name, lane, domain,
+                          _clock.monotonic if clock is None else clock,
+                          attrs)
 
     # -- queries ----------------------------------------------------------------
 

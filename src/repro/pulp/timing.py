@@ -125,6 +125,41 @@ def _accumulate(existing: List[float], cycles: Sequence[float],
     return existing
 
 
+def kernel_op_streams(program: Program, target: Target, cores: int,
+                      cycle_cap: Optional[float] = None) -> List[OpStream]:
+    """Per-core DES op streams of *program*'s first parallelizable loop.
+
+    The loop is split static-chunk-wise across *cores* and each chunk is
+    lowered by *target*; a *cycle_cap* scales every chunk down uniformly
+    (preserving the compute/memory mix) so one DES replay stays cheap.
+    Cores with no chunk — or all of them, when the program has no
+    parallelizable loop — get a one-cycle filler stream, matching the
+    clock-gated-core convention of :meth:`repro.pulp.cluster.Cluster.run`.
+    This is the shared workload builder of the ``trace`` CLI and the
+    ``sim`` benchmark suite.
+    """
+    loops = [node for node in program.body
+             if isinstance(node, Loop) and node.parallelizable]
+    streams: List[OpStream] = []
+    if loops:
+        loop = loops[0]
+        for core, trips in enumerate(chunk_trips(loop.trips, cores)):
+            if trips == 0:
+                continue
+            report = target.lower_nodes([loop.with_trips(trips)])
+            if cycle_cap is not None and report.cycles > cycle_cap:
+                scale = cycle_cap / report.cycles
+                report = LoweredReport(
+                    target_name=report.target_name,
+                    cycles=report.cycles * scale,
+                    instructions=report.instructions * scale,
+                    memory_accesses=report.memory_accesses * scale)
+            streams.append(op_stream_from_report(report, core_index=core))
+    while len(streams) < cores:
+        streams.append([ComputeOp(1.0)])
+    return streams
+
+
 def op_stream_from_report(report: LoweredReport, core_index: int = 0,
                           tcdm_size: int = Tcdm.DEFAULT_SIZE,
                           region_bytes: int = 4096,
