@@ -44,7 +44,14 @@ from repro.analysis.linter import (
     lint_source,
     lint_unit,
 )
-from repro.analysis.features import FeatureDict, features, lint_features
+from repro.analysis.features import (
+    FEATURES_VERSION,
+    FeatureDict,
+    feature_schema,
+    features,
+    lint_features,
+    mix_features,
+)
 from repro.analysis.ranges import (
     RangeAnalysis,
     ValueRange,
@@ -95,9 +102,12 @@ __all__ = [
     "RangeAnalysis",
     "analyze_ranges",
     "transfer",
+    "FEATURES_VERSION",
     "FeatureDict",
+    "feature_schema",
     "features",
     "lint_features",
+    "mix_features",
     "RULE_DESCRIPTIONS",
     "to_sarif",
     "render_sarif",

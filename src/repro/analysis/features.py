@@ -2,31 +2,74 @@
 
 ``features()`` is the public, schema-stable summary the DSE cost models
 and external tooling consume: structural CFG counts, the static
-load-use stall model, per-rule lint counts, and (for SPMD programs
-analyzed with ``cores >= 2``) the concurrency features of
-:func:`repro.analysis.concurrency.analyze_spmd`.
+load-use stall model, per-rule lint counts, the ``mix.*`` instruction
+mix (opcode-class counts plus a loop-depth-weighted arithmetic
+intensity), and (for SPMD programs analyzed with ``cores >= 2``) the
+concurrency features of :func:`repro.analysis.concurrency.analyze_spmd`.
 
 Keys are flat dotted strings and every value is an ``int`` or
 ``float`` so the dict serializes losslessly to JSON and tabulates into
 a dataframe without coercion.  The key set is fixed for a given
 ``cores`` mode — absent phenomena report ``0``, they do not drop keys.
+:func:`feature_schema` returns that exact key tuple and
+:data:`FEATURES_VERSION` stamps it, so persisted datasets and trained
+models (``repro.learn``) can detect schema drift instead of silently
+misaligning columns.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Union
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 from repro.machine.assembler import AssemblyUnit, assemble_unit
-from repro.machine.encoding import Instruction
+from repro.machine.encoding import (
+    BRANCHES, LOADS, STORES, Instruction, Opcode,
+)
 
+from repro.analysis.cfg import build_cfg
 from repro.analysis.concurrency import analyze_spmd
 from repro.analysis.linter import AnalysisReport, lint_instructions
 from repro.analysis.sarif import RULE_DESCRIPTIONS
 
 FeatureDict = Dict[str, Union[int, float]]
 
+#: Version stamp of the feature schema.  Bump whenever a key is added,
+#: removed, or its meaning changes; persisted datasets and trained
+#: models carry this value and refuse to mix versions.
+FEATURES_VERSION = 2
+
 #: Every rule code with a reserved ``lint.count.*`` slot, in order.
 LINT_CODES = tuple(sorted(RULE_DESCRIPTIONS))
+
+#: Nominal trip count assumed for every static loop level when
+#: weighting the instruction mix (the true trip count is a runtime
+#: value; 16 keeps inner loops dominant without overflowing floats).
+NOMINAL_TRIP = 16
+
+#: Opcode classes of the ``mix.*`` features, in schema order.
+_MIX_ARITH = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRA, Opcode.MIN, Opcode.MAX,
+    Opcode.ADDI, Opcode.SLLI, Opcode.SRAI, Opcode.ANDI,
+})
+_MIX_MUL = frozenset({Opcode.MUL, Opcode.MULI})
+_MIX_SIMD = frozenset({Opcode.ADD4, Opcode.SUB4})
+
+#: ``concurrency.*`` keys merged in when ``cores >= 2`` (the key set of
+#: :meth:`repro.analysis.concurrency.ConcurrencyReport.features`).
+CONCURRENCY_KEYS: Tuple[str, ...] = (
+    "concurrency.access_sites",
+    "concurrency.bank_load_imbalance",
+    "concurrency.bank_load_max",
+    "concurrency.bank_load_total",
+    "concurrency.banks",
+    "concurrency.barrier_phase_max",
+    "concurrency.barrier_phase_min",
+    "concurrency.cores",
+    "concurrency.predicted_conflict_cycles",
+    "concurrency.races",
+    "concurrency.shared_store_sites",
+)
 
 ProgramLike = Union[str, AssemblyUnit, Sequence[Instruction]]
 
@@ -65,6 +108,93 @@ def lint_features(report: AnalysisReport) -> FeatureDict:
     return out
 
 
+def _loop_depths(instructions: Sequence[Instruction]) -> Sequence[int]:
+    """Static loop depth per pc: covering hwloop bodies plus covering
+    backward-branch intervals ``[target, branch]`` (software loops)."""
+    depths = [0] * len(instructions)
+    cfg = build_cfg(instructions)
+    spans = [(span.start, span.end) for span in cfg.hwloops]
+    for pc, instruction in enumerate(instructions):
+        if instruction.opcode in BRANCHES and instruction.imm < 0:
+            target = pc + 1 + instruction.imm
+            if 0 <= target <= pc:
+                spans.append((target, pc + 1))
+    for start, end in spans:
+        for pc in range(start, min(end, len(instructions))):
+            depths[pc] += 1
+    return depths
+
+
+def mix_features(program: ProgramLike) -> FeatureDict:
+    """Instruction-mix features of one program.
+
+    Plain ``mix.*`` keys count opcodes by class over the whole image;
+    the ``mix.weighted_*`` keys weight each instruction by
+    ``NOMINAL_TRIP ** loop_depth`` so that inner-loop bodies dominate,
+    and ``mix.ops_per_mem`` is the resulting arithmetic intensity
+    (weighted non-memory compute ops per weighted memory access) — the
+    static analogue of the ops/byte column of the paper's Table I.
+    """
+    unit = _as_unit(program)
+    instructions = unit.instructions
+    out: FeatureDict = {
+        "mix.arith": 0, "mix.mul": 0, "mix.mac": 0, "mix.simd": 0,
+        "mix.loads": 0, "mix.stores": 0, "mix.branches": 0,
+        "mix.other": 0,
+    }
+    depths = _loop_depths(instructions)
+    weighted_ops = 0.0
+    weighted_mem = 0.0
+    for instruction, depth in zip(instructions, depths):
+        opcode = instruction.opcode
+        weight = float(NOMINAL_TRIP ** depth)
+        if opcode in _MIX_ARITH:
+            out["mix.arith"] += 1
+            weighted_ops += weight
+        elif opcode in _MIX_MUL:
+            out["mix.mul"] += 1
+            weighted_ops += weight
+        elif opcode is Opcode.MAC:
+            out["mix.mac"] += 1
+            weighted_ops += weight
+        elif opcode in _MIX_SIMD:
+            out["mix.simd"] += 1
+            weighted_ops += weight
+        elif opcode in LOADS:
+            out["mix.loads"] += 1
+            weighted_mem += weight
+        elif opcode in STORES:
+            out["mix.stores"] += 1
+            weighted_mem += weight
+        elif opcode in BRANCHES:
+            out["mix.branches"] += 1
+        else:
+            out["mix.other"] += 1
+    out["mix.mem"] = out["mix.loads"] + out["mix.stores"]
+    out["mix.loop_depth_max"] = max(depths, default=0)
+    out["mix.weighted_ops"] = weighted_ops
+    out["mix.weighted_mem"] = weighted_mem
+    out["mix.ops_per_mem"] = weighted_ops / max(weighted_mem, 1.0)
+    return out
+
+
+def feature_schema(cores: int = 1) -> Tuple[str, ...]:
+    """The exact, sorted key tuple :func:`features` emits.
+
+    The schema depends only on the ``cores`` mode: ``cores >= 2`` adds
+    the ``concurrency.*`` keys, nothing else varies per program.
+    """
+    keys = ["instructions", "lint.findings", "lint.errors", "lint.ok"]
+    keys += [f"lint.count.{code}" for code in LINT_CODES]
+    keys += ["cfg.blocks", "cfg.hwloops",
+             "stalls.sites", "stalls.max_per_block",
+             "stalls.blocks_affected"]
+    keys += list(mix_features(""))
+    if cores >= 2:
+        keys += list(CONCURRENCY_KEYS)
+    return tuple(sorted(keys))
+
+
 def features(program: ProgramLike,
              name: str = "program",
              entry_regs: FrozenSet[int] = frozenset(),
@@ -87,6 +217,7 @@ def features(program: ProgramLike,
                                lines=unit.lines, entry_regs=entry_regs)
     out: FeatureDict = {"instructions": len(unit.instructions)}
     out.update(lint_features(report))
+    out.update(mix_features(unit))
     if cores >= 2:
         spmd = analyze_spmd(unit.instructions, cores=cores,
                             presets=presets, lines=unit.lines,

@@ -20,6 +20,7 @@ dse_cold   configs      ``repro.dse`` exploration, empty result cache
 dse_cached configs      same exploration served entirely from the cache
 faults     scenarios    ``repro.faults`` campaign on the resilient driver
 analysis   programs     ``repro.analysis`` lint + SPMD pass over builtins
+learn      predictions  ``repro.learn`` model inference over the corpus
 ========== ============ ====================================================
 """
 
@@ -317,9 +318,56 @@ class AnalysisSuite(BenchSuite):
         return SuiteResult(units=float(total), fingerprint=fingerprint)
 
 
+class LearnSuite(BenchSuite):
+    """Model-prediction throughput: configurations predicted per second.
+
+    ``prepare`` builds the tiny labeled dataset and fits the decision
+    tree off the clock; ``execute`` ranks every (corpus program,
+    iteration context) pair through the fitted model.  The fingerprint
+    pins the predicted labels, so a model or feature drift fails the
+    bit-identical check before it reaches a regret report.
+    """
+
+    name = "learn"
+    units = "predictions"
+    spec = {"tiny": True, "kind": "tree", "contexts": [1, 8, 64],
+            "sweep": 400}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.learn.dataset import CORPUS, build_dataset, corpus_features
+        from repro.learn.models import train_model
+
+        with profiler.phase("learn;dataset"):
+            dataset = build_dataset(tiny=self.spec["tiny"])
+        with profiler.phase("learn;train"):
+            fitted = train_model(dataset, kind=self.spec["kind"])
+        with profiler.phase("learn;features"):
+            queries = [(program, iterations,
+                        corpus_features(program, iterations))
+                       for program in sorted(CORPUS)
+                       for iterations in self.spec["contexts"]]
+        return fitted, queries
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        fitted, queries = state
+        predictions: Dict[str, str] = {}
+        with profiler.phase("learn;predict"):
+            for _ in range(self.spec["sweep"]):
+                for program, iterations, features in queries:
+                    predictions[f"{program}/x{iterations}"] = \
+                        fitted.predict(features)
+        fingerprint = {
+            "queries": len(queries),
+            "sweep": self.spec["sweep"],
+            "digest": fingerprint_digest(predictions),
+        }
+        return SuiteResult(units=float(len(queries) * self.spec["sweep"]),
+                           fingerprint=fingerprint)
+
+
 #: Suite classes in report order.
 SUITE_TYPES = (SimSuite, ServeSuite, DseColdSuite, DseCachedSuite,
-               FaultsSuite, AnalysisSuite)
+               FaultsSuite, AnalysisSuite, LearnSuite)
 
 
 def default_suites(names: Optional[List[str]] = None) -> List[BenchSuite]:

@@ -21,6 +21,11 @@ Usage::
         --faults on --seed 7 [--json] [--trace serve.json]
     python -m repro bench [--quick] [--check] [--profile bench.json]
     python -m repro bench --compare BENCH_7.json BENCH_8.json
+    python -m repro learn dataset --out ds.json [--tiny] [--jobs 4]
+    python -m repro learn train --dataset ds.json --out model.json
+    python -m repro learn eval --dataset ds.json [--max-regret 0.15]
+    python -m repro learn predict --model model.json --program dwconv3_i8
+    python -m repro serve --scheduler predicted --model model.json
     python -m repro all
 
 Every experiment subcommand accepts ``--json`` for a machine-readable
@@ -42,6 +47,13 @@ result at all.
 stream (see ``docs/SERVING.md``) and prints queueing statistics.  It
 exits 0 when the run is healthy and 3 when the deadline-miss rate
 (misses plus drops, over arrivals) exceeds ``--miss-threshold``.
+
+``learn`` builds labeled datasets from the DSE oracle, trains the
+seeded models, and scores them leave-one-kernel-out (see
+``docs/LEARNING.md``).  ``learn eval`` exits 3 when the primary model's
+mean energy regret exceeds ``--max-regret``; ``serve --scheduler
+predicted --model model.json`` routes the fleet through the trained
+model's operating points.
 
 ``bench`` times every engine's hot path under pinned seeds and writes
 the next ``BENCH_<n>.json`` trajectory entry (see
@@ -437,9 +449,42 @@ def _serve_workload(args):
                            duration=args.duration, **common)
 
 
+def _serve_book_and_policy(args):
+    """Resolve the pricing backend and dispatch policy of a serve run."""
+    from repro.serve import AnalyticServiceBook
+    from repro.serve.scheduler import Policy
+
+    if args.scheduler is None and args.model is None:
+        return AnalyticServiceBook(host_mhz=args.host_mhz), \
+            Policy(args.policy)
+    # Extension territory: the learned book and/or a registered policy.
+    import repro.learn.service as learn_service
+    from repro.serve.scheduler import registered_policies
+
+    policy = args.scheduler if args.scheduler is not None \
+        else Policy(args.policy)
+    if isinstance(policy, str) and policy not in registered_policies():
+        known = ", ".join(registered_policies())
+        raise SystemExit(f"serve: unknown --scheduler {policy!r}; "
+                         f"registered: {known}")
+    if args.model is None:
+        raise SystemExit(
+            f"serve: --scheduler {args.scheduler} needs --model "
+            "<trained model JSON> (train one with: python -m repro "
+            "learn train)")
+    from repro.errors import ReproError
+
+    try:
+        fitted = learn_service.predictor_from_file(args.model)
+        book = learn_service.PredictedServiceBook(
+            fitted, confidence=args.confidence, host_mhz=args.host_mhz)
+    except (OSError, ReproError) as exc:
+        raise SystemExit(f"serve: cannot use model {args.model}: {exc}")
+    return book, policy
+
+
 def _cmd_serve(args) -> str:
     from repro.faults.plan import FaultPlan
-    from repro.serve import AnalyticServiceBook
     from repro.serve.engine import (
         ServeConfig,
         ServeEngine,
@@ -448,8 +493,7 @@ def _cmd_serve(args) -> str:
     from repro.serve.scheduler import Policy, SchedulerConfig
     from repro.units import mw
 
-    book = AnalyticServiceBook(host_mhz=args.host_mhz)
-    policy = Policy(args.policy)
+    book, policy = _serve_book_and_policy(args)
     budget = mw(args.power_budget) if args.power_budget is not None else None
     if budget is None and policy is Policy.POWER_CAP:
         budget = default_power_budget(book, args.nodes)
@@ -646,6 +690,14 @@ def _cmd_bench(args) -> str:
     return "\n".join(lines)
 
 
+# -- learned configuration prediction --------------------------------------------
+
+def _cmd_learn(args) -> str:
+    from repro.learn.cli import cmd_learn
+
+    return cmd_learn(args)
+
+
 def _cmd_all(args) -> str:
     sections = [
         ("Table I", _cmd_table1(args)),
@@ -833,6 +885,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--miss-threshold", type=float, default=0.05,
                        help="miss-rate ceiling before exiting "
                             f"{SERVE_EXIT_MISSES}")
+    serve.add_argument("--scheduler", default=None, metavar="NAME",
+                       help="extension dispatch policy registered by name "
+                            "(e.g. 'predicted'; overrides --policy and "
+                            "needs --model)")
+    serve.add_argument("--model", default=None, metavar="PATH",
+                       help="trained repro.learn model JSON: price the "
+                            "fast tier at the predicted operating points")
+    serve.add_argument("--confidence", type=float, default=0.5,
+                       help="minimum model confidence before trusting a "
+                            "prediction over the analytic point")
     serve.add_argument("--replay", default=None, metavar="PATH",
                        help="replay a JSON request trace instead of a "
                             "generator")
@@ -850,7 +912,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explicit timed repeats per suite")
     bench.add_argument("--suites", default=None,
                        help="comma-separated suite subset (default: all; "
-                            "sim,serve,dse_cold,dse_cached,faults,analysis)")
+                            "sim,serve,dse_cold,dse_cached,faults,analysis,"
+                            "learn)")
     bench.add_argument("--out-dir", default="benchmarks/results",
                        metavar="DIR",
                        help="trajectory directory for BENCH_<n>.json")
@@ -878,6 +941,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-phase totals")
     bench.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of tables")
+    from repro.learn.cli import add_learn_parser
+
+    add_learn_parser(sub)
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -898,6 +964,7 @@ _COMMANDS = {
     "dse": _cmd_dse,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "learn": _cmd_learn,
     "all": _cmd_all,
     "report": _cmd_report,
 }

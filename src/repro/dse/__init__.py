@@ -30,6 +30,7 @@ from repro.dse.pareto import (
     render,
     sensitivity,
     to_json_dict,
+    to_rows,
 )
 from repro.dse.space import (
     DEFAULTS,
@@ -58,4 +59,5 @@ __all__ = [
     "render",
     "sensitivity",
     "to_json_dict",
+    "to_rows",
 ]

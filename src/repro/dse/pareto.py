@@ -107,6 +107,34 @@ def sensitivity(records: List[Mapping[str, Any]],
 
 # -- exports --------------------------------------------------------------------
 
+def to_rows(result) -> List[Dict[str, Any]]:
+    """Every evaluated configuration as one flat JSON row.
+
+    One row per record — feasible or not, no Pareto filtering — in
+    deterministic config-hash order.  Knobs spread to ``knob.<name>``
+    columns and metrics to ``metric.<name>`` columns so the rows land
+    in a dataframe or a ``repro.learn`` dataset without unpacking
+    nested dicts.  This is the full-sweep export surface; callers never
+    need to reach into :class:`~repro.dse.engine.ExplorationResult`
+    internals.
+    """
+    rows: List[Dict[str, Any]] = []
+    for record in sorted(result.records, key=lambda r: r["config_hash"]):
+        row: Dict[str, Any] = {
+            "config_hash": record["config_hash"],
+            "model_version": record.get("model_version",
+                                        result.model_version),
+            "feasible": bool(record.get("feasible")),
+            "error": record.get("error"),
+        }
+        for knob in KNOB_ORDER:
+            row[f"knob.{knob}"] = record["config"][knob]
+        for key, value in sorted((record.get("metrics") or {}).items()):
+            row[f"metric.{key}"] = value
+        rows.append(row)
+    return rows
+
+
 def to_json_dict(result, objective: str = DEFAULT_OBJECTIVE) -> Dict[str, Any]:
     """The machine-readable exploration document (the ``--json`` surface)."""
     return {

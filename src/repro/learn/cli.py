@@ -1,0 +1,220 @@
+"""``python -m repro learn`` — dataset / train / eval / predict.
+
+Four subcommands cover the whole loop, each deterministic (same inputs
+=> byte-identical outputs, including ``--json``):
+
+- ``dataset`` sweeps the corpus through the DSE engine and writes the
+  labeled dataset;
+- ``train`` fits one model kind and writes its JSON document;
+- ``eval`` runs the leave-one-kernel-out report and exits
+  :data:`LEARN_EXIT_REGRET` when the primary model's mean energy
+  regret breaches ``--max-regret``;
+- ``predict`` ranks the candidate configurations for one corpus
+  program + iteration context.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: ``learn eval`` exit code when the primary model's mean energy regret
+#: exceeds ``--max-regret``.
+LEARN_EXIT_REGRET = 3
+
+
+def _json_dump(payload) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _load_dataset(path):
+    from repro.errors import ReproError
+    from repro.learn.dataset import load_dataset
+
+    try:
+        return load_dataset(path)
+    except (OSError, ReproError) as exc:
+        raise SystemExit(f"learn: cannot load dataset {path}: {exc}")
+
+
+def _cmd_dataset(args) -> str:
+    from repro.dse import ResultCache
+    from repro.learn.dataset import build_dataset, save_dataset
+
+    programs = None
+    if args.programs:
+        programs = [name for name in
+                    (token.strip() for token in args.programs.split(","))
+                    if name]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    dataset = build_dataset(programs=programs, tiny=args.tiny,
+                            cache=cache, jobs=args.jobs)
+    save_dataset(dataset, args.out)
+    if getattr(args, "json", False):
+        return _json_dump({
+            "out": args.out,
+            "rows": len(dataset.rows),
+            "labels": list(dataset.labels),
+            "feature_names": len(dataset.feature_names),
+            "digest": dataset.digest,
+            "tiny": args.tiny,
+        })
+    return (f"wrote {args.out}: {len(dataset.rows)} rows, "
+            f"{len(dataset.labels)} classes, "
+            f"{len(dataset.feature_names)} features "
+            f"(digest {dataset.digest[:12]}...)")
+
+
+def _cmd_train(args) -> str:
+    from repro.learn.models import save_model, train_model
+
+    dataset = _load_dataset(args.dataset)
+    fitted = train_model(dataset, kind=args.model)
+    save_model(fitted, args.out)
+    importances = sorted(fitted.importances().items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:5]
+    if getattr(args, "json", False):
+        return _json_dump({
+            "out": args.out,
+            "kind": fitted.kind,
+            "labels": list(fitted.labels),
+            "dataset_digest": fitted.dataset_digest,
+            "importances": dict(importances),
+        })
+    lines = [f"wrote {args.out}: {fitted.kind} over "
+             f"{len(dataset.rows)} rows, {len(fitted.labels)} classes"]
+    for name, value in importances:
+        if value > 0:
+            lines.append(f"  {name:40s} {value:6.1%}")
+    return "\n".join(lines)
+
+
+def _cmd_eval(args) -> str:
+    from repro.learn.eval import DEFAULT_KINDS, evaluate
+
+    dataset = _load_dataset(args.dataset)
+    kinds = DEFAULT_KINDS
+    if args.kinds:
+        kinds = tuple(name for name in
+                      (token.strip() for token in args.kinds.split(","))
+                      if name)
+    report = evaluate(dataset, kinds=kinds, topk=args.topk)
+    primary = report.models[kinds[0]]
+    regret = primary._mean("energy")
+    if regret > args.max_regret:
+        args._exit_code = LEARN_EXIT_REGRET
+    if getattr(args, "json", False):
+        payload = report.to_dict()
+        payload["max_regret"] = args.max_regret
+        payload["primary"] = kinds[0]
+        payload["primary_mean_energy_regret"] = regret
+        return _json_dump(payload)
+    lines = [report.render(), "",
+             f"gate: {kinds[0]} mean energy regret {regret:.1%} "
+             f"vs ceiling {args.max_regret:.1%} -> "
+             + ("FAIL" if regret > args.max_regret else "ok")]
+    return "\n".join(lines)
+
+
+def _cmd_predict(args) -> str:
+    from repro.errors import ReproError
+    from repro.learn.dataset import corpus_features, label_knobs
+    from repro.learn.models import load_model
+
+    try:
+        fitted = load_model(args.model)
+    except (OSError, ReproError) as exc:
+        raise SystemExit(f"learn: cannot load model {args.model}: {exc}")
+    try:
+        features = corpus_features(args.program, args.iterations)
+    except ReproError as exc:
+        raise SystemExit(f"learn: {exc}")
+    ranked = fitted.ranked(features)[:args.topk]
+    if getattr(args, "json", False):
+        return _json_dump({
+            "program": args.program,
+            "iterations": args.iterations,
+            "kind": fitted.kind,
+            "ranked": [{"label": label, "confidence": confidence,
+                        **label_knobs(label)}
+                       for label, confidence in ranked],
+        })
+    lines = [f"{args.program} x{args.iterations} ({fitted.kind}):"]
+    for label, confidence in ranked:
+        lines.append(f"  {label:14s} {confidence:6.1%}")
+    return "\n".join(lines)
+
+
+_LEARN_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "eval": _cmd_eval,
+    "predict": _cmd_predict,
+}
+
+
+def cmd_learn(args) -> str:
+    """Dispatch one ``repro learn`` subcommand."""
+    return _LEARN_COMMANDS[args.learn_command](args)
+
+
+def add_learn_parser(sub) -> None:
+    """Attach the ``learn`` subcommand tree to the CLI parser."""
+    learn = sub.add_parser(
+        "learn", help="learned configuration prediction: labeled "
+                      "datasets, seeded models, regret vs the DSE oracle")
+    learn_sub = learn.add_subparsers(dest="learn_command", required=True)
+
+    dataset = learn_sub.add_parser(
+        "dataset", help="sweep the corpus through the DSE engine and "
+                        "write the labeled dataset")
+    dataset.add_argument("--out", default="learn_dataset.json",
+                         metavar="PATH", help="dataset output path")
+    dataset.add_argument("--tiny", action="store_true",
+                         help="reduced candidate grid (CI smoke scale)")
+    dataset.add_argument("--programs", default=None,
+                         help="comma-separated corpus subset "
+                              "(default: the whole corpus)")
+    dataset.add_argument("--jobs", type=int, default=1,
+                         help="DSE worker processes")
+    dataset.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent DSE result cache directory")
+    dataset.add_argument("--json", action="store_true",
+                         help="machine-readable JSON summary")
+
+    train = learn_sub.add_parser(
+        "train", help="fit one model on a dataset and write its JSON")
+    train.add_argument("--dataset", required=True, metavar="PATH")
+    train.add_argument("--out", default="learn_model.json", metavar="PATH",
+                       help="model output path")
+    train.add_argument("--model", choices=("tree", "ridge", "dummy"),
+                       default="tree", help="model kind")
+    train.add_argument("--json", action="store_true",
+                       help="machine-readable JSON summary")
+
+    evaluate = learn_sub.add_parser(
+        "eval", help="leave-one-kernel-out regret report vs the oracle")
+    evaluate.add_argument("--dataset", required=True, metavar="PATH")
+    evaluate.add_argument("--topk", type=int, default=3,
+                          help="top-k window for the accuracy columns")
+    evaluate.add_argument("--kinds", default=None,
+                          help="comma-separated model kinds (first one "
+                               "is the gated primary; default "
+                               "tree,ridge,dummy)")
+    evaluate.add_argument("--max-regret", type=float, default=0.15,
+                          help="mean-energy-regret ceiling before "
+                               f"exiting {LEARN_EXIT_REGRET}")
+    evaluate.add_argument("--json", action="store_true",
+                          help="machine-readable JSON report")
+
+    predict = learn_sub.add_parser(
+        "predict", help="rank candidate configurations for one corpus "
+                        "program + iteration context")
+    predict.add_argument("--model", required=True, metavar="PATH")
+    predict.add_argument("--program", required=True,
+                         help="corpus program name (see repro.learn.CORPUS)")
+    predict.add_argument("--iterations", type=int, default=1,
+                         help="offload iteration context")
+    predict.add_argument("--topk", type=int, default=3,
+                         help="ranked labels to show")
+    predict.add_argument("--json", action="store_true",
+                         help="machine-readable JSON ranking")

@@ -1,0 +1,354 @@
+"""Deterministic labeled datasets: program features -> oracle-best config.
+
+One dataset row is one *(corpus program, iterations context)* pair:
+
+- **features** — :func:`repro.analysis.features` of the program's
+  machine code (SPMD programs analyzed at their canonical 4-core
+  launch), unified onto the ``cores >= 2`` schema (absent concurrency
+  phenomena report 0), plus the ``context.iterations`` column;
+- **label** — the candidate configuration with the lowest
+  energy-delay product (EDP) when the program's Table-I benchmark twin
+  is swept over the pinned candidate grid through
+  :class:`repro.dse.ExplorationEngine`;
+- **candidates** — energy/latency/EDP of *every* candidate, kept so
+  :mod:`repro.learn.eval` can price any prediction's regret against
+  the oracle without re-running the models.
+
+The candidate grid is pinned (host 8 MHz, quad tied SPI, budgets x
+cluster sizes x schedule) and chosen to be feasible everywhere, so a
+predicted label always prices.  EDP is the selection objective because
+pure energy is degenerate on this model family — the minimum-energy
+point is the lowest budget for every kernel, leaving nothing to learn.
+
+Everything is deterministic: same corpus, same grid, same model
+version => bit-identical rows and the same content digest.  Datasets
+persist through :mod:`repro.experiments.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.features import FEATURES_VERSION, feature_schema, features
+from repro.dse import (
+    ExplorationEngine,
+    MODEL_VERSION,
+    ParameterSpace,
+    ResultCache,
+    to_rows,
+)
+from repro.errors import ConfigurationError
+
+#: Document schema tag of a persisted dataset.
+DATASET_SCHEMA = "repro.learn/dataset-v1"
+
+#: Corpus program -> (registry kind, Table-I benchmark twin).  The twin
+#: supplies the cost-model labels and names the leave-one-kernel-out
+#: group; programs sharing a twin are held out together.  IO-bound
+#: streaming programs map to the IO-bound Table-I kernels and the
+#: compute-dense programs to cnn/hog, matching their static
+#: ``mix.ops_per_mem`` signatures.
+CORPUS: Dict[str, Tuple[str, str]] = {
+    "memcpy_words": ("builtin", "matmul (short)"),
+    "vector_add_i8": ("builtin", "strassen"),
+    "dot_product_i8": ("builtin", "svm (linear)"),
+    "matmul_i8": ("builtin", "matmul"),
+    "matmul_rows_i8": ("builtin", "matmul (fixed)"),
+    "dwconv3_i8": ("builtin", "cnn"),
+    "fir8_i32": ("builtin", "cnn (approx)"),
+    "mag_hist_i32": ("builtin", "hog"),
+    "vector_add_sync_i8": ("spmd", "strassen"),
+    "matmul_rows_sync_i8": ("spmd", "matmul (fixed)"),
+    "conv_cols_i32": ("spmd", "svm (RBF)"),
+}
+
+#: The pinned candidate grid (all-feasible at an 8 MHz host).
+HOST_MHZ = 8.0
+BUDGETS_MW: Tuple[float, ...] = (5.0, 8.0, 12.0, 20.0, 32.0)
+CLUSTER_SIZES: Tuple[int, ...] = (1, 2, 4)
+SCHEDULES: Tuple[bool, ...] = (False, True)
+ITERATION_CONTEXTS: Tuple[int, ...] = (1, 8, 64)
+
+#: Reduced grid for smoke datasets (``--tiny``): same structure, fewer
+#: candidates and contexts, still non-degenerate.
+TINY_BUDGETS_MW: Tuple[float, ...] = (5.0, 8.0, 20.0, 32.0)
+TINY_CLUSTER_SIZES: Tuple[int, ...] = (1, 4)
+TINY_SCHEDULES: Tuple[bool, ...] = (False, True)
+TINY_ITERATION_CONTEXTS: Tuple[int, ...] = (1, 64)
+
+
+def config_label(budget_mw: float, cluster_size: int,
+                 double_buffered: bool) -> str:
+    """Canonical class label of one candidate configuration."""
+    schedule = "dbuf" if double_buffered else "sbuf"
+    return f"b{budget_mw:g}/c{cluster_size}/{schedule}"
+
+
+def label_knobs(label: str) -> Dict[str, Any]:
+    """Parse a class label back into its knob values."""
+    try:
+        budget, cluster, schedule = label.split("/")
+        if not (budget.startswith("b") and cluster.startswith("c")):
+            raise ValueError(label)
+        if schedule not in ("dbuf", "sbuf"):
+            raise ValueError(label)
+        return {
+            "budget_mw": float(budget[1:]),
+            "cluster_size": int(cluster[1:]),
+            "double_buffered": schedule == "dbuf",
+        }
+    except ValueError:
+        raise ConfigurationError(f"malformed config label {label!r}")
+
+
+@dataclass(frozen=True)
+class DatasetRow:
+    """One labeled example."""
+
+    program: str
+    kind: str
+    benchmark: str          #: Table-I twin; also the LOKO group key.
+    iterations: int
+    features: Dict[str, float]
+    label: str              #: EDP-best candidate's class label.
+    oracle: Dict[str, float]
+    #: label -> {"feasible", "energy_per_iteration_j",
+    #:           "time_per_iteration_s", "edp"} for every candidate.
+    candidates: Dict[str, Dict[str, Any]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "iterations": self.iterations,
+            "features": dict(self.features),
+            "label": self.label,
+            "oracle": dict(self.oracle),
+            "candidates": {k: dict(v) for k, v in self.candidates.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DatasetRow":
+        return cls(
+            program=payload["program"],
+            kind=payload["kind"],
+            benchmark=payload["benchmark"],
+            iterations=int(payload["iterations"]),
+            features=dict(payload["features"]),
+            label=payload["label"],
+            oracle=dict(payload["oracle"]),
+            candidates={k: dict(v)
+                        for k, v in payload["candidates"].items()},
+        )
+
+
+@dataclass
+class Dataset:
+    """A labeled dataset plus everything needed to reproduce it."""
+
+    feature_names: Tuple[str, ...]
+    rows: List[DatasetRow]
+    features_version: int = FEATURES_VERSION
+    model_version: str = MODEL_VERSION
+    objective: str = "edp"
+    space: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Every candidate class label, sorted."""
+        seen = set()
+        for row in self.rows:
+            seen.update(row.candidates)
+        return tuple(sorted(seen))
+
+    @property
+    def digest(self) -> str:
+        """Content hash over the rows and feature schema."""
+        blob = json.dumps(
+            {"schema": DATASET_SCHEMA,
+             "features_version": self.features_version,
+             "model_version": self.model_version,
+             "objective": self.objective,
+             "feature_names": list(self.feature_names),
+             "space": self.space,
+             "rows": [row.to_dict() for row in self.rows]},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def matrix(self) -> List[List[float]]:
+        """Feature matrix in ``feature_names`` column order."""
+        return [[float(row.features[name]) for name in self.feature_names]
+                for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": DATASET_SCHEMA,
+            "features_version": self.features_version,
+            "model_version": self.model_version,
+            "objective": self.objective,
+            "feature_names": list(self.feature_names),
+            "space": self.space,
+            "digest": self.digest,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Dataset":
+        if payload.get("schema") != DATASET_SCHEMA:
+            raise ConfigurationError(
+                f"not a {DATASET_SCHEMA} document: "
+                f"schema={payload.get('schema')!r}")
+        dataset = cls(
+            feature_names=tuple(payload["feature_names"]),
+            rows=[DatasetRow.from_dict(row) for row in payload["rows"]],
+            features_version=int(payload["features_version"]),
+            model_version=payload["model_version"],
+            objective=payload.get("objective", "edp"),
+            space=dict(payload.get("space", {})),
+        )
+        recorded = payload.get("digest")
+        if recorded is not None and recorded != dataset.digest:
+            raise ConfigurationError(
+                "dataset digest mismatch: stored "
+                f"{recorded[:12]}..., recomputed {dataset.digest[:12]}... "
+                "(corrupt file or drifted schema)")
+        return dataset
+
+
+def corpus_features(program: str,
+                    iterations: int) -> Dict[str, float]:
+    """The unified feature vector of one corpus program + context.
+
+    Builtins are analyzed single-core and their absent ``concurrency.*``
+    columns report 0; SPMD programs are analyzed at their canonical
+    4-core launch.  ``context.iterations`` carries the offload context.
+    """
+    kind, _ = _corpus_entry(program)
+    if kind == "builtin":
+        from repro.machine.programs import BUILTIN_PROGRAMS
+
+        registered = BUILTIN_PROGRAMS[program]
+        raw = features(registered.unit, name=program,
+                       entry_regs=registered.entry_regs)
+    else:
+        from repro.machine.parallel import PARALLEL_PROGRAMS
+
+        registered = PARALLEL_PROGRAMS[program]
+        raw = features(registered.unit, name=program,
+                       entry_regs=registered.entry_regs, cores=4,
+                       presets=registered.presets(4),
+                       dma_out=registered.dma_out)
+    unified = {name: float(raw.get(name, 0.0))
+               for name in feature_schema(cores=4)}
+    unified["context.iterations"] = float(iterations)
+    return unified
+
+
+def _corpus_entry(program: str) -> Tuple[str, str]:
+    try:
+        return CORPUS[program]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown corpus program {program!r}; "
+            f"known: {sorted(CORPUS)}") from None
+
+
+def dataset_feature_names() -> Tuple[str, ...]:
+    """Column order of every dataset built by :func:`build_dataset`."""
+    return tuple(sorted(feature_schema(cores=4) + ("context.iterations",)))
+
+
+def build_dataset(programs: Optional[Sequence[str]] = None,
+                  tiny: bool = False,
+                  cache: Optional[ResultCache] = None,
+                  jobs: int = 1) -> Dataset:
+    """Sweep the corpus through the DSE engine and label every row.
+
+    One :class:`~repro.dse.ParameterSpace` covers every (benchmark,
+    context, candidate) triple; the engine deduplicates identical
+    configurations, optionally persists them in *cache*, and the rows
+    come back in corpus order regardless of *jobs*.
+    """
+    names = list(programs) if programs is not None else sorted(CORPUS)
+    budgets = TINY_BUDGETS_MW if tiny else BUDGETS_MW
+    clusters = TINY_CLUSTER_SIZES if tiny else CLUSTER_SIZES
+    schedules = TINY_SCHEDULES if tiny else SCHEDULES
+    contexts = TINY_ITERATION_CONTEXTS if tiny else ITERATION_CONTEXTS
+    benchmarks = sorted({_corpus_entry(name)[1] for name in names})
+    grid = {
+        "kernel": benchmarks,
+        "host_mhz": [HOST_MHZ],
+        "budget_mw": list(budgets),
+        "cluster_size": list(clusters),
+        "double_buffered": list(schedules),
+        "iterations": list(contexts),
+    }
+    space = ParameterSpace.from_dict({"grid": grid})
+    engine = ExplorationEngine(cache=cache, jobs=jobs)
+    result = engine.run(space)
+    # (benchmark, iterations) -> label -> candidate pricing.
+    priced: Dict[Tuple[str, int], Dict[str, Dict[str, Any]]] = {}
+    for record in to_rows(result):
+        key = (record["knob.kernel"], record["knob.iterations"])
+        label = config_label(record["knob.budget_mw"],
+                             record["knob.cluster_size"],
+                             record["knob.double_buffered"])
+        entry: Dict[str, Any] = {"feasible": record["feasible"]}
+        if record["feasible"]:
+            energy = record["metric.energy_per_iteration_j"]
+            time = record["metric.time_per_iteration_s"]
+            entry.update({
+                "energy_per_iteration_j": energy,
+                "time_per_iteration_s": time,
+                "edp": energy * time,
+            })
+        priced.setdefault(key, {})[label] = entry
+    feature_names = dataset_feature_names()
+    rows: List[DatasetRow] = []
+    for name in names:
+        kind, benchmark = _corpus_entry(name)
+        for iterations in contexts:
+            candidates = priced[(benchmark, iterations)]
+            feasible = {label: entry
+                        for label, entry in candidates.items()
+                        if entry["feasible"]}
+            if not feasible:
+                raise ConfigurationError(
+                    f"no feasible candidate for {benchmark} "
+                    f"x{iterations} — the pinned grid must stay "
+                    "all-feasible")
+            best = min(sorted(feasible),
+                       key=lambda label: feasible[label]["edp"])
+            oracle = {"label": best, **feasible[best]}
+            oracle.pop("feasible", None)
+            rows.append(DatasetRow(
+                program=name, kind=kind, benchmark=benchmark,
+                iterations=iterations,
+                features=corpus_features(name, iterations),
+                label=best, oracle=oracle,
+                candidates={label: candidates[label]
+                            for label in sorted(candidates)}))
+    return Dataset(feature_names=feature_names, rows=rows,
+                   space={"grid": grid, "tiny": tiny,
+                          "programs": names})
+
+
+def save_dataset(dataset: Dataset, path) -> None:
+    """Persist through the experiment store (metadata + results)."""
+    from repro.experiments.store import save_results
+
+    save_results(dataset.to_dict(), path,
+                 metadata={"schema": DATASET_SCHEMA,
+                           "digest": dataset.digest,
+                           "rows": len(dataset.rows)})
+
+
+def load_dataset(path) -> Dataset:
+    """Load a persisted dataset, verifying its content digest."""
+    from repro.experiments.store import load_results
+
+    return Dataset.from_dict(load_results(path)["results"])

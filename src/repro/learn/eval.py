@@ -1,0 +1,235 @@
+"""Leave-one-kernel-out evaluation against the DSE oracle.
+
+The honest measurement: folds are grouped by the row's Table-I
+benchmark twin, so a model is always scored on a kernel *family* it
+never saw during training — the deployment scenario (an unseen kernel
+arrives at the serving runtime) rather than a shuffled split that
+leaks near-identical program variants across the boundary.
+
+Three numbers matter per model:
+
+- **top-1 / top-k accuracy** — did the predicted configuration match
+  the oracle's EDP-best choice (or appear in the model's first k)?
+- **regret** — when it did not, how much worse was the predicted
+  configuration, priced from the dataset's stored candidate table:
+  ``max(0, predicted/oracle - 1)`` on EDP, energy per iteration and
+  latency per iteration.  A prediction that is cheaper than the
+  oracle's choice on a secondary metric counts as zero regret.
+- **importances** — which static features the full-data tree actually
+  split on.
+
+Everything is deterministic: same dataset => bit-identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.learn.dataset import Dataset, DatasetRow
+from repro.learn.models import train_model
+
+#: Report schema tag (the ``--json`` surface of ``repro learn eval``).
+EVAL_SCHEMA = "repro.learn/eval-v1"
+
+#: Model kinds evaluated by default, strongest first.
+DEFAULT_KINDS: Tuple[str, ...] = ("tree", "ridge", "dummy")
+
+
+def loko_folds(dataset: Dataset) -> List[Tuple[str, List[int], List[int]]]:
+    """``(group, train_indices, test_indices)`` per benchmark group."""
+    groups = sorted({row.benchmark for row in dataset.rows})
+    folds = []
+    for group in groups:
+        test = [i for i, row in enumerate(dataset.rows)
+                if row.benchmark == group]
+        train = [i for i, row in enumerate(dataset.rows)
+                 if row.benchmark != group]
+        if not train:
+            raise ConfigurationError(
+                "leave-one-kernel-out needs at least two benchmark groups")
+        folds.append((group, train, test))
+    return folds
+
+
+def _subset(dataset: Dataset, indices: Sequence[int]) -> Dataset:
+    return Dataset(feature_names=dataset.feature_names,
+                   rows=[dataset.rows[i] for i in indices],
+                   features_version=dataset.features_version,
+                   model_version=dataset.model_version,
+                   objective=dataset.objective,
+                   space=dataset.space)
+
+
+def _regrets(row: DatasetRow, predicted: str) -> Dict[str, float]:
+    """Regret of serving *row* at *predicted* instead of the oracle."""
+    oracle = row.oracle
+    entry = row.candidates.get(predicted)
+    if entry is None or not entry.get("feasible"):
+        # The pinned grid is all-feasible, so this only triggers for a
+        # label from outside the grid: price it pessimistically at the
+        # worst feasible candidate so the miss cannot hide.
+        feasible = [c for c in row.candidates.values()
+                    if c.get("feasible")]
+        entry = max(feasible, key=lambda c: c["edp"])
+    return {
+        "edp": max(0.0, entry["edp"] / oracle["edp"] - 1.0),
+        "energy": max(0.0, entry["energy_per_iteration_j"]
+                      / oracle["energy_per_iteration_j"] - 1.0),
+        "latency": max(0.0, entry["time_per_iteration_s"]
+                       / oracle["time_per_iteration_s"] - 1.0),
+    }
+
+
+@dataclass
+class ModelEval:
+    """One model kind's cross-validated scorecard."""
+
+    kind: str
+    predictions: List[Dict[str, Any]] = field(default_factory=list)
+
+    def _mean(self, metric: str) -> float:
+        if not self.predictions:
+            return 0.0
+        return sum(p["regret"][metric] for p in self.predictions) \
+            / len(self.predictions)
+
+    def _max(self, metric: str) -> float:
+        return max((p["regret"][metric] for p in self.predictions),
+                   default=0.0)
+
+    @property
+    def top1_accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return sum(p["correct"] for p in self.predictions) \
+            / len(self.predictions)
+
+    @property
+    def topk_accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return sum(p["in_topk"] for p in self.predictions) \
+            / len(self.predictions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "top1_accuracy": self.top1_accuracy,
+            "topk_accuracy": self.topk_accuracy,
+            "mean_edp_regret": self._mean("edp"),
+            "max_edp_regret": self._max("edp"),
+            "mean_energy_regret": self._mean("energy"),
+            "max_energy_regret": self._max("energy"),
+            "mean_latency_regret": self._mean("latency"),
+            "max_latency_regret": self._max("latency"),
+            "predictions": list(self.predictions),
+        }
+
+
+@dataclass
+class EvalReport:
+    """The full leave-one-kernel-out report."""
+
+    dataset_digest: str
+    rows: int
+    groups: List[str]
+    topk: int
+    models: Dict[str, ModelEval]
+    importances: Dict[str, float]
+
+    def model(self, kind: str) -> ModelEval:
+        return self.models[kind]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": EVAL_SCHEMA,
+            "dataset_digest": self.dataset_digest,
+            "rows": self.rows,
+            "groups": list(self.groups),
+            "topk": self.topk,
+            "models": {kind: evaluation.to_dict()
+                       for kind, evaluation in sorted(self.models.items())},
+            "importances": dict(sorted(self.importances.items(),
+                                       key=lambda kv: (-kv[1], kv[0]))),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"leave-one-kernel-out over {self.rows} row(s), "
+            f"{len(self.groups)} benchmark group(s) "
+            f"(dataset {self.dataset_digest[:12]}...)",
+            "",
+            f"{'model':8s} {'top-1':>7s} {'top-' + str(self.topk):>7s} "
+            f"{'EDP regret':>16s} {'energy regret':>16s} "
+            f"{'latency regret':>16s}",
+        ]
+        for kind in sorted(self.models):
+            ev = self.models[kind]
+            lines.append(
+                f"{kind:8s} {ev.top1_accuracy:7.1%} "
+                f"{ev.topk_accuracy:7.1%} "
+                f"{ev._mean('edp'):7.1%} mean "
+                f"{ev._mean('energy'):9.1%} mean "
+                f"{ev._mean('latency'):9.1%} mean")
+        misses = [p for p in self.models["tree"].predictions
+                  if not p["correct"]] if "tree" in self.models else []
+        if misses:
+            lines.append("")
+            lines.append("tree misses:")
+            for p in misses:
+                lines.append(
+                    f"  {p['program']:22s} x{p['iterations']:<3d} "
+                    f"predicted {p['predicted']:14s} oracle "
+                    f"{p['oracle']:14s} EDP +{p['regret']['edp']:.1%}")
+        ranked = sorted(self.importances.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:8]
+        if ranked:
+            lines.append("")
+            lines.append("top feature importances (full-data tree):")
+            for name, value in ranked:
+                lines.append(f"  {name:40s} {value:6.1%}")
+        return "\n".join(lines)
+
+
+def evaluate(dataset: Dataset,
+             kinds: Sequence[str] = DEFAULT_KINDS,
+             topk: int = 3,
+             model_params: Optional[Mapping[str, Mapping[str, Any]]] = None
+             ) -> EvalReport:
+    """Cross-validate every model kind on *dataset*."""
+    if topk < 1:
+        raise ConfigurationError(f"topk must be >= 1: {topk}")
+    params = dict(model_params or {})
+    folds = loko_folds(dataset)
+    models = {kind: ModelEval(kind=kind) for kind in kinds}
+    for group, train, test in folds:
+        train_set = _subset(dataset, train)
+        for kind in kinds:
+            fitted = train_model(train_set, kind=kind,
+                                 **params.get(kind, {}))
+            for index in test:
+                row = dataset.rows[index]
+                ranked = fitted.ranked(row.features)
+                predicted = ranked[0][0]
+                top = [label for label, _ in ranked[:topk]]
+                models[kind].predictions.append({
+                    "program": row.program,
+                    "iterations": row.iterations,
+                    "group": group,
+                    "predicted": predicted,
+                    "confidence": ranked[0][1],
+                    "oracle": row.label,
+                    "correct": predicted == row.label,
+                    "in_topk": row.label in top,
+                    "regret": _regrets(row, predicted),
+                })
+    importances = {}
+    if "tree" in models:
+        importances = train_model(dataset, kind="tree",
+                                  **params.get("tree", {})).importances()
+    return EvalReport(dataset_digest=dataset.digest,
+                      rows=len(dataset.rows),
+                      groups=[group for group, _, _ in folds],
+                      topk=topk, models=models, importances=importances)

@@ -1,0 +1,452 @@
+"""Dependency-free, seeded learners with JSON-serializable state.
+
+Three model families, one protocol: ``fit(matrix, labels)``,
+``predict(vector) -> label``, ``ranked(vector) -> [(label, score)]``
+(descending, deterministic tie-breaks), ``confidence(vector)`` and
+``to_dict()/from_dict()``.  A fitted model is a plain JSON document —
+reviewable in a diff, stable across reruns, loadable without pickling:
+
+- :class:`DecisionTreeModel` — CART with Gini reduction-in-impurity
+  splits; features scanned in column order, thresholds ascending, so
+  fitting is bit-deterministic without any randomness;
+- :class:`RidgeModel` — one-vs-rest ridge regression on standardized
+  features (closed form via the normal equations);
+- :class:`MajorityClassModel` — the majority-class dummy every real
+  model must beat.
+
+:func:`train_model` binds a model to a dataset's feature schema and
+stamps the fitted document with ``features_version`` and the dataset
+digest, so inference refuses drifted inputs instead of silently
+misaligning columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Document schema tag of a persisted fitted model.
+MODEL_SCHEMA = "repro.learn/model-v1"
+
+Vector = Sequence[float]
+Matrix = Sequence[Vector]
+
+
+def _majority(counts: Mapping[str, int]) -> str:
+    """Most frequent label; ties break to the lexicographically first."""
+    return min(counts, key=lambda label: (-counts[label], label))
+
+
+def _gini(counts: Mapping[str, int], total: int) -> float:
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((n / total) ** 2 for n in counts.values())
+
+
+class MajorityClassModel:
+    """Predicts the training majority class, always."""
+
+    kind = "dummy"
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+
+    def fit(self, matrix: Matrix, labels: Sequence[str]) -> "MajorityClassModel":
+        self.counts = {}
+        for label in labels:
+            self.counts[label] = self.counts.get(label, 0) + 1
+        self.total = len(labels)
+        if not self.total:
+            raise ConfigurationError("cannot fit on an empty dataset")
+        return self
+
+    def ranked(self, vector: Vector) -> List[Tuple[str, float]]:
+        return sorted(((label, count / self.total)
+                       for label, count in self.counts.items()),
+                      key=lambda item: (-item[1], item[0]))
+
+    def predict(self, vector: Vector) -> str:
+        return _majority(self.counts)
+
+    def confidence(self, vector: Vector) -> float:
+        return self.counts[_majority(self.counts)] / self.total
+
+    def importances(self) -> Dict[str, float]:
+        return {}
+
+    def params(self) -> Dict[str, Any]:
+        return {"seed": self.seed}
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        return {"counts": dict(sorted(self.counts.items())),
+                "total": self.total}
+
+    def state_from_dict(self, state: Mapping[str, Any]) -> None:
+        self.counts = dict(state["counts"])
+        self.total = int(state["total"])
+
+
+class DecisionTreeModel:
+    """CART classifier with deterministic reduction-in-impurity splits."""
+
+    kind = "tree"
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 2,
+                 seed: int = 1):
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1: {max_depth}")
+        if min_samples_leaf < 1:
+            raise ConfigurationError(
+                f"min_samples_leaf must be >= 1: {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.root: Optional[Dict[str, Any]] = None
+        self._importance_raw: Dict[int, float] = {}
+        self._columns = 0
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, matrix: Matrix, labels: Sequence[str]) -> "DecisionTreeModel":
+        rows = [list(map(float, row)) for row in matrix]
+        if not rows:
+            raise ConfigurationError("cannot fit on an empty dataset")
+        self._columns = len(rows[0])
+        self._importance_raw = {}
+        self.root = self._grow(list(range(len(rows))), rows, list(labels),
+                               depth=0)
+        return self
+
+    def _grow(self, indices: List[int], rows: List[List[float]],
+              labels: List[str], depth: int) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for i in indices:
+            counts[labels[i]] = counts.get(labels[i], 0) + 1
+        leaf = {"counts": dict(sorted(counts.items()))}
+        if depth >= self.max_depth or len(counts) == 1 \
+                or len(indices) < 2 * self.min_samples_leaf:
+            return leaf
+        split = self._best_split(indices, rows, labels, counts)
+        if split is None:
+            return leaf
+        feature, threshold, gain, left, right = split
+        self._importance_raw[feature] = \
+            self._importance_raw.get(feature, 0.0) + gain * len(indices)
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": self._grow(left, rows, labels, depth + 1),
+            "right": self._grow(right, rows, labels, depth + 1),
+        }
+
+    def _best_split(self, indices: List[int], rows: List[List[float]],
+                    labels: List[str], counts: Mapping[str, int]):
+        total = len(indices)
+        parent = _gini(counts, total)
+        best = None
+        best_gain = 1e-12     # require a real improvement
+        for feature in range(self._columns):
+            ordered = sorted(indices,
+                             key=lambda i: (rows[i][feature], i))
+            left_counts: Dict[str, int] = {}
+            for position in range(1, total):
+                prev = ordered[position - 1]
+                label = labels[prev]
+                left_counts[label] = left_counts.get(label, 0) + 1
+                value, prev_value = (rows[ordered[position]][feature],
+                                     rows[prev][feature])
+                if value == prev_value:
+                    continue
+                if position < self.min_samples_leaf \
+                        or total - position < self.min_samples_leaf:
+                    continue
+                right_counts = {label: counts[label]
+                                - left_counts.get(label, 0)
+                                for label in counts}
+                weighted = (position / total
+                            * _gini(left_counts, position)
+                            + (total - position) / total
+                            * _gini(right_counts, total - position))
+                gain = parent - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (prev_value + value) / 2.0
+                    best = (feature, threshold, gain,
+                            ordered[:position], ordered[position:])
+        return best
+
+    # -- inference ---------------------------------------------------------------
+
+    def _leaf(self, vector: Vector) -> Dict[str, Any]:
+        if self.root is None:
+            raise ConfigurationError("model is not fitted")
+        node = self.root
+        while "feature" in node:
+            side = "left" if vector[node["feature"]] <= node["threshold"] \
+                else "right"
+            node = node[side]
+        return node
+
+    def ranked(self, vector: Vector) -> List[Tuple[str, float]]:
+        counts = self._leaf(vector)["counts"]
+        total = sum(counts.values())
+        return sorted(((label, count / total)
+                       for label, count in counts.items()),
+                      key=lambda item: (-item[1], item[0]))
+
+    def predict(self, vector: Vector) -> str:
+        return self.ranked(vector)[0][0]
+
+    def confidence(self, vector: Vector) -> float:
+        return self.ranked(vector)[0][1]
+
+    def importances(self) -> Dict[str, float]:
+        total = sum(self._importance_raw.values())
+        if not total:
+            return {}
+        return {str(feature): value / total
+                for feature, value in sorted(self._importance_raw.items())}
+
+    def params(self) -> Dict[str, Any]:
+        return {"max_depth": self.max_depth,
+                "min_samples_leaf": self.min_samples_leaf,
+                "seed": self.seed}
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        return {"root": self.root,
+                "columns": self._columns,
+                "importance": {str(k): v for k, v
+                               in sorted(self._importance_raw.items())}}
+
+    def state_from_dict(self, state: Mapping[str, Any]) -> None:
+        self.root = state["root"]
+        self._columns = int(state["columns"])
+        self._importance_raw = {int(k): float(v)
+                                for k, v in state["importance"].items()}
+
+
+class RidgeModel:
+    """One-vs-rest ridge regression on standardized features."""
+
+    kind = "ridge"
+
+    def __init__(self, alpha: float = 1.0, seed: int = 1):
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0: {alpha}")
+        self.alpha = alpha
+        self.seed = seed
+        self.classes: List[str] = []
+        self.mean: List[float] = []
+        self.scale: List[float] = []
+        self.weights: List[List[float]] = []   # class x (columns + 1)
+
+    def fit(self, matrix: Matrix, labels: Sequence[str]) -> "RidgeModel":
+        import numpy as np
+
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or not data.size:
+            raise ConfigurationError("cannot fit on an empty dataset")
+        self.classes = sorted(set(labels))
+        mean = data.mean(axis=0)
+        scale = data.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        standardized = (data - mean) / scale
+        design = np.hstack([standardized,
+                            np.ones((len(standardized), 1))])
+        targets = np.array([[1.0 if label == cls else 0.0
+                             for cls in self.classes]
+                            for label in labels])
+        penalty = self.alpha * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0     # never shrink the intercept
+        solution = np.linalg.solve(design.T @ design + penalty,
+                                   design.T @ targets)
+        self.mean = [float(v) for v in mean]
+        self.scale = [float(v) for v in scale]
+        self.weights = [[float(w) for w in solution[:, k]]
+                        for k in range(len(self.classes))]
+        return self
+
+    def _scores(self, vector: Vector) -> List[float]:
+        if not self.classes:
+            raise ConfigurationError("model is not fitted")
+        standardized = [(float(v) - m) / s for v, m, s
+                        in zip(vector, self.mean, self.scale)]
+        standardized.append(1.0)
+        return [sum(w * x for w, x in zip(weights, standardized))
+                for weights in self.weights]
+
+    def ranked(self, vector: Vector) -> List[Tuple[str, float]]:
+        scores = self._scores(vector)
+        # Clamped scores renormalized into a pseudo-probability so the
+        # confidence-fallback threshold means the same thing across
+        # model kinds.
+        clipped = [max(score, 0.0) for score in scores]
+        total = sum(clipped)
+        if total <= 0:
+            shares = [1.0 / len(scores)] * len(scores)
+        else:
+            shares = [score / total for score in clipped]
+        return sorted(zip(self.classes, shares),
+                      key=lambda item: (-item[1], item[0]))
+
+    def predict(self, vector: Vector) -> str:
+        return self.ranked(vector)[0][0]
+
+    def confidence(self, vector: Vector) -> float:
+        return self.ranked(vector)[0][1]
+
+    def importances(self) -> Dict[str, float]:
+        if not self.weights:
+            return {}
+        columns = len(self.mean)
+        magnitude = [sum(abs(weights[c]) for weights in self.weights)
+                     for c in range(columns)]
+        total = sum(magnitude)
+        if not total:
+            return {}
+        return {str(c): magnitude[c] / total for c in range(columns)
+                if magnitude[c]}
+
+    def params(self) -> Dict[str, Any]:
+        return {"alpha": self.alpha, "seed": self.seed}
+
+    def state_to_dict(self) -> Dict[str, Any]:
+        return {"classes": list(self.classes),
+                "mean": list(self.mean),
+                "scale": list(self.scale),
+                "weights": [list(row) for row in self.weights]}
+
+    def state_from_dict(self, state: Mapping[str, Any]) -> None:
+        self.classes = list(state["classes"])
+        self.mean = [float(v) for v in state["mean"]]
+        self.scale = [float(v) for v in state["scale"]]
+        self.weights = [[float(w) for w in row]
+                        for row in state["weights"]]
+
+
+MODEL_KINDS = {
+    "dummy": MajorityClassModel,
+    "tree": DecisionTreeModel,
+    "ridge": RidgeModel,
+}
+
+
+class FittedModel:
+    """A trained learner bound to its feature schema.
+
+    Accepts feature dicts (aligned by name) or pre-ordered vectors,
+    and carries the provenance needed to refuse drifted inputs:
+    ``features_version`` plus the training dataset's digest.
+    """
+
+    def __init__(self, model, feature_names: Sequence[str],
+                 features_version: int, dataset_digest: str,
+                 labels: Sequence[str]):
+        self.model = model
+        self.feature_names = tuple(feature_names)
+        self.features_version = features_version
+        self.dataset_digest = dataset_digest
+        self.labels = tuple(labels)
+
+    @property
+    def kind(self) -> str:
+        return self.model.kind
+
+    def vector(self, features: Mapping[str, float]) -> List[float]:
+        """Align a feature dict onto the training column order."""
+        missing = [name for name in self.feature_names
+                   if name not in features]
+        if missing:
+            raise ConfigurationError(
+                f"feature dict is missing {len(missing)} column(s), "
+                f"e.g. {missing[:3]}")
+        return [float(features[name]) for name in self.feature_names]
+
+    def _as_vector(self, features) -> List[float]:
+        if isinstance(features, Mapping):
+            return self.vector(features)
+        vector = [float(v) for v in features]
+        if len(vector) != len(self.feature_names):
+            raise ConfigurationError(
+                f"expected {len(self.feature_names)} features, "
+                f"got {len(vector)}")
+        return vector
+
+    def predict(self, features) -> str:
+        return self.model.predict(self._as_vector(features))
+
+    def ranked(self, features) -> List[Tuple[str, float]]:
+        return self.model.ranked(self._as_vector(features))
+
+    def confidence(self, features) -> float:
+        return self.model.confidence(self._as_vector(features))
+
+    def importances(self) -> Dict[str, float]:
+        """Per-feature importances keyed by feature name."""
+        raw = self.model.importances()
+        return {self.feature_names[int(column)]: value
+                for column, value in raw.items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MODEL_SCHEMA,
+            "kind": self.model.kind,
+            "params": self.model.params(),
+            "feature_names": list(self.feature_names),
+            "features_version": self.features_version,
+            "dataset_digest": self.dataset_digest,
+            "labels": list(self.labels),
+            "state": self.model.state_to_dict(),
+        }
+
+
+def train_model(dataset, kind: str = "tree", **params) -> FittedModel:
+    """Fit one model *kind* on a :class:`~repro.learn.dataset.Dataset`."""
+    try:
+        factory = MODEL_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model kind {kind!r}; known: "
+            f"{sorted(MODEL_KINDS)}") from None
+    model = factory(**params)
+    model.fit(dataset.matrix(), [row.label for row in dataset.rows])
+    return FittedModel(model, dataset.feature_names,
+                       features_version=dataset.features_version,
+                       dataset_digest=dataset.digest,
+                       labels=dataset.labels)
+
+
+def model_from_dict(payload: Mapping[str, Any]) -> FittedModel:
+    """Rehydrate a fitted model from its JSON document."""
+    if payload.get("schema") != MODEL_SCHEMA:
+        raise ConfigurationError(
+            f"not a {MODEL_SCHEMA} document: "
+            f"schema={payload.get('schema')!r}")
+    kind = payload.get("kind")
+    if kind not in MODEL_KINDS:
+        raise ConfigurationError(f"unknown model kind {kind!r}")
+    model = MODEL_KINDS[kind](**payload.get("params", {}))
+    model.state_from_dict(payload["state"])
+    return FittedModel(model, payload["feature_names"],
+                       features_version=int(payload["features_version"]),
+                       dataset_digest=payload["dataset_digest"],
+                       labels=payload.get("labels", ()))
+
+
+def save_model(fitted: FittedModel, path) -> None:
+    """Persist a fitted model through the experiment store."""
+    from repro.experiments.store import save_results
+
+    save_results(fitted.to_dict(), path,
+                 metadata={"schema": MODEL_SCHEMA, "kind": fitted.kind,
+                           "dataset_digest": fitted.dataset_digest})
+
+
+def load_model(path) -> FittedModel:
+    """Load a fitted model persisted by :func:`save_model`."""
+    from repro.experiments.store import load_results
+
+    return model_from_dict(load_results(path)["results"])

@@ -181,6 +181,132 @@ k_end:
         halt
 """, entry_regs=frozenset({1, 2, 3, 4, 5, 16}))
 
+#: 3-tap int8 depthwise convolution (binomial 1-2-1 blur) with
+#: round/shift/saturate requantization: r3 outputs from [r1] -> [r2].
+#: The sliding window lives in registers, so each output costs one load
+#: and one store against ~11 ALU ops — a compute-dense TinyAI building
+#: block, unlike the streaming copy/add kernels above.
+DWCONV3_I8 = _builtin("dwconv3_i8", """
+        addi r12, r0, 1           ; taps 1 2 1
+        addi r13, r0, 2
+        addi r14, r0, 1
+        addi r20, r0, 0           ; window: x[i-2], x[i-1]
+        addi r21, r0, 0
+        addi r15, r0, 127
+        addi r16, r0, -128
+        hwloop r3, conv_end
+        lb   r4, 0(r1)
+        addi r1, r1, 1
+        addi r5, r0, 0
+        mac  r5, r4, r12
+        mac  r5, r21, r13
+        mac  r5, r20, r14
+        add  r20, r21, r0
+        add  r21, r4, r0
+        addi r5, r5, 2            ; round-half-up for >> 2
+        srai r5, r5, 2
+        min  r5, r5, r15
+        max  r5, r5, r16
+        sb   r5, 0(r2)
+        addi r2, r2, 1
+conv_end:
+        halt
+""", entry_regs=frozenset({1, 2, 3}))
+
+#: 8-tap int32 FIR (binomial-ish 1 2 4 8 8 4 2 1 smoothing kernel):
+#: r3 outputs from [r1] -> [r2].  Taps and the sample history both live
+#: in registers; each output is one load + one store against 8 MACs
+#: plus the window shift.
+FIR8_I32 = _builtin("fir8_i32", """
+        addi r12, r0, 1           ; taps 1 2 4 8 8 4 2 1
+        addi r13, r0, 2
+        addi r14, r0, 4
+        addi r15, r0, 8
+        addi r16, r0, 8
+        addi r17, r0, 4
+        addi r18, r0, 2
+        addi r19, r0, 1
+        addi r20, r0, 0           ; history x[i-1] .. x[i-7]
+        addi r21, r0, 0
+        addi r22, r0, 0
+        addi r23, r0, 0
+        addi r24, r0, 0
+        addi r25, r0, 0
+        addi r26, r0, 0
+        hwloop r3, fir_end
+        lw   r4, 0(r1)
+        addi r1, r1, 4
+        addi r5, r0, 0
+        mac  r5, r4, r12
+        mac  r5, r20, r13
+        mac  r5, r21, r14
+        mac  r5, r22, r15
+        mac  r5, r23, r16
+        mac  r5, r24, r17
+        mac  r5, r25, r18
+        mac  r5, r26, r19
+        add  r26, r25, r0         ; shift the history window
+        add  r25, r24, r0
+        add  r24, r23, r0
+        add  r23, r22, r0
+        add  r22, r21, r0
+        add  r21, r20, r0
+        add  r20, r4, r0
+        srai r5, r5, 5            ; normalize by the tap sum (30 -> >>5)
+        sw   r5, 0(r2)
+        addi r2, r2, 4
+fir_end:
+        halt
+""", entry_regs=frozenset({1, 2, 3}))
+
+#: Soft 4-bin orientation response (HOG-style cell descriptor): r3
+#: packed gradient words ((gy << 16) | gx) at [r1], one response word
+#: each -> [r2].  Each input costs a single load against ~26 ALU ops
+#: (unpack + 4 projections with rectification) — the most arithmetic-
+#: intense builtin.
+MAG_HIST_I32 = _builtin("mag_hist_i32", """
+        addi r12, r0, 4           ; bin 0: (4, 0)
+        addi r13, r0, 0
+        addi r14, r0, 3           ; bin 1: (3, 3)
+        addi r15, r0, 3
+        addi r16, r0, 0           ; bin 2: (0, 4)
+        addi r17, r0, 4
+        addi r18, r0, -3          ; bin 3: (-3, 3)
+        addi r19, r0, 3
+        hwloop r3, hist_end
+        lw   r4, 0(r1)            ; packed (gy << 16) | gx
+        addi r1, r1, 4
+        slli r5, r4, 16
+        srai r5, r5, 16           ; gx, sign-extended
+        srai r6, r4, 16           ; gy
+        addi r9, r0, 0            ; response accumulator
+        addi r7, r0, 0
+        mac  r7, r5, r12
+        mac  r7, r6, r13
+        max  r7, r7, r0
+        add  r9, r9, r7
+        addi r7, r0, 0
+        mac  r7, r5, r14
+        mac  r7, r6, r15
+        max  r7, r7, r0
+        add  r9, r9, r7
+        addi r7, r0, 0
+        mac  r7, r5, r16
+        mac  r7, r6, r17
+        max  r7, r7, r0
+        add  r9, r9, r7
+        addi r7, r0, 0
+        mac  r7, r5, r18
+        mac  r7, r6, r19
+        max  r7, r7, r0
+        add  r9, r9, r7
+        srai r9, r9, 2
+        sw   r9, 0(r2)
+        addi r2, r2, 4
+hist_end:
+        halt
+""", entry_regs=frozenset({1, 2, 3}))
+
 
 # ---------------------------------------------------------------------------
 # Runners
@@ -240,6 +366,63 @@ def run_dot_product_i8(a: np.ndarray, b: np.ndarray,
     machine.registers[3] = len(a)
     result = machine.run(DOT_PRODUCT_I8)
     return result.registers[10], result
+
+
+def run_dwconv3_i8(x: np.ndarray, machine: Optional[Machine] = None
+                   ) -> Tuple[np.ndarray, ExecutionResult]:
+    """3-tap int8 depthwise conv: sat8((x[i] + 2x[i-1] + x[i-2] + 2) >> 2)."""
+    x = np.asarray(x, dtype=np.int8)
+    if x.ndim != 1 or not len(x):
+        raise KernelError("dwconv3 needs a non-empty 1-D int8 array")
+    machine = machine if machine is not None else Machine()
+    base_x, base_y = 0x100, 0x1100
+    machine.write_block(base_x, x.tobytes())
+    machine.registers[1] = base_x
+    machine.registers[2] = base_y
+    machine.registers[3] = len(x)
+    result = machine.run(DWCONV3_I8)
+    out = np.frombuffer(machine.read_block(base_y, len(x)), dtype=np.int8)
+    return out.copy(), result
+
+
+def run_fir8_i32(x: np.ndarray, machine: Optional[Machine] = None
+                 ) -> Tuple[np.ndarray, ExecutionResult]:
+    """8-tap int32 FIR with taps (1 2 4 8 8 4 2 1), zero history, >> 5."""
+    x = np.asarray(x, dtype=np.int32)
+    if x.ndim != 1 or not len(x):
+        raise KernelError("fir8 needs a non-empty 1-D int32 array")
+    machine = machine if machine is not None else Machine()
+    base_x, base_y = 0x100, 0x100 + 4 * len(x) + 64
+    machine.write_block(base_x, x.tobytes())
+    machine.registers[1] = base_x
+    machine.registers[2] = base_y
+    machine.registers[3] = len(x)
+    result = machine.run(FIR8_I32)
+    out = np.frombuffer(machine.read_block(base_y, 4 * len(x)),
+                        dtype=np.int32)
+    return out.copy(), result
+
+
+def run_mag_hist_i32(gx: np.ndarray, gy: np.ndarray,
+                     machine: Optional[Machine] = None
+                     ) -> Tuple[np.ndarray, ExecutionResult]:
+    """Soft 4-bin orientation response per (gx, gy) int16 gradient pair."""
+    gx = np.asarray(gx, dtype=np.int16)
+    gy = np.asarray(gy, dtype=np.int16)
+    if gx.shape != gy.shape or gx.ndim != 1 or not len(gx):
+        raise KernelError("mag_hist needs equal non-empty 1-D int16 arrays")
+    machine = machine if machine is not None else Machine()
+    packed = ((gy.astype(np.int32) << 16)
+              | (gx.astype(np.int32) & 0xFFFF)).astype(np.int32)
+    base_g, base_y = 0x100, 0x100 + 4 * len(gx) + 64
+    machine.write_block(base_g, packed.tobytes())
+    machine.registers[1] = base_g
+    machine.registers[2] = base_y
+    machine.registers[3] = len(gx)
+    result = machine.run(MAG_HIST_I32)
+    out = np.frombuffer(machine.read_block(base_y, 4 * len(gx)),
+                        dtype=np.int32)
+    return out.copy(), result
 
 
 def run_matmul_i8_parallel(a: np.ndarray, b: np.ndarray, cores: int = 4,
@@ -316,6 +499,14 @@ def profile_builtin(name: str):
         machine.registers[2] = base_b
         machine.registers[3] = len(pattern)
         program = DOT_PRODUCT_I8
+    elif name in ("dwconv3_i8", "fir8_i32", "mag_hist_i32"):
+        base_a, base_b = 0x100, 0x1100
+        machine.write_block(base_a, pattern.astype(np.int32).tobytes())
+        machine.registers[1] = base_a
+        machine.registers[2] = base_b
+        machine.registers[3] = len(pattern)
+        program = {"dwconv3_i8": DWCONV3_I8, "fir8_i32": FIR8_I32,
+                   "mag_hist_i32": MAG_HIST_I32}[name]
     else:
         base_a = 0x100
         base_b = 0x100 + n * n + 64

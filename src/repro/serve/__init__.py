@@ -30,10 +30,21 @@ from repro.serve.fleet import (
     Fleet,
     Node,
     NodeState,
+    ServiceBook,
     ServiceProfile,
+    register_service_book,
+    registered_service_books,
+    service_book_by_name,
 )
 from repro.serve.metrics import RequestRecord, ServeReport, percentile
-from repro.serve.scheduler import Policy, Scheduler, SchedulerConfig
+from repro.serve.scheduler import (
+    Policy,
+    Scheduler,
+    SchedulerConfig,
+    policy_name,
+    register_policy,
+    registered_policies,
+)
 from repro.serve.workload import (
     ClosedLoopWorkload,
     MmppWorkload,
@@ -60,7 +71,14 @@ __all__ = [
     "ServeConfig",
     "ServeEngine",
     "ServeReport",
+    "ServiceBook",
     "ServiceProfile",
     "TraceWorkload",
     "Workload",
+    "policy_name",
+    "register_policy",
+    "register_service_book",
+    "registered_policies",
+    "registered_service_books",
+    "service_book_by_name",
 ]

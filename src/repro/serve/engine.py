@@ -35,7 +35,7 @@ from repro.serve.fleet import (
     ServiceOutcome,
 )
 from repro.serve.metrics import RequestRecord, ServeReport
-from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.scheduler import Scheduler, SchedulerConfig, policy_name
 from repro.serve.workload import Request, Workload
 from repro.sim.engine import Simulator, Timeout
 
@@ -256,7 +256,7 @@ class ServeEngine:
         nodes = list(self.fleet.nodes) + [self.fleet.host]
         tracker = self.fleet.tracker
         report = ServeReport(
-            policy=self.config.scheduler.policy.value,
+            policy=policy_name(self.config.scheduler.policy),
             workload=self.config.workload.describe(),
             nodes=self.config.nodes,
             duration_s=duration,

@@ -53,6 +53,32 @@ import enum
 #: Per-node envelope budgets of the two service tiers.
 TIER_BUDGETS: Dict[str, float] = {"fast": DEFAULT_BUDGET, "eco": mw(6.5)}
 
+#: Named service-book factories (``register_service_book``); factories
+#: take keyword arguments forwarded from the caller (e.g. ``host_mhz``).
+_BOOK_REGISTRY: Dict[str, Callable[..., "ServiceBook"]] = {}
+
+
+def register_service_book(name: str,
+                          factory: Callable[..., "ServiceBook"]) -> None:
+    """Register a pricing backend under *name* (overwrites quietly)."""
+    _BOOK_REGISTRY[name] = factory
+
+
+def registered_service_books() -> Tuple[str, ...]:
+    """Every registered pricing-backend name, sorted."""
+    return tuple(sorted(_BOOK_REGISTRY))
+
+
+def service_book_by_name(name: str, **kwargs) -> "ServiceBook":
+    """Instantiate a registered pricing backend."""
+    try:
+        factory = _BOOK_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_service_books())
+        raise ConfigurationError(
+            f"unknown service book {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
 #: The resilient ladder replayed at fleet granularity (then: node dead).
 LADDER = ("initial", "re-arm", "reboot")
 
@@ -182,8 +208,20 @@ class AnalyticServiceBook(ServiceBook):
         with use_telemetry(Telemetry(enabled=False)):
             return self._build_quiet(kernel_name, tier)
 
-    def _build_quiet(self, kernel_name: str, tier: str) -> ServiceProfile:
-        system = self.system
+    def _build_quiet(self, kernel_name: str, tier: str,
+                     budget: Optional[float] = None,
+                     system: Optional[HeterogeneousSystem] = None,
+                     double_buffered: bool = False) -> ServiceProfile:
+        """Price one (kernel, tier) through the offload stack.
+
+        *budget*, *system* and *double_buffered* override the tier's
+        default envelope budget, the book's system (e.g. a different
+        cluster size) and the schedule — the hooks a learned book uses
+        to price a predicted operating point through the identical
+        stack.
+        """
+        system = system if system is not None else self.system
+        budget = budget if budget is not None else TIER_BUDGETS[tier]
         kernel = kernel_by_name(kernel_name)
         program = kernel.build_program()
         binary = KernelBinary.from_program(program)
@@ -193,7 +231,7 @@ class AnalyticServiceBook(ServiceBook):
             memory_intensity=execution.memory_intensity,
             name=kernel.name)
         solver = PowerEnvelopeSolver(
-            budget=TIER_BUDGETS[tier],
+            budget=budget,
             host_device=system.host.device,
             pulp_power=system.soc.power_model)
         point = solver.solve(self.host_frequency, activity)
@@ -212,7 +250,7 @@ class AnalyticServiceBook(ServiceBook):
             activity=activity,
             host_frequency=self.host_frequency,
             iterations=1,
-            double_buffered=False,
+            double_buffered=double_buffered,
             include_binary=True)
         energy = timing.energy.energy_by_label()
         return ServiceProfile(
@@ -539,3 +577,7 @@ class Fleet:
     def dead_nodes(self) -> int:
         """Accelerators lost to exhausted recovery ladders."""
         return sum(1 for node in self.nodes if not node.alive)
+
+
+register_service_book(
+    "analytic", lambda **kwargs: AnalyticServiceBook(**kwargs))

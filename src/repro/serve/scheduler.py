@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.serve.fleet import ServiceBook
@@ -48,11 +48,46 @@ class Policy(enum.Enum):
     POWER_CAP = "power-cap"
 
 
+#: A registered policy picks the queue index to dispatch next.
+PolicySelect = Callable[["Scheduler", float], int]
+
+_POLICY_REGISTRY: Dict[str, PolicySelect] = {}
+
+
+def register_policy(name: str, select: PolicySelect) -> None:
+    """Register a named dispatch policy (``SchedulerConfig.policy=name``).
+
+    *select* receives the live :class:`Scheduler` (queue + service book)
+    and the simulation time, and returns the index of the next request
+    to dispatch.  Built-in :class:`Policy` names cannot be shadowed.
+    """
+    if name in Policy._value2member_map_:
+        raise ConfigurationError(
+            f"cannot shadow the built-in policy {name!r}")
+    _POLICY_REGISTRY[name] = select
+
+
+def registered_policies() -> Tuple[str, ...]:
+    """Every currently registered extension policy name, sorted."""
+    return tuple(sorted(_POLICY_REGISTRY))
+
+
+def policy_name(policy: Union[Policy, str]) -> str:
+    """The report-facing name of a built-in or registered policy."""
+    return policy.value if isinstance(policy, Policy) else policy
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Knobs of the scheduler."""
+    """Knobs of the scheduler.
 
-    policy: Policy = Policy.FIFO
+    ``policy`` takes a built-in :class:`Policy` member or the name of an
+    extension policy registered through :func:`register_policy` (the
+    name is resolved when the :class:`Scheduler` is constructed, so
+    registration may happen after the config is built).
+    """
+
+    policy: Union[Policy, str] = Policy.FIFO
     #: Pending-queue bound; 0 = unbounded (no admission control).
     queue_capacity: int = 0
     #: Same-kernel requests coalesced per dispatch.
@@ -63,6 +98,10 @@ class SchedulerConfig:
     drop_late: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.policy, str) \
+                and self.policy in Policy._value2member_map_:
+            # Accept built-in policies by name, normalized to the enum.
+            object.__setattr__(self, "policy", Policy(self.policy))
         if self.queue_capacity < 0:
             raise ConfigurationError(
                 f"negative queue capacity: {self.queue_capacity}")
@@ -80,6 +119,12 @@ class Scheduler:
     """Orders the queue, admits arrivals, and coalesces batches."""
 
     def __init__(self, config: SchedulerConfig, book: ServiceBook):
+        policy = config.policy
+        if isinstance(policy, str) and policy not in _POLICY_REGISTRY:
+            known = ", ".join(
+                tuple(Policy._value2member_map_) + registered_policies())
+            raise ConfigurationError(
+                f"unknown scheduler policy {policy!r}; known: {known}")
         self.config = config
         self.book = book
         self.queue: List[Request] = []
@@ -105,6 +150,13 @@ class Scheduler:
     def _select(self, now: float) -> int:
         """Index of the next request to dispatch (queue must be non-empty)."""
         policy = self.config.policy
+        if isinstance(policy, str):
+            index = _POLICY_REGISTRY[policy](self, now)
+            if not 0 <= index < len(self.queue):
+                raise ConfigurationError(
+                    f"policy {policy!r} selected index {index} outside "
+                    f"the queue of {len(self.queue)}")
+            return index
         if policy in (Policy.FIFO, Policy.POWER_CAP):
             return 0
         if policy is Policy.SJF:

@@ -29,11 +29,13 @@ class TestBuiltinProgramsClean:
         assert set(BUILTIN_PROGRAMS) == {
             "memcpy_words", "vector_add_i8", "dot_product_i8",
             "matmul_i8", "matmul_rows_i8",
+            "dwconv3_i8", "fir8_i32", "mag_hist_i32",
         }
 
     @pytest.mark.parametrize("name", sorted((
         "memcpy_words", "vector_add_i8", "dot_product_i8",
         "matmul_i8", "matmul_rows_i8",
+        "dwconv3_i8", "fir8_i32", "mag_hist_i32",
     )))
     def test_builtin_has_zero_error_findings(self, name):
         program = BUILTIN_PROGRAMS[name]

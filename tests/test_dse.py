@@ -254,6 +254,37 @@ class TestPareto:
         assert summary["host_mhz"]["values"] == 2
 
 
+class TestToRows:
+    def test_every_record_exports_flat(self):
+        from repro.dse import to_rows
+
+        result = ExplorationEngine().run(tiny_space())
+        rows = to_rows(result)
+        assert len(rows) == len(result.records)
+        hashes = [row["config_hash"] for row in rows]
+        assert hashes == sorted(hashes)
+        for row in rows:
+            assert json.dumps(row)    # flat and JSON-serializable
+            assert not any(isinstance(value, dict)
+                           for value in row.values())
+            assert row["knob.kernel"] == "matmul"
+            assert row["model_version"] == result.model_version
+            if row["feasible"]:
+                assert row["metric.energy_per_iteration_j"] > 0
+                assert row["metric.time_per_iteration_s"] > 0
+
+    def test_infeasible_rows_kept_without_metrics(self):
+        from repro.dse import to_rows
+
+        # 0.5 mW cannot power the accelerator: infeasible by design.
+        result = ExplorationEngine().run(
+            tiny_space(budget_mw=[0.5], host_mhz=[8.0]))
+        rows = to_rows(result)
+        assert rows and not any(row["feasible"] for row in rows)
+        for row in rows:
+            assert not any(key.startswith("metric.") for key in row)
+
+
 class TestCliDse:
     def test_parser_defaults(self):
         from repro.cli import build_parser
