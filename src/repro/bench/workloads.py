@@ -365,9 +365,54 @@ class LearnSuite(BenchSuite):
                            fingerprint=fingerprint)
 
 
+class ChaosSuite(BenchSuite):
+    """Chaos-campaign throughput, in scenario requests served per second.
+
+    ``execute`` runs the pinned fleet-fault campaign (clean, crash
+    storm, fleet brownout, flapping, surge+brownout) against the pinned
+    serving config with the resilience machinery armed.  The
+    fingerprint pins every scenario's scorecard, so a drift anywhere in
+    the breaker/hedging/overload/SLO paths fails the bit-identical
+    check before it reaches a resilience report.
+    """
+
+    name = "chaos"
+    units = "requests"
+    spec = {"nodes": 4, "seed": 1, "chaos_seed": 1,
+            "requests_per_scenario": 240, "scenarios": 5}
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        from repro.serve.chaos import (
+            pinned_campaign_config,
+            pinned_campaign_plans,
+        )
+
+        with profiler.phase("chaos;setup"):
+            config = pinned_campaign_config(nodes=self.spec["nodes"],
+                                            seed=self.spec["seed"])
+            plans = pinned_campaign_plans()
+        return config, plans
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        from repro.serve.chaos import run_campaign
+
+        config, plans = state
+        with profiler.phase("chaos;campaign"):
+            result = run_campaign(config, plans,
+                                  chaos_seed=self.spec["chaos_seed"])
+        served = sum(run.scorecard["completed"] for run in result.runs)
+        fingerprint = {
+            "scenarios": len(result.runs),
+            "served": served,
+            "verdict": result.verdict,
+            "digest": fingerprint_digest(result.to_json_dict()),
+        }
+        return SuiteResult(units=float(served), fingerprint=fingerprint)
+
+
 #: Suite classes in report order.
 SUITE_TYPES = (SimSuite, ServeSuite, DseColdSuite, DseCachedSuite,
-               FaultsSuite, AnalysisSuite, LearnSuite)
+               FaultsSuite, AnalysisSuite, LearnSuite, ChaosSuite)
 
 
 def default_suites(names: Optional[List[str]] = None) -> List[BenchSuite]:

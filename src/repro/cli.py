@@ -19,6 +19,9 @@ Usage::
     python -m repro dse --spec space.json --jobs 4
     python -m repro serve --nodes 4 --policy power-cap --arrival-rate 250 \
         --faults on --seed 7 [--json] [--trace serve.json]
+    python -m repro chaos [--json] [--alerts alerts.log]
+    python -m repro chaos --plan storm.json --chaos-seed 7 --nodes 4
+    python -m repro chaos --empty --serve-json report.json
     python -m repro bench [--quick] [--check] [--profile bench.json]
     python -m repro bench --compare BENCH_7.json BENCH_8.json
     python -m repro learn dataset --out ds.json [--tiny] [--jobs 4]
@@ -47,6 +50,15 @@ result at all.
 stream (see ``docs/SERVING.md``) and prints queueing statistics.  It
 exits 0 when the run is healthy and 3 when the deadline-miss rate
 (misses plus drops, over arrivals) exceeds ``--miss-threshold``.
+
+``chaos`` replays fleet-scope fault campaigns (crash storms, brownout
+droop, flapping nodes, arrival surges) through the same serving engine
+with the resilience machinery armed, and prints a per-scenario
+resilience scorecard (see ``docs/RELIABILITY.md``).  It exits 0 when
+every scenario stays healthy, 3 when an SLO error budget is exhausted,
+and 4 on fleet collapse (availability under ``--collapse-threshold``).
+With ``--empty`` (and ``--resilience auto``) the run is bit-identical
+to a plain ``serve`` of the same spec and seed.
 
 ``learn`` builds labeled datasets from the DSE oracle, trains the
 seeded models, and scores them leave-one-kernel-out (see
@@ -483,13 +495,15 @@ def _serve_book_and_policy(args):
     return book, policy
 
 
-def _cmd_serve(args) -> str:
+def _serve_config_from_args(args):
+    """The :class:`ServeConfig` of the shared serve-spec flags.
+
+    Used verbatim by ``serve`` and by ``chaos`` (which layers a fleet
+    fault plan and the resilience machinery on top), so a chaos run
+    under the empty plan prices exactly the run ``serve`` would.
+    """
     from repro.faults.plan import FaultPlan
-    from repro.serve.engine import (
-        ServeConfig,
-        ServeEngine,
-        default_power_budget,
-    )
+    from repro.serve.engine import ServeConfig, default_power_budget
     from repro.serve.scheduler import Policy, SchedulerConfig
     from repro.units import mw
 
@@ -501,7 +515,7 @@ def _cmd_serve(args) -> str:
     if args.faults == "on":
         plans = [getattr(FaultPlan, name)(*plan_args)
                  for name, plan_args in _SERVE_FAULT_PLANS]
-    config = ServeConfig(
+    return ServeConfig(
         workload=_serve_workload(args),
         nodes=args.nodes,
         scheduler=SchedulerConfig(
@@ -509,6 +523,12 @@ def _cmd_serve(args) -> str:
             max_batch=args.max_batch, power_budget_w=budget,
             drop_late=args.drop_late),
         fault_plans=plans, seed=args.seed, book=book)
+
+
+def _cmd_serve(args) -> str:
+    from repro.serve.engine import ServeEngine
+
+    config = _serve_config_from_args(args)
     if args.trace:
         from repro.obs import Telemetry, use_telemetry, write_chrome_trace
 
@@ -523,6 +543,79 @@ def _cmd_serve(args) -> str:
     if getattr(args, "json", False):
         return report.to_json()
     return report.render()
+
+
+# -- chaos campaigns ------------------------------------------------------------
+
+def _chaos_plans(args):
+    """The fleet plans a ``chaos`` invocation runs (None = pinned)."""
+    import json
+
+    from repro.faults.plan import FleetPlan
+
+    if args.empty:
+        return [FleetPlan.empty()], False
+    if args.plan:
+        try:
+            with open(args.plan, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"chaos: cannot read --plan {args.plan}: {exc}")
+        plans = payload if isinstance(payload, list) else [payload]
+        from repro.errors import ReproError
+
+        try:
+            return [FleetPlan.from_dict(plan) for plan in plans], False
+        except ReproError as exc:
+            raise SystemExit(f"chaos: bad --plan {args.plan}: {exc}")
+    return None, True
+
+
+def _cmd_chaos(args) -> str:
+    import dataclasses
+
+    from repro.serve.chaos import (
+        pinned_campaign_config,
+        pinned_campaign_plans,
+        run_campaign,
+    )
+    from repro.serve.resilience import ResilienceConfig
+
+    plans, pinned = _chaos_plans(args)
+    if pinned:
+        config = pinned_campaign_config(nodes=args.nodes, seed=args.seed)
+        plans = pinned_campaign_plans()
+        armed = args.resilience != "off"
+    else:
+        config = _serve_config_from_args(args)
+        armed = args.resilience == "on" or (
+            args.resilience == "auto"
+            and any(plan.events for plan in plans))
+        if armed:
+            config = dataclasses.replace(
+                config, resilience=ResilienceConfig())
+    if not armed:
+        config = dataclasses.replace(config, resilience=None)
+    if armed and args.slo_factor is not None:
+        resilience = config.resilience
+        config = dataclasses.replace(config, resilience=dataclasses.replace(
+            resilience,
+            slo=dataclasses.replace(resilience.slo,
+                                    latency_factor=args.slo_factor)))
+    result = run_campaign(config, plans, chaos_seed=args.chaos_seed,
+                          collapse_threshold=args.collapse_threshold)
+    if args.serve_json:
+        with open(args.serve_json, "w", encoding="utf-8") as handle:
+            handle.write(result.runs[0].report.to_json() + "\n")
+    if args.alerts:
+        with open(args.alerts, "w", encoding="utf-8") as handle:
+            for run in result.runs:
+                for alert in run.alerts:
+                    handle.write(f"{run.scenario}: {alert.render()}\n")
+    args._exit_code = result.exit_code
+    if args.json:
+        return result.to_json()
+    return result.render()
 
 
 # -- design-space exploration ---------------------------------------------------
@@ -839,69 +932,107 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent result cache directory")
     dse.add_argument("--json", action="store_true",
                      help="machine-readable JSON instead of tables")
+    def serve_spec(sp: argparse.ArgumentParser) -> None:
+        # The shared serving-run specification: `serve` runs it as-is,
+        # `chaos` layers fleet fault plans and resilience on top.
+        sp.add_argument("--nodes", type=int, default=4,
+                        help="accelerator nodes in the fleet")
+        sp.add_argument("--policy",
+                        choices=("fifo", "sjf", "edf", "power-cap"),
+                        default="fifo", help="dispatch policy")
+        sp.add_argument("--workload", choices=("poisson", "mmpp", "closed"),
+                        default="poisson", help="request-stream generator")
+        sp.add_argument("--arrival-rate", type=float, default=250.0,
+                        help="open-loop arrival rate (requests/s)")
+        sp.add_argument("--requests", type=int, default=600,
+                        help="request-count bound (0 = duration-bound only)")
+        sp.add_argument("--duration", type=float, default=None,
+                        help="arrival-window bound in simulated seconds")
+        sp.add_argument("--burst", type=float, default=4.0,
+                        help="mmpp burst-state rate multiplier")
+        sp.add_argument("--clients", type=int, default=8,
+                        help="closed-loop client count")
+        sp.add_argument("--think-ms", type=float, default=10.0,
+                        help="closed-loop mean think time (ms)")
+        sp.add_argument("--iterations", type=int, default=1,
+                        help="kernel iterations per request")
+        sp.add_argument("--deadline-factor", type=float, default=25.0,
+                        help="deadline = arrival + factor x expected "
+                             "service (0 disables deadlines)")
+        sp.add_argument("--max-batch", type=int, default=8,
+                        help="same-kernel requests coalesced per dispatch")
+        sp.add_argument("--queue-capacity", type=int, default=0,
+                        help="admission-control queue bound (0 = unbounded)")
+        sp.add_argument("--drop-late", action="store_true",
+                        help="drop requests already past their deadline at "
+                             "dispatch time")
+        sp.add_argument("--power-budget", type=float, default=None,
+                        metavar="MW", help="fleet power budget in mW "
+                        "(power-cap default: sized from the fleet)")
+        sp.add_argument("--faults", choices=("on", "off"), default="off",
+                        help="cycle canned per-node fault plans across "
+                             "the fleet")
+        sp.add_argument("--seed", type=int, default=1,
+                        help="run seed (same seed => identical report)")
+        sp.add_argument("--host-mhz", type=float, default=8.0)
+        sp.add_argument("--scheduler", default=None, metavar="NAME",
+                        help="extension dispatch policy registered by name "
+                             "(e.g. 'predicted'; overrides --policy and "
+                             "needs --model)")
+        sp.add_argument("--model", default=None, metavar="PATH",
+                        help="trained repro.learn model JSON: price the "
+                             "fast tier at the predicted operating points")
+        sp.add_argument("--confidence", type=float, default=0.5,
+                        help="minimum model confidence before trusting a "
+                             "prediction over the analytic point")
+        sp.add_argument("--replay", default=None, metavar="PATH",
+                        help="replay a JSON request trace instead of a "
+                             "generator")
+
     serve = sub.add_parser(
         "serve", help="multi-accelerator serving simulation: workload -> "
                       "scheduler -> node fleet")
-    serve.add_argument("--nodes", type=int, default=4,
-                       help="accelerator nodes in the fleet")
-    serve.add_argument("--policy",
-                       choices=("fifo", "sjf", "edf", "power-cap"),
-                       default="fifo", help="dispatch policy")
-    serve.add_argument("--workload", choices=("poisson", "mmpp", "closed"),
-                       default="poisson", help="request-stream generator")
-    serve.add_argument("--arrival-rate", type=float, default=250.0,
-                       help="open-loop arrival rate (requests/s)")
-    serve.add_argument("--requests", type=int, default=600,
-                       help="request-count bound (0 = duration-bound only)")
-    serve.add_argument("--duration", type=float, default=None,
-                       help="arrival-window bound in simulated seconds")
-    serve.add_argument("--burst", type=float, default=4.0,
-                       help="mmpp burst-state rate multiplier")
-    serve.add_argument("--clients", type=int, default=8,
-                       help="closed-loop client count")
-    serve.add_argument("--think-ms", type=float, default=10.0,
-                       help="closed-loop mean think time (ms)")
-    serve.add_argument("--iterations", type=int, default=1,
-                       help="kernel iterations per request")
-    serve.add_argument("--deadline-factor", type=float, default=25.0,
-                       help="deadline = arrival + factor x expected "
-                            "service (0 disables deadlines)")
-    serve.add_argument("--max-batch", type=int, default=8,
-                       help="same-kernel requests coalesced per dispatch")
-    serve.add_argument("--queue-capacity", type=int, default=0,
-                       help="admission-control queue bound (0 = unbounded)")
-    serve.add_argument("--drop-late", action="store_true",
-                       help="drop requests already past their deadline at "
-                            "dispatch time")
-    serve.add_argument("--power-budget", type=float, default=None,
-                       metavar="MW", help="fleet power budget in mW "
-                       "(power-cap default: sized from the fleet)")
-    serve.add_argument("--faults", choices=("on", "off"), default="off",
-                       help="cycle canned per-node fault plans across "
-                            "the fleet")
-    serve.add_argument("--seed", type=int, default=1,
-                       help="run seed (same seed => identical report)")
-    serve.add_argument("--host-mhz", type=float, default=8.0)
+    serve_spec(serve)
     serve.add_argument("--miss-threshold", type=float, default=0.05,
                        help="miss-rate ceiling before exiting "
                             f"{SERVE_EXIT_MISSES}")
-    serve.add_argument("--scheduler", default=None, metavar="NAME",
-                       help="extension dispatch policy registered by name "
-                            "(e.g. 'predicted'; overrides --policy and "
-                            "needs --model)")
-    serve.add_argument("--model", default=None, metavar="PATH",
-                       help="trained repro.learn model JSON: price the "
-                            "fast tier at the predicted operating points")
-    serve.add_argument("--confidence", type=float, default=0.5,
-                       help="minimum model confidence before trusting a "
-                            "prediction over the analytic point")
-    serve.add_argument("--replay", default=None, metavar="PATH",
-                       help="replay a JSON request trace instead of a "
-                            "generator")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="also write a Chrome trace of the run")
     serve.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of the summary")
+    chaos = sub.add_parser(
+        "chaos", help="fleet fault campaigns over the serving runtime: "
+                      "crash storms, brownouts, flapping, surges -> "
+                      "resilience scorecard")
+    serve_spec(chaos)
+    chaos.add_argument("--plan", default=None, metavar="PATH",
+                       help="JSON fleet plan (object or list of objects) "
+                            "instead of the pinned campaign")
+    chaos.add_argument("--empty", action="store_true",
+                       help="run the empty plan only: bit-identical to a "
+                            "plain `serve` of the same spec")
+    chaos.add_argument("--chaos-seed", type=int, default=1,
+                       help="seed of the fleet-plan expansion (independent "
+                            "of the serve --seed)")
+    chaos.add_argument("--resilience", choices=("auto", "on", "off"),
+                       default="auto",
+                       help="arm breakers/hedging/overload/SLO machinery "
+                            "(auto: only when the plan has events)")
+    chaos.add_argument("--collapse-threshold", type=float, default=0.5,
+                       help="availability floor under which a scenario "
+                            "counts as fleet collapse")
+    chaos.add_argument("--slo-factor", type=float, default=None,
+                       help="override the latency SLO factor "
+                            "(target = factor x expected service)")
+    chaos.add_argument("--serve-json", default=None, metavar="PATH",
+                       help="write the first scenario's full serve report "
+                            "JSON to PATH")
+    chaos.add_argument("--alerts", default=None, metavar="PATH",
+                       help="write the alerts.log-style event stream to "
+                            "PATH")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable campaign JSON instead of "
+                            "the scorecard table")
     bench = sub.add_parser(
         "bench", help="tracked performance benchmarks: write the next "
                       "BENCH_<n>.json, gate on regressions")
@@ -913,7 +1044,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suites", default=None,
                        help="comma-separated suite subset (default: all; "
                             "sim,serve,dse_cold,dse_cached,faults,analysis,"
-                            "learn)")
+                            "learn,chaos)")
     bench.add_argument("--out-dir", default="benchmarks/results",
                        metavar="DIR",
                        help="trajectory directory for BENCH_<n>.json")
@@ -963,6 +1094,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "dse": _cmd_dse,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "learn": _cmd_learn,
     "all": _cmd_all,

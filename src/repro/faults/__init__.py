@@ -27,13 +27,21 @@ from repro.faults.campaign import (
     build_campaign,
     default_plans,
 )
-from repro.faults.injector import FaultInjector, FaultyChannel
+from repro.faults.injector import (
+    FaultInjector,
+    FaultyChannel,
+    FleetAction,
+    FleetInjector,
+)
 from repro.faults.plan import (
     ATTEMPT_FAULTS,
     FRAME_FAULTS,
     FaultKind,
     FaultPlan,
     FaultSpec,
+    FleetEventKind,
+    FleetEventSpec,
+    FleetPlan,
 )
 from repro.faults.resilient import (
     LADDER,
@@ -54,6 +62,11 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyChannel",
+    "FleetAction",
+    "FleetEventKind",
+    "FleetEventSpec",
+    "FleetInjector",
+    "FleetPlan",
     "ResilientDriver",
     "RetryPolicy",
     "Scenario",

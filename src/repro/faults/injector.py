@@ -21,7 +21,8 @@ fault campaigns show up in Perfetto traces.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.faults.plan import (
     ATTEMPT_FAULTS,
@@ -29,6 +30,8 @@ from repro.faults.plan import (
     FaultKind,
     FaultPlan,
     FaultSpec,
+    FleetEventKind,
+    FleetPlan,
 )
 from repro.link.noise import NoisyChannel
 from repro.obs.telemetry import get_telemetry
@@ -170,3 +173,119 @@ class FaultyChannel:
         if mangled is None:
             return b""
         return self.inner.transmit(mangled)
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scope injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetAction:
+    """One timed fleet action expanded from a :class:`FleetPlan` event.
+
+    ``node`` is a fleet index, or ``None`` for a fleet-wide action
+    (brownout droop / restore).  ``droop`` only matters for the
+    ``droop`` action.
+    """
+
+    at_s: float
+    action: str  # "crash" | "recover" | "droop" | "restore"
+    node: Optional[int] = None
+    droop: float = 1.0
+
+
+class FleetInjector:
+    """Expands a :class:`FleetPlan` into a deterministic action schedule.
+
+    One LCG (same family as :class:`FaultInjector`) is seeded per event
+    spec, so a given (plan, seed, fleet-size) triple always yields the
+    identical schedule — scenarios stay independent of each other and of
+    the serve engine's own randomness.
+    """
+
+    def __init__(self, plan: FleetPlan, seed: int = 1):
+        self.plan = plan
+        self.seed = seed
+
+    def _lcg(self, index: int) -> "_FleetLcg":
+        return _FleetLcg((self.seed + index * 7919) & 0xFFFFFFFF)
+
+    def actions(self, fleet_size: int) -> List[FleetAction]:
+        """The timed action schedule for a fleet of *fleet_size* nodes.
+
+        Arrival-surge events produce no timed actions — they reshape the
+        arrival process itself (see :meth:`surge_windows`).
+        """
+        actions: List[FleetAction] = []
+        for index, event in enumerate(self.plan.events):
+            rng = self._lcg(index)
+            if event.kind is FleetEventKind.CRASH_STORM:
+                actions.extend(self._crash_storm(event, rng, fleet_size))
+            elif event.kind is FleetEventKind.FLEET_BROWNOUT:
+                actions.append(FleetAction(event.start_s, "droop",
+                                           droop=event.droop))
+                actions.append(FleetAction(event.start_s + event.window_s,
+                                           "restore"))
+            elif event.kind is FleetEventKind.FLAPPING:
+                actions.extend(self._flapping(event, rng, fleet_size))
+        actions.sort(key=lambda a: (a.at_s, a.action, -1 if a.node is None
+                                    else a.node))
+        return actions
+
+    def surge_windows(self) -> List[Tuple[float, float, float]]:
+        """``(start_s, window_s, factor)`` for every arrival-surge event,
+        sorted by start time."""
+        windows = [(e.start_s, e.window_s, e.factor)
+                   for e in self.plan.events
+                   if e.kind is FleetEventKind.ARRIVAL_SURGE]
+        windows.sort()
+        return windows
+
+    def _pick_nodes(self, count: int, rng: "_FleetLcg",
+                    fleet_size: int) -> List[int]:
+        """*count* distinct node indices via a partial Fisher–Yates."""
+        pool = list(range(fleet_size))
+        picked = []
+        for _ in range(min(count, fleet_size)):
+            slot = int(rng.uniform() * len(pool)) % len(pool)
+            picked.append(pool.pop(slot))
+        return picked
+
+    def _crash_storm(self, event, rng: "_FleetLcg",
+                     fleet_size: int) -> List[FleetAction]:
+        actions = []
+        for node in self._pick_nodes(event.nodes, rng, fleet_size):
+            crash_at = event.start_s + rng.uniform() * event.window_s
+            actions.append(FleetAction(crash_at, "crash", node))
+            if event.recover_s > 0:
+                actions.append(FleetAction(crash_at + event.recover_s,
+                                           "recover", node))
+        return actions
+
+    def _flapping(self, event, rng: "_FleetLcg",
+                  fleet_size: int) -> List[FleetAction]:
+        actions = []
+        for node in self._pick_nodes(event.nodes, rng, fleet_size):
+            t = event.start_s
+            end = event.start_s + event.window_s
+            while t < end:
+                # Down for a jittered half-period, then back up; the
+                # final recovery always lands so flapping nodes end the
+                # scenario alive.
+                down = event.period_s * 0.5 * (0.6 + 0.8 * rng.uniform())
+                actions.append(FleetAction(t, "crash", node))
+                actions.append(FleetAction(t + down, "recover", node))
+                t += event.period_s
+        return actions
+
+
+class _FleetLcg:
+    """The repo-standard 32-bit LCG (see :class:`FaultInjector`)."""
+
+    def __init__(self, seed: int):
+        self._state = (seed * 0x9E3779B9 + 0x7F4A7C15) & 0xFFFFFFFF
+
+    def uniform(self) -> float:
+        self._state = (self._state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return (self._state >> 8) / float(1 << 24)

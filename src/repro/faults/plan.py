@@ -247,3 +247,232 @@ class FaultPlan:
         for plan in plans:
             specs.extend(plan.specs)
         return cls(name, tuple(specs))
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scope fault plans
+# ---------------------------------------------------------------------------
+#
+# A :class:`FaultPlan` describes what goes wrong inside ONE offload
+# stack.  A :class:`FleetPlan` describes *correlated* failures across a
+# whole serving fleet — the scenarios a single-node plan cannot express:
+#
+# ========================  ===================================================
+# kind                      models
+# ========================  ===================================================
+# ``crash-storm``           K nodes crash within a time window (shared PSU
+#                           rail, cascading watchdogs); optional recovery
+# ``fleet-brownout``        supply droop hitting every node at once for a
+#                           window (the battery sagging under load)
+# ``flapping``              a node cycling down/up with a period (marginal
+#                           solder joint, thermal cutout)
+# ``arrival-surge``         the open-loop arrival process compressed by a
+#                           factor inside a window (a traffic spike)
+# ========================  ===================================================
+#
+# Plans stay pure data; :class:`~repro.faults.injector.FleetInjector`
+# expands a (plan, seed, fleet-size) triple into a deterministic action
+# schedule.
+
+
+class FleetEventKind(enum.Enum):
+    """Correlated, fleet-scope failure classes."""
+
+    CRASH_STORM = "crash-storm"
+    FLEET_BROWNOUT = "fleet-brownout"
+    FLAPPING = "flapping"
+    ARRIVAL_SURGE = "arrival-surge"
+
+
+@dataclass(frozen=True)
+class FleetEventSpec:
+    """One fleet-scope event inside a :class:`FleetPlan`.
+
+    Parameters (kind-dependent):
+
+    - ``start_s`` / ``window_s``: when the event begins and how long the
+      affected window lasts;
+    - ``nodes``: how many nodes are hit (``crash-storm``, ``flapping``);
+    - ``recover_s``: per-node downtime before recovery for
+      ``crash-storm`` (0 = the crashed nodes stay down);
+    - ``droop``: clock multiplier in (0, 1) for ``fleet-brownout``;
+    - ``period_s``: full down+up cycle length for ``flapping``;
+    - ``factor``: arrival-gap compression (> 1) for ``arrival-surge``.
+    """
+
+    kind: FleetEventKind
+    start_s: float = 0.0
+    window_s: float = 0.0
+    nodes: int = 1
+    recover_s: float = 0.0
+    droop: float = 1.0
+    period_s: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"{self.kind.value}: negative start {self.start_s}")
+        if self.window_s < 0:
+            raise ConfigurationError(
+                f"{self.kind.value}: negative window {self.window_s}")
+        if self.nodes < 1:
+            raise ConfigurationError(
+                f"{self.kind.value}: needs at least one node")
+        if self.recover_s < 0:
+            raise ConfigurationError(
+                f"{self.kind.value}: negative recovery {self.recover_s}")
+        if self.kind is FleetEventKind.FLEET_BROWNOUT:
+            if not 0.0 < self.droop < 1.0:
+                raise ConfigurationError(
+                    f"fleet-brownout droop {self.droop} outside (0, 1)")
+            if self.window_s <= 0:
+                raise ConfigurationError("fleet-brownout needs a window > 0")
+        if self.kind is FleetEventKind.FLAPPING:
+            if self.period_s <= 0:
+                raise ConfigurationError("flapping needs a period > 0")
+            if self.window_s <= 0:
+                raise ConfigurationError("flapping needs a window > 0")
+        if self.kind is FleetEventKind.ARRIVAL_SURGE:
+            if self.factor <= 1.0:
+                raise ConfigurationError(
+                    f"arrival-surge factor {self.factor} must be > 1")
+            if self.window_s <= 0:
+                raise ConfigurationError("arrival-surge needs a window > 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (defaults omitted)."""
+        payload: Dict[str, object] = {"kind": self.kind.value}
+        if self.start_s:
+            payload["start_s"] = self.start_s
+        if self.window_s:
+            payload["window_s"] = self.window_s
+        if self.nodes != 1:
+            payload["nodes"] = self.nodes
+        if self.recover_s:
+            payload["recover_s"] = self.recover_s
+        if self.droop != 1.0:
+            payload["droop"] = self.droop
+        if self.period_s:
+            payload["period_s"] = self.period_s
+        if self.factor != 1.0:
+            payload["factor"] = self.factor
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FleetEventSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            kind = FleetEventKind(payload["kind"])
+        except (KeyError, ValueError):
+            raise ConfigurationError(
+                f"bad fleet event {payload!r}: unknown kind") from None
+        return cls(kind=kind,
+                   start_s=float(payload.get("start_s", 0.0)),
+                   window_s=float(payload.get("window_s", 0.0)),
+                   nodes=int(payload.get("nodes", 1)),
+                   recover_s=float(payload.get("recover_s", 0.0)),
+                   droop=float(payload.get("droop", 1.0)),
+                   period_s=float(payload.get("period_s", 0.0)),
+                   factor=float(payload.get("factor", 1.0)))
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A named fleet-scope chaos scenario: zero or more correlated events."""
+
+    name: str
+    events: Tuple[FleetEventSpec, ...] = ()
+
+    def has(self, kind: FleetEventKind) -> bool:
+        """Whether the plan contains an event of *kind*."""
+        return any(event.kind is kind for event in self.events)
+
+    def describe(self) -> str:
+        """Short human-readable summary (``clean`` for the empty plan)."""
+        if not self.events:
+            return "clean"
+        parts = []
+        for event in self.events:
+            detail = [f"@{event.start_s:g}+{event.window_s:g}s"]
+            if event.kind in (FleetEventKind.CRASH_STORM,
+                              FleetEventKind.FLAPPING):
+                detail.append(f"nodes={event.nodes}")
+            if event.recover_s:
+                detail.append(f"recover={event.recover_s:g}s")
+            if event.droop != 1.0:
+                detail.append(f"droop={event.droop:g}")
+            if event.period_s:
+                detail.append(f"period={event.period_s:g}s")
+            if event.factor != 1.0:
+                detail.append(f"x{event.factor:g}")
+            parts.append(f"{event.kind.value}({', '.join(detail)})")
+        return " + ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {"name": self.name,
+                "events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FleetPlan":
+        """Inverse of :meth:`to_dict`."""
+        events = payload.get("events", [])
+        if not isinstance(events, list):
+            raise ConfigurationError(f"bad fleet plan {payload!r}")
+        return cls(name=str(payload.get("name", "unnamed")),
+                   events=tuple(FleetEventSpec.from_dict(e) for e in events))
+
+    # -- canned plans -----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "FleetPlan":
+        """No fleet events at all (the control scenario)."""
+        return cls("clean")
+
+    @classmethod
+    def crash_storm(cls, nodes: int = 3, start_s: float = 0.1,
+                    window_s: float = 0.3,
+                    recover_s: float = 0.5) -> "FleetPlan":
+        """*nodes* crash inside the window; each recovers after
+        *recover_s* (0 = permanent)."""
+        return cls(f"crash-storm-{nodes}",
+                   (FleetEventSpec(FleetEventKind.CRASH_STORM,
+                                   start_s=start_s, window_s=window_s,
+                                   nodes=nodes, recover_s=recover_s),))
+
+    @classmethod
+    def fleet_brownout(cls, droop: float = 0.6, start_s: float = 0.2,
+                       window_s: float = 0.8) -> "FleetPlan":
+        """Every node's clock scaled by *droop* for the window."""
+        return cls(f"fleet-brownout@{droop:g}",
+                   (FleetEventSpec(FleetEventKind.FLEET_BROWNOUT,
+                                   start_s=start_s, window_s=window_s,
+                                   droop=droop),))
+
+    @classmethod
+    def flapping(cls, nodes: int = 1, period_s: float = 0.15,
+                 start_s: float = 0.1, window_s: float = 1.0) -> "FleetPlan":
+        """*nodes* cycle down/up with *period_s* inside the window."""
+        return cls("flapping",
+                   (FleetEventSpec(FleetEventKind.FLAPPING, start_s=start_s,
+                                   window_s=window_s, nodes=nodes,
+                                   period_s=period_s),))
+
+    @classmethod
+    def arrival_surge(cls, factor: float = 4.0, start_s: float = 0.2,
+                      window_s: float = 0.3) -> "FleetPlan":
+        """Open-loop arrival gaps inside the window compressed by
+        *factor*."""
+        return cls(f"surge-x{factor:g}",
+                   (FleetEventSpec(FleetEventKind.ARRIVAL_SURGE,
+                                   start_s=start_s, window_s=window_s,
+                                   factor=factor),))
+
+    @classmethod
+    def fleet_combined(cls, name: str, *plans: "FleetPlan") -> "FleetPlan":
+        """Merge several fleet plans into one scenario."""
+        events: List[FleetEventSpec] = []
+        for plan in plans:
+            events.extend(plan.events)
+        return cls(name, tuple(events))

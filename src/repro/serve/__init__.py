@@ -6,7 +6,8 @@ it from a stream of kernel requests, entirely as a seeded discrete-event
 simulation on :mod:`repro.sim`:
 
 * :mod:`repro.serve.workload` — seeded open-loop (Poisson, bursty MMPP)
-  and closed-loop request generators plus JSON trace replay;
+  and closed-loop request generators plus JSON trace replay (and the
+  surge wrapper chaos campaigns use to compress arrivals);
 * :mod:`repro.serve.scheduler` — pluggable dispatch policies (FIFO,
   shortest-expected-service, EDF, power-cap throttling) with admission
   control and per-kernel batch coalescing;
@@ -14,6 +15,12 @@ simulation on :mod:`repro.sim`:
   with per-node fault plans and resilient-ladder recovery, plus the
   analytic service book pricing every request through the offload cost
   model;
+* :mod:`repro.serve.resilience` — fleet-scope robustness: circuit
+  breakers, retry budgets, hedged dispatch, health ejection, the
+  overload/brownout ladder, and per-kernel SLO error budgets;
+* :mod:`repro.serve.chaos` — fleet fault campaigns (crash storms,
+  brownouts, flapping, arrival surges) scored into a resilience
+  scorecard behind ``python -m repro chaos``;
 * :mod:`repro.serve.metrics` — queueing statistics (latency percentiles,
   throughput, utilization, energy per request, deadline-miss and drop
   rates) and the fleet power timeline;
@@ -24,7 +31,17 @@ Everything is seeded and wall-clock free: the same configuration
 reproduces bit-identical reports.
 """
 
-from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.chaos import (
+    ChaosCampaignResult,
+    ChaosInjector,
+    ChaosRun,
+    build_scorecard,
+    pinned_campaign_config,
+    pinned_campaign_plans,
+    run_campaign,
+    run_scenario,
+)
+from repro.serve.engine import ServeConfig, ServeEngine, default_power_budget
 from repro.serve.fleet import (
     AnalyticServiceBook,
     Fleet,
@@ -37,6 +54,17 @@ from repro.serve.fleet import (
     service_book_by_name,
 )
 from repro.serve.metrics import RequestRecord, ServeReport, percentile
+from repro.serve.resilience import (
+    AlertEvent,
+    CircuitBreaker,
+    HealthMonitor,
+    OverloadController,
+    ResilienceConfig,
+    ResilienceRuntime,
+    RetryBudget,
+    SloPolicy,
+    SloTracker,
+)
 from repro.serve.scheduler import (
     Policy,
     Scheduler,
@@ -50,22 +78,33 @@ from repro.serve.workload import (
     MmppWorkload,
     PoissonWorkload,
     Request,
+    SurgedWorkload,
     TraceWorkload,
     Workload,
 )
 
 __all__ = [
+    "AlertEvent",
     "AnalyticServiceBook",
+    "ChaosCampaignResult",
+    "ChaosInjector",
+    "ChaosRun",
+    "CircuitBreaker",
     "ClosedLoopWorkload",
     "Fleet",
+    "HealthMonitor",
     "MmppWorkload",
     "Node",
     "NodeState",
+    "OverloadController",
     "percentile",
     "PoissonWorkload",
     "Policy",
     "Request",
     "RequestRecord",
+    "ResilienceConfig",
+    "ResilienceRuntime",
+    "RetryBudget",
     "Scheduler",
     "SchedulerConfig",
     "ServeConfig",
@@ -73,12 +112,21 @@ __all__ = [
     "ServeReport",
     "ServiceBook",
     "ServiceProfile",
+    "SloPolicy",
+    "SloTracker",
+    "SurgedWorkload",
     "TraceWorkload",
     "Workload",
+    "build_scorecard",
+    "default_power_budget",
+    "pinned_campaign_config",
+    "pinned_campaign_plans",
     "policy_name",
     "register_policy",
     "register_service_book",
     "registered_policies",
     "registered_service_books",
+    "run_campaign",
+    "run_scenario",
     "service_book_by_name",
 ]

@@ -17,6 +17,15 @@ queue (and re-served elsewhere, ultimately by the host when every
 accelerator is gone) — no request is ever silently lost; the engine
 asserts the conservation law ``arrivals == completed + dropped`` at
 drain.
+
+With ``ServeConfig.resilience`` set, the fleet-scope robustness
+machinery of :mod:`repro.serve.resilience` is armed: circuit breakers
+and health ejection filter the backend pick, a retry budget caps
+requeue amplification (exhaustion sheds as ``retry-budget`` drops),
+overdue batches are hedged onto a second node, the overload ladder
+degrades fast → eco → host-assist → shed, and every completion/drop
+feeds the per-kernel SLO error budgets.  With ``resilience=None`` none
+of these paths is ever entered — plain runs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.serve.fleet import (
     ServiceOutcome,
 )
 from repro.serve.metrics import RequestRecord, ServeReport
+from repro.serve.resilience import ResilienceConfig, ResilienceRuntime
 from repro.serve.scheduler import Scheduler, SchedulerConfig, policy_name
 from repro.serve.workload import Request, Workload
 from repro.sim.engine import Simulator, Timeout
@@ -53,10 +63,31 @@ class ServeConfig:
     retry: Optional[RetryPolicy] = None
     #: Pricing backend; None builds the calibrated analytic book.
     book: Optional[ServiceBook] = None
+    #: Fleet robustness machinery; None = plain engine (bit-identical
+    #: to the pre-resilience behavior).
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ConfigurationError(f"need >= 1 nodes, got {self.nodes}")
+
+
+@dataclass
+class _Flight:
+    """Resilience-path bookkeeping of one dispatched batch (+ hedge).
+
+    Keyed in the engine by the identity of each dispatched batch list
+    (the hedge copy is a distinct list of the same requests), so the
+    pair resolves exactly once no matter which copy finishes first.
+    """
+
+    batch: List[Request]
+    node_name: str
+    tier: str
+    expected_end: float
+    outstanding: int = 1
+    resolved: bool = False
+    hedge_batch: Optional[List[Request]] = None
 
 
 class ServeEngine:
@@ -72,9 +103,14 @@ class ServeEngine:
             self.simulator, self.book, config.nodes,
             plans=config.fault_plans, seed=config.seed,
             retry=config.retry, on_outcome=self._on_outcome)
+        self.res = ResilienceRuntime(config.resilience) \
+            if config.resilience is not None else None
         self.records: List[RequestRecord] = []
         self.submitted = 0
         self.in_flight = 0
+        self.drain_hooks: List = []
+        self._flights: Dict[int, _Flight] = {}
+        self._open_flights: List[_Flight] = []
         self._requeues: Dict[int, int] = {}
         self._signals: Dict[str, object] = {}
         self._arrivals_open = True
@@ -91,6 +127,10 @@ class ServeEngine:
             raise ConfigurationError(
                 f"workload produced no requests: {workload.describe()}")
         self.fleet.start()
+        if self.res is not None:
+            self.res.start(self)
+            self.drain_hooks.append(
+                lambda: self.res.stop(self.simulator))
         self.simulator.add_process(self._arrival_process(stream),
                                    name="serve.arrivals")
         self.simulator.add_process(self._dispatcher(),
@@ -108,6 +148,14 @@ class ServeEngine:
                 f"request conservation violated: {self.submitted} arrived "
                 f"!= {completed} completed + {dropped} dropped")
         return self._report()
+
+    def kick(self) -> None:
+        """External wake of the dispatcher.
+
+        Chaos events and health probes change backend availability
+        without an arrival or a completion; this re-evaluates dispatch.
+        """
+        self._fire("arrival")
 
     # -- arrivals ----------------------------------------------------------------
 
@@ -149,6 +197,12 @@ class ServeEngine:
         follow = workload.next_request(
             request.client, self.simulator.now, self._estimator)
         if follow is not None:
+            if self.res is not None and self.res.overload.level > 0:
+                # Admission backpressure: under overload, closed-loop
+                # clients are slowed down at the source.
+                follow.arrival_s += (self.res.config.backpressure_s
+                                     * self.res.overload.level)
+                self.res.backpressure_events += 1
             self.simulator.add_process(
                 self._reissue_process(follow),
                 name=f"serve.client{request.client}")
@@ -177,6 +231,11 @@ class ServeEngine:
         while True:
             self._dispatch_ready()
             if self._done():
+                for hook in self.drain_hooks:
+                    # Cancel speculative timers (health probes, pending
+                    # chaos events) so they neither stall the drain nor
+                    # inflate the reported duration.
+                    hook()
                 self.fleet.shutdown()
                 return
             yield self.simulator.any_of(
@@ -184,42 +243,163 @@ class ServeEngine:
                 name="serve.wake")
 
     def _pick_backend(self) -> Optional[Node]:
-        available = self.fleet.available_nodes()
-        if available:
-            return available[0]
-        if not self.fleet.alive_nodes() and self.fleet.host.available:
-            return self.fleet.host
+        if self.res is None:
+            available = self.fleet.available_nodes()
+            if available:
+                return available[0]
+            if not self.fleet.alive_nodes() and self.fleet.host.available:
+                return self.fleet.host
+            return None
+        now = self.simulator.now
+        usable = [node for node in self.fleet.available_nodes()
+                  if self.res.node_usable(node.name, now)]
+        if usable:
+            return usable[0]
+        host = self.fleet.host
+        if host.available:
+            any_usable_alive = any(
+                self.res.node_usable(node.name, now)
+                for node in self.fleet.alive_nodes())
+            # Host fallback widens under resilience: not only when the
+            # whole fleet is gone, but when every survivor is ejected or
+            # breakered, and eagerly at the host-assist overload rung.
+            if not any_usable_alive or self.res.overload.level >= 2:
+                return host
         return None
 
+    def _tier_for(self, node: Node, batch: List[Request]) -> Optional[str]:
+        if node.is_host:
+            return "host"
+        kernel = batch[0].kernel
+        fast_w = self.book.active_power(kernel, "fast")
+        eco_w = self.book.active_power(kernel, "eco") \
+            if "eco" in self.book.tiers() else fast_w
+        tier = self.scheduler.tier_for(
+            self.fleet.tracker.current_w, self.book.idle_power,
+            fast_w, eco_w)
+        if (tier == "fast" and self.res is not None
+                and self.res.overload.level >= 1
+                and "eco" in self.book.tiers()):
+            # Brownout ladder rung 1+: shed watts before shedding work.
+            tier = "eco"
+            self.res.eco_degrades += 1
+        return tier
+
     def _dispatch_ready(self) -> None:
+        if self.res is not None:
+            self._overload_tick()
         while self.scheduler.queue:
             node = self._pick_backend()
             if node is None:
-                return
-            batch, _late = self.scheduler.take_batch(self.simulator.now)
+                break
+            batch, late = self.scheduler.take_batch(self.simulator.now)
+            for request in late:
+                # Late drops end a closed-loop chain unless the client
+                # gets to think again.
+                self._issue_next(request)
             if not batch:
                 continue    # the whole queue was past-deadline drops
-            if node.is_host:
-                tier = "host"
-            else:
-                kernel = batch[0].kernel
-                fast_w = self.book.active_power(kernel, "fast")
-                eco_w = self.book.active_power(kernel, "eco") \
-                    if "eco" in self.book.tiers() else fast_w
-                tier = self.scheduler.tier_for(
-                    self.fleet.tracker.current_w, self.book.idle_power,
-                    fast_w, eco_w)
-                if tier is None:
-                    # Over budget even throttled: defer until a
-                    # completion lowers the fleet draw.
-                    self.scheduler.requeue(batch)
-                    return
-            self.in_flight += len(batch)
-            node.assign(batch, tier)
+            tier = self._tier_for(node, batch)
+            if tier is None:
+                # Over budget even throttled: defer until a
+                # completion lowers the fleet draw.
+                self.scheduler.requeue(batch)
+                if self.res is not None:
+                    change = self.res.overload.note_deferral()
+                    if change is not None:
+                        self.res.alert(
+                            self.simulator.now, "warn", "overload",
+                            self.res.overload.level_name,
+                            f"power-gate pressure -> level {change}")
+                break
+            self._launch(node, batch, tier)
+        if self.res is not None and self.res.config.hedging:
+            self._maybe_hedge()
+
+    def _launch(self, node: Node, batch: List[Request], tier: str) -> None:
+        self.in_flight += len(batch)
+        if self.res is not None:
+            self._flights[id(batch)] = flight = _Flight(
+                batch=batch, node_name=node.name, tier=tier,
+                expected_end=self._expected_end(node, batch, tier))
+            self._open_flights.append(flight)
+            if not node.is_host:
+                self.res.breaker(node.name).note_dispatch()
+        node.assign(batch, tier)
+
+    def _expected_end(self, node: Node, batch: List[Request],
+                      tier: str) -> float:
+        """When this dispatch should finish, barring faults.
+
+        Mirrors the node's happy path (cold upload if the kernel is not
+        resident, then the batched warm service at the node's current
+        droop), so a healthy fleet never trips the hedging margin.
+        """
+        now = self.simulator.now
+        if node.is_host:
+            return now + sum(self.book.host_time(request)
+                             for request in batch)
+        cold = 0.0
+        if node.resident != batch[0].kernel:
+            cold, _ = self.book.cold_cost(batch[0].kernel, tier)
+        warm, _ = self.book.batch_service(batch, tier, node.droop)
+        return now + cold + warm
+
+    def _overload_tick(self) -> None:
+        res = self.res
+        now = self.simulator.now
+        change = res.overload.observe(len(self.scheduler.queue))
+        if change is not None:
+            res.alert(now, "info", "overload", res.overload.level_name,
+                      f"queue depth {len(self.scheduler.queue)} -> "
+                      f"level {change}")
+        if res.overload.level >= 3:
+            victims = self.scheduler.shed(res.config.queue_low)
+            for request in victims:
+                res.sheds += 1
+                res.slo.record_drop(request.kernel, now)
+                self._requeues.pop(request.request_id, None)
+                self._issue_next(request)
+            if victims:
+                res.alert(now, "warn", "overload", "shed",
+                          f"shed {len(victims)} queued requests")
+
+    def _maybe_hedge(self) -> None:
+        res = self.res
+        now = self.simulator.now
+        self._open_flights = [flight for flight in self._open_flights
+                              if flight.outstanding > 0]
+        overdue = [flight for flight in self._open_flights
+                   if not flight.resolved and flight.hedge_batch is None
+                   and now > flight.expected_end + res.config.hedge_margin_s]
+        if not overdue:
+            return
+        # One hedge per wake, oldest promise first: hedging is a relief
+        # valve, not a second dispatcher.
+        flight = min(overdue, key=lambda f: (f.expected_end,
+                                             f.batch[0].request_id))
+        node = self._pick_backend()
+        if node is None or node.name == flight.node_name:
+            return
+        hedge_batch = list(flight.batch)
+        tier = self._tier_for(node, hedge_batch)
+        if tier is None:
+            return
+        flight.hedge_batch = hedge_batch
+        flight.outstanding += 1
+        self._flights[id(hedge_batch)] = flight
+        res.hedges += 1
+        # The pair counts once against in_flight; only the node is told.
+        if not node.is_host:
+            res.breaker(node.name).note_dispatch()
+        node.assign(hedge_batch, tier)
 
     # -- completions -------------------------------------------------------------
 
     def _on_outcome(self, outcome: ServiceOutcome) -> None:
+        if self.res is not None:
+            self._on_outcome_resilient(outcome)
+            return
         self.in_flight -= len(outcome.batch)
         if outcome.died:
             # The node took its batch down with it: back to the head of
@@ -249,6 +429,84 @@ class ServeEngine:
             self._issue_next(request)
         self._fire("complete")
 
+    def _on_outcome_resilient(self, outcome: ServiceOutcome) -> None:
+        res = self.res
+        now = self.simulator.now
+        flight = self._flights.pop(id(outcome.batch), None)
+        if flight is not None:
+            flight.outstanding -= 1
+        node = outcome.node
+        if not node.is_host:
+            if outcome.died:
+                res.record_failure(node.name, now)
+            else:
+                res.breaker(node.name).record_success()
+        if outcome.died:
+            if flight is not None and flight.resolved:
+                # The pair already completed on the other copy; this
+                # loser's spend is pure hedging waste.
+                self._note_hedge_waste(outcome)
+            elif flight is not None and flight.outstanding > 0:
+                # The hedge copy is still running and becomes the retry
+                # — no requeue, no extra in-flight accounting.
+                res.hedge_covered_failures += 1
+            else:
+                self.in_flight -= len(outcome.batch)
+                if res.retry.allow(len(outcome.batch), len(self.records)):
+                    for request in outcome.batch:
+                        self._requeues[request.request_id] = \
+                            self._requeues.get(request.request_id, 0) + 1
+                    self.scheduler.requeue(outcome.batch)
+                else:
+                    # Retry budget exhausted: shedding beats a requeue
+                    # storm amplifying the outage.
+                    res.alert(now, "warn", "overload", "retry-budget",
+                              f"budget exhausted; shedding "
+                              f"{len(outcome.batch)} requests")
+                    for request in outcome.batch:
+                        self.scheduler.dropped.append(
+                            (request, "retry-budget"))
+                        res.slo.record_drop(request.kernel, now)
+                        self._requeues.pop(request.request_id, None)
+                        self._issue_next(request)
+            self._fire("complete")
+            return
+        if flight is not None and flight.resolved:
+            # The slower hedge copy of an already-recorded pair.
+            self._note_hedge_waste(outcome)
+            self._fire("complete")
+            return
+        if flight is not None:
+            flight.resolved = True
+            if flight.hedge_batch is not None \
+                    and outcome.batch is flight.hedge_batch:
+                res.hedge_wins += 1
+        self.in_flight -= len(outcome.batch)
+        share = 1.0 / len(outcome.batch)
+        for index, request in enumerate(outcome.batch):
+            res.slo.record_completion(
+                request.kernel, outcome.end_s - request.arrival_s,
+                self.book.estimate(request), now)
+            res.completed += 1
+            self.records.append(RequestRecord(
+                request=request,
+                start_s=outcome.start_s,
+                end_s=outcome.end_s,
+                node=outcome.node.name,
+                tier=outcome.tier,
+                requeues=self._requeues.pop(request.request_id, 0),
+                fault_attempts=outcome.fault_attempts if index == 0 else 0,
+                wasted_time_s=outcome.wasted_time_s if index == 0 else 0.0,
+                wasted_energy_j=(outcome.wasted_energy_j
+                                 if index == 0 else 0.0),
+                energy_j=outcome.energy_j * share))
+            self._issue_next(request)
+        self._fire("complete")
+
+    def _note_hedge_waste(self, outcome: ServiceOutcome) -> None:
+        self.res.hedge_waste_time_s += outcome.end_s - outcome.start_s
+        self.res.hedge_waste_energy_j += outcome.energy_j
+
     # -- reporting ---------------------------------------------------------------
 
     def _report(self) -> ServeReport:
@@ -273,7 +531,8 @@ class ServeEngine:
             node_energy_j={node.name: node.energy_j for node in nodes},
             dead_nodes=self.fleet.dead_nodes,
             reboots=sum(node.reboots for node in self.fleet.nodes),
-            fleet_energy_j=tracker.energy(duration))
+            fleet_energy_j=tracker.energy(duration),
+            resilience=self.res.summary() if self.res is not None else None)
         report.emit_telemetry()
         return report
 

@@ -37,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.envelope import DEFAULT_BUDGET, PowerEnvelopeSolver
 from repro.core.system import HeterogeneousSystem
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, Interrupt
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.resilient import RetryPolicy
@@ -304,7 +304,13 @@ class PowerTracker:
         self.timeline: List[Tuple[float, float]] = [(0.0, base_w)]
 
     def set_draw(self, key: str, watts: float) -> None:
-        """Update one component's draw at the current simulation time."""
+        """Update one component's draw at the current simulation time.
+
+        A no-op when the draw does not change, and same-time updates
+        collapse into one entry — offsetting updates that return to the
+        previous level pop their redundant entry — so timelines stay
+        compact over long chaos runs (flapping nodes, storm recoveries).
+        """
         previous = self._draws.get(key, 0.0)
         if watts == previous:
             return
@@ -313,6 +319,9 @@ class PowerTracker:
         now = self._simulator.now
         if self.timeline and self.timeline[-1][0] == now:
             self.timeline[-1] = (now, self.current_w)
+            if len(self.timeline) >= 2 \
+                    and self.timeline[-2][1] == self.current_w:
+                self.timeline.pop()
         else:
             self.timeline.append((now, self.current_w))
         self.peak_w = max(self.peak_w, self.current_w)
@@ -363,8 +372,10 @@ class Node:
         self.injector = FaultInjector(
             plan if plan is not None else FaultPlan.clean(), seed=seed)
         # Brownout is a supply condition, not an event stream: consult
-        # once, droop the node's clock for the whole run.
-        self.droop = self.injector.brownout_droop()
+        # once, droop the node's clock for the whole run.  Fleet-wide
+        # chaos brownouts scale the *current* droop from this base.
+        self.base_droop = self.injector.brownout_droop()
+        self.droop = self.base_droop
         self.state = NodeState.IDLE
         self.resident: Optional[str] = None
         self.on_outcome = on_outcome
@@ -373,9 +384,11 @@ class Node:
         self.served_batches = 0
         self.energy_j = 0.0
         self.reboots = 0
+        self.process = None
         self._mailbox: Optional[Tuple[List[Request], str]] = None
         self._wake = None
         self._shutdown = False
+        self._chaos_down = False
         if not is_host:
             tracker.set_draw(self.name, book.idle_power)
 
@@ -412,6 +425,38 @@ class Node:
         if self._wake is not None and not self._wake.triggered:
             self._wake.trigger()
 
+    def crash(self) -> None:
+        """Chaos: take the node down right now (engine-external).
+
+        An in-flight batch dies with the node and is delivered as a
+        ``died`` outcome for the engine to requeue.  A no-op on already
+        dead nodes and on the host backend.
+        """
+        if self.is_host or not self.alive:
+            return
+        self._chaos_down = True
+        if self.process is not None and not self.process.finished:
+            self.process.interrupt("chaos-crash")
+
+    def recover(self) -> None:
+        """Chaos: bring a downed node back with a fresh boot.
+
+        Caches are cold (``resident`` cleared) and a new process is
+        started; recovery on a live node just clears a pending crash.
+        """
+        self._chaos_down = False
+        if self.is_host or self.state is not NodeState.DEAD:
+            return
+        if self._shutdown:
+            return  # the run drained while the node was down
+        self.reboots += 1
+        self.resident = None
+        self._mailbox = None
+        self._wake = None
+        self._set_state(NodeState.IDLE, self.book.idle_power)
+        self.process = self.simulator.add_process(
+            self.run(), name=f"{self.name}.r{self.reboots}")
+
     def _set_state(self, state: NodeState, draw_w: float) -> None:
         self.state = state
         if not self.is_host:
@@ -423,12 +468,29 @@ class Node:
         """Generator body: wait for assignments, serve, repeat."""
         while True:
             while self._mailbox is None:
+                if self._chaos_down and not self.is_host:
+                    self._set_state(NodeState.DEAD, 0.0)
+                    return
                 if self._shutdown:
                     return
                 self._wake = self.simulator.event(f"{self.name}.wake")
-                yield self._wake
+                try:
+                    yield self._wake
+                except Interrupt:
+                    continue  # loop re-checks the crash flag
             batch, tier = self._mailbox
             self._mailbox = None
+            if self._chaos_down and not self.is_host:
+                # The crash landed between assignment and pickup: the
+                # batch dies with the node before service starts.
+                self._set_state(NodeState.DEAD, 0.0)
+                self._deliver(ServiceOutcome(
+                    node=self, batch=batch, tier=tier,
+                    start_s=self.simulator.now, end_s=self.simulator.now,
+                    fault_attempts=0, recovery_actions=("chaos-crash",),
+                    wasted_time_s=0.0, wasted_energy_j=0.0, energy_j=0.0,
+                    died=True))
+                return
             yield from (self._serve_host(batch) if self.is_host
                         else self._serve(batch, tier))
             if self.state is NodeState.DEAD:
@@ -462,56 +524,73 @@ class Node:
         failures = 0
         recovery: List[str] = []
         self._set_state(NodeState.BUSY, active_power)
-        for rung in LADDER:
-            if rung == "re-arm":
-                recovery.append("re-arm")
-            elif rung == "reboot":
-                recovery.append("reboot")
-                self.reboots += 1
-                self.resident = None
-                self._set_state(NodeState.REBOOTING, self.book.idle_power)
-                yield Timeout(self.retry.boot_timeout_s)
-                wasted_time += self.retry.boot_timeout_s
-                wasted_energy += self.retry.boot_timeout_s \
-                    * self.book.idle_power
-                self._set_state(NodeState.BUSY, active_power)
-            if self.injector.boot_fails():
-                failures += 1
-                yield Timeout(self.retry.boot_timeout_s)
-                wasted_time += self.retry.boot_timeout_s
-                wasted_energy += self.retry.boot_timeout_s * active_power
-                continue
-            if self.injector.kernel_hangs():
-                failures += 1
-                compute = self.book.batch_compute(batch, tier, self.droop)
-                watchdog = max(self.retry.watchdog_floor_s,
-                               self.retry.watchdog_factor * compute)
-                yield Timeout(watchdog)
-                recovery.append("watchdog")
-                wasted_time += watchdog
-                wasted_energy += watchdog * active_power
-                continue
-            # Success: cold costs once per batch, warm costs per request.
-            cold_time = cold_energy = 0.0
-            if self.resident != kernel:
-                cold_time, cold_energy = self.book.cold_cost(kernel, tier)
-            warm_time, warm_energy = self.book.batch_service(
-                batch, tier, self.droop)
-            service = cold_time + warm_time
-            energy = cold_energy + warm_energy
-            yield Timeout(service)
-            self.resident = kernel
-            self._set_state(NodeState.IDLE, self.book.idle_power)
-            self.busy_time += service + wasted_time
-            self.served_requests += len(batch)
-            self.served_batches += 1
-            self.energy_j += energy + wasted_energy
+        try:
+            for rung in LADDER:
+                if rung == "re-arm":
+                    recovery.append("re-arm")
+                elif rung == "reboot":
+                    recovery.append("reboot")
+                    self.reboots += 1
+                    self.resident = None
+                    self._set_state(NodeState.REBOOTING, self.book.idle_power)
+                    yield Timeout(self.retry.boot_timeout_s)
+                    wasted_time += self.retry.boot_timeout_s
+                    wasted_energy += self.retry.boot_timeout_s \
+                        * self.book.idle_power
+                    self._set_state(NodeState.BUSY, active_power)
+                if self.injector.boot_fails():
+                    failures += 1
+                    yield Timeout(self.retry.boot_timeout_s)
+                    wasted_time += self.retry.boot_timeout_s
+                    wasted_energy += self.retry.boot_timeout_s * active_power
+                    continue
+                if self.injector.kernel_hangs():
+                    failures += 1
+                    compute = self.book.batch_compute(batch, tier, self.droop)
+                    watchdog = max(self.retry.watchdog_floor_s,
+                                   self.retry.watchdog_factor * compute)
+                    yield Timeout(watchdog)
+                    recovery.append("watchdog")
+                    wasted_time += watchdog
+                    wasted_energy += watchdog * active_power
+                    continue
+                # Success: cold costs once per batch, warm per request.
+                cold_time = cold_energy = 0.0
+                if self.resident != kernel:
+                    cold_time, cold_energy = self.book.cold_cost(kernel, tier)
+                warm_time, warm_energy = self.book.batch_service(
+                    batch, tier, self.droop)
+                service = cold_time + warm_time
+                energy = cold_energy + warm_energy
+                yield Timeout(service)
+                self.resident = kernel
+                self._set_state(NodeState.IDLE, self.book.idle_power)
+                self.busy_time += service + wasted_time
+                self.served_requests += len(batch)
+                self.served_batches += 1
+                self.energy_j += energy + wasted_energy
+                self._deliver(ServiceOutcome(
+                    node=self, batch=batch, tier=tier, start_s=start,
+                    end_s=self.simulator.now, fault_attempts=failures,
+                    recovery_actions=tuple(recovery),
+                    wasted_time_s=wasted_time, wasted_energy_j=wasted_energy,
+                    energy_j=energy + wasted_energy, died=False))
+                return
+        except Interrupt:
+            # Chaos crash mid-service: everything since batch start was
+            # wasted.  Energy attribution approximates the whole span at
+            # the active draw (the tracker's integral stays exact).
+            elapsed = self.simulator.now - start
+            wasted_energy += max(0.0, elapsed - wasted_time) * active_power
+            wasted_time = elapsed
+            self._set_state(NodeState.DEAD, 0.0)
+            self.energy_j += wasted_energy
             self._deliver(ServiceOutcome(
                 node=self, batch=batch, tier=tier, start_s=start,
                 end_s=self.simulator.now, fault_attempts=failures,
-                recovery_actions=tuple(recovery),
+                recovery_actions=tuple(recovery + ["chaos-crash"]),
                 wasted_time_s=wasted_time, wasted_energy_j=wasted_energy,
-                energy_j=energy + wasted_energy, died=False))
+                energy_j=wasted_energy, died=True))
             return
         # Ladder exhausted: the node is dead; the engine requeues.
         self._set_state(NodeState.DEAD, 0.0)
@@ -556,8 +635,10 @@ class Fleet:
     def start(self) -> None:
         """Launch every node process (plus the host backend)."""
         for node in self.nodes:
-            self.simulator.add_process(node.run(), name=node.name)
-        self.simulator.add_process(self.host.run(), name=self.host.name)
+            node.process = self.simulator.add_process(node.run(),
+                                                      name=node.name)
+        self.host.process = self.simulator.add_process(self.host.run(),
+                                                       name=self.host.name)
 
     def shutdown(self) -> None:
         """Drain: let every idle process exit."""

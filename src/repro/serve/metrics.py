@@ -88,6 +88,10 @@ class ServeReport:
     dead_nodes: int = 0
     reboots: int = 0
     fleet_energy_j: float = 0.0
+    #: Resilience section (breakers / retry budget / hedging / overload /
+    #: SLO burn + alerts) — present only when the engine ran with a
+    #: ResilienceConfig; ``None`` keeps plain reports byte-identical.
+    resilience: Optional[Dict[str, object]] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -237,7 +241,16 @@ class ServeReport:
         payload["power_timeline_mw"] = [
             [round(t, 9), round(watts * 1e3, 6)]
             for t, watts in self.power_timeline]
+        if self.resilience is not None:
+            payload["resilience"] = self.resilience
         return payload
+
+    @property
+    def slo_worst_burn(self) -> Optional[float]:
+        """Worst SLO error-budget burn (``None`` without resilience)."""
+        if self.resilience is None:
+            return None
+        return self.resilience["slo"]["worst_burn"]
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The full payload as a JSON string (stable key order)."""
@@ -280,6 +293,19 @@ class ServeReport:
             pieces = ", ".join(f"{name} {value:.1%}"
                                for name, value in sorted(util.items()))
             lines.append(f"  utilization: {pieces}")
+        if self.resilience is not None:
+            res = self.resilience
+            lines.append(
+                f"  fleet      : {res['breakers']['trips']} breaker trips, "
+                f"{res['retry_budget']['spent']} retry tokens spent "
+                f"({res['retry_budget']['denied']} denied), "
+                f"{res['hedging']['issued']} hedges "
+                f"({res['hedging']['wins']} wins), "
+                f"{res['overload']['sheds']} shed")
+            lines.append(
+                f"  slo        : worst burn {res['slo']['worst_burn']:.3f}, "
+                f"{len(res['alerts'])} alerts, overload peak "
+                f"{res['overload']['peak_level']}")
         return "\n".join(lines)
 
     # -- telemetry --------------------------------------------------------------
@@ -314,5 +340,28 @@ class ServeReport:
             hub.count("serve.requeues", self.requeues)
         if self.fallbacks:
             hub.count("serve.host_fallbacks", self.fallbacks)
+        if self.resilience is not None:
+            res = self.resilience
+            if res["breakers"]["trips"]:
+                hub.count("serve.breaker_trips", res["breakers"]["trips"])
+            if res["hedging"]["issued"]:
+                hub.count("serve.hedges", res["hedging"]["issued"])
+            if res["overload"]["sheds"]:
+                hub.count("serve.shed", res["overload"]["sheds"])
+            slo = res["slo"]
+            violations = sum(k["latency_violations"]
+                             for k in slo["kernels"].values())
+            if violations:
+                hub.count("slo.latency_violations", violations)
+            slo_dropped = sum(k["dropped"] for k in slo["kernels"].values())
+            if slo_dropped:
+                hub.count("slo.dropped", slo_dropped)
+            exhausted = sum(
+                1 for k in slo["kernels"].values()
+                if k["latency_burn"] >= 1.0 or k["availability_burn"] >= 1.0)
+            if exhausted:
+                hub.count("slo.budget_exhausted", exhausted)
+            if res["alerts"]:
+                hub.count("slo.alerts", len(res["alerts"]))
         for t, watts in self.power_timeline:
             hub.gauge("serve.power_mw", watts * 1e3, ts=t, unit="mW")

@@ -129,6 +129,7 @@ class Scheduler:
         self.book = book
         self.queue: List[Request] = []
         self.dropped: List[Tuple[Request, str]] = []
+        self._requeued: set = set()
 
     # -- admission ---------------------------------------------------------------
 
@@ -142,8 +143,38 @@ class Scheduler:
         return True
 
     def requeue(self, batch: List[Request]) -> None:
-        """Put a failed node's batch back at the head of the queue."""
-        self.queue[:0] = batch
+        """Put a failed node's batch back at the head of the queue.
+
+        Requeued requests keep their original arrival time (wait
+        percentiles and EDF ordering span recovery retries), and the
+        requeued head region stays sorted by arrival — so repeated
+        requeues from different node deaths can never invert the
+        original order.
+        """
+        for request in batch:
+            self._requeued.add(request.request_id)
+        head = 0
+        while head < len(self.queue) \
+                and self.queue[head].request_id in self._requeued:
+            head += 1
+        merged = sorted(self.queue[:head] + list(batch),
+                        key=lambda r: (r.arrival_s, r.request_id))
+        self.queue[:head] = merged
+
+    def shed(self, down_to: int, reason: str = "shed") -> List[Request]:
+        """Drop the oldest queued requests until *down_to* remain.
+
+        Overload control sheds from the head: the oldest requests are
+        the ones whose deadlines are already at risk.  Victims land in
+        :attr:`dropped` under *reason* and are returned so the engine
+        can keep closed-loop client chains alive.
+        """
+        victims: List[Request] = []
+        while len(self.queue) > down_to:
+            victim = self.queue.pop(0)
+            self.dropped.append((victim, reason))
+            victims.append(victim)
+        return victims
 
     # -- ordering ----------------------------------------------------------------
 

@@ -307,6 +307,64 @@ class ClosedLoopWorkload(_GeneratedWorkload):
                 f"{self.requests_per_client}/client)")
 
 
+class SurgedWorkload(Workload):
+    """A chaos wrapper compressing arrival gaps inside surge windows.
+
+    Wraps an open-loop workload and time-warps its pregenerated stream:
+    inside each ``(start_s, window_s, factor)`` window, inter-arrival
+    gaps shrink by *factor*; arrivals after a window shift earlier by
+    the time the compression saved (the warp is continuous and
+    monotonic, so arrival order is preserved).  Absolute deadlines shift
+    with their arrival, keeping relative slack intact.  Closed-loop
+    workloads are interactive — the wrapper passes them through
+    untouched (a surge cannot compress think time that has not happened
+    yet).
+    """
+
+    def __init__(self, base: Workload,
+                 windows: Sequence[Tuple[float, float, float]]):
+        if not windows:
+            raise ConfigurationError("surge wrapper needs >= 1 windows")
+        for start, width, factor in windows:
+            if start < 0 or width <= 0 or factor <= 1.0:
+                raise ConfigurationError(
+                    f"bad surge window ({start}, {width}, {factor})")
+        self.base = base
+        self.windows = sorted(windows)
+        self.closed_loop = base.closed_loop
+
+    def __getattr__(self, name: str):
+        # Closed-loop plumbing (next_request, total_requests, ...) and
+        # any generator knobs resolve on the wrapped workload.
+        return getattr(self.base, name)
+
+    def _warp(self, t: float) -> float:
+        saved = 0.0
+        for start, width, factor in self.windows:
+            if t <= start:
+                break
+            if t <= start + width:
+                return start - saved + (t - start) / factor
+            saved += width * (1.0 - 1.0 / factor)
+        return t - saved
+
+    def arrivals(self, estimator: Estimator) -> List[Request]:
+        stream = self.base.arrivals(estimator)
+        if self.closed_loop:
+            return stream
+        for request in stream:
+            warped = self._warp(request.arrival_s)
+            if request.deadline_s is not None:
+                request.deadline_s -= request.arrival_s - warped
+            request.arrival_s = warped
+        return stream
+
+    def describe(self) -> str:
+        spans = ", ".join(f"x{factor:g}@[{start:g},{start + width:g}]s"
+                          for start, width, factor in self.windows)
+        return f"{self.base.describe()} + surge({spans})"
+
+
 class TraceWorkload(Workload):
     """Replay of a recorded request log.
 

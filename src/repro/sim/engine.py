@@ -223,19 +223,36 @@ class Simulator:
         self._queue: List = []
         self._sequence = 0
         self._processes: List[Process] = []
+        self._cancelled: set = set()
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
-        """Run ``callback(*args)`` after *delay* time units."""
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> int:
+        """Run ``callback(*args)`` after *delay* time units.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         heapq.heappush(self._queue, (self._now + delay, self._sequence,
                                      callback, args))
+        handle = self._sequence
         self._sequence += 1
+        return handle
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback before it fires.
+
+        A cancelled entry is discarded without running and — critically —
+        without advancing the clock, so speculative timers (health
+        probes, chaos events past the drain) leave the final simulation
+        time untouched.  Cancelling an already-fired or unknown handle
+        is a no-op.
+        """
+        self._cancelled.add(handle)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh event."""
@@ -272,6 +289,10 @@ class Simulator:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
+            if _seq in self._cancelled:
+                # Dropped without running and without touching the clock.
+                self._cancelled.discard(_seq)
+                continue
             self._now = time
             callback(*args)
         return self._now

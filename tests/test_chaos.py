@@ -1,0 +1,565 @@
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FleetEventKind,
+    FleetEventSpec,
+    FleetInjector,
+    FleetPlan,
+)
+from repro.serve import (
+    CircuitBreaker,
+    HealthMonitor,
+    OverloadController,
+    PoissonWorkload,
+    ResilienceConfig,
+    RetryBudget,
+    ServeConfig,
+    ServeEngine,
+    SloPolicy,
+    SloTracker,
+    SurgedWorkload,
+    pinned_campaign_config,
+    pinned_campaign_plans,
+    run_campaign,
+    run_scenario,
+)
+from repro.serve.workload import ClosedLoopWorkload
+from repro.sim import Simulator
+
+
+def _flat_estimate(kernel, iterations):
+    return 1e-3 * iterations
+
+
+class TestFleetPlan:
+    def test_roundtrip(self):
+        plan = FleetPlan.fleet_combined(
+            "mixed",
+            FleetPlan.crash_storm(nodes=2, start_s=0.1, window_s=0.2,
+                                  recover_s=0.3),
+            FleetPlan.arrival_surge(factor=3.0, start_s=0.0, window_s=0.5))
+        rebuilt = FleetPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_empty_plan_is_clean(self):
+        plan = FleetPlan.empty()
+        assert not plan.events
+        assert plan.describe() == "clean"
+        assert FleetPlan.from_dict(plan.to_dict()) == plan
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetEventSpec(kind=FleetEventKind.FLEET_BROWNOUT,
+                           droop=1.5, window_s=0.5)
+        with pytest.raises(ConfigurationError):
+            FleetEventSpec(kind=FleetEventKind.ARRIVAL_SURGE,
+                           factor=0.5, window_s=0.5)
+        with pytest.raises(ConfigurationError):
+            FleetEventSpec(kind=FleetEventKind.FLAPPING,
+                           period_s=0.0, window_s=0.5)
+        with pytest.raises(ConfigurationError):
+            FleetPlan.from_dict({"name": "bad", "events": "nope"})
+
+    def test_describe_names_events(self):
+        plan = FleetPlan.crash_storm(nodes=3)
+        assert "crash-storm" in plan.describe()
+
+
+class TestFleetInjector:
+    def test_schedule_is_seeded(self):
+        plan = FleetPlan.crash_storm(nodes=3, start_s=0.1, window_s=0.4,
+                                     recover_s=0.5)
+        first = FleetInjector(plan, seed=9).actions(4)
+        second = FleetInjector(plan, seed=9).actions(4)
+        assert first == second
+        assert FleetInjector(plan, seed=10).actions(4) != first
+
+    def test_crash_storm_hits_distinct_nodes_in_window(self):
+        plan = FleetPlan.crash_storm(nodes=3, start_s=0.1, window_s=0.4,
+                                     recover_s=0.5)
+        actions = FleetInjector(plan, seed=1).actions(4)
+        crashes = [a for a in actions if a.action == "crash"]
+        recovers = [a for a in actions if a.action == "recover"]
+        assert len(crashes) == 3 and len(recovers) == 3
+        assert len({a.node for a in crashes}) == 3
+        for crash in crashes:
+            assert 0.1 <= crash.at_s <= 0.5
+        # The expanded schedule is time-sorted.
+        assert [a.at_s for a in actions] == sorted(a.at_s for a in actions)
+
+    def test_brownout_droops_then_restores(self):
+        plan = FleetPlan.fleet_brownout(droop=0.6, start_s=0.2, window_s=0.8)
+        actions = FleetInjector(plan).actions(4)
+        assert [a.action for a in actions] == ["droop", "restore"]
+        assert actions[0].node is None and actions[0].droop == 0.6
+        assert actions[1].at_s == pytest.approx(1.0)
+
+    def test_surge_produces_windows_not_actions(self):
+        plan = FleetPlan.arrival_surge(factor=4.0, start_s=0.2, window_s=0.3)
+        injector = FleetInjector(plan)
+        assert injector.actions(4) == []
+        assert injector.surge_windows() == [(0.2, 0.3, 4.0)]
+
+
+class TestSimulatorCancel:
+    def test_cancelled_callback_never_runs_nor_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "kept")
+        handle = sim.schedule(5.0, fired.append, "cancelled")
+        sim.cancel(handle)
+        assert sim.run() == 1.0
+        assert fired == ["kept"]
+
+    def test_cancel_unknown_or_fired_handle_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(0.5, lambda: None)
+        sim.run()
+        sim.cancel(handle)     # already fired
+        sim.cancel(12345)      # never existed
+        assert sim.run() == 0.5
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(ResilienceConfig(breaker_failures=3,
+                                                  breaker_cooldown_s=0.1))
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is True
+        assert breaker.state == "open"
+        assert not breaker.allows(0.05)
+
+    def test_half_open_probe_and_close(self):
+        breaker = CircuitBreaker(ResilienceConfig(breaker_failures=1,
+                                                  breaker_cooldown_s=0.1))
+        assert breaker.record_failure(0.0) is True
+        assert breaker.allows(0.2)          # cooled down: half-open
+        assert breaker.state == "half-open"
+        breaker.note_dispatch()
+        assert not breaker.allows(0.2)      # one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(ResilienceConfig(breaker_failures=1,
+                                                  breaker_cooldown_s=0.1))
+        breaker.record_failure(0.0)
+        assert breaker.allows(0.15)
+        breaker.note_dispatch()
+        assert breaker.record_failure(0.15) is True
+        assert breaker.state == "open"
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(ResilienceConfig(breaker_failures=2))
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.record_failure(0.0) is False
+        assert breaker.state == "closed"
+
+
+class TestRetryBudget:
+    def test_base_plus_earned_ratio(self):
+        budget = RetryBudget(ResilienceConfig(retry_budget=2,
+                                              retry_ratio=0.5))
+        assert budget.allow(2, 0)           # spends the base
+        assert not budget.allow(1, 0)       # base gone, nothing earned
+        assert budget.allow(1, 2)           # 2 completions earn 1 token
+        assert budget.spent == 3
+        assert budget.denied == 1
+
+
+class TestOverloadController:
+    def _controller(self, patience=2):
+        return OverloadController(ResilienceConfig(
+            queue_high=10, queue_low=2, overload_patience=patience))
+
+    def test_escalates_after_patience(self):
+        ctl = self._controller()
+        assert ctl.observe(11) is None
+        assert ctl.observe(11) == 1
+        assert ctl.level == 1
+        assert ctl.level_name == "eco"
+
+    def test_relief_deescalates(self):
+        ctl = self._controller()
+        ctl.observe(11), ctl.observe(11)
+        assert ctl.level == 1
+        assert ctl.observe(1) is None
+        assert ctl.observe(1) == 0
+        assert ctl.level == 0
+
+    def test_mid_band_resets_both_streaks(self):
+        ctl = self._controller()
+        ctl.observe(11)
+        ctl.observe(5)              # between watermarks: streak resets
+        assert ctl.observe(11) is None
+        assert ctl.level == 0
+
+    def test_deferrals_count_as_pressure(self):
+        ctl = self._controller()
+        assert ctl.note_deferral() is None
+        assert ctl.note_deferral() == 1
+
+    def test_caps_at_shed_level(self):
+        ctl = self._controller(patience=1)
+        for _ in range(6):
+            ctl.observe(11)
+        assert ctl.level == 3
+        assert ctl.peak_level == 3
+
+
+class TestSloTracker:
+    def test_burn_and_alert_thresholds(self):
+        tracker = SloTracker(SloPolicy(latency_factor=10.0,
+                                       latency_objective=0.9,
+                                       min_samples=5))
+        # 2 violations in 10 completions = 20% misses vs a 10% budget.
+        for index in range(10):
+            latency = 1.0 if index < 2 else 0.001
+            tracker.record_completion("matmul", latency, 0.01, float(index))
+        assert tracker.latency_burn("matmul") == pytest.approx(2.0)
+        severities = [alert.severity for alert in tracker.alerts]
+        assert "page" in severities
+        # One alert per (kernel, objective, threshold): no re-fires.
+        count = len(tracker.alerts)
+        tracker.record_completion("matmul", 1.0, 0.01, 11.0)
+        assert len(tracker.alerts) == count
+
+    def test_availability_burn_counts_drops(self):
+        tracker = SloTracker(SloPolicy(availability_objective=0.9,
+                                       min_samples=1))
+        for index in range(9):
+            tracker.record_completion("cnn", 0.0, 1.0, float(index))
+        tracker.record_drop("cnn", 9.0)
+        assert tracker.availability_burn("cnn") == pytest.approx(1.0)
+        assert tracker.worst_burn() >= 1.0
+
+    def test_quiet_below_min_samples(self):
+        tracker = SloTracker(SloPolicy(min_samples=50))
+        tracker.record_drop("matmul", 0.0)
+        assert not tracker.alerts
+
+
+class TestHealthMonitor:
+    def test_eject_and_readmit_streaks(self):
+        monitor = HealthMonitor(ResilienceConfig(eject_after=2,
+                                                 readmit_after=2))
+        assert monitor.observe("node1", True) is None
+        assert monitor.observe("node1", True) == "ejected"
+        assert not monitor.usable("node1")
+        assert monitor.observe("node1", False) is None
+        assert monitor.observe("node1", False) == "readmitted"
+        assert monitor.usable("node1")
+        assert monitor.ejections == 1 and monitor.readmissions == 1
+
+
+class TestSurgedWorkload:
+    def test_warp_compresses_window_and_keeps_order(self):
+        base = PoissonWorkload(rate=100.0, requests=200, seed=3,
+                               deadline_factor=10.0)
+        plain = [r.arrival_s for r in base.arrivals(_flat_estimate)]
+        surged_stream = SurgedWorkload(
+            PoissonWorkload(rate=100.0, requests=200, seed=3,
+                            deadline_factor=10.0),
+            [(0.2, 0.3, 4.0)]).arrivals(_flat_estimate)
+        surged = [r.arrival_s for r in surged_stream]
+        assert surged == sorted(surged)
+        assert len(surged) == len(plain)
+        # Arrivals before the window are untouched; later ones pull in.
+        for before, after in zip(plain, surged):
+            if before <= 0.2:
+                assert after == before
+            else:
+                assert after < before
+        # Deadlines shift with their arrival: relative slack intact.
+        for request in surged_stream:
+            assert request.deadline_s == pytest.approx(
+                request.arrival_s + 10.0 * _flat_estimate(request.kernel,
+                                                          request.iterations))
+
+    def test_closed_loop_passes_through(self):
+        base = ClosedLoopWorkload(clients=2, think_s=0.01,
+                                  requests_per_client=3, seed=1)
+        wrapped = SurgedWorkload(base, [(0.1, 0.2, 2.0)])
+        assert wrapped.closed_loop
+        assert wrapped.total_requests == base.total_requests
+        a = [r.to_dict() for r in base.arrivals(_flat_estimate)]
+        b = [r.to_dict() for r in wrapped.arrivals(_flat_estimate)]
+        assert a == b
+
+    def test_rejects_bad_windows(self):
+        base = PoissonWorkload(rate=100.0, requests=10, seed=1)
+        with pytest.raises(ConfigurationError):
+            SurgedWorkload(base, [])
+        with pytest.raises(ConfigurationError):
+            SurgedWorkload(base, [(0.0, 0.1, 1.0)])
+
+
+class TestChaosEngine:
+    def test_empty_plan_bit_identical_to_plain_serve(self):
+        plain_config = dataclasses.replace(pinned_campaign_config(),
+                                           resilience=None)
+        plain = ServeEngine(dataclasses.replace(plain_config)).run()
+        chaos = run_scenario(dataclasses.replace(plain_config),
+                             FleetPlan.empty())
+        assert chaos.report.to_json() == plain.to_json()
+        assert chaos.scorecard["availability"] == 1.0
+
+    def test_clean_run_with_resilience_never_hedges_or_trips(self):
+        run = run_scenario(pinned_campaign_config(), FleetPlan.empty())
+        card = run.scorecard
+        assert card["hedges"] == 0
+        assert card["breaker_trips"] == 0
+        assert card["sheds"] == 0
+        assert card["availability"] == 1.0
+        assert card["verdict"] == "healthy"
+
+    def test_crash_storm_recovers_every_request(self):
+        plan = FleetPlan.crash_storm(nodes=3, start_s=0.1, window_s=0.3,
+                                     recover_s=0.5)
+        run = run_scenario(pinned_campaign_config(), plan)
+        card = run.scorecard
+        assert card["availability"] == 1.0
+        assert card["dropped"] == 0
+        assert card["reboots"] >= 1
+        assert card["requeues"] > 0
+        assert card["retry_amplification"] > 1.0
+        # The storm burns the latency error budget even though every
+        # request was eventually served — that is the SLO's job.
+        assert card["slo_worst_burn"] > 1.0
+        assert card["verdict"] == "slo-exhausted"
+        for key in ("breaker_trips", "retry_denied", "hedges",
+                    "slo_worst_burn"):
+            assert key in card
+
+    def test_campaign_rerun_is_bit_identical(self):
+        config = pinned_campaign_config()
+        plans = pinned_campaign_plans()
+        first = run_campaign(config, plans)
+        second = run_campaign(config, plans)
+        assert first.to_json() == second.to_json()
+        assert first.exit_code == 3
+
+    def test_chaos_seed_changes_schedule(self):
+        plan = FleetPlan.crash_storm(nodes=2, start_s=0.1, window_s=0.4,
+                                     recover_s=0.3)
+        config = pinned_campaign_config()
+        a = run_scenario(config, plan, chaos_seed=1)
+        b = run_scenario(config, plan, chaos_seed=2)
+        assert a.events != b.events
+
+    def test_brownout_stretches_latency(self):
+        config = pinned_campaign_config()
+        clean = run_scenario(config, FleetPlan.empty())
+        browned = run_scenario(config, FleetPlan.fleet_brownout(
+            droop=0.5, start_s=0.0, window_s=10.0))
+        assert browned.scorecard["latency_p95_ms"] \
+            > clean.scorecard["latency_p95_ms"]
+        assert browned.scorecard["availability"] == 1.0
+
+    def test_flapping_ejects_and_readmits(self):
+        run = run_scenario(pinned_campaign_config(),
+                           FleetPlan.flapping(nodes=1, period_s=0.15,
+                                              start_s=0.1, window_s=1.0))
+        res = run.report.resilience
+        assert res["health"]["ejections"] > 0
+        assert run.scorecard["availability"] == 1.0
+
+    def test_total_outage_collapses(self):
+        plan = FleetPlan.crash_storm(nodes=4, start_s=0.1, window_s=0.1,
+                                     recover_s=0.4)
+        run = run_scenario(pinned_campaign_config(), plan)
+        assert run.scorecard["verdict"] == "collapsed"
+        assert run.scorecard["sheds"] > 0
+        # Conservation still holds under collapse: the engine would have
+        # raised SimulationError otherwise, and the card adds up.
+        card = run.scorecard
+        assert card["completed"] + card["dropped"] == card["submitted"]
+
+    def test_exhausted_retry_budget_sheds_instead_of_requeueing(self):
+        resilience = ResilienceConfig(retry_budget=0, retry_ratio=0.0,
+                                      hedging=False)
+        config = pinned_campaign_config(resilience=resilience)
+        plan = FleetPlan.crash_storm(nodes=3, start_s=0.05, window_s=0.2,
+                                     recover_s=0.5)
+        run = run_scenario(config, plan)
+        reasons = {reason for _, reason in run.report.dropped}
+        assert "retry-budget" in reasons
+        assert run.scorecard["retry_denied"] > 0
+        assert run.scorecard["requeues"] == 0
+
+    def test_hedging_covers_a_stalled_node(self):
+        from repro.faults.plan import FaultPlan
+
+        # node1 hangs (watchdog + ladder retries blow well past the
+        # promised end); the fleet has spare capacity, so the overdue
+        # batch gets hedged onto an idle peer that wins the race.
+        config = ServeConfig(
+            workload=PoissonWorkload(rate=100.0, requests=60, seed=11),
+            nodes=3,
+            fault_plans=[FaultPlan.kernel_hang(3), FaultPlan.clean(),
+                         FaultPlan.clean()],
+            seed=11,
+            resilience=ResilienceConfig(hedge_margin_s=1e-4,
+                                        health_interval_s=0.002))
+        engine = ServeEngine(config)
+        report = engine.run()
+        res = report.resilience
+        assert res["hedging"]["issued"] > 0
+        assert res["hedging"]["wins"] > 0
+        assert res["hedging"]["waste_time_s"] > 0
+        assert report.completed + len(report.dropped) == report.arrivals
+
+    def test_alert_stream_is_ordered_and_rendered(self):
+        run = run_scenario(
+            pinned_campaign_config(),
+            FleetPlan.crash_storm(nodes=3, start_s=0.1, window_s=0.3,
+                                  recover_s=0.5))
+        times = [alert.t_s for alert in run.alerts]
+        assert times == sorted(times)
+        assert any(alert.severity == "page" for alert in run.alerts)
+        line = run.alerts[0].render()
+        assert line.startswith("t=") and ":" in line
+
+    def test_resilience_metrics_reach_telemetry(self):
+        from repro.obs import Telemetry, use_telemetry
+
+        hub = Telemetry(enabled=True)
+        with use_telemetry(hub):
+            run_scenario(
+                pinned_campaign_config(),
+                FleetPlan.crash_storm(nodes=3, start_s=0.1, window_s=0.3,
+                                      recover_s=0.5))
+        assert hub.counters["slo.latency_violations"].value > 0
+        assert "slo.budget_exhausted" in hub.counters
+        assert hub.counters["slo.alerts"].value > 0
+
+
+class TestChaosFuzz:
+    def _random_plan(self, rng):
+        events = []
+        for _ in range(rng.randint(0, 3)):
+            kind = rng.choice(["storm", "brownout", "flap", "surge"])
+            start = round(rng.uniform(0.0, 0.3), 3)
+            if kind == "storm":
+                events.append(FleetPlan.crash_storm(
+                    nodes=rng.randint(1, 3), start_s=start,
+                    window_s=round(rng.uniform(0.05, 0.4), 3),
+                    recover_s=rng.choice([0.0, 0.3])))
+            elif kind == "brownout":
+                events.append(FleetPlan.fleet_brownout(
+                    droop=round(rng.uniform(0.4, 0.95), 2),
+                    start_s=start,
+                    window_s=round(rng.uniform(0.1, 0.6), 3)))
+            elif kind == "flap":
+                events.append(FleetPlan.flapping(
+                    nodes=1, period_s=round(rng.uniform(0.05, 0.2), 3),
+                    start_s=start,
+                    window_s=round(rng.uniform(0.2, 0.8), 3)))
+            else:
+                events.append(FleetPlan.arrival_surge(
+                    factor=round(rng.uniform(1.5, 5.0), 2),
+                    start_s=start,
+                    window_s=round(rng.uniform(0.05, 0.3), 3)))
+        return FleetPlan.fleet_combined("fuzz", *events) if events \
+            else FleetPlan.empty()
+
+    def test_random_plans_conserve_requests_and_energy(self):
+        rng = random.Random(0xC0FFEE)
+        for trial in range(8):
+            seed = rng.randint(1, 10_000)
+            if rng.random() < 0.5:
+                workload = PoissonWorkload(
+                    rate=rng.choice([150.0, 300.0, 500.0]),
+                    requests=rng.choice([40, 80, 120]), seed=seed)
+            else:
+                workload = ClosedLoopWorkload(
+                    clients=rng.randint(2, 6), think_s=0.005,
+                    requests_per_client=rng.randint(5, 15), seed=seed)
+            config = dataclasses.replace(
+                pinned_campaign_config(seed=seed), workload=workload)
+            plan = self._random_plan(rng)
+            chaos_seed = rng.randint(1, 1000)
+            run = run_scenario(config, plan, chaos_seed=chaos_seed)
+            report = run.report
+            # Conservation (the engine also asserts this internally).
+            assert report.completed + len(report.dropped) \
+                == report.arrivals, plan.describe()
+            # Nothing physical goes negative.
+            assert report.fleet_energy_j >= 0.0
+            assert all(record.latency_s >= 0.0
+                       for record in report.records)
+            assert all(record.energy_j >= 0.0
+                       for record in report.records)
+            assert all(value >= 0.0
+                       for value in report.node_energy_j.values())
+            assert 0.0 <= run.scorecard["availability"] <= 1.0
+            # Reruns of the same scenario stay bit-identical.
+            again = run_scenario(config, plan, chaos_seed=chaos_seed)
+            assert again.report.to_json() == report.to_json(), \
+                plan.describe()
+
+
+class TestChaosCli:
+    def test_empty_plan_matches_plain_serve(self, tmp_path, capsys):
+        spec = ["--policy", "power-cap", "--arrival-rate", "300",
+                "--requests", "150", "--seed", "5"]
+        assert main(["serve", *spec, "--json"]) == 0
+        serve_payload = capsys.readouterr().out
+        out = tmp_path / "report.json"
+        assert main(["chaos", "--empty", *spec,
+                     "--serve-json", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_text() == serve_payload
+
+    def test_pinned_campaign_exit_and_determinism(self, capsys):
+        assert main(["chaos", "--json"]) == 3
+        first = capsys.readouterr().out
+        assert main(["chaos", "--json"]) == 3
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["verdict"] == "slo-exhausted"
+        assert payload["exit_code"] == 3
+        assert len(payload["scenarios"]) == 5
+
+    def test_collapse_exit_code(self, tmp_path, capsys):
+        plan = {"name": "total-outage", "events": [
+            {"kind": "crash-storm", "nodes": 4, "start_s": 0.1,
+             "window_s": 0.1, "recover_s": 0.4}]}
+        path = tmp_path / "outage.json"
+        path.write_text(json.dumps(plan))
+        assert main(["chaos", "--plan", str(path), "--policy", "power-cap",
+                     "--arrival-rate", "400", "--requests", "240",
+                     "--max-batch", "4"]) == 4
+        assert "collapsed" in capsys.readouterr().out
+
+    def test_alerts_log(self, tmp_path, capsys):
+        path = tmp_path / "alerts.log"
+        assert main(["chaos", "--alerts", str(path)]) == 3
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        assert lines
+        assert any("slo:" in line for line in lines)
+
+    def test_bad_plan_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "events": "garbage"}')
+        with pytest.raises(SystemExit):
+            main(["chaos", "--plan", str(path)])
+
+    def test_resilience_off_disables_scorecard_extras(self, capsys):
+        assert main(["chaos", "--empty", "--resilience", "off",
+                     "--requests", "40", "--json"]) in (0, 3, 4)
+        payload = json.loads(capsys.readouterr().out)
+        card = payload["scenarios"][0]["scorecard"]
+        assert card["breaker_trips"] == 0
+        assert card["slo_worst_burn"] is None

@@ -23,10 +23,11 @@ from repro.serve.engine import (
     ServeEngine,
     default_power_budget,
 )
-from repro.serve.fleet import ServiceBook
+from repro.serve.fleet import PowerTracker, ServiceBook
 from repro.serve.metrics import percentile
 from repro.serve.scheduler import Policy, Scheduler, SchedulerConfig
 from repro.serve.workload import Lcg
+from repro.sim import Simulator
 
 
 @pytest.fixture(scope="module")
@@ -490,3 +491,56 @@ class TestRegressions:
             assert key in summary
         assert summary["degraded"] is False
         assert summary["fault_attempts"] == 0
+
+    def test_requeue_preserves_arrival_order_across_repeats(self, book):
+        # Batches requeued out of order (and more than once) must land
+        # back at the head sorted by their ORIGINAL enqueue time, with
+        # those arrival stamps untouched.
+        scheduler = Scheduler(SchedulerConfig(max_batch=2), book)
+        requests = [Request(request_id=i, kernel="matmul",
+                            arrival_s=i * 0.01) for i in range(6)]
+        for request in requests:
+            assert scheduler.submit(request)
+        batches = [scheduler.take_batch(1.0)[0] for _ in range(3)]
+        assert not scheduler.queue
+        for batch in (batches[1], batches[2], batches[0]):
+            scheduler.requeue(batch)
+        assert [r.request_id for r in scheduler.queue] == [0, 1, 2, 3, 4, 5]
+        # A second round of out-of-order deaths still cannot invert it.
+        rebatches = [scheduler.take_batch(2.0)[0] for _ in range(3)]
+        for batch in (rebatches[2], rebatches[0], rebatches[1]):
+            scheduler.requeue(batch)
+        assert [r.request_id for r in scheduler.queue] == [0, 1, 2, 3, 4, 5]
+        assert [r.arrival_s for r in scheduler.queue] \
+            == [i * 0.01 for i in range(6)]
+
+    def test_power_tracker_timeline_stays_compact(self):
+        simulator = Simulator()
+        tracker = PowerTracker(simulator, base_w=1.0)
+
+        def flap(watts):
+            tracker.set_draw("node1", watts)
+
+        # An unchanged draw is a no-op, even at a new timestamp.
+        simulator.schedule(0.1, flap, 2.0)
+        simulator.schedule(0.2, flap, 2.0)
+        simulator.schedule(0.2, flap, 2.0)
+        # Offsetting updates at one instant pop their redundant entry.
+        simulator.schedule(0.3, flap, 4.0)
+        simulator.schedule(0.3, flap, 2.0)
+        simulator.run()
+        assert tracker.timeline == [(0.0, 1.0), (0.1, 3.0)]
+        assert tracker.current_w == 3.0
+        assert tracker.peak_w == 5.0
+
+    def test_power_tracker_timeline_length_bounded_by_changes(self):
+        simulator = Simulator()
+        tracker = PowerTracker(simulator, base_w=0.01)
+        # A node flapping between the same two levels for 100 probe
+        # ticks yields one entry per actual change — not per call.
+        for tick in range(100):
+            simulator.schedule(0.01 * (tick + 1), tracker.set_draw,
+                               "node1", 0.05 if tick % 10 == 0 else 0.0)
+        simulator.run()
+        changes = 20  # ten rises, ten falls
+        assert len(tracker.timeline) == 1 + changes
