@@ -21,6 +21,7 @@ dse_cached configs      same exploration served entirely from the cache
 faults     scenarios    ``repro.faults`` campaign on the resilient driver
 analysis   programs     ``repro.analysis`` lint + SPMD pass over builtins
 learn      predictions  ``repro.learn`` model inference over the corpus
+capacity   evaluations  ``repro.capacity`` analytic fleet predictions
 ========== ============ ====================================================
 """
 
@@ -410,9 +411,104 @@ class ChaosSuite(BenchSuite):
         return SuiteResult(units=float(served), fingerprint=fingerprint)
 
 
+class CapacitySuite(BenchSuite):
+    """Analytic capacity-model throughput, in scenario evaluations/second.
+
+    ``prepare`` builds and warms the model (kernel pricing and shape
+    caches), then times one reference DES run of the pinned scenario
+    off the clock; ``execute`` prices the whole pinned rate x fleet
+    grid analytically.  Besides the usual bit-identical fingerprint,
+    the suite enforces the fast path's reason to exist: one analytic
+    evaluation of the reference scenario must be at least
+    ``min_speedup`` x faster than its DES run.  The measured ratio
+    sits around 150-200x; the pinned floor leaves headroom for noisy
+    CI machines while still failing loudly if the fast path ever
+    degenerates into something DES-shaped.
+    """
+
+    name = "capacity"
+    units = "evaluations"
+    spec = {"rates": [150.0, 250.0, 350.0, 450.0, 550.0, 650.0],
+            "nodes": [2, 4, 6], "requests": 2000, "max_batch": 8,
+            "sweep": 8,
+            "reference": {"rate": 450.0, "nodes": 4, "seed": 7},
+            "min_speedup": 50.0}
+
+    def _scenarios(self):
+        from repro.capacity.model import CapacityInputs
+
+        return [CapacityInputs(arrival_rate=rate,
+                               requests=self.spec["requests"],
+                               nodes=nodes,
+                               max_batch=self.spec["max_batch"])
+                for nodes in self.spec["nodes"]
+                for rate in self.spec["rates"]]
+
+    def prepare(self, profiler: PhaseProfiler) -> Any:
+        import time
+
+        from repro.capacity.model import CapacityModel
+        from repro.serve import AnalyticServiceBook, PoissonWorkload
+        from repro.serve.engine import ServeConfig, ServeEngine
+
+        with profiler.phase("capacity;warm"):
+            book = AnalyticServiceBook()
+            model = CapacityModel(book)
+            scenarios = self._scenarios()
+            model.predict(scenarios[0])
+        reference = self.spec["reference"]
+        with profiler.phase("capacity;des-reference"):
+            config = ServeConfig(
+                workload=PoissonWorkload(rate=reference["rate"],
+                                         requests=self.spec["requests"],
+                                         seed=reference["seed"],
+                                         deadline_factor=None),
+                nodes=reference["nodes"], seed=reference["seed"],
+                book=book)
+            start = time.perf_counter()
+            ServeEngine(config).run()
+            des_wall = time.perf_counter() - start
+        return model, scenarios, des_wall
+
+    def execute(self, state: Any, profiler: PhaseProfiler) -> SuiteResult:
+        import time
+
+        model, scenarios, des_wall = state
+        predictions: Dict[str, Any] = {}
+        stable = 0
+        sweep = self.spec["sweep"]
+        with profiler.phase("capacity;analytic"):
+            start = time.perf_counter()
+            for _ in range(sweep):
+                stable = 0
+                for inputs in scenarios:
+                    prediction = model.predict(inputs)
+                    stable += int(prediction.stable)
+                    key = f"{inputs.nodes}n@{inputs.arrival_rate:.0f}rps"
+                    predictions[key] = prediction.to_json_dict()
+            analytic_wall = time.perf_counter() - start
+        per_evaluation = analytic_wall / (len(scenarios) * sweep)
+        speedup = des_wall / per_evaluation if per_evaluation > 0 \
+            else float("inf")
+        if speedup < self.spec["min_speedup"]:
+            raise BenchmarkError(
+                f"capacity: analytic evaluation is only {speedup:.1f}x "
+                f"faster than the reference DES run "
+                f"(floor {self.spec['min_speedup']:.0f}x)")
+        fingerprint = {
+            "evaluations": len(scenarios),
+            "sweep": sweep,
+            "stable": stable,
+            "digest": fingerprint_digest(predictions),
+        }
+        return SuiteResult(units=float(len(scenarios) * sweep),
+                           fingerprint=fingerprint)
+
+
 #: Suite classes in report order.
 SUITE_TYPES = (SimSuite, ServeSuite, DseColdSuite, DseCachedSuite,
-               FaultsSuite, AnalysisSuite, LearnSuite, ChaosSuite)
+               FaultsSuite, AnalysisSuite, LearnSuite, ChaosSuite,
+               CapacitySuite)
 
 
 def default_suites(names: Optional[List[str]] = None) -> List[BenchSuite]:

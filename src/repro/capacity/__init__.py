@@ -1,0 +1,97 @@
+"""``repro.capacity`` — analytic queueing fast path + fleet planner.
+
+The serving stack of :mod:`repro.serve` runs one discrete event at a
+time; sweeping million-request scenarios that way is intractable.  This
+package is the closed-form fast path cross-validated against the DES —
+the same signature move ``pulp.timing`` plays against ``pulp.cluster``:
+
+* :mod:`repro.capacity.queueing` — Erlang B/C and the M/M/k laws
+  (mean wait, waiting-time distribution, percentiles);
+* :mod:`repro.capacity.corrections` — serving-reality corrections:
+  batch coalescing, the eco power-cap tier, fault/retry overheads;
+* :mod:`repro.capacity.model` — :class:`CapacityModel` predicting
+  throughput, utilization, p50/p95 latency and energy/request for one
+  node class, in microseconds instead of a DES run;
+* :mod:`repro.capacity.composition` — :class:`CompositionSpace` over
+  :class:`~repro.serve.archetype.NodeArchetype` mixes with per-kernel
+  routing;
+* :mod:`repro.capacity.planner` — the budget-driven search (analytic
+  inner loop, DES re-verification of the Pareto frontier);
+* :mod:`repro.capacity.validation` — the pinned analytic-vs-DES grid
+  behind ``python -m repro capacity validate`` (CI-gated tolerance).
+
+Everything is seeded and deterministic; ``python -m repro capacity``
+exposes ``plan``, ``validate`` and ``sweep``.
+"""
+
+from repro.capacity.composition import (
+    DEFAULT_CATALOG,
+    Composition,
+    CompositionSpace,
+    routed_compositions,
+    routing_for,
+)
+from repro.capacity.corrections import (
+    FaultEffect,
+    KernelShape,
+    PowerCapEffect,
+    blend_shapes,
+    fault_effect,
+    kernel_shapes,
+    power_cap_effect,
+)
+from repro.capacity.model import (
+    CapacityInputs,
+    CapacityModel,
+    CapacityPrediction,
+)
+from repro.capacity.planner import (
+    MODEL_VERSION,
+    FleetPlanner,
+    PlanResult,
+    PlannerStats,
+)
+from repro.capacity.queueing import (
+    MMkQueue,
+    allen_cunneen_factor,
+    batch_drain_factor,
+    erlang_b,
+    erlang_c,
+)
+from repro.capacity.validation import (
+    TOLERANCE,
+    VALIDATION_GRID,
+    GridPoint,
+    run_validation,
+)
+
+__all__ = [
+    "CapacityInputs",
+    "CapacityModel",
+    "CapacityPrediction",
+    "Composition",
+    "CompositionSpace",
+    "DEFAULT_CATALOG",
+    "FaultEffect",
+    "FleetPlanner",
+    "GridPoint",
+    "KernelShape",
+    "MMkQueue",
+    "MODEL_VERSION",
+    "PlanResult",
+    "PlannerStats",
+    "PowerCapEffect",
+    "TOLERANCE",
+    "VALIDATION_GRID",
+    "allen_cunneen_factor",
+    "batch_drain_factor",
+    "blend_shapes",
+    "erlang_b",
+    "erlang_c",
+    "fault_effect",
+    "kernel_shapes",
+    "power_cap_effect",
+    "routed_compositions",
+    "routing_for",
+    "run_validation",
+]

@@ -1,0 +1,204 @@
+"""``python -m repro capacity`` — plan / validate / sweep.
+
+Three subcommands over the analytic fast path:
+
+- ``plan`` searches a fleet-composition space under a power budget and
+  prints the Pareto frontier (throughput x energy/request x p95); by
+  default every frontier point is re-verified through the serve DES,
+  and a verification breach exits :data:`CAPACITY_EXIT_TOLERANCE`;
+- ``validate`` runs the pinned analytic-vs-DES grid and exits
+  :data:`CAPACITY_EXIT_TOLERANCE` when the gated errors (mean latency,
+  throughput) breach the tolerance — the CI calibration gate;
+- ``sweep`` walks a homogeneous fleet across arrival rates entirely
+  analytically: the what-if loop a DES would take minutes to answer.
+
+``--json`` payloads are deterministic (same inputs => byte-identical
+documents; wall-clock only appears in the human render), so reruns can
+be compared with a plain ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+#: Exit code when a validation or verification tolerance is breached.
+CAPACITY_EXIT_TOLERANCE = 3
+
+
+def _json_dump(payload) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _cmd_plan(args) -> str:
+    from repro.capacity.composition import CompositionSpace
+    from repro.capacity.planner import FleetPlanner
+    from repro.capacity.report import plan_json_dict, render_plan
+    from repro.units import mw
+
+    budget = mw(args.power_budget) if args.power_budget is not None \
+        else None
+    space = CompositionSpace(
+        min_nodes=args.min_nodes, max_nodes=args.max_nodes,
+        max_per_archetype=args.max_per_archetype, power_budget_w=budget)
+    planner = FleetPlanner(space, arrival_rate=args.arrival_rate,
+                           requests=args.requests,
+                           max_batch=args.max_batch,
+                           headroom=args.headroom)
+    result = planner.plan()
+    if not args.no_verify:
+        planner.verify_frontier(result, seed=args.verify_seed,
+                                requests=args.verify_requests,
+                                tolerance=args.tolerance)
+        if not result.verified_ok:
+            args._exit_code = CAPACITY_EXIT_TOLERANCE
+    if getattr(args, "json", False):
+        return _json_dump(plan_json_dict(result))
+    return render_plan(result, verbose=args.verbose)
+
+
+def _cmd_validate(args) -> str:
+    from repro.capacity.report import render_validation
+    from repro.capacity.validation import TOLERANCE, run_validation
+
+    tolerance = args.tolerance if args.tolerance is not None else TOLERANCE
+    report = run_validation(tolerance=tolerance)
+    if not report["passed"]:
+        args._exit_code = CAPACITY_EXIT_TOLERANCE
+    if getattr(args, "json", False):
+        return _json_dump(report)
+    return render_validation(report)
+
+
+def _parse_rates(spec: str):
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"capacity: bad --rates {spec!r} (want lo:hi:step)")
+        lo, hi, step = (float(part) for part in parts)
+        if step <= 0 or hi < lo:
+            raise SystemExit(
+                f"capacity: bad --rates {spec!r} (want lo:hi:step)")
+        count = int(math.floor((hi - lo) / step + 1e-9)) + 1
+        return [lo + index * step for index in range(count)]
+    return [float(token) for token in spec.split(",") if token.strip()]
+
+
+def _cmd_sweep(args) -> str:
+    from repro.capacity.model import CapacityInputs, CapacityModel
+    from repro.capacity.report import render_sweep
+    from repro.serve import AnalyticServiceBook
+    from repro.serve.engine import default_power_budget
+
+    rates = _parse_rates(args.rates)
+    book = AnalyticServiceBook()
+    model = CapacityModel(book)
+    budget = None
+    if args.power_fraction is not None:
+        budget = default_power_budget(book, args.nodes,
+                                      args.power_fraction)
+    points = []
+    saturation = None
+    started = time.perf_counter()
+    for rate in rates:
+        prediction = model.predict(CapacityInputs(
+            arrival_rate=rate, requests=args.requests, nodes=args.nodes,
+            max_batch=args.max_batch, power_budget_w=budget))
+        row = prediction.to_json_dict()
+        row["arrival_rate"] = rate
+        points.append(row)
+        if saturation is None and not prediction.stable:
+            previous = rates[max(0, len(points) - 2)]
+            saturation = [previous, rate]
+    wall_ms = (time.perf_counter() - started) * 1e3
+    payload = {
+        "nodes": args.nodes,
+        "max_batch": args.max_batch,
+        "requests": args.requests,
+        "power_fraction": args.power_fraction,
+        "points": points,
+        "saturation_rate": saturation,
+    }
+    if getattr(args, "json", False):
+        return _json_dump(payload)
+    return render_sweep({**payload, "wall_ms": wall_ms})
+
+
+_CAPACITY_COMMANDS = {
+    "plan": _cmd_plan,
+    "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
+}
+
+
+def cmd_capacity(args) -> str:
+    """Dispatch one ``repro capacity`` subcommand."""
+    return _CAPACITY_COMMANDS[args.capacity_command](args)
+
+
+def add_capacity_parser(sub) -> None:
+    """Attach the ``capacity`` subcommand tree to the CLI parser."""
+    capacity = sub.add_parser(
+        "capacity", help="analytic capacity model: fleet-composition "
+                         "planning, DES cross-validation, rate sweeps")
+    capacity_sub = capacity.add_subparsers(dest="capacity_command",
+                                           required=True)
+
+    plan = capacity_sub.add_parser(
+        "plan", help="search archetype compositions under a power "
+                     "budget; Pareto frontier, DES-verified")
+    plan.add_argument("--arrival-rate", type=float, default=300.0,
+                      help="workload arrival rate (requests/s)")
+    plan.add_argument("--power-budget", type=float, default=None,
+                      metavar="MW", help="fleet provisioned-power budget "
+                                         "in milliwatts (default: "
+                                         "unbounded)")
+    plan.add_argument("--min-nodes", type=int, default=1)
+    plan.add_argument("--max-nodes", type=int, default=6,
+                      help="total fleet size ceiling")
+    plan.add_argument("--max-per-archetype", type=int, default=4)
+    plan.add_argument("--requests", type=int, default=2000,
+                      help="run length the analytic model prices")
+    plan.add_argument("--max-batch", type=int, default=8)
+    plan.add_argument("--headroom", type=float, default=0.85,
+                      help="per-class utilization ceiling for "
+                           "feasibility")
+    plan.add_argument("--no-verify", action="store_true",
+                      help="skip the DES re-verification of the frontier")
+    plan.add_argument("--verify-requests", type=int, default=600,
+                      help="request count of the verification DES runs")
+    plan.add_argument("--verify-seed", type=int, default=7)
+    plan.add_argument("--tolerance", type=float, default=0.15,
+                      help="verification error bound before exiting "
+                           f"{CAPACITY_EXIT_TOLERANCE}")
+    plan.add_argument("--verbose", action="store_true",
+                      help="histogram the infeasibility reasons")
+    plan.add_argument("--json", action="store_true",
+                      help="deterministic machine-readable payload")
+
+    validate = capacity_sub.add_parser(
+        "validate", help="pinned analytic-vs-DES grid; the CI "
+                         "calibration gate")
+    validate.add_argument("--tolerance", type=float, default=None,
+                          help="gated relative-error bound (default: "
+                               "the pinned 10%%); breach exits "
+                               f"{CAPACITY_EXIT_TOLERANCE}")
+    validate.add_argument("--json", action="store_true",
+                          help="machine-readable JSON report")
+
+    sweep = capacity_sub.add_parser(
+        "sweep", help="analytic arrival-rate sweep of a homogeneous "
+                      "fleet (no DES)")
+    sweep.add_argument("--rates", default="50:700:50",
+                       help="lo:hi:step or comma-separated rates "
+                            "(requests/s)")
+    sweep.add_argument("--nodes", type=int, default=4)
+    sweep.add_argument("--requests", type=int, default=2000)
+    sweep.add_argument("--max-batch", type=int, default=8)
+    sweep.add_argument("--power-fraction", type=float, default=None,
+                       help="power-cap the fleet at "
+                            "default_power_budget(book, nodes, FRACTION)")
+    sweep.add_argument("--json", action="store_true",
+                       help="deterministic machine-readable payload")

@@ -1,0 +1,157 @@
+"""Report rendering for the capacity CLI.
+
+Two output shapes per subcommand, same data:
+
+* ``render_*`` — the human tables;
+* ``*_json_dict`` — the machine payloads behind ``--json``.
+
+The plan payload is **deterministic**: same space + workload gives a
+byte-identical JSON document (wall-clock fields live only in the human
+render), so CI can assert bit-identical reruns with a plain ``cmp``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.capacity.planner import PlanResult
+
+
+def _pct(value: Optional[float]) -> str:
+    return f"{value:+.1%}" if value is not None else "--"
+
+
+# -- plan ------------------------------------------------------------------------
+
+def plan_json_dict(result: PlanResult) -> Dict[str, object]:
+    """The deterministic machine payload of one planning run."""
+    return {
+        "spec": result.spec,
+        "stats": {
+            "compositions": result.stats.compositions,
+            "feasible": result.stats.feasible,
+            "infeasible": result.stats.infeasible,
+            "frontier_size": result.stats.frontier_size,
+        },
+        "frontier": result.frontier,
+        "verify": result.verify,
+    }
+
+
+def render_plan(result: PlanResult, verbose: bool = False) -> str:
+    """Human summary: the frontier table plus the search accounting."""
+    stats = result.stats
+    lines = [
+        "fleet-composition plan",
+        f"  workload   : {result.spec['arrival_rate']:.1f} rps, "
+        f"mix {result.spec['mix']}",
+        f"  space      : {stats.compositions} compositions "
+        f"({stats.feasible} feasible, {stats.infeasible} infeasible), "
+        f"budget "
+        f"{result.spec['space']['power_budget_mw'] or 'unbounded'} mW",
+        f"  search     : {stats.elapsed_s * 1e3:.1f} ms analytic "
+        f"({stats.compositions_per_second:.0f} compositions/s)",
+        f"  frontier   : {stats.frontier_size} Pareto points "
+        "(max throughput, min energy/request, min p95)",
+    ]
+    for record in result.frontier:
+        metrics = record["metrics"]
+        label = " + ".join(f"{count}*{name}" for name, count
+                           in record["config"]["archetypes"].items())
+        lines.append(
+            f"    {label:<34} {metrics['throughput_rps']:8.1f} rps  "
+            f"{metrics['mean_latency_ms']:7.2f} ms mean  "
+            f"{metrics['latency_p95_ms']:7.2f} ms p95  "
+            f"{metrics['energy_per_request_uj']:7.2f} uJ/req  "
+            f"{metrics['provisioned_power_mw']:5.1f} mW")
+    if result.verify:
+        lines.append("  verify     : frontier re-run through the serve DES")
+        for row in result.verify:
+            error = row["error"]
+            if error is None:
+                lines.append(f"    {row['label']:<34} infeasible at the "
+                             "verification request count")
+                continue
+            lines.append(
+                f"    {row['label']:<34} "
+                f"latency {_pct(error['mean_latency'])}  "
+                f"throughput {_pct(error['throughput'])}  "
+                f"{'ok' if row['verified'] else 'BREACH'}")
+        lines.append(f"  verified   : "
+                     f"{'yes' if result.verified_ok else 'NO'}")
+    if verbose:
+        lines.append("  infeasible reasons:")
+        reasons: Dict[str, int] = {}
+        for record in result.records:
+            if record["feasible"]:
+                continue
+            key = str(record["error"]).split(":")[0]
+            reasons[key] = reasons.get(key, 0) + 1
+        for key in sorted(reasons):
+            lines.append(f"    {reasons[key]:4d} x {key}")
+    return "\n".join(lines)
+
+
+# -- validate --------------------------------------------------------------------
+
+def render_validation(report: Dict[str, object]) -> str:
+    """Human table of the analytic-vs-DES validation grid."""
+    lines = [
+        "capacity validation: analytic model vs the serve DES",
+        f"  gate       : |error| <= {report['tolerance']:.0%} on "
+        + ", ".join(report["gated_metrics"]),
+        f"  {'point':<16} {'mean lat':>9} {'thruput':>9} "
+        f"{'p95':>9} {'energy':>9}   gate",
+    ]
+    for row in report["points"]:
+        error = row["error"]
+        lines.append(
+            f"  {row['name']:<16} "
+            f"{_pct(error['mean_latency_ms']):>9} "
+            f"{_pct(error['throughput_rps']):>9} "
+            f"{_pct(error['latency_p95_ms']):>9} "
+            f"{_pct(error['energy_per_request_uj']):>9}   "
+            f"{'ok' if row['passed'] else 'BREACH'}")
+    worst = report["worst_error"]
+    timing = report["timing"]
+    lines.append(f"  worst      : latency {worst['mean_latency_ms']:.1%}, "
+                 f"throughput {worst['throughput_rps']:.1%}")
+    lines.append(f"  wall       : analytic {timing['model_wall_s']*1e3:.1f} "
+                 f"ms vs DES {timing['des_wall_s']*1e3:.1f} ms "
+                 f"({timing['speedup']:.1f}x)")
+    lines.append(f"  verdict    : "
+                 f"{'PASS' if report['passed'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+# -- sweep -----------------------------------------------------------------------
+
+def render_sweep(report: Dict[str, object]) -> str:
+    """Human table of an analytic arrival-rate sweep."""
+    lines = [
+        f"capacity sweep: {report['nodes']} nodes, "
+        f"max batch {report['max_batch']}"
+        + (f", power fraction {report['power_fraction']}"
+           if report.get("power_fraction") is not None else ""),
+        f"  {'rate':>6} {'util':>6} {'batch':>6} {'mean':>9} {'p50':>9} "
+        f"{'p95':>9} {'thruput':>9} {'energy':>9}",
+    ]
+    for row in report["points"]:
+        if not row["stable"]:
+            lines.append(f"  {row['arrival_rate']:>6.0f} "
+                         "-- saturated --")
+            continue
+        lines.append(
+            f"  {row['arrival_rate']:>6.0f} {row['utilization']:>6.2f} "
+            f"{row['mean_batch']:>6.2f} "
+            f"{row['mean_latency_ms']:>7.2f}ms {row['latency_p50_ms']:>7.2f}ms "
+            f"{row['latency_p95_ms']:>7.2f}ms "
+            f"{row['throughput_rps']:>9.1f} "
+            f"{row['energy_per_request_uj']:>7.2f}uJ")
+    knee = report.get("saturation_rate")
+    if knee is not None:
+        lines.append(f"  saturates between {knee[0]:.0f} and "
+                     f"{knee[1]:.0f} rps")
+    lines.append(f"  wall       : {report['wall_ms']:.1f} ms analytic for "
+                 f"{len(report['points'])} operating points")
+    return "\n".join(lines)

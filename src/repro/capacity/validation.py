@@ -1,0 +1,210 @@
+"""The pinned analytic-vs-DES validation grid (the CI gate).
+
+The analytic fast path is only useful if it stays honest, so its
+calibration is cross-validated against seeded :mod:`repro.serve` DES
+runs on a pinned grid of scenarios — light/mid/hot load at 2, 4 and 6
+nodes, a power-capped point exercising the eco tier, and three fault
+mixes exercising the ladder corrections.  ``python -m repro capacity
+validate`` runs the grid and **gates** the relative error of the two
+headline observables:
+
+* mean latency — within :data:`TOLERANCE` (10 %) of the DES;
+* throughput — within :data:`TOLERANCE` of the DES.
+
+p95 latency and energy per request are reported alongside but not
+gated: p95 inherits the seeded run's tail noise at a few hundred
+requests, and energy per request is already pinned (to much tighter
+bounds) by the golden-results suite.  The run also reports the wall
+times of both sides — the speedup is the whole point of the fast path.
+
+Every grid point pins its seed, so a calibration regression fails the
+gate deterministically instead of flaking.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.capacity.model import CapacityInputs, CapacityModel
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+
+#: CI-gated relative-error bound on mean latency and throughput.
+TOLERANCE = 0.10
+
+#: The observables the gate enforces (relative error vs the DES).
+GATED_METRICS = ("mean_latency_ms", "throughput_rps")
+
+#: Named per-node fault-plan sets, cycled across the fleet exactly like
+#: ``serve --faults``: a transient hang, a browned-out fleet, and one
+#: node that hangs its way through the whole ladder and dies.
+FAULT_SETS: Dict[str, Tuple[Tuple[str, Tuple[object, ...]], ...]] = {
+    "hang": (("kernel_hang", (1,)), ("clean", ())),
+    "brownout": (("brownout", (0.7,)),),
+    "dead": (("kernel_hang", (3,)), ("clean", ()),
+             ("clean", ()), ("clean", ())),
+}
+
+
+def fault_plans(name: str) -> List[FaultPlan]:
+    """Materialize a :data:`FAULT_SETS` entry into live plans."""
+    if name not in FAULT_SETS:
+        raise ConfigurationError(
+            f"unknown fault set {name!r}; known: {sorted(FAULT_SETS)}")
+    return [getattr(FaultPlan, factory)(*args)
+            for factory, args in FAULT_SETS[name]]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One pinned validation scenario (homogeneous default fleet)."""
+
+    name: str
+    arrival_rate: float
+    nodes: int
+    requests: int
+    seed: int
+    #: Power-cap point: budget = ``default_power_budget(book, nodes,
+    #: power_fraction)`` under the power-cap policy.  None = ungated.
+    power_fraction: Optional[float] = None
+    #: Key into :data:`FAULT_SETS`; None = clean fleet.
+    faults: Optional[str] = None
+
+    def config(self) -> Dict[str, object]:
+        """JSON summary of the scenario (report row header)."""
+        return {
+            "arrival_rate": self.arrival_rate,
+            "nodes": self.nodes,
+            "requests": self.requests,
+            "seed": self.seed,
+            "power_fraction": self.power_fraction,
+            "faults": self.faults,
+        }
+
+
+#: The pinned grid.  Loads span rho ~ 0.35..0.95 at three fleet sizes;
+#: the seeds are fixed so the gate is deterministic.
+VALIDATION_GRID: Tuple[GridPoint, ...] = (
+    GridPoint("light-2", arrival_rate=100.0, nodes=2, requests=400, seed=5),
+    GridPoint("mid-2", arrival_rate=150.0, nodes=2, requests=400, seed=3),
+    GridPoint("light-4", arrival_rate=250.0, nodes=4, requests=400, seed=7),
+    GridPoint("mid-4", arrival_rate=350.0, nodes=4, requests=500, seed=5),
+    GridPoint("hot-4", arrival_rate=450.0, nodes=4, requests=500, seed=3),
+    GridPoint("mid-6", arrival_rate=450.0, nodes=6, requests=500, seed=3),
+    GridPoint("hot-6", arrival_rate=700.0, nodes=6, requests=700, seed=5),
+    GridPoint("powercap-4", arrival_rate=300.0, nodes=4, requests=500,
+              seed=7, power_fraction=0.5),
+    GridPoint("faults-hang", arrival_rate=300.0, nodes=4, requests=500,
+              seed=7, faults="hang"),
+    GridPoint("faults-brownout", arrival_rate=300.0, nodes=4,
+              requests=500, seed=7, faults="brownout"),
+    GridPoint("faults-dead", arrival_rate=300.0, nodes=4, requests=500,
+              seed=7, faults="dead"),
+)
+
+
+def _des_run(point: GridPoint, book, budget: Optional[float],
+             plans: Optional[List[FaultPlan]]) -> Dict[str, object]:
+    from repro.serve.engine import ServeConfig, ServeEngine
+    from repro.serve.scheduler import Policy, SchedulerConfig
+    from repro.serve.workload import PoissonWorkload
+
+    policy = Policy.POWER_CAP if budget is not None else Policy.FIFO
+    config = ServeConfig(
+        workload=PoissonWorkload(rate=point.arrival_rate,
+                                 requests=point.requests,
+                                 seed=point.seed, deadline_factor=None),
+        nodes=point.nodes,
+        scheduler=SchedulerConfig(policy=policy, power_budget_w=budget),
+        fault_plans=plans, seed=point.seed, book=book)
+    return ServeEngine(config).run().metrics()
+
+
+def _model_run(point: GridPoint, model: CapacityModel,
+               budget: Optional[float],
+               plans: Optional[List[FaultPlan]]) -> Dict[str, object]:
+    prediction = model.predict(CapacityInputs(
+        arrival_rate=point.arrival_rate, requests=point.requests,
+        nodes=point.nodes, power_budget_w=budget, fault_plans=plans))
+    return prediction.to_json_dict()
+
+
+def _relative_error(model: float, des: float) -> float:
+    if des == 0:
+        return math.inf if model else 0.0
+    return model / des - 1.0
+
+
+def run_validation(tolerance: float = TOLERANCE,
+                   grid: Sequence[GridPoint] = VALIDATION_GRID,
+                   ) -> Dict[str, object]:
+    """Run the grid; gate mean latency + throughput at *tolerance*.
+
+    Returns a JSON-safe report: one row per point with the model and
+    DES observables and their relative errors, the worst gated errors,
+    the wall time of each side (and the resulting speedup), and the
+    overall ``passed`` verdict.
+    """
+    from repro.serve import AnalyticServiceBook
+    from repro.serve.engine import default_power_budget
+
+    if not 0.0 < tolerance:
+        raise ConfigurationError(
+            f"tolerance must be positive, got {tolerance}")
+    book = AnalyticServiceBook()
+    model = CapacityModel(book)
+    rows: List[Dict[str, object]] = []
+    worst: Dict[str, float] = {name: 0.0 for name in GATED_METRICS}
+    model_wall = 0.0
+    des_wall = 0.0
+    for point in grid:
+        budget = None
+        if point.power_fraction is not None:
+            budget = default_power_budget(book, point.nodes,
+                                          point.power_fraction)
+        plans = fault_plans(point.faults) if point.faults else None
+        start = time.perf_counter()
+        predicted = _model_run(point, model, budget, plans)
+        model_wall += time.perf_counter() - start
+        start = time.perf_counter()
+        des = _des_run(point, book, budget, plans)
+        des_wall += time.perf_counter() - start
+        errors = {
+            name: round(_relative_error(float(predicted[name]),
+                                        float(des[name])), 6)
+            for name in ("mean_latency_ms", "throughput_rps",
+                         "latency_p95_ms", "energy_per_request_uj")}
+        gated_ok = all(abs(errors[name]) <= tolerance
+                       for name in GATED_METRICS)
+        for name in GATED_METRICS:
+            worst[name] = max(worst[name], abs(errors[name]))
+        rows.append({
+            "name": point.name,
+            "config": point.config(),
+            "model": {name: predicted[name] for name in (
+                "mean_latency_ms", "latency_p50_ms", "latency_p95_ms",
+                "throughput_rps", "energy_per_request_uj",
+                "utilization", "mean_batch", "eco_share", "dead_nodes")},
+            "des": {name: des[name] for name in (
+                "mean_latency_ms", "latency_p50_ms", "latency_p95_ms",
+                "throughput_rps", "energy_per_request_uj")},
+            "error": errors,
+            "passed": gated_ok,
+        })
+    speedup = des_wall / model_wall if model_wall > 0 else math.inf
+    return {
+        "tolerance": tolerance,
+        "gated_metrics": list(GATED_METRICS),
+        "points": rows,
+        "worst_error": {name: round(value, 6)
+                        for name, value in worst.items()},
+        "timing": {
+            "model_wall_s": round(model_wall, 6),
+            "des_wall_s": round(des_wall, 6),
+            "speedup": round(speedup, 2),
+        },
+        "passed": all(row["passed"] for row in rows),
+    }

@@ -29,6 +29,9 @@ Usage::
     python -m repro learn eval --dataset ds.json [--max-regret 0.15]
     python -m repro learn predict --model model.json --program dwconv3_i8
     python -m repro serve --scheduler predicted --model model.json
+    python -m repro capacity plan --arrival-rate 300 --power-budget 40
+    python -m repro capacity validate [--tolerance 0.10] [--json]
+    python -m repro capacity sweep --nodes 4 --rates 50:700:50
     python -m repro all
 
 Every experiment subcommand accepts ``--json`` for a machine-readable
@@ -66,6 +69,14 @@ seeded models, and scores them leave-one-kernel-out (see
 mean energy regret exceeds ``--max-regret``; ``serve --scheduler
 predicted --model model.json`` routes the fleet through the trained
 model's operating points.
+
+``capacity`` is the analytic fast path over the serving fleet (see
+``docs/CAPACITY.md``): ``plan`` searches heterogeneous fleet
+compositions under a power budget and re-verifies the Pareto frontier
+through the DES, ``validate`` runs the pinned analytic-vs-DES grid,
+and ``sweep`` answers what-if arrival-rate questions in milliseconds.
+``validate`` (and ``plan``, unless ``--no-verify``) exits 3 when a
+tolerance is breached.
 
 ``bench`` times every engine's hot path under pinned seeds and writes
 the next ``BENCH_<n>.json`` trajectory entry (see
@@ -791,6 +802,12 @@ def _cmd_learn(args) -> str:
     return cmd_learn(args)
 
 
+def _cmd_capacity(args) -> str:
+    from repro.capacity.cli import cmd_capacity
+
+    return cmd_capacity(args)
+
+
 def _cmd_all(args) -> str:
     sections = [
         ("Table I", _cmd_table1(args)),
@@ -1044,7 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suites", default=None,
                        help="comma-separated suite subset (default: all; "
                             "sim,serve,dse_cold,dse_cached,faults,analysis,"
-                            "learn,chaos)")
+                            "learn,chaos,capacity)")
     bench.add_argument("--out-dir", default="benchmarks/results",
                        metavar="DIR",
                        help="trajectory directory for BENCH_<n>.json")
@@ -1072,9 +1089,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-phase totals")
     bench.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of tables")
+    from repro.capacity.cli import add_capacity_parser
     from repro.learn.cli import add_learn_parser
 
     add_learn_parser(sub)
+    add_capacity_parser(sub)
     sub.add_parser("all", help="everything, in paper order")
     sub.add_parser("report",
                    help="markdown reproduction report with anchor checks")
@@ -1097,6 +1116,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "learn": _cmd_learn,
+    "capacity": _cmd_capacity,
     "all": _cmd_all,
     "report": _cmd_report,
 }

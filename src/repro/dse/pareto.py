@@ -31,11 +31,14 @@ MINIMIZE: Tuple[str, ...] = ("energy_per_iteration_j", "total_power_w")
 DEFAULT_OBJECTIVE = "effective_speedup"
 
 
-def objective_vector(record: Mapping[str, Any]) -> Tuple[float, ...]:
+def objective_vector(record: Mapping[str, Any],
+                     maximize: Tuple[str, ...] = MAXIMIZE,
+                     minimize: Tuple[str, ...] = MINIMIZE,
+                     ) -> Tuple[float, ...]:
     """The record's objectives, sign-folded so larger is always better."""
     metrics = record["metrics"]
-    return tuple([metrics[key] for key in MAXIMIZE]
-                 + [-metrics[key] for key in MINIMIZE])
+    return tuple([metrics[key] for key in maximize]
+                 + [-metrics[key] for key in minimize])
 
 
 def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
@@ -43,15 +46,27 @@ def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
     return all(x >= y for x, y in zip(a, b)) and a != b
 
 
-def pareto_frontier(records: List[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+def pareto_frontier(records: List[Mapping[str, Any]],
+                    maximize: Tuple[str, ...] = MAXIMIZE,
+                    minimize: Tuple[str, ...] = MINIMIZE,
+                    ) -> List[Dict[str, Any]]:
     """The non-dominated feasible records, in canonical order.
 
-    Canonical order: descending speedup, then ascending energy, power
-    and configuration hash — identical for serial, parallel and cached
-    runs over the same space.
+    Objectives default to the offload-DSE triple (maximize speedup,
+    minimize energy and power); callers with different metrics — the
+    fleet-composition planner maximizes throughput while minimizing
+    energy/request and p95 — pass their own *maximize*/*minimize* keys.
+
+    Canonical order: the folded objective vector, best first, then
+    ascending configuration hash — identical for serial, parallel and
+    cached runs over the same space.  Ties collapse deterministically:
+    of several points with identical objective vectors, the smallest
+    configuration hash represents the group (the scan below visits
+    records in hash order, so the first holder of a vector wins).
     """
     feasible = [r for r in records if r.get("feasible")]
-    vectors = {r["config_hash"]: objective_vector(r) for r in feasible}
+    vectors = {r["config_hash"]: objective_vector(r, maximize, minimize)
+               for r in feasible}
     frontier = []
     seen_vectors = set()
     for record in sorted(feasible, key=lambda r: r["config_hash"]):
@@ -63,10 +78,8 @@ def pareto_frontier(records: List[Mapping[str, Any]]) -> List[Dict[str, Any]]:
             continue
         seen_vectors.add(vector)
         frontier.append(dict(record))
-    frontier.sort(key=lambda r: (-r["metrics"][MAXIMIZE[0]],
-                                 r["metrics"][MINIMIZE[0]],
-                                 r["metrics"][MINIMIZE[1]],
-                                 r["config_hash"]))
+    frontier.sort(key=lambda r: (
+        tuple(-v for v in vectors[r["config_hash"]]), r["config_hash"]))
     return frontier
 
 

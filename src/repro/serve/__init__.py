@@ -11,6 +11,9 @@ simulation on :mod:`repro.sim`:
 * :mod:`repro.serve.scheduler` — pluggable dispatch policies (FIFO,
   shortest-expected-service, EDF, power-cap throttling) with admission
   control and per-kernel batch coalescing;
+* :mod:`repro.serve.archetype` — first-class node archetypes (host MCU,
+  cluster size, operating point) and :class:`FleetSpec` compositions
+  mixing them, with per-kernel routing;
 * :mod:`repro.serve.fleet` — node lifecycle (idle/busy/rebooting/dead)
   with per-node fault plans and resilient-ladder recovery, plus the
   analytic service book pricing every request through the offload cost
@@ -31,6 +34,11 @@ Everything is seeded and wall-clock free: the same configuration
 reproduces bit-identical reports.
 """
 
+from repro.serve.archetype import (
+    DEFAULT_ARCHETYPE,
+    FleetSpec,
+    NodeArchetype,
+)
 from repro.serve.chaos import (
     ChaosCampaignResult,
     ChaosInjector,
@@ -91,10 +99,13 @@ __all__ = [
     "ChaosRun",
     "CircuitBreaker",
     "ClosedLoopWorkload",
+    "DEFAULT_ARCHETYPE",
     "Fleet",
+    "FleetSpec",
     "HealthMonitor",
     "MmppWorkload",
     "Node",
+    "NodeArchetype",
     "NodeState",
     "OverloadController",
     "percentile",

@@ -1,0 +1,199 @@
+"""First-class node archetypes: the swappable spec of a fleet node.
+
+Before this module the serving fleet had exactly one node shape baked
+into :class:`~repro.serve.fleet.Fleet` construction: the paper's
+STM32-L476 host with a 4-core cluster at the default tier budgets.  A
+:class:`NodeArchetype` makes that shape explicit and swappable — the
+host MCU (any device of the :mod:`repro.mcu` catalog), the accelerator
+cluster size, the host operating point and the per-tier envelope
+budgets — so heterogeneous fleets can mix archetypes and the
+fleet-composition planner (:mod:`repro.capacity`) can search over them.
+
+A :class:`FleetSpec` is an ordered list of ``(archetype, count)``
+groups plus an optional per-kernel routing table; it prices one
+:class:`~repro.serve.fleet.AnalyticServiceBook` per archetype and hands
+:class:`~repro.serve.fleet.Fleet` its per-node books.  The default
+spec (one group of the default archetype) reproduces today's fleet bit
+for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import mw
+
+#: Archetype name of the implicit pre-heterogeneity fleet node.
+DEFAULT_ARCHETYPE_NAME = "l476-x4"
+
+_SPI_MODES = ("single", "quad")
+
+
+@dataclass(frozen=True)
+class NodeArchetype:
+    """One node shape: host MCU, cluster size, operating point, budgets.
+
+    The defaults reproduce the implicit archetype every fleet used
+    before heterogeneity: an STM32-L476 host at 8 MHz in front of a
+    4-core cluster, fast tier at the paper's 10 mW envelope and eco at
+    6.5 mW.
+    """
+
+    name: str = DEFAULT_ARCHETYPE_NAME
+    mcu: str = "STM32-L476"
+    cluster_size: int = 4
+    host_mhz: float = 8.0
+    spi_mode: str = "quad"
+    fast_budget_mw: float = 10.0
+    eco_budget_mw: Optional[float] = 6.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("archetype needs a name")
+        # The PULP power model carries four cores; bigger clusters have
+        # no calibrated activity profile.
+        if not 1 <= self.cluster_size <= 4:
+            raise ConfigurationError(
+                f"{self.name}: cluster_size must be in 1..4, "
+                f"got {self.cluster_size}")
+        if self.host_mhz <= 0:
+            raise ConfigurationError(
+                f"{self.name}: host_mhz must be positive, "
+                f"got {self.host_mhz}")
+        if self.spi_mode not in _SPI_MODES:
+            raise ConfigurationError(
+                f"{self.name}: unknown spi_mode {self.spi_mode!r}; "
+                f"known: {', '.join(_SPI_MODES)}")
+        if self.fast_budget_mw <= 0:
+            raise ConfigurationError(
+                f"{self.name}: fast_budget_mw must be positive")
+        if self.eco_budget_mw is not None \
+                and not 0 < self.eco_budget_mw <= self.fast_budget_mw:
+            raise ConfigurationError(
+                f"{self.name}: eco_budget_mw must be in "
+                f"(0, fast_budget_mw], got {self.eco_budget_mw}")
+
+    def tier_budgets(self) -> Dict[str, float]:
+        """Per-tier envelope budgets (watts), fast first."""
+        budgets = {"fast": mw(self.fast_budget_mw)}
+        if self.eco_budget_mw is not None:
+            budgets["eco"] = mw(self.eco_budget_mw)
+        return budgets
+
+    def build_book(self):
+        """Price this archetype: an AnalyticServiceBook over its system.
+
+        Books are expensive to warm (each (kernel, tier) runs the whole
+        offload costing stack once); callers cache per archetype —
+        :meth:`FleetSpec.books` does.
+        """
+        from repro.core.system import HeterogeneousSystem
+        from repro.link.spi import SpiLink, SpiMode
+        from repro.mcu import Stm32L476, mcu_by_name
+        from repro.serve.fleet import AnalyticServiceBook
+
+        device = mcu_by_name(self.mcu)
+        system = HeterogeneousSystem(
+            host=Stm32L476(device=device),
+            link=SpiLink(SpiMode.QUAD if self.spi_mode == "quad"
+                         else SpiMode.SINGLE),
+            threads=self.cluster_size)
+        return AnalyticServiceBook(system=system, host_mhz=self.host_mhz,
+                                   tier_budgets=self.tier_budgets())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able description (stable key order)."""
+        return {
+            "name": self.name,
+            "mcu": self.mcu,
+            "cluster_size": self.cluster_size,
+            "host_mhz": self.host_mhz,
+            "spi_mode": self.spi_mode,
+            "fast_budget_mw": self.fast_budget_mw,
+            "eco_budget_mw": self.eco_budget_mw,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "NodeArchetype":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = {"name", "mcu", "cluster_size", "host_mhz", "spi_mode",
+                 "fast_budget_mw", "eco_budget_mw"}
+        extra = set(payload) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown archetype fields: {', '.join(sorted(extra))}")
+        return cls(**payload)
+
+
+#: The implicit single archetype every fleet used before heterogeneity.
+DEFAULT_ARCHETYPE = NodeArchetype()
+
+
+@dataclass
+class FleetSpec:
+    """A heterogeneous fleet: ordered archetype groups + routing table.
+
+    ``groups`` assigns node indices in order (group 0 gets the lowest
+    indices), matching how fault plans cycle across the fleet.
+    ``routing`` maps a kernel name to the archetype that should serve
+    it; kernels without an entry (or an entry whose archetype has no
+    available node) fall back to the first available node.
+    """
+
+    groups: Tuple[Tuple[NodeArchetype, int], ...]
+    routing: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("fleet spec needs >= 1 groups")
+        seen = set()
+        for archetype, count in self.groups:
+            if count < 0:
+                raise ConfigurationError(
+                    f"{archetype.name}: negative node count {count}")
+            if archetype.name in seen:
+                raise ConfigurationError(
+                    f"duplicate archetype name {archetype.name!r}")
+            seen.add(archetype.name)
+        if self.nodes < 1:
+            raise ConfigurationError("fleet spec has no nodes")
+        for kernel, target in self.routing.items():
+            if target not in seen:
+                raise ConfigurationError(
+                    f"routing for {kernel!r} names unknown archetype "
+                    f"{target!r}")
+
+    @property
+    def nodes(self) -> int:
+        """Total accelerator nodes across every group."""
+        return sum(count for _, count in self.groups)
+
+    def archetype(self, name: str) -> NodeArchetype:
+        """Look an archetype up by name."""
+        for archetype, _ in self.groups:
+            if archetype.name == name:
+                return archetype
+        raise ConfigurationError(f"unknown archetype {name!r}")
+
+    def books(self) -> Dict[str, object]:
+        """One priced service book per archetype, keyed by name."""
+        return {archetype.name: archetype.build_book()
+                for archetype, _ in self.groups}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able description (stable key order)."""
+        return {
+            "groups": [{"archetype": archetype.to_dict(), "count": count}
+                       for archetype, count in self.groups],
+            "routing": {kernel: self.routing[kernel]
+                        for kernel in sorted(self.routing)},
+        }
+
+    @classmethod
+    def homogeneous(cls, nodes: int,
+                    archetype: Optional[NodeArchetype] = None) -> "FleetSpec":
+        """The pre-heterogeneity fleet: one archetype, *nodes* copies."""
+        archetype = archetype if archetype is not None else DEFAULT_ARCHETYPE
+        return cls(groups=((archetype, nodes),))

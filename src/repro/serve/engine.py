@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.faults.resilient import RetryPolicy
+from repro.serve.archetype import FleetSpec
 from repro.serve.fleet import (
     AnalyticServiceBook,
     Fleet,
@@ -66,8 +67,15 @@ class ServeConfig:
     #: Fleet robustness machinery; None = plain engine (bit-identical
     #: to the pre-resilience behavior).
     resilience: Optional[ResilienceConfig] = None
+    #: Heterogeneous fleet composition; None = homogeneous fleet of
+    #: ``nodes`` default-archetype nodes (bit-identical to the
+    #: pre-heterogeneity behavior).  When set, ``nodes`` is derived from
+    #: the spec and the spec's routing table steers dispatch.
+    fleet: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
+        if self.fleet is not None:
+            self.nodes = self.fleet.nodes
         if self.nodes < 1:
             raise ConfigurationError(f"need >= 1 nodes, got {self.nodes}")
 
@@ -95,14 +103,28 @@ class ServeEngine:
 
     def __init__(self, config: ServeConfig):
         self.config = config
+        groups = None
+        self.routing: Dict[str, str] = {}
+        if config.fleet is not None:
+            books = config.fleet.books()
+            groups = [(archetype.name, books[archetype.name], count)
+                      for archetype, count in config.fleet.groups]
+            self.routing = dict(config.fleet.routing)
+            # Host fallback and scheduler estimates price through the
+            # first group's book unless the caller pinned one.
+            default_book = groups[0][1]
+        else:
+            default_book = None
         self.book = config.book if config.book is not None \
-            else AnalyticServiceBook()
+            else (default_book if default_book is not None
+                  else AnalyticServiceBook())
         self.simulator = Simulator()
         self.scheduler = Scheduler(config.scheduler, self.book)
         self.fleet = Fleet(
             self.simulator, self.book, config.nodes,
             plans=config.fault_plans, seed=config.seed,
-            retry=config.retry, on_outcome=self._on_outcome)
+            retry=config.retry, on_outcome=self._on_outcome,
+            groups=groups)
         self.res = ResilienceRuntime(config.resilience) \
             if config.resilience is not None else None
         self.records: List[RequestRecord] = []
@@ -242,19 +264,36 @@ class ServeEngine:
                 [self._signal("arrival"), self._signal("complete")],
                 name="serve.wake")
 
-    def _pick_backend(self) -> Optional[Node]:
+    def _route(self, candidates: List[Node],
+               kernel: Optional[str]) -> Node:
+        """Prefer the archetype the routing table names for *kernel*.
+
+        Falls back to the first candidate (exactly the pre-routing
+        pick) when there is no table, no entry, or no available node of
+        the routed archetype — routing is a preference, never a stall.
+        """
+        if kernel is not None and self.routing:
+            target = self.routing.get(kernel)
+            if target is not None:
+                for node in candidates:
+                    if node.archetype == target:
+                        return node
+        return candidates[0]
+
+    def _usable_nodes(self) -> List[Node]:
+        """Dispatchable backends in fleet order (host only as fallback)."""
         if self.res is None:
             available = self.fleet.available_nodes()
             if available:
-                return available[0]
+                return available
             if not self.fleet.alive_nodes() and self.fleet.host.available:
-                return self.fleet.host
-            return None
+                return [self.fleet.host]
+            return []
         now = self.simulator.now
         usable = [node for node in self.fleet.available_nodes()
                   if self.res.node_usable(node.name, now)]
         if usable:
-            return usable[0]
+            return usable
         host = self.fleet.host
         if host.available:
             any_usable_alive = any(
@@ -264,22 +303,32 @@ class ServeEngine:
             # whole fleet is gone, but when every survivor is ejected or
             # breakered, and eagerly at the host-assist overload rung.
             if not any_usable_alive or self.res.overload.level >= 2:
-                return host
-        return None
+                return [host]
+        return []
+
+    def _pick_backend(self, kernel: Optional[str] = None) -> Optional[Node]:
+        candidates = self._usable_nodes()
+        if not candidates:
+            return None
+        return self._route(candidates, kernel)
 
     def _tier_for(self, node: Node, batch: List[Request]) -> Optional[str]:
         if node.is_host:
             return "host"
+        # Priced through the serving node's own book: on heterogeneous
+        # fleets each archetype carries its own operating points (on a
+        # homogeneous fleet node.book IS self.book).
+        book = node.book
         kernel = batch[0].kernel
-        fast_w = self.book.active_power(kernel, "fast")
-        eco_w = self.book.active_power(kernel, "eco") \
-            if "eco" in self.book.tiers() else fast_w
+        fast_w = book.active_power(kernel, "fast")
+        eco_w = book.active_power(kernel, "eco") \
+            if "eco" in book.tiers() else fast_w
         tier = self.scheduler.tier_for(
-            self.fleet.tracker.current_w, self.book.idle_power,
+            self.fleet.tracker.current_w, book.idle_power,
             fast_w, eco_w)
         if (tier == "fast" and self.res is not None
                 and self.res.overload.level >= 1
-                and "eco" in self.book.tiers()):
+                and "eco" in book.tiers()):
             # Brownout ladder rung 1+: shed watts before shedding work.
             tier = "eco"
             self.res.eco_degrades += 1
@@ -288,6 +337,15 @@ class ServeEngine:
     def _dispatch_ready(self) -> None:
         if self.res is not None:
             self._overload_tick()
+        if self.routing:
+            self._dispatch_routed()
+        else:
+            self._dispatch_pooled()
+        if self.res is not None and self.res.config.hedging:
+            self._maybe_hedge()
+
+    def _dispatch_pooled(self) -> None:
+        """Pooled dispatch: any free node takes the next batch."""
         while self.scheduler.queue:
             node = self._pick_backend()
             if node is None:
@@ -301,20 +359,68 @@ class ServeEngine:
                 continue    # the whole queue was past-deadline drops
             tier = self._tier_for(node, batch)
             if tier is None:
-                # Over budget even throttled: defer until a
-                # completion lowers the fleet draw.
-                self.scheduler.requeue(batch)
-                if self.res is not None:
-                    change = self.res.overload.note_deferral()
-                    if change is not None:
-                        self.res.alert(
-                            self.simulator.now, "warn", "overload",
-                            self.res.overload.level_name,
-                            f"power-gate pressure -> level {change}")
+                self._defer(batch)
                 break
             self._launch(node, batch, tier)
-        if self.res is not None and self.res.config.hedging:
-            self._maybe_hedge()
+
+    def _dispatch_routed(self) -> None:
+        """Strict-routing dispatch for heterogeneous fleets.
+
+        Each free node only takes kernels routed to its archetype, so
+        a spilled batch can never evict another class's resident
+        binary — the partitioned fleet the capacity planner prices is
+        the fleet the DES runs.  Two escape hatches keep strictness
+        from stalling the queue: kernels without a routing entry run
+        anywhere, and a kernel whose routed archetype has no node left
+        alive spills to any survivor (serving it dirty beats never
+        serving it).  The host fallback has no resident binary to
+        thrash and takes whatever the policy orders first.
+        """
+        while self.scheduler.queue:
+            candidates = self._usable_nodes()
+            if not candidates:
+                break
+            alive = {node.archetype for node in self.fleet.alive_nodes()}
+            progressed = False
+            for node in candidates:
+                allow = None
+                if not node.is_host:
+                    def allow(request, _arch=node.archetype,
+                              _alive=alive):
+                        target = self.routing.get(request.kernel)
+                        return (target is None or target == _arch
+                                or target not in _alive)
+                batch, late = self.scheduler.take_batch(
+                    self.simulator.now, allow=allow)
+                for request in late:
+                    self._issue_next(request)
+                if not batch:
+                    continue    # nothing this node may serve
+                tier = self._tier_for(node, batch)
+                if tier is None:
+                    self._defer(batch)
+                    return
+                self._launch(node, batch, tier)
+                progressed = True
+                break
+            if not progressed:
+                break
+
+    def _defer(self, batch: List[Request]) -> None:
+        """Requeue an over-budget batch (callers stop the round).
+
+        Over budget even throttled: the batch waits until a completion
+        lowers the fleet draw.  The power gate is fleet-wide, so no
+        other candidate fits either.
+        """
+        self.scheduler.requeue(batch)
+        if self.res is not None:
+            change = self.res.overload.note_deferral()
+            if change is not None:
+                self.res.alert(
+                    self.simulator.now, "warn", "overload",
+                    self.res.overload.level_name,
+                    f"power-gate pressure -> level {change}")
 
     def _launch(self, node: Node, batch: List[Request], tier: str) -> None:
         self.in_flight += len(batch)
@@ -341,8 +447,8 @@ class ServeEngine:
                              for request in batch)
         cold = 0.0
         if node.resident != batch[0].kernel:
-            cold, _ = self.book.cold_cost(batch[0].kernel, tier)
-        warm, _ = self.book.batch_service(batch, tier, node.droop)
+            cold, _ = node.book.cold_cost(batch[0].kernel, tier)
+        warm, _ = node.book.batch_service(batch, tier, node.droop)
         return now + cold + warm
 
     def _overload_tick(self) -> None:
@@ -378,7 +484,7 @@ class ServeEngine:
         # valve, not a second dispatcher.
         flight = min(overdue, key=lambda f: (f.expected_end,
                                              f.batch[0].request_id))
-        node = self._pick_backend()
+        node = self._pick_backend(kernel=flight.batch[0].kernel)
         if node is None or node.name == flight.node_name:
             return
         hedge_batch = list(flight.batch)
@@ -532,7 +638,10 @@ class ServeEngine:
             dead_nodes=self.fleet.dead_nodes,
             reboots=sum(node.reboots for node in self.fleet.nodes),
             fleet_energy_j=tracker.energy(duration),
-            resilience=self.res.summary() if self.res is not None else None)
+            resilience=self.res.summary() if self.res is not None else None,
+            node_archetypes=(
+                {node.name: node.archetype for node in self.fleet.nodes}
+                if self.config.fleet is not None else None))
         report.emit_telemetry()
         return report
 

@@ -175,9 +175,14 @@ class AnalyticServiceBook(ServiceBook):
     """Prices kernels through the calibrated offload stack, lazily."""
 
     def __init__(self, system: Optional[HeterogeneousSystem] = None,
-                 host_mhz: float = 8.0):
+                 host_mhz: float = 8.0,
+                 tier_budgets: Optional[Dict[str, float]] = None):
         self.system = system if system is not None else HeterogeneousSystem()
         self.host_frequency = mhz(host_mhz)
+        #: Per-tier envelope budgets; defaults to the module-level pair
+        #: so archetypes can carry their own operating points.
+        self.tier_budgets = dict(tier_budgets) if tier_budgets is not None \
+            else dict(TIER_BUDGETS)
         self._profiles: Dict[Tuple[str, str], ServiceProfile] = {}
         self._host_runs: Dict[str, float] = {}
         power_model = self.system.soc.power_model
@@ -187,14 +192,14 @@ class AnalyticServiceBook(ServiceBook):
         self.host_power = self.system.host.active_power(self.host_frequency)
 
     def tiers(self) -> Tuple[str, ...]:
-        return tuple(TIER_BUDGETS)
+        return tuple(self.tier_budgets)
 
     def profile(self, kernel: str, tier: str = "fast") -> ServiceProfile:
         key = (kernel, tier)
         cached = self._profiles.get(key)
         if cached is not None:
             return cached
-        if tier not in TIER_BUDGETS:
+        if tier not in self.tier_budgets:
             raise ConfigurationError(f"unknown service tier {tier!r}")
         built = self._build(kernel, tier)
         self._profiles[key] = built
@@ -221,7 +226,7 @@ class AnalyticServiceBook(ServiceBook):
         stack.
         """
         system = system if system is not None else self.system
-        budget = budget if budget is not None else TIER_BUDGETS[tier]
+        budget = budget if budget is not None else self.tier_budgets[tier]
         kernel = kernel_by_name(kernel_name)
         program = kernel.build_program()
         binary = KernelBinary.from_program(program)
@@ -361,10 +366,13 @@ class Node:
                  plan: Optional[FaultPlan] = None, seed: int = 1,
                  retry: Optional[RetryPolicy] = None,
                  on_outcome: Optional[Callable[[ServiceOutcome], None]] = None,
-                 is_host: bool = False):
+                 is_host: bool = False, archetype: Optional[str] = None):
         self.index = index
         self.name = "host-fallback" if is_host else f"node{index}"
         self.book = book
+        #: Archetype name this node was built from (heterogeneous fleets
+        #: route kernels by it); None on homogeneous fleets and the host.
+        self.archetype = archetype
         self.simulator = simulator
         self.tracker = tracker
         self.retry = retry if retry is not None else RetryPolicy()
@@ -608,26 +616,47 @@ class Node:
 
 
 class Fleet:
-    """N accelerator nodes plus the host fallback backend."""
+    """N accelerator nodes plus the host fallback backend.
+
+    Homogeneous by default (every node prices through *book*); pass
+    *groups* — an ordered list of ``(archetype_name, book, count)``
+    triples — to build a heterogeneous fleet whose nodes carry
+    per-archetype books.  *book* stays the host/default pricing (host
+    fallback, scheduler estimates).  Group order assigns node indices
+    (group 0 gets the lowest), matching how fault plans cycle.
+    """
 
     def __init__(self, simulator: Simulator, book: ServiceBook,
                  nodes: int, plans: Optional[List[FaultPlan]] = None,
                  seed: int = 1, retry: Optional[RetryPolicy] = None,
-                 on_outcome: Optional[Callable[[ServiceOutcome], None]] = None):
+                 on_outcome: Optional[Callable[[ServiceOutcome], None]] = None,
+                 groups: Optional[
+                     List[Tuple[Optional[str], ServiceBook, int]]] = None):
         if nodes < 1:
             raise ConfigurationError(f"fleet needs >= 1 nodes, got {nodes}")
+        if groups is not None and sum(count for _, _, count in groups) \
+                != nodes:
+            raise ConfigurationError(
+                f"fleet groups sum to "
+                f"{sum(count for _, _, count in groups)} nodes, "
+                f"but the fleet was sized for {nodes}")
         self.simulator = simulator
         self.book = book
         self.tracker = PowerTracker(simulator, base_w=book.host_power)
         self.nodes: List[Node] = []
-        for index in range(nodes):
-            plan = None
-            if plans:
-                plan = plans[index % len(plans)]
-            self.nodes.append(Node(
-                index, book, simulator, self.tracker, plan=plan,
-                seed=seed * 1000 + index * 7919 + 1, retry=retry,
-                on_outcome=on_outcome))
+        if groups is None:
+            groups = [(None, book, nodes)]
+        index = 0
+        for archetype, group_book, count in groups:
+            for _ in range(count):
+                plan = None
+                if plans:
+                    plan = plans[index % len(plans)]
+                self.nodes.append(Node(
+                    index, group_book, simulator, self.tracker, plan=plan,
+                    seed=seed * 1000 + index * 7919 + 1, retry=retry,
+                    on_outcome=on_outcome, archetype=archetype))
+                index += 1
         self.host = Node(nodes, book, simulator, self.tracker,
                          seed=seed, retry=retry, on_outcome=on_outcome,
                          is_host=True)

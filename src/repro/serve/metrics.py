@@ -92,6 +92,9 @@ class ServeReport:
     #: SLO burn + alerts) — present only when the engine ran with a
     #: ResilienceConfig; ``None`` keeps plain reports byte-identical.
     resilience: Optional[Dict[str, object]] = None
+    #: node name -> archetype name — present only on heterogeneous
+    #: fleets (a FleetSpec run); ``None`` keeps plain reports identical.
+    node_archetypes: Optional[Dict[str, str]] = None
 
     # -- derived ----------------------------------------------------------------
 
@@ -170,6 +173,13 @@ class ServeReport:
             return 0.0
         return sum(record.wait_s for record in self.records) / self.completed
 
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency (the capacity model's W observable)."""
+        if not self.records:
+            return 0.0
+        return sum(record.latency_s for record in self.records) \
+            / self.completed
+
     def utilization(self) -> Dict[str, float]:
         """Busy fraction of the run, per backend."""
         if self.duration_s <= 0:
@@ -203,6 +213,7 @@ class ServeReport:
             "wait_p95_ms": round(wait["p95"] * 1e3, 6),
             "wait_p99_ms": round(wait["p99"] * 1e3, 6),
             "mean_wait_ms": round(self.mean_wait_s() * 1e3, 6),
+            "mean_latency_ms": round(self.mean_latency_s() * 1e3, 6),
             "deadline_misses": self.deadline_misses,
             "miss_rate": round(self.miss_rate, 6),
             "drop_rate": round(self.drop_rate, 6),
@@ -243,6 +254,10 @@ class ServeReport:
             for t, watts in self.power_timeline]
         if self.resilience is not None:
             payload["resilience"] = self.resilience
+        if self.node_archetypes is not None:
+            payload["node_archetypes"] = {
+                name: self.node_archetypes[name]
+                for name in sorted(self.node_archetypes)}
         return payload
 
     @property

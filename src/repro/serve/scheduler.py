@@ -178,8 +178,16 @@ class Scheduler:
 
     # -- ordering ----------------------------------------------------------------
 
-    def _select(self, now: float) -> int:
-        """Index of the next request to dispatch (queue must be non-empty)."""
+    def _select(self, now: float,
+                indices: Optional[List[int]] = None) -> int:
+        """Index of the next request to dispatch (queue must be non-empty).
+
+        *indices* restricts the choice to a subset of queue positions
+        (strict routing hands each node only the kernels it serves);
+        None considers the whole queue.  Extension policies order the
+        full queue — when their pick falls outside the subset, the
+        earliest eligible request goes instead.
+        """
         policy = self.config.policy
         if isinstance(policy, str):
             index = _POLICY_REGISTRY[policy](self, now)
@@ -187,25 +195,36 @@ class Scheduler:
                 raise ConfigurationError(
                     f"policy {policy!r} selected index {index} outside "
                     f"the queue of {len(self.queue)}")
+            if indices is not None and index not in indices:
+                return indices[0]
             return index
+        candidates = indices if indices is not None \
+            else range(len(self.queue))
         if policy in (Policy.FIFO, Policy.POWER_CAP):
-            return 0
+            return candidates[0] if indices is not None else 0
         if policy is Policy.SJF:
-            return min(range(len(self.queue)),
+            return min(candidates,
                        key=lambda i: (self.book.estimate(self.queue[i]), i))
         # EDF: deadline-less requests sort after every deadline.
-        return min(range(len(self.queue)),
+        return min(candidates,
                    key=lambda i: (self.queue[i].deadline_s
                                   if self.queue[i].deadline_s is not None
                                   else float("inf"), i))
 
-    def take_batch(self, now: float) -> Tuple[List[Request], List[Request]]:
+    def take_batch(self, now: float,
+                   allow: Optional[Callable[[Request], bool]] = None,
+                   ) -> Tuple[List[Request], List[Request]]:
         """Pull the next batch out of the queue.
 
         Returns ``(batch, late)``: the coalesced same-kernel batch to
         dispatch, and the requests dropped for being past their deadline
         (only with ``drop_late``).  The batch may be empty when the
         whole queue was late.
+
+        *allow* restricts eligibility (strict routing: a node only
+        takes kernels routed to its archetype); requests it rejects
+        stay queued untouched.  ``None`` considers everything — the
+        exact pre-routing behavior.
         """
         late: List[Request] = []
         if self.config.drop_late:
@@ -220,7 +239,13 @@ class Scheduler:
             self.queue = keep
         if not self.queue:
             return [], late
-        lead = self.queue.pop(self._select(now))
+        indices = None
+        if allow is not None:
+            indices = [i for i, request in enumerate(self.queue)
+                       if allow(request)]
+            if not indices:
+                return [], late
+        lead = self.queue.pop(self._select(now, indices))
         batch = [lead]
         index = 0
         while len(batch) < self.config.max_batch and index < len(self.queue):

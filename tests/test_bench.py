@@ -27,7 +27,7 @@ from repro.errors import BenchmarkError
 
 #: The engines the acceptance criteria require the trajectory to cover.
 REQUIRED_SUITES = {"sim", "serve", "dse_cold", "dse_cached", "faults",
-                   "analysis", "learn", "chaos"}
+                   "analysis", "learn", "chaos", "capacity"}
 
 
 @pytest.fixture(scope="module")
